@@ -1,0 +1,75 @@
+//! Criterion version of Fig. 2: fused attention kernel (FAK) vs the
+//! DGL-style decomposed GAT layer, forward and backward, across head
+//! counts at a constant per-head dimension.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sar_graph::datasets;
+use sar_nn::{FusedGatLayer, GatConfig, GatLayer};
+use sar_tensor::{init, Var};
+use std::hint::black_box;
+
+fn bench_gat_layers(c: &mut Criterion) {
+    let d = datasets::products_like(2_000, 0);
+    let g = Arc::new(d.graph.clone());
+    let mut group = c.benchmark_group("fig2_gat_layer");
+    group.sample_size(10);
+    for &heads in &[2usize, 4, 8] {
+        let head_dim = 100;
+        let width = heads * head_dim;
+        let mut rng = StdRng::seed_from_u64(heads as u64);
+        let mut cfg = GatConfig::new(width, head_dim, heads);
+        cfg.activation = false;
+        let standard = GatLayer::new(cfg, &mut rng);
+        let fused = FusedGatLayer::from_standard(&standard);
+        let x = init::randn(&[d.num_nodes(), width], 0.5, &mut rng);
+
+        group.bench_with_input(
+            BenchmarkId::new("standard_fwd", heads),
+            &heads,
+            |bench, _| {
+                let h = Var::constant(x.clone());
+                bench.iter(|| black_box(standard.forward(&g, &h)))
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("fak_fwd", heads), &heads, |bench, _| {
+            let h = Var::constant(x.clone());
+            bench.iter(|| black_box(fused.forward(&g, &h)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("standard_fwd_bwd", heads),
+            &heads,
+            |bench, _| {
+                bench.iter(|| {
+                    let h = Var::parameter(x.clone());
+                    standard.forward(&g, &h).sum().backward();
+                    for p in standard.params() {
+                        p.zero_grad();
+                    }
+                    black_box(h.grad())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fak_fwd_bwd", heads),
+            &heads,
+            |bench, _| {
+                bench.iter(|| {
+                    let h = Var::parameter(x.clone());
+                    fused.forward(&g, &h).sum().backward();
+                    for p in fused.params() {
+                        p.zero_grad();
+                    }
+                    black_box(h.grad())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gat_layers);
+criterion_main!(benches);

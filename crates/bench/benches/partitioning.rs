@@ -1,0 +1,39 @@
+//! Partitioner throughput and quality benchmarks: the METIS-like
+//! multilevel partitioner vs the baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sar_graph::datasets;
+use sar_partition::{partition, Method};
+use std::hint::black_box;
+
+fn bench_partitioners(c: &mut Criterion) {
+    let d = datasets::products_like(5_000, 0);
+    let mut group = c.benchmark_group("partition_5k_nodes");
+    group.sample_size(10);
+    for (method, name) in [
+        (Method::Multilevel, "multilevel"),
+        (Method::Bfs, "bfs"),
+        (Method::Random, "random"),
+        (Method::Range, "range"),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, 8), &method, |bench, &m| {
+            bench.iter(|| black_box(partition(&d.graph, 8, m, 0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_multilevel_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multilevel_by_k");
+    group.sample_size(10);
+    let d = datasets::products_like(4_000, 1);
+    for &k in &[2usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, &k| {
+            bench.iter(|| black_box(partition(&d.graph, k, Method::Multilevel, 0)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners, bench_multilevel_scaling);
+criterion_main!(benches);

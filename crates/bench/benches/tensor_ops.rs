@@ -1,0 +1,63 @@
+//! Microbenchmarks of the dense-tensor substrate (matmul, softmax,
+//! gather/scatter) — the building blocks whose throughput anchors every
+//! epoch-time measurement in the paper reproduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sar_tensor::{init, Tensor};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(10);
+    for &n in &[128usize, 512] {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = init::randn(&[n, n], 1.0, &mut rng);
+        let b = init::randn(&[n, n], 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("nn", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("tn", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul_tn(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("softmax_rows");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = init::randn(&[10_000, 64], 1.0, &mut rng);
+    group.bench_function("10000x64", |bench| {
+        bench.iter(|| black_box(x.softmax_rows()))
+    });
+    group.bench_function("log_10000x64", |bench| {
+        bench.iter(|| black_box(x.log_softmax_rows()))
+    });
+    group.finish();
+}
+
+fn bench_gather_scatter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gather_scatter");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = init::randn(&[20_000, 128], 1.0, &mut rng);
+    let idx: Vec<u32> = (0..40_000u32).map(|i| (i * 7919) % 20_000).collect();
+    group.bench_function("gather_40k_rows", |bench| {
+        bench.iter(|| black_box(x.gather_rows(&idx)))
+    });
+    let src = init::randn(&[40_000, 128], 1.0, &mut rng);
+    group.bench_function("scatter_add_40k_rows", |bench| {
+        bench.iter(|| {
+            let mut out = Tensor::zeros(&[20_000, 128]);
+            out.scatter_add_rows(&idx, &src);
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_softmax, bench_gather_scatter);
+criterion_main!(benches);

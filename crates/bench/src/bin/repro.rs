@@ -1,0 +1,164 @@
+//! Regenerates every table and figure of the SAR paper.
+//!
+//! ```text
+//! repro <experiment> [flags]
+//!
+//! experiments:
+//!   table1              dataset stats + final accuracies
+//!   fig2                single-host fused attention kernels
+//!   fig3 | fig4         GraphSage | GAT scaling on products-like
+//!   fig5 | fig6         GraphSage | GAT scaling on papers-like
+//!   ablation-prefetch   2/N vs 3/N memory (§3.4)
+//!   ablation-softmax    stable vs naive online softmax (§3.4)
+//!   ablation-partition  partitioner quality vs comm volume
+//!   exactness           SAR results independent of worker count
+//!   all                 everything above
+//!
+//! flags:
+//!   --products-nodes N   products-like size     (default 4000)
+//!   --papers-nodes N     papers-like size       (default 8000)
+//!   --epochs N           accuracy-run epochs    (default 40)
+//!   --timing-epochs N    timing-run epochs      (default 3)
+//!   --bw-scale X         bandwidth down-scale   (default 100)
+//!   --mem-budget-products-mib X  OOM budget, Figs. 3/4 (default 512)
+//!   --mem-budget-papers-mib X    OOM budget, Figs. 5/6 (default 48)
+//!   --worlds A,B,C       worker counts override
+//!   --seed N             RNG seed               (default 0)
+//! ```
+
+use sar_bench::experiments::{
+    ablation_partition, ablation_prefetch, ablation_softmax, exactness, fig2, scaling, table1,
+    ExpConfig, Workload,
+};
+use sar_core::Arch;
+
+fn parse_flags(args: &[String]) -> (ExpConfig, Option<Vec<usize>>) {
+    let mut cfg = ExpConfig::default();
+    let mut worlds = None;
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].as_str();
+        let value = args.get(i + 1).cloned();
+        let mut take = |name: &str| -> Option<String> {
+            if key == name {
+                i += 1;
+                Some(value.clone().unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    std::process::exit(2);
+                }))
+            } else {
+                None
+            }
+        };
+        if let Some(v) = take("--products-nodes") {
+            cfg.products_nodes = v.parse().expect("--products-nodes");
+        } else if let Some(v) = take("--papers-nodes") {
+            cfg.papers_nodes = v.parse().expect("--papers-nodes");
+        } else if let Some(v) = take("--epochs") {
+            cfg.epochs = v.parse().expect("--epochs");
+        } else if let Some(v) = take("--timing-epochs") {
+            cfg.timing_epochs = v.parse().expect("--timing-epochs");
+        } else if let Some(v) = take("--bw-scale") {
+            cfg.bandwidth_scale = v.parse().expect("--bw-scale");
+        } else if let Some(v) = take("--mem-budget-products-mib") {
+            cfg.mem_budget_products_mib = v.parse().expect("--mem-budget-products-mib");
+        } else if let Some(v) = take("--mem-budget-papers-mib") {
+            cfg.mem_budget_papers_mib = v.parse().expect("--mem-budget-papers-mib");
+        } else if let Some(v) = take("--worlds") {
+            worlds = Some(
+                v.split(',')
+                    .map(|x| x.parse().expect("--worlds"))
+                    .collect(),
+            );
+        } else if let Some(v) = take("--seed") {
+            cfg.seed = v.parse().expect("--seed");
+        } else {
+            eprintln!("unknown flag: {key}");
+            std::process::exit(2);
+        }
+        i += 1;
+    }
+    (cfg, worlds)
+}
+
+fn run(name: &str, cfg: &ExpConfig, worlds: Option<&[usize]>) {
+    let products_worlds = worlds.unwrap_or(&[4, 8, 16]).to_vec();
+    let papers_worlds = worlds.unwrap_or(&[32, 64, 128]).to_vec();
+    let tables = match name {
+        "table1" => table1(cfg),
+        "fig2" => fig2(cfg),
+        "fig3" => scaling(
+            Arch::GraphSage { hidden: 256 },
+            Workload::Products,
+            &products_worlds,
+            cfg,
+        ),
+        "fig4" => scaling(
+            Arch::Gat {
+                head_dim: 128,
+                heads: 4,
+            },
+            Workload::Products,
+            &products_worlds,
+            cfg,
+        ),
+        "fig5" => scaling(
+            Arch::GraphSage { hidden: 256 },
+            Workload::Papers,
+            &papers_worlds,
+            cfg,
+        ),
+        "fig6" => scaling(
+            Arch::Gat {
+                head_dim: 128,
+                heads: 4,
+            },
+            Workload::Papers,
+            &papers_worlds,
+            cfg,
+        ),
+        "ablation-prefetch" => vec![ablation_prefetch(cfg)],
+        "ablation-softmax" => vec![ablation_softmax(cfg)],
+        "ablation-partition" => vec![ablation_partition(cfg)],
+        "exactness" => vec![exactness(cfg)],
+        other => {
+            eprintln!("unknown experiment: {other}");
+            std::process::exit(2);
+        }
+    };
+    for t in tables {
+        t.print();
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: repro <experiment|all> [flags] — see crate docs");
+        std::process::exit(2);
+    }
+    let (cfg, worlds) = parse_flags(&args[1..]);
+    eprintln!(
+        "[repro] products-like n={}, papers-like n={}, epochs={}, timing-epochs={}, bw-scale={}",
+        cfg.products_nodes, cfg.papers_nodes, cfg.epochs, cfg.timing_epochs, cfg.bandwidth_scale
+    );
+    if args[0] == "all" {
+        for name in [
+            "table1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "ablation-prefetch",
+            "ablation-softmax",
+            "ablation-partition",
+            "exactness",
+        ] {
+            eprintln!("[repro] running {name} ...");
+            run(name, &cfg, worlds.as_deref());
+        }
+    } else {
+        run(&args[0], &cfg, worlds.as_deref());
+    }
+}

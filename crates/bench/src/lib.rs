@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Benchmark harness reproducing every table and figure of the SAR paper.
+//!
+//! Each experiment in [`experiments`] regenerates one table or figure of
+//! the paper's evaluation section on the synthetic OGB stand-in datasets
+//! (see the workspace DESIGN.md §2 for the substitution rationale):
+//!
+//! | Paper artifact | Function | `repro` subcommand |
+//! |---|---|---|
+//! | Table 1 (accuracies) | [`experiments::table1`] | `table1` |
+//! | Fig. 2 (fused kernels) | [`experiments::fig2`] | `fig2` |
+//! | Fig. 3 (Sage/products) | [`experiments::scaling`] | `fig3` |
+//! | Fig. 4 (GAT/products) | [`experiments::scaling`] | `fig4` |
+//! | Fig. 5 (Sage/papers) | [`experiments::scaling`] | `fig5` |
+//! | Fig. 6 (GAT/papers) | [`experiments::scaling`] | `fig6` |
+//! | §3.4 prefetching | [`experiments::ablation_prefetch`] | `ablation-prefetch` |
+//! | §3.4 stable softmax | [`experiments::ablation_softmax`] | `ablation-softmax` |
+//! | §4.2 METIS choice | [`experiments::ablation_partition`] | `ablation-partition` |
+//! | §2 exactness claim | [`experiments::exactness`] | `exactness` |
+//!
+//! Run everything with `cargo run --release -p sar-bench --bin repro -- all`.
+//!
+//! Epoch times are modeled as `max_p(compute CPU-seconds) +
+//! max_p(simulated α–β communication seconds)`; peak memory is the real
+//! per-worker-thread live tensor high-water mark. Default sizes target a
+//! small CI machine; scale up with `--nodes`.
+
+pub mod experiments;
+pub mod report;

@@ -1,0 +1,288 @@
+//! Spawning and joining a simulated cluster of worker threads.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::unbounded;
+use sar_tensor::MemoryTracker;
+
+use crate::ctx::WorkerCtx;
+use crate::message::Message;
+use crate::net::{CommStats, CostModel};
+
+/// What one worker produced: its closure result plus measurements.
+#[derive(Debug, Clone)]
+pub struct WorkerOutcome<T> {
+    /// The worker's rank.
+    pub rank: usize,
+    /// Value returned by the worker closure.
+    pub result: T,
+    /// Communication statistics (bytes, messages, simulated time).
+    pub comm: CommStats,
+    /// Peak live tensor bytes on this worker's thread during the run.
+    pub peak_tensor_bytes: usize,
+}
+
+/// A simulated cluster of `n` worker threads.
+///
+/// [`Cluster::run`] executes one SPMD program: the same closure runs on
+/// every worker with its own [`WorkerCtx`]. Results and per-worker
+/// measurements come back as [`WorkerOutcome`]s ordered by rank.
+///
+/// # Example
+///
+/// ```
+/// use sar_comm::{Cluster, CostModel, Payload};
+///
+/// let out = Cluster::new(2, CostModel::default()).run(|ctx| {
+///     let peer = 1 - ctx.rank();
+///     ctx.send(peer, 0, Payload::U32(vec![ctx.rank() as u32]));
+///     ctx.recv(peer, 0).into_u32()[0]
+/// });
+/// assert_eq!(out[0].result, 1);
+/// assert_eq!(out[1].result, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    world: usize,
+    cost: CostModel,
+    recv_timeout: Duration,
+}
+
+impl Cluster {
+    /// Creates a cluster description with `world` workers and the given
+    /// network cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world == 0`.
+    pub fn new(world: usize, cost: CostModel) -> Self {
+        assert!(world > 0, "cluster needs at least one worker");
+        Cluster {
+            world,
+            cost,
+            recv_timeout: Duration::from_secs(300),
+        }
+    }
+
+    /// Sets how long a blocked `recv` waits before declaring the protocol
+    /// dead (default 300 s). Shorten in tests that exercise failure paths.
+    pub fn recv_timeout(mut self, timeout: Duration) -> Self {
+        self.recv_timeout = timeout;
+        self
+    }
+
+    /// Number of workers.
+    pub fn world_size(&self) -> usize {
+        self.world
+    }
+
+    /// Runs `f` on every worker and joins.
+    ///
+    /// The closure receives this worker's [`WorkerCtx`] *by value*, so SAR
+    /// can move it into an `Rc` and let backward-pass tape closures
+    /// communicate. Anything `Send` may be returned. Peak tensor memory is
+    /// measured from the start of the closure (the worker thread starts
+    /// with zero live tensors).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first worker panic after all workers have been
+    /// joined. Workers blocked on a peer that panicked fail their `recv`
+    /// after the configured timeout, so a single failure tears down the
+    /// whole cluster rather than hanging it.
+    pub fn run<T, F>(&self, f: F) -> Vec<WorkerOutcome<T>>
+    where
+        T: Send + 'static,
+        F: Fn(WorkerCtx) -> T + Send + Sync + 'static,
+    {
+        let n = self.world;
+        let f = Arc::new(f);
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<Message>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let barrier = Arc::new(std::sync::Barrier::new(n));
+
+        let mut handles = Vec::with_capacity(n);
+        for (rank, receiver) in receivers.into_iter().enumerate() {
+            let f = Arc::clone(&f);
+            let barrier = Arc::clone(&barrier);
+            // Every worker can send to every other; the main thread also
+            // keeps a clone of each sender alive (see below) so a worker
+            // that finishes early never invalidates a peer's send.
+            let senders = senders.clone();
+            let cost = self.cost;
+            let timeout = self.recv_timeout;
+            let handle = std::thread::Builder::new()
+                .name(format!("sar-worker-{rank}"))
+                .spawn(move || {
+                    let ctx = WorkerCtx::new(rank, n, senders, receiver, barrier, cost, timeout);
+                    let stats = ctx.share_stats();
+                    MemoryTracker::reset_peak();
+                    let result = f(ctx);
+                    let peak = MemoryTracker::stats().peak_bytes;
+                    let comm = stats.borrow().clone();
+                    WorkerOutcome {
+                        rank,
+                        result,
+                        comm,
+                        peak_tensor_bytes: peak,
+                    }
+                })
+                .expect("failed to spawn worker thread");
+            handles.push(handle);
+        }
+
+        let mut outcomes = Vec::with_capacity(n);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(outcome) => outcomes.push(outcome),
+                Err(e) => panic = panic.or(Some(e)),
+            }
+        }
+        // `senders` kept alive until here on purpose.
+        drop(senders);
+        if let Some(e) = panic {
+            std::panic::resume_unwind(e);
+        }
+        outcomes.sort_by_key(|o| o.rank);
+        outcomes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Payload;
+
+    #[test]
+    fn single_worker_runs() {
+        let out = Cluster::new(1, CostModel::default()).run(|ctx| ctx.rank());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].result, 0);
+    }
+
+    #[test]
+    fn ring_message_passing() {
+        let out = Cluster::new(5, CostModel::default()).run(|ctx| {
+            let next = (ctx.rank() + 1) % ctx.world_size();
+            let prev = (ctx.rank() + ctx.world_size() - 1) % ctx.world_size();
+            ctx.send(next, 1, Payload::U32(vec![ctx.rank() as u32]));
+            ctx.recv(prev, 1).into_u32()[0]
+        });
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(o.result as usize, (i + 4) % 5);
+        }
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let out = Cluster::new(2, CostModel::default()).run(|ctx| {
+            let peer = 1 - ctx.rank();
+            ctx.send(peer, 10, Payload::F32(vec![1.0]));
+            ctx.send(peer, 20, Payload::F32(vec![2.0]));
+            // Receive in the opposite order.
+            let b = ctx.recv(peer, 20).into_f32()[0];
+            let a = ctx.recv(peer, 10).into_f32()[0];
+            (a, b)
+        });
+        assert_eq!(out[0].result, (1.0, 2.0));
+    }
+
+    #[test]
+    fn send_to_self_loops_back() {
+        let out = Cluster::new(1, CostModel::default()).run(|ctx| {
+            ctx.send(0, 3, Payload::U32(vec![42]));
+            ctx.recv(0, 3).into_u32()[0]
+        });
+        assert_eq!(out[0].result, 42);
+    }
+
+    #[test]
+    fn traffic_is_counted_and_charged() {
+        let out = Cluster::new(2, CostModel::default()).run(|ctx| {
+            let peer = 1 - ctx.rank();
+            ctx.send(peer, 0, Payload::F32(vec![0.0; 1000]));
+            let _ = ctx.recv(peer, 0);
+        });
+        for o in &out {
+            assert_eq!(o.comm.total_sent(), 4000);
+            assert_eq!(o.comm.recv_bytes, 4000);
+            let expect = CostModel::default().message_cost_us(4000);
+            assert!((o.comm.sim_comm_us - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn self_messages_are_free() {
+        let out = Cluster::new(1, CostModel::default()).run(|ctx| {
+            ctx.send(0, 0, Payload::F32(vec![0.0; 100]));
+            let _ = ctx.recv(0, 0);
+        });
+        assert_eq!(out[0].comm.sim_comm_us, 0.0);
+    }
+
+    #[test]
+    fn peak_memory_is_per_worker() {
+        use sar_tensor::Tensor;
+        let out = Cluster::new(3, CostModel::default()).run(|ctx| {
+            // Worker r allocates (r+1) * 100 KiB.
+            let rows = (ctx.rank() + 1) * 25_600;
+            let t = Tensor::zeros(&[rows, 1]);
+            t.sum()
+        });
+        for (r, o) in out.iter().enumerate() {
+            let expect = (r + 1) * 25_600 * 4;
+            assert!(
+                o.peak_tensor_bytes >= expect && o.peak_tensor_bytes < expect + 4096,
+                "rank {r}: peak {} vs expected {expect}",
+                o.peak_tensor_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static BEFORE: AtomicUsize = AtomicUsize::new(0);
+        let out = Cluster::new(4, CostModel::default()).run(|ctx| {
+            BEFORE.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier();
+            // After the barrier, all 4 increments must be visible.
+            BEFORE.load(Ordering::SeqCst)
+        });
+        for o in out {
+            assert_eq!(o.result, 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        let _ = Cluster::new(2, CostModel::default())
+            .recv_timeout(Duration::from_millis(200))
+            .run(|ctx| {
+                if ctx.rank() == 0 {
+                    panic!("boom");
+                }
+            });
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlocked")]
+    fn recv_timeout_reports_deadlock() {
+        let _ = Cluster::new(2, CostModel::default())
+            .recv_timeout(Duration::from_millis(100))
+            .run(|ctx| {
+                if ctx.rank() == 0 {
+                    // Wait for a message nobody sends.
+                    let _ = ctx.recv(1, 99);
+                }
+            });
+    }
+}

@@ -1,0 +1,227 @@
+//! Per-worker communication context: tagged point-to-point messaging.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::message::{Message, Payload};
+use crate::net::{CommStats, CostModel};
+
+/// A worker's handle to the simulated cluster.
+///
+/// Each worker thread owns exactly one `WorkerCtx`. Point-to-point
+/// messages are tagged; [`WorkerCtx::recv`] matches on `(src, tag)` and
+/// buffers out-of-order arrivals, so independent protocols (per-layer
+/// feature fetches, gradient pushes, collectives) can interleave safely.
+///
+/// `WorkerCtx` is intentionally not `Clone`: SAR's algorithms are
+/// bulk-synchronous SPMD, one context per worker.
+pub struct WorkerCtx {
+    rank: usize,
+    world: usize,
+    senders: Vec<Sender<Message>>,
+    receiver: Receiver<Message>,
+    barrier: Arc<std::sync::Barrier>,
+    cost: CostModel,
+    recv_timeout: Duration,
+    stats: Rc<RefCell<CommStats>>,
+    pending: RefCell<HashMap<(u32, u64), VecDeque<Payload>>>,
+    coll_seq: Cell<u64>,
+}
+
+/// Tags at or above this value are reserved for collectives.
+pub(crate) const COLLECTIVE_TAG_BASE: u64 = 1 << 62;
+
+impl WorkerCtx {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        rank: usize,
+        world: usize,
+        senders: Vec<Sender<Message>>,
+        receiver: Receiver<Message>,
+        barrier: Arc<std::sync::Barrier>,
+        cost: CostModel,
+        recv_timeout: Duration,
+    ) -> Self {
+        WorkerCtx {
+            rank,
+            world,
+            senders,
+            receiver,
+            barrier,
+            cost,
+            recv_timeout,
+            stats: Rc::new(RefCell::new(CommStats::new(world))),
+            pending: RefCell::new(HashMap::new()),
+            coll_seq: Cell::new(0),
+        }
+    }
+
+    /// Allocates the next collective tag. Relies on SPMD execution: all
+    /// workers must invoke collectives in the same order.
+    pub(crate) fn next_coll_tag(&self) -> u64 {
+        let seq = self.coll_seq.get();
+        self.coll_seq.set(seq + 1);
+        COLLECTIVE_TAG_BASE + seq
+    }
+
+    /// This worker's rank in `0..world_size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of workers in the cluster.
+    pub fn world_size(&self) -> usize {
+        self.world
+    }
+
+    /// The cluster's α–β cost model.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    /// Snapshot of this worker's communication statistics.
+    pub fn stats(&self) -> CommStats {
+        self.stats.borrow().clone()
+    }
+
+    /// A shared handle to the live statistics, readable after the context
+    /// has been consumed (used by [`Cluster::run`](crate::Cluster::run)).
+    pub fn share_stats(&self) -> Rc<RefCell<CommStats>> {
+        Rc::clone(&self.stats)
+    }
+
+    /// Sends `payload` to worker `dst` under `tag`.
+    ///
+    /// Sending to self is allowed (the message loops back through the
+    /// pending buffer) but never charged simulated time. Channels are
+    /// unbounded, so `send` never blocks — protocols where every worker
+    /// sends before receiving cannot deadlock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range or the destination worker has
+    /// panicked (its channel is disconnected).
+    pub fn send(&self, dst: usize, tag: u64, payload: Payload) {
+        assert!(dst < self.world, "destination {dst} out of range");
+        let bytes = payload.byte_len() as u64;
+        {
+            let mut s = self.stats.borrow_mut();
+            s.sent_bytes[dst] += bytes;
+            s.sent_messages += 1;
+        }
+        if dst == self.rank {
+            self.pending
+                .borrow_mut()
+                .entry((self.rank as u32, tag))
+                .or_default()
+                .push_back(payload);
+            return;
+        }
+        self.senders[dst]
+            .send(Message {
+                src: self.rank as u32,
+                tag,
+                payload,
+            })
+            .expect("destination worker hung up (panicked?)");
+    }
+
+    /// Receives the next payload from `src` under `tag`, blocking until it
+    /// arrives. Out-of-order messages for other `(src, tag)` pairs are
+    /// buffered.
+    ///
+    /// Charges this worker `alpha + bytes/beta` of simulated communication
+    /// time unless `src == rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster has been torn down while waiting.
+    pub fn recv(&self, src: usize, tag: u64) -> Payload {
+        let key = (src as u32, tag);
+        let payload = loop {
+            if let Some(p) = self
+                .pending
+                .borrow_mut()
+                .get_mut(&key)
+                .and_then(VecDeque::pop_front)
+            {
+                break p;
+            }
+            let msg = self
+                .receiver
+                .recv_timeout(self.recv_timeout)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "worker {} waiting on (src={src}, tag={tag}): {e} — \
+                         a peer likely panicked or the protocol deadlocked",
+                        self.rank
+                    )
+                });
+            if (msg.src, msg.tag) == key {
+                break msg.payload;
+            }
+            self.pending
+                .borrow_mut()
+                .entry((msg.src, msg.tag))
+                .or_default()
+                .push_back(msg.payload);
+        };
+        if src != self.rank {
+            let mut s = self.stats.borrow_mut();
+            s.recv_bytes += payload.byte_len() as u64;
+            s.sim_comm_us += self.cost.message_cost_us(payload.byte_len());
+        }
+        payload
+    }
+
+    /// `true` if a message from `(src, tag)` is already available without
+    /// blocking (it may sit in the pending buffer or the channel).
+    pub fn try_ready(&self, src: usize, tag: u64) -> bool {
+        let key = (src as u32, tag);
+        if self
+            .pending
+            .borrow()
+            .get(&key)
+            .is_some_and(|q| !q.is_empty())
+        {
+            return true;
+        }
+        while let Ok(msg) = self.receiver.try_recv() {
+            let k = (msg.src, msg.tag);
+            self.pending
+                .borrow_mut()
+                .entry(k)
+                .or_default()
+                .push_back(msg.payload);
+            if k == key {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Blocks until all workers have reached the barrier.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Charges extra simulated communication time (used by collectives to
+    /// model algorithms whose step count differs from their message count).
+    pub fn charge_sim_us(&self, us: f64) {
+        self.stats.borrow_mut().sim_comm_us += us;
+    }
+}
+
+impl std::fmt::Debug for WorkerCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerCtx")
+            .field("rank", &self.rank)
+            .field("world", &self.world)
+            .finish()
+    }
+}

@@ -1,0 +1,85 @@
+//! Message payloads exchanged between simulated workers.
+
+/// A typed message payload.
+///
+/// Payloads carry raw buffers, never tensors: tensors are tied to their
+/// creating thread's memory tracker, so senders detach data first (see
+/// `sar_tensor::Tensor::into_data`) and receivers re-wrap it, which also
+/// attributes the received bytes to the receiving worker's memory — exactly
+/// how a real distributed runtime behaves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// A buffer of `f32` values (features, gradients).
+    F32(Vec<f32>),
+    /// A buffer of `u32` values (indices, labels).
+    U32(Vec<u32>),
+    /// A pure synchronization token.
+    Empty,
+}
+
+impl Payload {
+    /// Wire size in bytes (used by the α–β cost model).
+    pub fn byte_len(&self) -> usize {
+        match self {
+            Payload::F32(v) => v.len() * 4,
+            Payload::U32(v) => v.len() * 4,
+            Payload::Empty => 0,
+        }
+    }
+
+    /// Extracts an `f32` buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is not [`Payload::F32`].
+    pub fn into_f32(self) -> Vec<f32> {
+        match self {
+            Payload::F32(v) => v,
+            other => panic!("expected F32 payload, got {other:?}"),
+        }
+    }
+
+    /// Extracts a `u32` buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is not [`Payload::U32`].
+    pub fn into_u32(self) -> Vec<u32> {
+        match self {
+            Payload::U32(v) => v,
+            other => panic!("expected U32 payload, got {other:?}"),
+        }
+    }
+}
+
+/// An addressed message in flight.
+#[derive(Debug)]
+pub(crate) struct Message {
+    pub src: u32,
+    pub tag: u64,
+    pub payload: Payload,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_len_counts_payload() {
+        assert_eq!(Payload::F32(vec![0.0; 10]).byte_len(), 40);
+        assert_eq!(Payload::U32(vec![1, 2]).byte_len(), 8);
+        assert_eq!(Payload::Empty.byte_len(), 0);
+    }
+
+    #[test]
+    fn into_f32_round_trips() {
+        let v = vec![1.0, 2.0];
+        assert_eq!(Payload::F32(v.clone()).into_f32(), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected F32")]
+    fn into_f32_rejects_u32() {
+        let _ = Payload::U32(vec![1]).into_f32();
+    }
+}

@@ -1,0 +1,101 @@
+//! Distributed full-graph inference with a trained (checkpointed) model.
+//!
+//! Runs the forward pass only, under any execution [`Mode`](crate::Mode);
+//! with SAR modes the per-worker memory bound holds exactly as in
+//! training, so inference over a graph that doesn't fit one machine works
+//! the same way. This is the "exact full-batch baseline" use-case the
+//! paper's conclusion advertises.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sar_comm::{Cluster, CostModel};
+use sar_graph::Dataset;
+use sar_partition::Partitioning;
+use sar_tensor::{no_grad, Tensor, Var};
+
+use crate::model::{DistModel, ModelConfig};
+use crate::shard::Shard;
+use crate::worker::Worker;
+use crate::DistGraph;
+
+/// Runs distributed full-graph inference and returns the `[n, C]` logits.
+///
+/// * `params` — trained parameter values in
+///   [`DistModel::params`] order, e.g. a
+///   [`RunReport::final_params`](crate::RunReport) or a loaded checkpoint.
+/// * `label_aug` — must match training: when `true`, all training nodes'
+///   labels are fed as input features (the paper's inference-time
+///   augmentation).
+///
+/// # Panics
+///
+/// Panics if the parameter list does not match the model configuration or
+/// the partitioning does not cover the dataset.
+pub fn infer(
+    dataset: &Dataset,
+    partitioning: &Partitioning,
+    cost: CostModel,
+    model_cfg: &ModelConfig,
+    params: &[(Vec<usize>, Vec<f32>)],
+    label_aug: bool,
+) -> Tensor {
+    let world = partitioning.num_parts();
+    let graphs: Arc<Vec<Arc<DistGraph>>> = Arc::new(
+        DistGraph::build_all(&dataset.graph, partitioning)
+            .into_iter()
+            .map(Arc::new)
+            .collect(),
+    );
+    let shards = Arc::new(Shard::build_all(dataset, partitioning));
+    let mut cfg = model_cfg.clone();
+    cfg.in_dim = dataset.feat_dim() + if label_aug { dataset.num_classes } else { 0 };
+    let cfg = Arc::new(cfg);
+    let params = Arc::new(params.to_vec());
+    let n = dataset.num_nodes();
+    let c = dataset.num_classes;
+
+    let outcomes = Cluster::new(world, cost).run(move |ctx| {
+        let rank = ctx.rank();
+        let shard = &shards[rank];
+        let w = Worker::new(ctx, Arc::clone(&graphs[rank]));
+        let model = DistModel::new(&cfg);
+        let model_params = model.params();
+        assert_eq!(
+            model_params.len(),
+            params.len(),
+            "checkpoint does not match the model configuration"
+        );
+        for (p, (shape, data)) in model_params.iter().zip(params.iter()) {
+            assert_eq!(&p.shape(), shape, "parameter shape mismatch");
+            p.set_value(Tensor::from_vec(shape, data.clone()));
+        }
+
+        // Inference-time augmentation: every training node sees its label.
+        let feats = shard.features_tensor();
+        let input = if label_aug {
+            let mut aug = Tensor::zeros(&[shard.num_local(), shard.num_classes]);
+            for i in 0..shard.num_local() {
+                if shard.train_mask[i] {
+                    aug.row_mut(i)[shard.labels[i] as usize] = 1.0;
+                }
+            }
+            Tensor::hstack(&[&feats, &aug])
+        } else {
+            feats
+        };
+        let mut rng = StdRng::seed_from_u64(0); // dropout is off in eval
+        let logits = no_grad(|| {
+            model.forward(&w, &Var::constant(input), false, &mut rng)
+        });
+        (shard.global_ids.clone(), logits.value_clone().into_data())
+    });
+
+    let mut logits = Tensor::zeros(&[n, c]);
+    for o in &outcomes {
+        let (ids, data) = &o.result;
+        logits.scatter_add_rows(ids, &Tensor::from_vec(&[ids.len(), c], data.clone()));
+    }
+    logits
+}

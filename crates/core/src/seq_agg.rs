@@ -1,0 +1,262 @@
+//! Sequential Aggregation and Rematerialization — Algorithms 1 and 2.
+//!
+//! Each function here executes the message-passing + aggregation part of a
+//! GNN layer *outside* the autograd tape (Algorithm 1: raw kernels over
+//! one fetched partition block at a time, freed immediately), and records
+//! a custom [`Function`] whose backward routes errors to the owning
+//! workers (Algorithm 2):
+//!
+//! * [`sage_aggregate`] — **case 1**: `dAgg/dz` does not depend on `z`, so
+//!   the backward pass sends error blocks directly without re-fetching any
+//!   remote features. SAR adds no communication over domain-parallel
+//!   training.
+//! * [`gat_aggregate`] — **case 2**: the attention coefficients depend on
+//!   `z`, so the backward pass *re-fetches* the remote features (the 50%
+//!   communication overhead the paper describes), re-computes the
+//!   coefficients with the saved online-softmax statistics, and routes
+//!   gradients back. With `FakMode::Fused`, coefficients are produced on
+//!   the fly (fused kernels, §3.3); with `FakMode::TwoStep`, each block's
+//!   coefficients are materialized and re-read (the plain-SAR baseline of
+//!   Figs. 4 and 6).
+
+use std::rc::Rc;
+
+use sar_graph::fused::{
+    attn_grad_dot, gat_fused_block_backward, gat_fused_block_forward,
+    gat_twostep_block_backward, gat_twostep_block_forward, OnlineAttnState,
+};
+use sar_graph::ops;
+use sar_tensor::{Function, Tensor, Var};
+
+use crate::worker::Worker;
+
+// ----------------------------------------------------------------------
+// Case 1: GraphSage (linear aggregation, no refetch)
+// ----------------------------------------------------------------------
+
+struct SageAggFn {
+    parents: Vec<Var>, // [z]
+    w: Rc<Worker>,
+}
+
+impl Function for SageAggFn {
+    fn parents(&self) -> &[Var] {
+        &self.parents
+    }
+
+    fn name(&self) -> &'static str {
+        "sar_sage_aggregate"
+    }
+
+    fn backward(&self, grad_output: &Tensor, _output: &Tensor) -> Vec<Option<Tensor>> {
+        // Case 1: the error for partition q's features is a linear map of
+        // the output error — computed and shipped without refetching z.
+        let w = &self.w;
+        let grad_z = w.exchange_grads(grad_output.cols(), |q| {
+            ops::spmm_sum_backward(w.graph.block(q), grad_output)
+        });
+        vec![Some(grad_z)]
+    }
+}
+
+/// SAR sum-aggregation for GraphSage-style layers (case 1).
+///
+/// Forward: Algorithm 1 — fetches each partition's projected features
+/// `Z_{q→p}` one at a time, accumulates `Σ_q A_{p,q} Z_{q→p}` into a local
+/// accumulator with raw kernels (no tape), and frees each block before the
+/// next. Backward: Algorithm 2, case 1 — no refetch.
+///
+/// `z` must be this worker's `[n_local, F]` projected features. Returns
+/// the *sum* aggregation; divide by the global in-degree for Eq. 2's mean.
+///
+/// # Panics
+///
+/// Panics if `z` has the wrong number of rows.
+pub fn sage_aggregate(w: &Rc<Worker>, z: &Var) -> Var {
+    let cols = z.value().cols();
+    let mut acc = Tensor::zeros(&[w.graph.num_local(), cols]);
+    w.fetch_rounds(&z.value(), |q, fetched| {
+        ops::spmm_sum_into(w.graph.block(q), fetched, &mut acc);
+    });
+    Var::from_function(
+        acc,
+        SageAggFn {
+            parents: vec![z.clone()],
+            w: Rc::clone(w),
+        },
+    )
+}
+
+// ----------------------------------------------------------------------
+// Case 2: GAT (attention aggregation, refetch + recompute)
+// ----------------------------------------------------------------------
+
+/// Which attention kernel the sequential aggregation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FakMode {
+    /// Fused attention kernels (§3.3): coefficients computed on the fly,
+    /// never materialized — "SAR+FAK" in the paper's figures.
+    Fused,
+    /// DGL-style two-step kernels: each block's `[E_block, H]`
+    /// coefficients are written to memory and read back — "SAR" (plain)
+    /// in the paper's figures.
+    TwoStep,
+}
+
+struct GatAggFn {
+    parents: Vec<Var>, // [z, s_dst, a_src]
+    w: Rc<Worker>,
+    heads: usize,
+    slope: f32,
+    mode: FakMode,
+    // Saved online-softmax statistics ([n_local, H] each) — the only
+    // state SAR keeps to re-materialize attention in the backward pass.
+    max: Tensor,
+    den: Tensor,
+}
+
+impl Function for GatAggFn {
+    fn parents(&self) -> &[Var] {
+        &self.parents
+    }
+
+    fn name(&self) -> &'static str {
+        "sar_gat_aggregate"
+    }
+
+    fn backward(&self, grad_output: &Tensor, output: &Tensor) -> Vec<Option<Tensor>> {
+        let w = &self.w;
+        let (z, s_dst, a_src) = (&self.parents[0], &self.parents[1], &self.parents[2]);
+        let heads = self.heads;
+        let hd = z.value().cols();
+        let grad_dot = attn_grad_dot(grad_output, output, heads);
+        let mut d_s_dst = Tensor::zeros(&[w.graph.num_local(), heads]);
+        let mut d_a_src = Tensor::zeros(&[hd]);
+        let grad_tag = w.next_tag();
+
+        // Case 2: re-fetch every partition's features (the rematerialized
+        // pieces of the computational graph), push gradients per block,
+        // free the block, move on.
+        let a_src_val = a_src.value_clone();
+        {
+            let s_dst_ref = s_dst.value();
+            let z_ref = z.value();
+            w.fetch_rounds(&z_ref, |q, z_block| {
+                let s_src_block = ops::head_project(z_block, &a_src_val, heads);
+                let block = w.graph.block(q);
+                let grads = match self.mode {
+                    FakMode::Fused => gat_fused_block_backward(
+                        block, &s_dst_ref, &s_src_block, z_block, self.slope, &self.max,
+                        &self.den, grad_output, &grad_dot, &mut d_s_dst,
+                    ),
+                    FakMode::TwoStep => gat_twostep_block_backward(
+                        block, &s_dst_ref, &s_src_block, z_block, self.slope, &self.max,
+                        &self.den, grad_output, &grad_dot, &mut d_s_dst,
+                    ),
+                };
+                // Fold the s_src path back into z and a_src:
+                // s_src = head_project(z, a_src).
+                let (dz_from_s, da) =
+                    ops::head_project_backward(z_block, &a_src_val, heads, &grads.d_s_src);
+                d_a_src.add_assign(&da);
+                let mut d_z_block = grads.d_x_src;
+                d_z_block.add_assign(&dz_from_s);
+                if q == w.rank() {
+                    // Local contribution: scattered below via a loop-back
+                    // send so all blocks take the same path.
+                    w.ctx.send(
+                        w.rank(),
+                        grad_tag,
+                        sar_comm::Payload::F32(d_z_block.into_data()),
+                    );
+                } else {
+                    w.ctx
+                        .send(q, grad_tag, sar_comm::Payload::F32(d_z_block.into_data()));
+                }
+            });
+        }
+
+        // Accumulate the error blocks routed to this worker (E_p = Σ_q
+        // E_{q→p} in Algorithm 2).
+        let n = w.world();
+        let p = w.rank();
+        let mut grad_z = Tensor::zeros(&[w.graph.num_local(), hd]);
+        for r in 0..n {
+            let q = (p + n - r) % n;
+            let rows = w.graph.serves_to(q);
+            let data = w.ctx.recv(q, grad_tag).into_f32();
+            assert_eq!(data.len(), rows.len() * hd, "grad block size mismatch");
+            let block = Tensor::from_vec(&[rows.len(), hd], data);
+            grad_z.scatter_add_rows(rows, &block);
+        }
+
+        // "Sum θ^l.grad across all machines" (Algorithm 2): the attention
+        // parameter gradient needs contributions from every worker's
+        // destination edges.
+        let mut buf = d_a_src.into_data();
+        w.ctx.all_reduce_sum(&mut buf);
+        let d_a_src = Tensor::from_vec(&[hd], buf);
+
+        vec![Some(grad_z), Some(d_s_dst), Some(d_a_src)]
+    }
+}
+
+/// SAR attention-aggregation for GAT layers (case 2).
+///
+/// * `z` — this worker's projected features `[n_local, H*D]`.
+/// * `s_dst` — destination attention logits `[n_local, H]` (on the tape;
+///   its gradient flows back through `head_project`).
+/// * `a_src` — the source attention vector `[H*D]`; source logits for
+///   *fetched* features are recomputed from it on the fly, so only `z`
+///   rows ever cross the network.
+///
+/// Forward: Algorithm 1 with the incremental stable softmax of §3.4 —
+/// per-block online-softmax accumulation with running-max renormalization.
+/// Backward: Algorithm 2, case 2 — refetch, recompute, route.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn gat_aggregate(
+    w: &Rc<Worker>,
+    z: &Var,
+    s_dst: &Var,
+    a_src: &Var,
+    heads: usize,
+    slope: f32,
+    mode: FakMode,
+) -> Var {
+    let hd = z.value().cols();
+    assert_eq!(hd % heads, 0, "feature width not divisible by heads");
+    let head_dim = hd / heads;
+    let a_src_val = a_src.value_clone();
+    let mut state = OnlineAttnState::new(w.graph.num_local(), heads, head_dim);
+    {
+        let s_dst_ref = s_dst.value();
+        w.fetch_rounds(&z.value(), |q, z_block| {
+            let s_src_block = ops::head_project(z_block, &a_src_val, heads);
+            let block = w.graph.block(q);
+            match mode {
+                FakMode::Fused => gat_fused_block_forward(
+                    block, &s_dst_ref, &s_src_block, z_block, slope, &mut state,
+                ),
+                FakMode::TwoStep => gat_twostep_block_forward(
+                    block, &s_dst_ref, &s_src_block, z_block, slope, &mut state,
+                ),
+            }
+        });
+    }
+    let (value, max, den) = state.finalize_into();
+    Var::from_function(
+        value,
+        GatAggFn {
+            parents: vec![z.clone(), s_dst.clone(), a_src.clone()],
+            w: Rc::clone(w),
+            heads,
+            slope,
+            mode,
+            max,
+            den,
+        },
+    )
+}

@@ -1,0 +1,429 @@
+//! Full-batch distributed training loop (the experimental harness of §4).
+//!
+//! Implements the paper's training recipe: 100 epochs with a decaying
+//! learning rate, Adam, distributed batch normalization and dropout
+//! between layers, the label-augmentation / masked-label-prediction scheme
+//! of Shi et al. 2020, and optional Correct & Smooth post-processing —
+//! all running under any [`Mode`](crate::Mode) (domain-parallel, SAR,
+//! SAR+FAK) so the same harness regenerates every figure.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sar_comm::{thread_cpu_secs, Cluster, CostModel, WorkerCtx};
+use sar_graph::Dataset;
+use sar_nn::loss::{correct_count, cross_entropy_masked};
+use sar_nn::{Adam, CsConfig, LrSchedule};
+use sar_partition::Partitioning;
+use sar_tensor::{MemoryTracker, Tensor, Var};
+
+use crate::dist_cs::dist_correct_and_smooth;
+use crate::model::{DistModel, ModelConfig};
+use crate::shard::Shard;
+use crate::worker::Worker;
+use crate::DistGraph;
+
+/// Training-run hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Model configuration. `in_dim` is overwritten by the trainer to
+    /// `feat_dim (+ num_classes with label augmentation)`.
+    pub model: ModelConfig,
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Base learning rate.
+    pub lr: f32,
+    /// Learning-rate schedule (the paper decays the rate over training).
+    pub schedule: LrSchedule,
+    /// Enable the label-augmentation / masked-label-prediction scheme.
+    pub label_aug: bool,
+    /// Fraction of training nodes whose label is fed as input each epoch.
+    pub aug_frac: f64,
+    /// Run Correct & Smooth after training.
+    pub cs: Option<CsConfig>,
+    /// Enable prefetching in the sequential fetch (3/N memory instead of
+    /// 2/N, §3.4).
+    pub prefetch: bool,
+    /// Seed for label augmentation and dropout.
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// The paper's recipe around a given model: 100 epochs, Adam with
+    /// step-decayed learning rate, label augmentation, C&S.
+    pub fn paper_recipe(model: ModelConfig) -> Self {
+        TrainConfig {
+            model,
+            epochs: 100,
+            lr: 0.01,
+            schedule: LrSchedule::StepDecay { every: 30, gamma: 0.5 },
+            label_aug: true,
+            aug_frac: 0.5,
+            cs: Some(CsConfig::default()),
+            prefetch: false,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-epoch measurements from one worker.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochRecord {
+    /// Global full-batch training loss.
+    pub loss: f32,
+    /// CPU seconds this worker spent computing during the epoch.
+    pub compute_secs: f64,
+    /// Simulated communication seconds charged this epoch.
+    pub comm_secs: f64,
+    /// Bytes this worker sent this epoch.
+    pub sent_bytes: u64,
+}
+
+/// One worker's results.
+#[derive(Debug, Clone)]
+pub struct WorkerReport {
+    /// Per-epoch measurements.
+    pub epochs: Vec<EpochRecord>,
+    /// Validation accuracy (global).
+    pub val_acc: f64,
+    /// Test accuracy (global).
+    pub test_acc: f64,
+    /// Test accuracy after Correct & Smooth (global), if enabled.
+    pub test_acc_cs: Option<f64>,
+    /// Peak live tensor bytes during steady-state training (measured from
+    /// the start of the second epoch, excluding setup).
+    pub steady_peak_bytes: usize,
+    /// Final evaluation logits for this worker's nodes (row-major).
+    pub logits: Vec<f32>,
+    /// Global ids aligned with `logits` rows.
+    pub global_ids: Vec<u32>,
+    /// Trained parameter values (shape, data), populated on rank 0 only —
+    /// replicas are identical, so one copy checkpoints the model.
+    pub params: Option<Vec<(Vec<usize>, Vec<f32>)>>,
+}
+
+/// Aggregated results of a distributed training run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Number of workers.
+    pub world: usize,
+    /// Modeled epoch time: `max_p compute + max_p comm`, per epoch.
+    pub epoch_times: Vec<f64>,
+    /// The compute component of `epoch_times` (max over workers).
+    pub epoch_compute: Vec<f64>,
+    /// The simulated-communication component of `epoch_times`.
+    pub epoch_comm: Vec<f64>,
+    /// Global training loss per epoch.
+    pub losses: Vec<f32>,
+    /// Validation accuracy.
+    pub val_acc: f64,
+    /// Test accuracy.
+    pub test_acc: f64,
+    /// Test accuracy after C&S, if run.
+    pub test_acc_cs: Option<f64>,
+    /// Per-worker steady-state peak tensor bytes.
+    pub peak_bytes: Vec<usize>,
+    /// Total bytes sent across the cluster over the whole run.
+    pub total_sent_bytes: u64,
+    /// Full-graph logits `[n, C]` reassembled from all workers.
+    pub logits: Tensor,
+    /// Trained parameter values (shape, data) in [`DistModel::params`]
+    /// order, for checkpointing with
+    /// [`checkpoint::save_raw_params`](crate::checkpoint::save_raw_params).
+    pub final_params: Vec<(Vec<usize>, Vec<f32>)>,
+}
+
+impl RunReport {
+    /// Mean modeled epoch time over the steady-state epochs (skips the
+    /// first epoch, which includes cache warm-up).
+    pub fn avg_epoch_time(&self) -> f64 {
+        let steady = &self.epoch_times[self.epoch_times.len().min(1)..];
+        if steady.is_empty() {
+            return self.epoch_times.iter().sum::<f64>() / self.epoch_times.len().max(1) as f64;
+        }
+        steady.iter().sum::<f64>() / steady.len() as f64
+    }
+
+    /// Largest per-worker steady-state peak, in bytes.
+    pub fn max_peak_bytes(&self) -> usize {
+        self.peak_bytes.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// SplitMix64 — deterministic per-(seed, epoch, node) coin flips for the
+/// label-augmentation mask, identical on every worker without
+/// communication.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+fn is_augmented(seed: u64, epoch: u64, global_id: u32, frac: f64) -> bool {
+    let h = splitmix64(seed ^ splitmix64(epoch) ^ (global_id as u64));
+    (h as f64 / u64::MAX as f64) < frac
+}
+
+/// Builds the input tensor: raw features, optionally concatenated with
+/// one-hot label channels for the augmented nodes.
+fn build_input(shard: &Shard, label_aug: bool, aug_mask: Option<&[bool]>) -> Tensor {
+    let n = shard.num_local();
+    let feats = shard.features_tensor();
+    if !label_aug {
+        return feats;
+    }
+    let c = shard.num_classes;
+    let mut aug = Tensor::zeros(&[n, c]);
+    if let Some(mask) = aug_mask {
+        for (i, &augmented) in mask.iter().enumerate().take(n) {
+            if augmented {
+                aug.row_mut(i)[shard.labels[i] as usize] = 1.0;
+            }
+        }
+    }
+    Tensor::hstack(&[&feats, &aug])
+}
+
+/// Sums every parameter's gradient across workers with one flat
+/// all-reduce, writing the result back so all replicas step identically.
+fn all_reduce_grads(w: &Worker, params: &[Var]) {
+    let mut buf: Vec<f32> = Vec::new();
+    let mut shapes = Vec::with_capacity(params.len());
+    for p in params {
+        let shape = p.shape();
+        match p.grad() {
+            Some(g) => buf.extend_from_slice(g.data()),
+            None => buf.extend(std::iter::repeat_n(0.0, shape.iter().product())),
+        }
+        shapes.push(shape);
+    }
+    w.ctx.all_reduce_sum(&mut buf);
+    let mut off = 0;
+    for (p, shape) in params.iter().zip(shapes) {
+        let len: usize = shape.iter().product();
+        let g = Tensor::from_vec(&shape, buf[off..off + len].to_vec());
+        p.zero_grad();
+        p.accumulate_grad(&g);
+        off += len;
+    }
+}
+
+/// The per-worker SPMD training program.
+///
+/// Exposed so integration tests and benchmarks can compose it with a
+/// custom [`Cluster`]; most callers should use [`train`].
+pub fn run_worker(
+    ctx: WorkerCtx,
+    graph: Arc<DistGraph>,
+    shard: &Shard,
+    cfg: &TrainConfig,
+) -> WorkerReport {
+    let w = if cfg.prefetch {
+        Worker::with_prefetch(ctx, graph)
+    } else {
+        Worker::new(ctx, graph)
+    };
+    let mut model_cfg = cfg.model.clone();
+    model_cfg.in_dim = shard.feat_dim + if cfg.label_aug { shard.num_classes } else { 0 };
+    let model = DistModel::new(&model_cfg);
+    let params = model.params();
+    let mut opt = Adam::new(params.clone(), cfg.lr).with_schedule(cfg.schedule);
+    let mut dropout_rng = StdRng::seed_from_u64(cfg.seed ^ (w.rank() as u64).wrapping_mul(0x9e3779b97f4a7c15));
+
+    let mut epochs = Vec::with_capacity(cfg.epochs);
+    let mut steady_peak = 0usize;
+    for epoch in 0..cfg.epochs {
+        if epoch == 1 {
+            // Exclude setup + first-epoch allocator warm-up from the
+            // steady-state peak-memory measurement.
+            MemoryTracker::reset_peak();
+        }
+        let cpu0 = thread_cpu_secs();
+        let comm0 = w.ctx.stats();
+
+        // Label augmentation: feed a deterministic random subset of the
+        // training labels as input, predict the rest (Shi et al. 2020).
+        let (aug_mask, predict_mask): (Option<Vec<bool>>, Vec<bool>) = if cfg.label_aug {
+            let aug: Vec<bool> = (0..shard.num_local())
+                .map(|i| {
+                    shard.train_mask[i]
+                        && is_augmented(cfg.seed, epoch as u64, shard.global_ids[i], cfg.aug_frac)
+                })
+                .collect();
+            let predict: Vec<bool> = (0..shard.num_local())
+                .map(|i| shard.train_mask[i] && !aug[i])
+                .collect();
+            (Some(aug), predict)
+        } else {
+            (None, shard.train_mask.clone())
+        };
+        let local_predict = predict_mask.iter().filter(|&&m| m).count();
+        let global_predict = w.ctx.all_reduce_sum_scalar(local_predict as f32).max(1.0);
+
+        let x = Var::constant(build_input(shard, cfg.label_aug, aug_mask.as_deref()));
+        let logits = model.forward(&w, &x, true, &mut dropout_rng);
+        let loss = cross_entropy_masked(
+            &logits,
+            &shard.labels,
+            &predict_mask,
+            Some(global_predict),
+        );
+        opt.zero_grad();
+        loss.backward();
+        all_reduce_grads(&w, &params);
+        opt.step();
+        opt.advance_epoch();
+
+        let global_loss = w.ctx.all_reduce_sum_scalar(loss.value().item());
+        let comm1 = w.ctx.stats();
+        epochs.push(EpochRecord {
+            loss: global_loss,
+            compute_secs: thread_cpu_secs() - cpu0,
+            comm_secs: (comm1.sim_comm_us - comm0.sim_comm_us) / 1e6,
+            sent_bytes: comm1.total_sent() - comm0.total_sent(),
+        });
+        steady_peak = steady_peak.max(MemoryTracker::stats().peak_bytes);
+    }
+    if cfg.epochs <= 1 {
+        steady_peak = steady_peak.max(MemoryTracker::stats().peak_bytes);
+    }
+
+    // ---- Final evaluation: augment ALL training nodes (paper: "at
+    // inference time, we augment all training nodes with the ground truth
+    // labels").
+    let eval_aug = cfg.label_aug.then(|| shard.train_mask.clone());
+    let x = Var::constant(build_input(shard, cfg.label_aug, eval_aug.as_deref()));
+    let logits = sar_tensor::no_grad(|| model.forward(&w, &x, false, &mut dropout_rng));
+    let logits_t = logits.value_clone();
+
+    let global_acc = |mask: &[bool]| -> f64 {
+        let (c, t) = correct_count(&logits_t, &shard.labels, mask);
+        let mut buf = [c as f32, t as f32];
+        w.ctx.all_reduce_sum(&mut buf);
+        if buf[1] > 0.0 {
+            (buf[0] / buf[1]) as f64
+        } else {
+            0.0
+        }
+    };
+    let val_acc = global_acc(&shard.val_mask);
+    let test_acc = global_acc(&shard.test_mask);
+
+    let test_acc_cs = cfg.cs.as_ref().map(|cs_cfg| {
+        let probs = logits_t.softmax_rows();
+        let smoothed =
+            dist_correct_and_smooth(&w, &probs, &shard.labels, &shard.train_mask, cs_cfg);
+        let (c, t) = correct_count(&smoothed, &shard.labels, &shard.test_mask);
+        let mut buf = [c as f32, t as f32];
+        w.ctx.all_reduce_sum(&mut buf);
+        if buf[1] > 0.0 {
+            (buf[0] / buf[1]) as f64
+        } else {
+            0.0
+        }
+    });
+
+    let params_out = (w.rank() == 0).then(|| {
+        params
+            .iter()
+            .map(|p| (p.shape(), p.value().data().to_vec()))
+            .collect()
+    });
+    WorkerReport {
+        epochs,
+        val_acc,
+        test_acc,
+        test_acc_cs,
+        steady_peak_bytes: steady_peak,
+        logits: logits_t.into_data(),
+        global_ids: shard.global_ids.clone(),
+        params: params_out,
+    }
+}
+
+/// Trains a model on `dataset` partitioned by `partitioning`, simulating
+/// the cluster with the given network cost model, and aggregates the
+/// workers' measurements into a [`RunReport`].
+///
+/// # Panics
+///
+/// Panics if the partitioning does not cover the dataset.
+pub fn train(
+    dataset: &Dataset,
+    partitioning: &Partitioning,
+    cost: CostModel,
+    cfg: &TrainConfig,
+) -> RunReport {
+    let world = partitioning.num_parts();
+    let graphs: Vec<Arc<DistGraph>> = DistGraph::build_all(&dataset.graph, partitioning)
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+    let shards = Arc::new(Shard::build_all(dataset, partitioning));
+    let graphs = Arc::new(graphs);
+    let cfg_arc = Arc::new(cfg.clone());
+    let num_classes = dataset.num_classes;
+    let n = dataset.num_nodes();
+
+    let outcomes = Cluster::new(world, cost).run(move |ctx| {
+        let rank = ctx.rank();
+        run_worker(
+            ctx,
+            Arc::clone(&graphs[rank]),
+            &shards[rank],
+            &cfg_arc,
+        )
+    });
+
+    // Aggregate.
+    let epochs = outcomes[0].result.epochs.len();
+    let mut epoch_times = Vec::with_capacity(epochs);
+    let mut epoch_compute = Vec::with_capacity(epochs);
+    let mut epoch_comm = Vec::with_capacity(epochs);
+    let mut losses = Vec::with_capacity(epochs);
+    for e in 0..epochs {
+        let max_compute = outcomes
+            .iter()
+            .map(|o| o.result.epochs[e].compute_secs)
+            .fold(0.0, f64::max);
+        let max_comm = outcomes
+            .iter()
+            .map(|o| o.result.epochs[e].comm_secs)
+            .fold(0.0, f64::max);
+        epoch_times.push(max_compute + max_comm);
+        epoch_compute.push(max_compute);
+        epoch_comm.push(max_comm);
+        // Every worker reports the same global loss; take rank 0's.
+        losses.push(outcomes[0].result.epochs[e].loss);
+    }
+    let mut logits = Tensor::zeros(&[n, num_classes]);
+    for o in &outcomes {
+        let block = Tensor::from_vec(
+            &[o.result.global_ids.len(), num_classes],
+            o.result.logits.clone(),
+        );
+        logits.scatter_add_rows(&o.result.global_ids, &block);
+    }
+
+    let final_params = outcomes[0]
+        .result
+        .params
+        .clone()
+        .expect("rank 0 reports parameters");
+    RunReport {
+        world,
+        epoch_times,
+        epoch_compute,
+        epoch_comm,
+        losses,
+        val_acc: outcomes[0].result.val_acc,
+        test_acc: outcomes[0].result.test_acc,
+        test_acc_cs: outcomes[0].result.test_acc_cs,
+        peak_bytes: outcomes.iter().map(|o| o.result.steady_peak_bytes).collect(),
+        total_sent_bytes: outcomes.iter().map(|o| o.comm.total_sent()).sum(),
+        logits,
+        final_params,
+    }
+}

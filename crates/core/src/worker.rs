@@ -1,0 +1,229 @@
+//! The per-worker handle tying together communication, the local graph
+//! shard, and the rotation-schedule feature exchange at the heart of SAR.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use sar_comm::{Payload, WorkerCtx};
+use sar_tensor::Tensor;
+
+use crate::dist_graph::DistGraph;
+
+/// Tags below the collective range, reserved for SAR's point-to-point
+/// exchanges.
+const P2P_TAG_BASE: u64 = 1 << 40;
+
+/// A worker's handle during distributed training: the communication
+/// context, this worker's shard, and a tag allocator.
+///
+/// `Worker` is shared via `Rc` so autograd [`Function`](sar_tensor::Function)s
+/// recorded during the forward pass can communicate during the backward
+/// pass — the mechanism behind Algorithm 2.
+pub struct Worker {
+    /// Communication context.
+    pub ctx: Rc<WorkerCtx>,
+    /// This worker's partition-local graph view.
+    pub graph: Arc<DistGraph>,
+    /// Whether sequential fetches prefetch the next partition (§3.4):
+    /// memory scales as 3/N instead of 2/N but communication can overlap
+    /// computation.
+    pub prefetch: bool,
+    tags: Cell<u64>,
+}
+
+impl Worker {
+    /// Wraps a communication context and shard into a shared handle.
+    pub fn new(ctx: WorkerCtx, graph: Arc<DistGraph>) -> Rc<Worker> {
+        Rc::new(Worker {
+            ctx: Rc::new(ctx),
+            graph,
+            prefetch: false,
+            tags: Cell::new(0),
+        })
+    }
+
+    /// Like [`Worker::new`] with prefetching enabled.
+    pub fn with_prefetch(ctx: WorkerCtx, graph: Arc<DistGraph>) -> Rc<Worker> {
+        Rc::new(Worker {
+            ctx: Rc::new(ctx),
+            graph,
+            prefetch: true,
+            tags: Cell::new(0),
+        })
+    }
+
+    /// Wraps an *already shared* communication context with another graph
+    /// view. Used when one worker thread operates over several distributed
+    /// structures at once (e.g. the per-offset shift graphs of
+    /// [`spatial::DistConv1d`](crate::spatial::DistConv1d)); tag spaces
+    /// start at distinct bases per view so their exchanges cannot collide.
+    ///
+    /// `view_index` must be assigned identically on every rank.
+    pub fn with_shared_ctx(
+        ctx: Rc<WorkerCtx>,
+        graph: Arc<DistGraph>,
+        view_index: u64,
+    ) -> Rc<Worker> {
+        Rc::new(Worker {
+            ctx,
+            graph,
+            prefetch: false,
+            // Disjoint tag sub-spaces per view (2^20 tags each).
+            tags: Cell::new(view_index << 20),
+        })
+    }
+
+    /// This worker's rank.
+    pub fn rank(&self) -> usize {
+        self.ctx.rank()
+    }
+
+    /// Cluster size.
+    pub fn world(&self) -> usize {
+        self.ctx.world_size()
+    }
+
+    /// Allocates the next point-to-point tag. Relies on SPMD execution:
+    /// all workers allocate tags in the same order.
+    pub fn next_tag(&self) -> u64 {
+        let t = self.tags.get();
+        self.tags.set(t + 1);
+        P2P_TAG_BASE + t
+    }
+
+    /// Serves rows of `data` to worker `dst` under `tag`: gathers the rows
+    /// `dst` needs from this worker and ships them as a raw payload
+    /// (detached from this thread's memory tracker).
+    fn serve(&self, data: &Tensor, dst: usize, tag: u64) {
+        let rows = self.graph.serves_to(dst);
+        let block = data.gather_rows(rows);
+        self.ctx.send(dst, tag, Payload::F32(block.into_data()));
+    }
+
+    /// Receives a feature block from worker `src`: `needed_from(src)` rows
+    /// of width `cols`. The received bytes are registered with *this*
+    /// worker's memory tracker — fetched partitions count against this
+    /// worker's peak, as in the paper's accounting.
+    fn receive_block(&self, src: usize, tag: u64, cols: usize) -> Tensor {
+        let data = self.ctx.recv(src, tag).into_f32();
+        let rows = self.graph.needed_from(src).len();
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "fetched block from {src} has wrong size"
+        );
+        Tensor::from_vec(&[rows, cols], data)
+    }
+
+    /// The sequential rotation exchange of Algorithm 1: fetches each
+    /// partition's needed rows of `data` one at a time, invoking
+    /// `consume(q, fetched)` per partition, and frees each fetched block
+    /// before the next arrives (or one round later with prefetching).
+    ///
+    /// Round `r`: this worker serves partition `(p − r) mod N` and fetches
+    /// from partition `(p + r) mod N`; round 0 is the local block (gather,
+    /// no communication). With `prefetch`, round `r + 1` is received
+    /// before round `r` is consumed, so at most **two** remote blocks are
+    /// live (plus the local partition ⇒ the paper's 3/N bound); without
+    /// it, at most one (⇒ 2/N).
+    ///
+    /// `data` must have one row per local node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has the wrong number of rows.
+    pub fn fetch_rounds(&self, data: &Tensor, mut consume: impl FnMut(usize, &Tensor)) {
+        let n = self.world();
+        let p = self.rank();
+        assert_eq!(data.rows(), self.graph.num_local(), "data rows != local nodes");
+        let cols = data.cols();
+        let tag = self.next_tag();
+
+        // Round 0: local gather, no communication.
+        let local = data.gather_rows(self.graph.needed_from(p));
+
+        if !self.prefetch {
+            consume(p, &local);
+            drop(local);
+            for r in 1..n {
+                let serve_dst = (p + n - r) % n;
+                let fetch_src = (p + r) % n;
+                self.serve(data, serve_dst, tag);
+                let fetched = self.receive_block(fetch_src, tag, cols);
+                consume(fetch_src, &fetched);
+                // `fetched` dropped here: at most one remote partition
+                // resident at a time.
+            }
+        } else {
+            // Prefetch depth 1: issue round r+1's serve before consuming
+            // round r, and hold the next block while the current one is
+            // being aggregated.
+            let mut current: (usize, Tensor) = (p, local);
+            for r in 1..n {
+                let serve_dst = (p + n - r) % n;
+                self.serve(data, serve_dst, tag);
+                let next = (
+                    (p + r) % n,
+                    self.receive_block((p + r) % n, tag, cols),
+                );
+                consume(current.0, &current.1);
+                current = next;
+            }
+            consume(current.0, &current.1);
+        }
+    }
+
+    /// Scatter-style gradient return: sends one gradient block per peer
+    /// (rows aligned with `needed_from(q)`), then accumulates the blocks
+    /// received from all peers (rows aligned with `serves_to(q)`) into a
+    /// `[num_local, cols]` tensor. This is the error-routing step of
+    /// Algorithm 2 (`send error E_{p→q} to worker q`, then
+    /// `E_p = Σ_q E_{q→p}`).
+    ///
+    /// `make_block(q)` must return the gradient for the rows fetched from
+    /// `q` during the forward pass.
+    pub fn exchange_grads(
+        &self,
+        cols: usize,
+        mut make_block: impl FnMut(usize) -> Tensor,
+    ) -> Tensor {
+        let n = self.world();
+        let p = self.rank();
+        let tag = self.next_tag();
+        let mut grad = Tensor::zeros(&[self.graph.num_local(), cols]);
+
+        // Local contribution first (no communication).
+        let local_block = make_block(p);
+        grad.scatter_add_rows(self.graph.needed_from(p), &local_block);
+        drop(local_block);
+
+        // Send to every peer, then receive from every peer. Sends are
+        // non-blocking (unbounded channels), so this cannot deadlock.
+        for r in 1..n {
+            let q = (p + r) % n;
+            let block = make_block(q);
+            assert_eq!(block.rows(), self.graph.needed_from(q).len());
+            self.ctx.send(q, tag, Payload::F32(block.into_data()));
+        }
+        for r in 1..n {
+            let q = (p + n - r) % n;
+            let rows = self.graph.serves_to(q);
+            let data = self.ctx.recv(q, tag).into_f32();
+            assert_eq!(data.len(), rows.len() * cols, "grad block size mismatch");
+            let block = Tensor::from_vec(&[rows.len(), cols], data);
+            grad.scatter_add_rows(rows, &block);
+        }
+        grad
+    }
+}
+
+impl std::fmt::Debug for Worker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Worker")
+            .field("rank", &self.rank())
+            .field("world", &self.world())
+            .field("prefetch", &self.prefetch)
+            .finish()
+    }
+}

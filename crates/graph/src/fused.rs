@@ -1,0 +1,631 @@
+//! Fused attention kernels (FAK) with online softmax — §3.3 of the paper.
+//!
+//! The standard (DGL-style) GAT implementation materializes the `[E, H]`
+//! attention-coefficient tensor twice: once when computing edge softmax and
+//! once when weighting messages. The fused kernels instead stream over a
+//! destination's in-edges, maintaining a *numerically stable online
+//! softmax* — a running per-(node, head) maximum `m`, denominator `den`,
+//! and weighted numerator `num`. Whenever the maximum increases, the
+//! accumulated numerator and denominator are rescaled by
+//! `exp(old_max − new_max)` (§3.4 "Stable softmax"). Attention
+//! coefficients are never written to memory.
+//!
+//! The kernels are *block-incremental*: [`OnlineAttnState`] persists across
+//! calls, so SAR's Algorithm 1 can feed one fetched partition block
+//! `G_{p,q}` at a time and free it, and a single call over the whole graph
+//! implements the paper's single-host fused kernel (Fig. 2). The backward
+//! kernel recomputes coefficients on the fly from the saved `(m, den)`
+//! statistics — the recomputation SAR must do anyway during
+//! rematerialization, which is why FAK "synergizes" with SAR.
+
+use crate::CsrGraph;
+use sar_tensor::Tensor;
+
+/// Running online-softmax state for attention aggregation over
+/// `rows` destination nodes with `heads` heads of dimension `head_dim`.
+#[derive(Debug, Clone)]
+pub struct OnlineAttnState {
+    /// Accumulated weighted numerator, `[rows, H*D]`.
+    pub num: Tensor,
+    /// Accumulated softmax denominator, `[rows, H]`.
+    pub den: Tensor,
+    /// Running maximum of raw scores, `[rows, H]`.
+    pub max: Tensor,
+    heads: usize,
+    head_dim: usize,
+}
+
+impl OnlineAttnState {
+    /// Fresh state (max = −∞, denominators and numerators zero).
+    pub fn new(rows: usize, heads: usize, head_dim: usize) -> Self {
+        OnlineAttnState {
+            num: Tensor::zeros(&[rows, heads * head_dim]),
+            den: Tensor::zeros(&[rows, heads]),
+            max: Tensor::full(&[rows, heads], f32::NEG_INFINITY),
+            heads,
+            head_dim,
+        }
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Per-head feature dimension.
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    /// Finalizes the aggregation: `out[i, h*D..] = num / den`, with
+    /// isolated destinations (denominator 0) producing zeros.
+    pub fn finalize(&self) -> Tensor {
+        let mut out = self.num.clone();
+        self.normalize(&mut out);
+        out
+    }
+
+    /// Consumes the state, normalizing the numerator *in place* (no copy)
+    /// and returning `(output, max, den)` — the statistics the backward
+    /// pass needs to recompute attention coefficients.
+    pub fn finalize_into(mut self) -> (Tensor, Tensor, Tensor) {
+        let mut out = std::mem::replace(&mut self.num, Tensor::zeros(&[1]));
+        self.normalize(&mut out);
+        (out, self.max, self.den)
+    }
+
+    fn normalize(&self, out: &mut Tensor) {
+        let rows = self.den.rows();
+        let (h, d) = (self.heads, self.head_dim);
+        for i in 0..rows {
+            for head in 0..h {
+                let den = self.den.at(&[i, head]);
+                let row = out.row_mut(i);
+                if den > 0.0 {
+                    for k in 0..d {
+                        row[head * d + k] /= den;
+                    }
+                } else {
+                    for k in 0..d {
+                        row[head * d + k] = 0.0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Streams one block of edges through the online-softmax accumulator.
+///
+/// * `s_dst` — destination attention logits `aᵀ_dst z_i`, `[rows, H]`.
+/// * `s_src` — source attention logits `aᵀ_src z_j`, `[cols, H]` (for a SAR
+///   block these come from the fetched remote partition).
+/// * `x_src` — source features, `[cols, H*D]`.
+/// * `slope` — LeakyReLU negative slope.
+///
+/// Attention coefficients are computed on the fly and never stored.
+///
+/// # Panics
+///
+/// Panics if shapes disagree with the graph or the state.
+pub fn gat_fused_block_forward(
+    g: &CsrGraph,
+    s_dst: &Tensor,
+    s_src: &Tensor,
+    x_src: &Tensor,
+    slope: f32,
+    state: &mut OnlineAttnState,
+) {
+    let (h, d) = (state.heads, state.head_dim);
+    assert_eq!(s_dst.rows(), g.num_rows(), "s_dst rows mismatch");
+    assert_eq!(s_src.rows(), g.num_cols(), "s_src rows mismatch");
+    assert_eq!(x_src.rows(), g.num_cols(), "x_src rows mismatch");
+    assert_eq!(s_dst.cols(), h, "s_dst heads mismatch");
+    assert_eq!(x_src.cols(), h * d, "x_src width mismatch");
+    assert_eq!(state.num.rows(), g.num_rows(), "state rows mismatch");
+
+    let hd = h * d;
+    let x_data = x_src.data();
+    let s_dst_data = s_dst.data();
+    let s_src_data = s_src.data();
+    for i in 0..g.num_rows() {
+        let neighbors = g.neighbors(i);
+        if neighbors.is_empty() {
+            continue;
+        }
+        // Hoist this destination's accumulator rows out of the edge loop.
+        let max_row = &mut state.max.data_mut()[i * h..(i + 1) * h];
+        // Split borrows via raw ranges: den and num live in different
+        // tensors, so re-borrow per loop body below.
+        for &j in neighbors {
+            let j = j as usize;
+            let x_row = &x_data[j * hd..(j + 1) * hd];
+            let s_src_row = &s_src_data[j * h..(j + 1) * h];
+            for head in 0..h {
+                let u = s_dst_data[i * h + head] + s_src_row[head];
+                let e = if u > 0.0 { u } else { slope * u };
+                let m_old = max_row[head];
+                if e > m_old {
+                    // Rescale accumulated numerator/denominator by
+                    // exp(old_max - new_max) — the stable-softmax
+                    // correction of §3.4.
+                    let scale = if m_old == f32::NEG_INFINITY {
+                        0.0
+                    } else {
+                        (m_old - e).exp()
+                    };
+                    max_row[head] = e;
+                    state.den.data_mut()[i * h + head] *= scale;
+                    let num_row = &mut state.num.data_mut()[i * hd + head * d..i * hd + (head + 1) * d];
+                    for v in num_row.iter_mut() {
+                        *v *= scale;
+                    }
+                }
+                let w = (e - max_row[head]).exp();
+                state.den.data_mut()[i * h + head] += w;
+                let num_row = &mut state.num.data_mut()[i * hd + head * d..i * hd + (head + 1) * d];
+                let x_head = &x_row[head * d..(head + 1) * d];
+                for (v, &xv) in num_row.iter_mut().zip(x_head) {
+                    *v += w * xv;
+                }
+            }
+        }
+    }
+}
+
+/// A *numerically naive* variant of [`gat_fused_block_forward`] that
+/// accumulates `exp(e)` without max tracking. Exists only for the
+/// stable-softmax ablation (`repro ablation-softmax`): with large attention
+/// logits it overflows to `inf`/`NaN` exactly as the paper warns.
+pub fn gat_naive_block_forward(
+    g: &CsrGraph,
+    s_dst: &Tensor,
+    s_src: &Tensor,
+    x_src: &Tensor,
+    slope: f32,
+    state: &mut OnlineAttnState,
+) {
+    let (h, d) = (state.heads, state.head_dim);
+    for i in 0..g.num_rows() {
+        for &j in g.neighbors(i) {
+            let j = j as usize;
+            let x_row = &x_src.data()[j * h * d..(j + 1) * h * d];
+            for head in 0..h {
+                let u = s_dst.at(&[i, head]) + s_src.at(&[j, head]);
+                let e = if u > 0.0 { u } else { slope * u };
+                let w = e.exp(); // no stabilization
+                state.den.row_mut(i)[head] += w;
+                let num_row = state.num.row_mut(i);
+                for k in 0..d {
+                    num_row[head * d + k] += w * x_row[head * d + k];
+                }
+            }
+        }
+    }
+}
+
+/// Two-step (non-fused) variant of [`gat_fused_block_forward`]: first
+/// *materializes* the block's `[E_block, H]` raw attention scores (one
+/// memory write + read per coefficient, as in DGL's two-step GAT), then
+/// streams them through the same online-softmax accumulator.
+///
+/// Numerically identical to the fused kernel; exists to reproduce the
+/// runtime/memory gap between "SAR" and "SAR+FAK" in Figs. 4 and 6.
+///
+/// # Panics
+///
+/// Panics if shapes disagree with the graph or the state.
+pub fn gat_twostep_block_forward(
+    g: &CsrGraph,
+    s_dst: &Tensor,
+    s_src: &Tensor,
+    x_src: &Tensor,
+    slope: f32,
+    state: &mut OnlineAttnState,
+) {
+    let (h, d) = (state.heads, state.head_dim);
+    // Step 1: write all raw scores to memory.
+    let scores = crate::ops::gat_edge_scores(g, s_dst, s_src, slope);
+    // Step 2: read them back while aggregating.
+    let mut e_id = 0usize;
+    for i in 0..g.num_rows() {
+        for &j in g.neighbors(i) {
+            let j = j as usize;
+            let x_row = &x_src.data()[j * h * d..(j + 1) * h * d];
+            for head in 0..h {
+                let e = scores.at(&[e_id, head]);
+                let m_old = state.max.at(&[i, head]);
+                if e > m_old {
+                    let scale = if m_old == f32::NEG_INFINITY {
+                        0.0
+                    } else {
+                        (m_old - e).exp()
+                    };
+                    state.max.row_mut(i)[head] = e;
+                    state.den.row_mut(i)[head] *= scale;
+                    let num_row = state.num.row_mut(i);
+                    for k in 0..d {
+                        num_row[head * d + k] *= scale;
+                    }
+                }
+                let w = (e - state.max.at(&[i, head])).exp();
+                state.den.row_mut(i)[head] += w;
+                let num_row = state.num.row_mut(i);
+                for k in 0..d {
+                    num_row[head * d + k] += w * x_row[head * d + k];
+                }
+            }
+            e_id += 1;
+        }
+    }
+}
+
+/// Two-step variant of [`gat_fused_block_backward`]: re-materializes the
+/// block's `[E_block, H]` scores and coefficients in memory before pushing
+/// gradients (DGL-style), instead of recomputing them per edge on the fly.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+#[allow(clippy::too_many_arguments)]
+pub fn gat_twostep_block_backward(
+    g: &CsrGraph,
+    s_dst: &Tensor,
+    s_src: &Tensor,
+    x_src: &Tensor,
+    slope: f32,
+    max: &Tensor,
+    den: &Tensor,
+    grad_out: &Tensor,
+    grad_dot: &Tensor,
+    d_s_dst: &mut Tensor,
+) -> FusedBlockGrads {
+    let h = s_dst.cols();
+    let hd = x_src.cols();
+    let d = hd / h;
+    let mut d_x_src = Tensor::zeros(&[g.num_cols(), hd]);
+    let mut d_s_src = Tensor::zeros(&[g.num_cols(), h]);
+
+    // Step 1: materialize raw scores and normalized coefficients.
+    let scores = crate::ops::gat_edge_scores(g, s_dst, s_src, slope);
+    let mut alpha = scores.clone();
+    {
+        let mut e_id = 0usize;
+        for i in 0..g.num_rows() {
+            for _ in g.neighbors(i) {
+                for head in 0..h {
+                    let den_i = den.at(&[i, head]);
+                    let v = if den_i > 0.0 {
+                        (scores.at(&[e_id, head]) - max.at(&[i, head])).exp() / den_i
+                    } else {
+                        0.0
+                    };
+                    alpha.row_mut(e_id)[head] = v;
+                }
+                e_id += 1;
+            }
+        }
+    }
+
+    // Step 2: read coefficients back while pushing gradients.
+    let mut e_id = 0usize;
+    for i in 0..g.num_rows() {
+        let g_row = grad_out.row(i);
+        for &j in g.neighbors(i) {
+            let j = j as usize;
+            let x_row = &x_src.data()[j * hd..(j + 1) * hd];
+            for head in 0..h {
+                let a = alpha.at(&[e_id, head]);
+                if a == 0.0 {
+                    continue;
+                }
+                let dx_row = &mut d_x_src.data_mut()[j * hd..(j + 1) * hd];
+                let mut dot_gx = 0.0f32;
+                for k in 0..d {
+                    let c = head * d + k;
+                    dx_row[c] += a * g_row[c];
+                    dot_gx += g_row[c] * x_row[c];
+                }
+                let de = a * (dot_gx - grad_dot.at(&[i, head]));
+                let u = s_dst.at(&[i, head]) + s_src.at(&[j, head]);
+                let du = de * if u > 0.0 { 1.0 } else { slope };
+                d_s_src.row_mut(j)[head] += du;
+                d_s_dst.row_mut(i)[head] += du;
+            }
+            e_id += 1;
+        }
+    }
+    FusedBlockGrads { d_x_src, d_s_src }
+}
+
+/// Per-(node, head) inner products `⟨grad_out, out⟩`, `[rows, H]` — the
+/// softmax-backward correction term, precomputed once per backward pass.
+pub fn attn_grad_dot(grad_out: &Tensor, out: &Tensor, heads: usize) -> Tensor {
+    assert_eq!(grad_out.shape(), out.shape(), "grad/out shape mismatch");
+    let rows = out.rows();
+    let hd = out.cols();
+    let d = hd / heads;
+    let mut dot = vec![0.0f32; rows * heads];
+    for i in 0..rows {
+        let g_row = grad_out.row(i);
+        let o_row = out.row(i);
+        for head in 0..heads {
+            let mut acc = 0.0f32;
+            for k in 0..d {
+                acc += g_row[head * d + k] * o_row[head * d + k];
+            }
+            dot[i * heads + head] = acc;
+        }
+    }
+    Tensor::from_vec(&[rows, heads], dot)
+}
+
+/// Gradient contributions of one block in the fused backward pass.
+#[derive(Debug)]
+pub struct FusedBlockGrads {
+    /// Gradient w.r.t. the block's source features, `[cols, H*D]`.
+    pub d_x_src: Tensor,
+    /// Gradient w.r.t. the block's source attention logits, `[cols, H]`.
+    pub d_s_src: Tensor,
+}
+
+/// Fused backward over one block: recomputes attention coefficients on the
+/// fly from the saved softmax statistics `(max, den)` and the layer output
+/// `out`, and pushes gradients to the block's sources.
+///
+/// For SAR, `x_src`/`s_src` are the *re-fetched* remote features (case 2 of
+/// Algorithm 2) and the returned [`FusedBlockGrads`] are sent back to the
+/// owning worker; `d_s_dst` accumulates locally across blocks.
+///
+/// `grad_dot` must be [`attn_grad_dot`]`(grad_out, out, heads)`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+#[allow(clippy::too_many_arguments)]
+pub fn gat_fused_block_backward(
+    g: &CsrGraph,
+    s_dst: &Tensor,
+    s_src: &Tensor,
+    x_src: &Tensor,
+    slope: f32,
+    max: &Tensor,
+    den: &Tensor,
+    grad_out: &Tensor,
+    grad_dot: &Tensor,
+    d_s_dst: &mut Tensor,
+) -> FusedBlockGrads {
+    let h = s_dst.cols();
+    let hd = x_src.cols();
+    let d = hd / h;
+    assert_eq!(grad_out.rows(), g.num_rows(), "grad rows mismatch");
+    assert_eq!(d_s_dst.rows(), g.num_rows(), "d_s_dst rows mismatch");
+    let mut d_x_src = Tensor::zeros(&[g.num_cols(), hd]);
+    let mut d_s_src = Tensor::zeros(&[g.num_cols(), h]);
+
+    let x_data = x_src.data();
+    let s_dst_data = s_dst.data();
+    let s_src_data = s_src.data();
+    let max_data = max.data();
+    let den_data = den.data();
+    let grad_dot_data = grad_dot.data();
+    for i in 0..g.num_rows() {
+        let neighbors = g.neighbors(i);
+        if neighbors.is_empty() {
+            continue;
+        }
+        let g_row = grad_out.row(i);
+        let dsd_row = &mut d_s_dst.data_mut()[i * h..(i + 1) * h];
+        for &j in neighbors {
+            let j = j as usize;
+            let x_row = &x_data[j * hd..(j + 1) * hd];
+            for head in 0..h {
+                let u = s_dst_data[i * h + head] + s_src_data[j * h + head];
+                let e = if u > 0.0 { u } else { slope * u };
+                let den_i = den_data[i * h + head];
+                if den_i <= 0.0 {
+                    continue;
+                }
+                // Recompute the attention coefficient on the fly.
+                let alpha = (e - max_data[i * h + head]).exp() / den_i;
+                // Value path: d x_j += α g_i.
+                let dx_row = &mut d_x_src.data_mut()[j * hd + head * d..j * hd + (head + 1) * d];
+                let g_head = &g_row[head * d..(head + 1) * d];
+                let x_head = &x_row[head * d..(head + 1) * d];
+                let mut dot_gx = 0.0f32;
+                for ((dx, &gv), &xv) in dx_row.iter_mut().zip(g_head).zip(x_head) {
+                    *dx += alpha * gv;
+                    dot_gx += gv * xv;
+                }
+                // Softmax path: de = α (⟨g, x_j⟩ − ⟨g, out_i⟩).
+                let de = alpha * (dot_gx - grad_dot_data[i * h + head]);
+                let du = de * if u > 0.0 { 1.0 } else { slope };
+                d_s_src.data_mut()[j * h + head] += du;
+                dsd_row[head] += du;
+            }
+        }
+    }
+    FusedBlockGrads { d_x_src, d_s_src }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sar_tensor::init;
+
+    fn graph() -> CsrGraph {
+        CsrGraph::from_edges(
+            5,
+            &[(0, 1), (2, 1), (3, 1), (1, 0), (4, 3), (3, 4), (0, 0)],
+        )
+    }
+
+    /// Reference GAT aggregation via the standard two-step path.
+    fn reference_forward(
+        g: &CsrGraph,
+        s_dst: &Tensor,
+        s_src: &Tensor,
+        x: &Tensor,
+        slope: f32,
+    ) -> Tensor {
+        let scores = ops::gat_edge_scores(g, s_dst, s_src, slope);
+        let alpha = ops::edge_softmax(g, &scores);
+        ops::spmm_multihead(g, &alpha, x)
+    }
+
+    #[test]
+    fn fused_forward_matches_standard() {
+        let g = graph();
+        let (h, d) = (2, 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let s_dst = init::randn(&[5, h], 1.0, &mut rng);
+        let s_src = init::randn(&[5, h], 1.0, &mut rng);
+        let x = init::randn(&[5, h * d], 1.0, &mut rng);
+        let mut state = OnlineAttnState::new(5, h, d);
+        gat_fused_block_forward(&g, &s_dst, &s_src, &x, 0.2, &mut state);
+        let fused = state.finalize();
+        let reference = reference_forward(&g, &s_dst, &s_src, &x, 0.2);
+        assert!(fused.allclose(&reference, 1e-4), "fused != standard");
+    }
+
+    #[test]
+    fn fused_forward_is_block_incremental() {
+        // Splitting the edges into two blocks must give the same result —
+        // the property SAR's Algorithm 1 relies on for attention models.
+        let edges = [(0u32, 1u32), (2, 1), (3, 1), (1, 0), (4, 3), (3, 4), (0, 0)];
+        let g_full = CsrGraph::from_edges(5, &edges);
+        let g_a = CsrGraph::from_edges(5, &edges[..3]);
+        let g_b = CsrGraph::from_edges(5, &edges[3..]);
+        let (h, d) = (2, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s_dst = init::randn(&[5, h], 2.0, &mut rng);
+        let s_src = init::randn(&[5, h], 2.0, &mut rng);
+        let x = init::randn(&[5, h * d], 1.0, &mut rng);
+
+        let mut full = OnlineAttnState::new(5, h, d);
+        gat_fused_block_forward(&g_full, &s_dst, &s_src, &x, 0.2, &mut full);
+        let mut blocks = OnlineAttnState::new(5, h, d);
+        gat_fused_block_forward(&g_a, &s_dst, &s_src, &x, 0.2, &mut blocks);
+        gat_fused_block_forward(&g_b, &s_dst, &s_src, &x, 0.2, &mut blocks);
+        assert!(full.finalize().allclose(&blocks.finalize(), 1e-4));
+    }
+
+    #[test]
+    fn stable_softmax_survives_huge_logits() {
+        let g = graph();
+        let (h, d) = (1, 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        // Logits around ±60 ⇒ exp overflows f32 without stabilization.
+        let s_dst = init::randn(&[5, h], 60.0, &mut rng);
+        let s_src = init::randn(&[5, h], 60.0, &mut rng);
+        let x = init::randn(&[5, h * d], 1.0, &mut rng);
+        let mut stable = OnlineAttnState::new(5, h, d);
+        gat_fused_block_forward(&g, &s_dst, &s_src, &x, 0.2, &mut stable);
+        let out = stable.finalize();
+        assert!(out.data().iter().all(|v| v.is_finite()), "stable kernel produced non-finite values");
+
+        let mut naive = OnlineAttnState::new(5, h, d);
+        gat_naive_block_forward(&g, &s_dst, &s_src, &x, 0.2, &mut naive);
+        let out_naive = naive.finalize();
+        assert!(
+            out_naive.data().iter().any(|v| !v.is_finite()),
+            "naive kernel should overflow on huge logits (the ablation premise)"
+        );
+    }
+
+    #[test]
+    fn fused_backward_matches_standard_backward() {
+        let g = graph();
+        let (h, d) = (2, 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let s_dst = init::randn(&[5, h], 1.0, &mut rng);
+        let s_src = init::randn(&[5, h], 1.0, &mut rng);
+        let x = init::randn(&[5, h * d], 1.0, &mut rng);
+        let slope = 0.2;
+        let grad_out = init::randn(&[5, h * d], 1.0, &mut rng);
+
+        // Standard path gradients.
+        let scores = ops::gat_edge_scores(&g, &s_dst, &s_src, slope);
+        let alpha = ops::edge_softmax(&g, &scores);
+        let (d_alpha, d_x_std) = ops::spmm_multihead_backward(&g, &alpha, &x, &grad_out);
+        let d_scores = ops::edge_softmax_backward(&g, &alpha, &d_alpha);
+        let (d_sdst_std, d_ssrc_std) =
+            ops::gat_edge_scores_backward(&g, &s_dst, &s_src, slope, &d_scores);
+
+        // Fused path gradients.
+        let mut state = OnlineAttnState::new(5, h, d);
+        gat_fused_block_forward(&g, &s_dst, &s_src, &x, slope, &mut state);
+        let out = state.finalize();
+        let grad_dot = attn_grad_dot(&grad_out, &out, h);
+        let mut d_sdst_fused = Tensor::zeros(&[5, h]);
+        let grads = gat_fused_block_backward(
+            &g, &s_dst, &s_src, &x, slope, &state.max, &state.den, &grad_out, &grad_dot,
+            &mut d_sdst_fused,
+        );
+
+        assert!(grads.d_x_src.allclose(&d_x_std, 1e-4), "d_x mismatch");
+        assert!(grads.d_s_src.allclose(&d_ssrc_std, 1e-4), "d_s_src mismatch");
+        assert!(d_sdst_fused.allclose(&d_sdst_std, 1e-4), "d_s_dst mismatch");
+    }
+
+    #[test]
+    fn twostep_matches_fused_forward_and_backward() {
+        let g = graph();
+        let (h, d) = (2, 3);
+        let mut rng = StdRng::seed_from_u64(11);
+        let s_dst = init::randn(&[5, h], 1.0, &mut rng);
+        let s_src = init::randn(&[5, h], 1.0, &mut rng);
+        let x = init::randn(&[5, h * d], 1.0, &mut rng);
+        let grad_out = init::randn(&[5, h * d], 1.0, &mut rng);
+        let slope = 0.2;
+
+        let mut fused = OnlineAttnState::new(5, h, d);
+        gat_fused_block_forward(&g, &s_dst, &s_src, &x, slope, &mut fused);
+        let mut two = OnlineAttnState::new(5, h, d);
+        gat_twostep_block_forward(&g, &s_dst, &s_src, &x, slope, &mut two);
+        assert!(fused.finalize().allclose(&two.finalize(), 1e-5));
+
+        let out = fused.finalize();
+        let grad_dot = attn_grad_dot(&grad_out, &out, h);
+        let mut dsd_a = Tensor::zeros(&[5, h]);
+        let ga = gat_fused_block_backward(
+            &g, &s_dst, &s_src, &x, slope, &fused.max, &fused.den, &grad_out, &grad_dot,
+            &mut dsd_a,
+        );
+        let mut dsd_b = Tensor::zeros(&[5, h]);
+        let gb = gat_twostep_block_backward(
+            &g, &s_dst, &s_src, &x, slope, &two.max, &two.den, &grad_out, &grad_dot,
+            &mut dsd_b,
+        );
+        assert!(ga.d_x_src.allclose(&gb.d_x_src, 1e-5));
+        assert!(ga.d_s_src.allclose(&gb.d_s_src, 1e-5));
+        assert!(dsd_a.allclose(&dsd_b, 1e-5));
+    }
+
+    #[test]
+    fn isolated_nodes_produce_zero_output_and_grads() {
+        // Node 2 has no in-edges in this graph.
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 0)]);
+        let (h, d) = (1, 2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let s_dst = init::randn(&[3, h], 1.0, &mut rng);
+        let s_src = init::randn(&[3, h], 1.0, &mut rng);
+        let x = init::randn(&[3, h * d], 1.0, &mut rng);
+        let mut state = OnlineAttnState::new(3, h, d);
+        gat_fused_block_forward(&g, &s_dst, &s_src, &x, 0.2, &mut state);
+        let out = state.finalize();
+        assert_eq!(out.row(2), &[0.0, 0.0]);
+        let grad_out = init::randn(&[3, h * d], 1.0, &mut rng);
+        let grad_dot = attn_grad_dot(&grad_out, &out, h);
+        let mut d_sdst = Tensor::zeros(&[3, h]);
+        let grads = gat_fused_block_backward(
+            &g, &s_dst, &s_src, &x, 0.2, &state.max, &state.den, &grad_out, &grad_dot,
+            &mut d_sdst,
+        );
+        assert_eq!(d_sdst.row(2), &[0.0]);
+        assert!(grads.d_x_src.data().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,219 @@
+//! Synthetic random-graph generators.
+//!
+//! These produce the topology of the OGB stand-in datasets (DESIGN.md §2):
+//! heavy-tailed degree distributions (R-MAT / degree-weighted sampling) and
+//! planted community structure (stochastic block models) so that the graph
+//! exercises the same skew and cross-partition traffic patterns as
+//! ogbn-products / ogbn-papers100M.
+
+use rand::Rng;
+
+use crate::CsrGraph;
+
+/// Erdős–Rényi `G(n, m)`: `m` edges sampled uniformly with replacement.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn erdos_renyi(n: usize, m: usize, rng: &mut impl Rng) -> CsrGraph {
+    assert!(n > 0, "graph must have at least one node");
+    let edges: Vec<(u32, u32)> = (0..m)
+        .map(|_| {
+            (
+                rng.random_range(0..n) as u32,
+                rng.random_range(0..n) as u32,
+            )
+        })
+        .collect();
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// R-MAT recursive matrix graph (Chakrabarti et al.) with `2^scale` nodes
+/// and `edge_factor * 2^scale` edges. The probabilities `(a, b, c)` (with
+/// `d = 1 - a - b - c`) control degree skew; the classic Graph500 setting
+/// is `(0.57, 0.19, 0.19)`.
+///
+/// # Panics
+///
+/// Panics if the probabilities are not a sub-distribution.
+pub fn rmat(scale: u32, edge_factor: usize, a: f64, b: f64, c: f64, rng: &mut impl Rng) -> CsrGraph {
+    assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0, "invalid R-MAT probabilities");
+    let n = 1usize << scale;
+    let m = edge_factor * n;
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut x0, mut x1) = (0usize, n);
+        let (mut y0, mut y1) = (0usize, n);
+        while x1 - x0 > 1 {
+            let r: f64 = rng.random();
+            let (right, down) = if r < a {
+                (false, false)
+            } else if r < a + b {
+                (true, false)
+            } else if r < a + b + c {
+                (false, true)
+            } else {
+                (true, true)
+            };
+            let xm = (x0 + x1) / 2;
+            let ym = (y0 + y1) / 2;
+            if right {
+                x0 = xm;
+            } else {
+                x1 = xm;
+            }
+            if down {
+                y0 = ym;
+            } else {
+                y1 = ym;
+            }
+        }
+        edges.push((x0 as u32, y0 as u32));
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Degree-weighted stochastic block model.
+///
+/// Nodes carry power-law degree weights (`weight ∝ (i+1)^{-exponent}` after
+/// a random shuffle) and a block label. Each of the `m` edges picks its
+/// source by weight; the destination is drawn from the *same* block with
+/// probability `homophily`, otherwise from the whole graph — in both cases
+/// weighted by degree weight. The result combines community structure
+/// (what METIS exploits, and what labels correlate with) with the skewed
+/// degrees of real web-scale graphs.
+///
+/// Returns the graph and the per-node block assignment.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `blocks == 0` or `homophily ∉ [0, 1]`.
+pub fn weighted_sbm(
+    n: usize,
+    m: usize,
+    blocks: usize,
+    homophily: f64,
+    exponent: f64,
+    rng: &mut impl Rng,
+) -> (CsrGraph, Vec<u32>) {
+    assert!(n > 0 && blocks > 0, "need nodes and blocks");
+    assert!((0.0..=1.0).contains(&homophily), "homophily must be in [0,1]");
+    // Block assignment: contiguous ranges shuffled via random offsets would
+    // make partitioning trivial; assign uniformly at random instead.
+    let labels: Vec<u32> = (0..n).map(|_| rng.random_range(0..blocks) as u32).collect();
+
+    // Power-law degree weights, assigned in random order.
+    let mut weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-exponent)).collect();
+    // Fisher-Yates shuffle of weights.
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        weights.swap(i, j);
+    }
+
+    // Cumulative tables: global and per block.
+    let cum_global = cumulative(&weights);
+    let mut block_nodes: Vec<Vec<u32>> = vec![Vec::new(); blocks];
+    for (i, &b) in labels.iter().enumerate() {
+        block_nodes[b as usize].push(i as u32);
+    }
+    let block_cums: Vec<Vec<f64>> = block_nodes
+        .iter()
+        .map(|nodes| cumulative(&nodes.iter().map(|&i| weights[i as usize]).collect::<Vec<_>>()))
+        .collect();
+
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let src = sample_cumulative(&cum_global, rng) as u32;
+        let dst = if rng.random::<f64>() < homophily {
+            let b = labels[src as usize] as usize;
+            if block_nodes[b].is_empty() {
+                sample_cumulative(&cum_global, rng) as u32
+            } else {
+                block_nodes[b][sample_cumulative(&block_cums[b], rng)]
+            }
+        } else {
+            sample_cumulative(&cum_global, rng) as u32
+        };
+        edges.push((src, dst));
+    }
+    (CsrGraph::from_edges(n, &edges), labels)
+}
+
+fn cumulative(weights: &[f64]) -> Vec<f64> {
+    let mut cum = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for &w in weights {
+        acc += w;
+        cum.push(acc);
+    }
+    cum
+}
+
+fn sample_cumulative(cum: &[f64], rng: &mut impl Rng) -> usize {
+    let total = *cum.last().expect("non-empty weights");
+    let r = rng.random::<f64>() * total;
+    cum.partition_point(|&c| c < r).min(cum.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erdos_renyi_has_requested_edges() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = erdos_renyi(100, 500, &mut rng);
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 500);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = rmat(10, 8, 0.57, 0.19, 0.19, &mut rng);
+        assert_eq!(g.num_nodes(), 1024);
+        assert_eq!(g.num_edges(), 8192);
+        let mut degs = g.in_degrees();
+        degs.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        // Top 1% of nodes should hold far more than 1% of edges.
+        let top: f32 = degs[..10].iter().sum();
+        assert!(
+            top > 0.05 * g.num_edges() as f32,
+            "R-MAT should be skewed; top-10 in-degree mass = {top}"
+        );
+    }
+
+    #[test]
+    fn weighted_sbm_is_homophilous() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (g, labels) = weighted_sbm(500, 5000, 5, 0.9, 0.5, &mut rng);
+        let same: usize = g
+            .iter_edges()
+            .filter(|&(s, d)| labels[s as usize] == labels[d as usize])
+            .count();
+        let frac = same as f64 / g.num_edges() as f64;
+        // 0.9 homophily + 1/5 chance for the random remainder ⇒ ≈ 0.92.
+        assert!(frac > 0.8, "same-block edge fraction {frac}");
+    }
+
+    #[test]
+    fn weighted_sbm_low_homophily_is_mixed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (g, labels) = weighted_sbm(500, 5000, 5, 0.0, 0.5, &mut rng);
+        let same: usize = g
+            .iter_edges()
+            .filter(|&(s, d)| labels[s as usize] == labels[d as usize])
+            .count();
+        let frac = same as f64 / g.num_edges() as f64;
+        assert!((frac - 0.2).abs() < 0.1, "expected ≈ 1/blocks, got {frac}");
+    }
+
+    #[test]
+    fn generators_are_deterministic_under_seed() {
+        let g1 = erdos_renyi(50, 100, &mut StdRng::seed_from_u64(7));
+        let g2 = erdos_renyi(50, 100, &mut StdRng::seed_from_u64(7));
+        assert_eq!(g1, g2);
+    }
+}

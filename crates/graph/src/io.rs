@@ -1,0 +1,362 @@
+//! Graph and dataset (de)serialization.
+//!
+//! Two formats:
+//!
+//! * **Edge-list text** — one `src dst` pair per line with a `# nodes N`
+//!   header; interoperable with the usual SNAP/OGB dumps, so real graphs
+//!   can be dropped into the reproduction when available.
+//! * **Binary** — a compact little-endian container for [`CsrGraph`]
+//!   (magic `SARG`) and [`Dataset`] (magic `SARD`), used for caching
+//!   generated stand-in datasets between benchmark runs.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use sar_tensor::Tensor;
+
+use crate::{CsrGraph, Dataset};
+
+const GRAPH_MAGIC: &[u8; 4] = b"SARG";
+const DATASET_MAGIC: &[u8; 4] = b"SARD";
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+// ----------------------------------------------------------------------
+// Edge-list text format
+// ----------------------------------------------------------------------
+
+/// Writes `graph` as an edge-list text file: a `# nodes N` header followed
+/// by one `src dst` pair per line.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# nodes {}", graph.num_nodes())?;
+    for (s, d) in graph.iter_edges() {
+        writeln!(w, "{s} {d}")?;
+    }
+    w.flush()
+}
+
+/// Reads an edge-list text stream produced by [`write_edge_list`] (or any
+/// whitespace-separated `src dst` list; `#`-prefixed lines are comments,
+/// and the node count is taken from a `# nodes N` header or inferred from
+/// the maximum endpoint).
+///
+/// # Errors
+///
+/// Returns an error on malformed lines or I/O failure.
+pub fn read_edge_list<R: Read>(reader: R) -> io::Result<CsrGraph> {
+    let r = BufReader::new(reader);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut declared_nodes: Option<usize> = None;
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let mut it = rest.split_whitespace();
+            if it.next() == Some("nodes") {
+                let n = it
+                    .next()
+                    .ok_or_else(|| bad_data("missing node count in header"))?;
+                declared_nodes =
+                    Some(n.parse().map_err(|_| bad_data("bad node count"))?);
+            }
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>| -> io::Result<u32> {
+            tok.ok_or_else(|| bad_data(format!("line {}: missing endpoint", lineno + 1)))?
+                .parse()
+                .map_err(|_| bad_data(format!("line {}: bad endpoint", lineno + 1)))
+        };
+        let s = parse(it.next())?;
+        let d = parse(it.next())?;
+        edges.push((s, d));
+    }
+    let n = declared_nodes.unwrap_or_else(|| {
+        edges
+            .iter()
+            .map(|&(s, d)| s.max(d) as usize + 1)
+            .max()
+            .unwrap_or(0)
+    });
+    if edges.iter().any(|&(s, d)| s as usize >= n || d as usize >= n) {
+        return Err(bad_data("edge endpoint exceeds declared node count"));
+    }
+    Ok(CsrGraph::from_edges(n, &edges))
+}
+
+// ----------------------------------------------------------------------
+// Binary container primitives
+// ----------------------------------------------------------------------
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn write_u32s<W: Write>(w: &mut W, vs: &[u32]) -> io::Result<()> {
+    write_u64(w, vs.len() as u64)?;
+    for &v in vs {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_u32s<R: Read>(r: &mut R) -> io::Result<Vec<u32>> {
+    let len = read_u64(r)? as usize;
+    let mut out = Vec::with_capacity(len);
+    let mut buf = [0u8; 4];
+    for _ in 0..len {
+        r.read_exact(&mut buf)?;
+        out.push(u32::from_le_bytes(buf));
+    }
+    Ok(out)
+}
+
+fn write_f32s<W: Write>(w: &mut W, vs: &[f32]) -> io::Result<()> {
+    write_u64(w, vs.len() as u64)?;
+    for &v in vs {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_f32s<R: Read>(r: &mut R) -> io::Result<Vec<f32>> {
+    let len = read_u64(r)? as usize;
+    let mut out = Vec::with_capacity(len);
+    let mut buf = [0u8; 4];
+    for _ in 0..len {
+        r.read_exact(&mut buf)?;
+        out.push(f32::from_le_bytes(buf));
+    }
+    Ok(out)
+}
+
+fn write_mask<W: Write>(w: &mut W, mask: &[bool]) -> io::Result<()> {
+    write_u64(w, mask.len() as u64)?;
+    let bytes: Vec<u8> = mask.iter().map(|&b| b as u8).collect();
+    w.write_all(&bytes)
+}
+
+fn read_mask<R: Read>(r: &mut R) -> io::Result<Vec<bool>> {
+    let len = read_u64(r)? as usize;
+    let mut bytes = vec![0u8; len];
+    r.read_exact(&mut bytes)?;
+    Ok(bytes.into_iter().map(|b| b != 0).collect())
+}
+
+// ----------------------------------------------------------------------
+// Binary graph / dataset
+// ----------------------------------------------------------------------
+
+/// Writes a [`CsrGraph`] in the compact binary format.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_graph<W: Write>(graph: &CsrGraph, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(GRAPH_MAGIC)?;
+    write_u64(&mut w, graph.num_rows() as u64)?;
+    write_u64(&mut w, graph.num_cols() as u64)?;
+    let indptr: Vec<u32> = graph.indptr().iter().map(|&v| v as u32).collect();
+    write_u32s(&mut w, &indptr)?;
+    write_u32s(&mut w, graph.indices())?;
+    w.flush()
+}
+
+/// Reads a [`CsrGraph`] written by [`write_graph`].
+///
+/// # Errors
+///
+/// Returns an error on a bad magic number, malformed structure, or I/O
+/// failure.
+pub fn read_graph<R: Read>(reader: R) -> io::Result<CsrGraph> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != GRAPH_MAGIC {
+        return Err(bad_data("not a SAR graph file"));
+    }
+    let rows = read_u64(&mut r)? as usize;
+    let cols = read_u64(&mut r)? as usize;
+    let indptr: Vec<usize> = read_u32s(&mut r)?.into_iter().map(|v| v as usize).collect();
+    let indices = read_u32s(&mut r)?;
+    if indptr.len() != rows + 1 {
+        return Err(bad_data("indptr length mismatch"));
+    }
+    Ok(CsrGraph::from_raw(cols, indptr, indices))
+}
+
+/// Writes a full [`Dataset`] (graph, features, labels, splits) in the
+/// compact binary format.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_dataset<W: Write>(dataset: &Dataset, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(DATASET_MAGIC)?;
+    let name = dataset.name.as_bytes();
+    write_u64(&mut w, name.len() as u64)?;
+    w.write_all(name)?;
+    write_u64(&mut w, dataset.num_classes as u64)?;
+    write_u64(&mut w, dataset.feat_dim() as u64)?;
+    write_f32s(&mut w, dataset.features.data())?;
+    write_u32s(&mut w, &dataset.labels)?;
+    write_mask(&mut w, &dataset.train_mask)?;
+    write_mask(&mut w, &dataset.val_mask)?;
+    write_mask(&mut w, &dataset.test_mask)?;
+    w.flush()?;
+    write_graph(&dataset.graph, writer_of(w)?)
+}
+
+fn writer_of<W: Write>(w: BufWriter<W>) -> io::Result<W> {
+    w.into_inner().map_err(|e| e.into_error())
+}
+
+/// Reads a [`Dataset`] written by [`write_dataset`].
+///
+/// # Errors
+///
+/// Returns an error on a bad magic number, inconsistent sizes, or I/O
+/// failure.
+pub fn read_dataset<R: Read>(reader: R) -> io::Result<Dataset> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != DATASET_MAGIC {
+        return Err(bad_data("not a SAR dataset file"));
+    }
+    let name_len = read_u64(&mut r)? as usize;
+    let mut name = vec![0u8; name_len];
+    r.read_exact(&mut name)?;
+    let name = String::from_utf8(name).map_err(|_| bad_data("bad dataset name"))?;
+    let num_classes = read_u64(&mut r)? as usize;
+    let feat_dim = read_u64(&mut r)? as usize;
+    let features = read_f32s(&mut r)?;
+    let labels = read_u32s(&mut r)?;
+    let train_mask = read_mask(&mut r)?;
+    let val_mask = read_mask(&mut r)?;
+    let test_mask = read_mask(&mut r)?;
+    let graph = read_graph(&mut r)?;
+    let n = graph.num_nodes();
+    if labels.len() != n
+        || train_mask.len() != n
+        || val_mask.len() != n
+        || test_mask.len() != n
+        || (feat_dim > 0 && features.len() != n * feat_dim)
+    {
+        return Err(bad_data("dataset sizes are inconsistent"));
+    }
+    Ok(Dataset {
+        graph,
+        features: Tensor::from_vec(&[n, feat_dim], features),
+        labels,
+        train_mask,
+        val_mask,
+        test_mask,
+        num_classes,
+        name,
+    })
+}
+
+/// Convenience: writes a dataset to a file path.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn save_dataset(dataset: &Dataset, path: impl AsRef<Path>) -> io::Result<()> {
+    write_dataset(dataset, std::fs::File::create(path)?)
+}
+
+/// Convenience: reads a dataset from a file path.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error or format error.
+pub fn load_dataset(path: impl AsRef<Path>) -> io::Result<Dataset> {
+    read_dataset(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (2, 3), (4, 0), (1, 1)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn edge_list_infers_node_count_without_header() {
+        let text = b"0 1\n3 2\n";
+        let g = read_edge_list(&text[..]).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        assert!(read_edge_list(&b"0 x\n"[..]).is_err());
+        assert!(read_edge_list(&b"# nodes 1\n5 0\n"[..]).is_err());
+    }
+
+    #[test]
+    fn binary_graph_round_trip() {
+        let g = CsrGraph::from_edges_bipartite(7, 4, &[(6, 0), (2, 3), (0, 0)]);
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let back = read_graph(&buf[..]).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn binary_graph_rejects_wrong_magic() {
+        let err = read_graph(&b"NOPE"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn dataset_round_trip() {
+        let d = datasets::products_like(120, 5);
+        let mut buf = Vec::new();
+        write_dataset(&d, &mut buf).unwrap();
+        let back = read_dataset(&buf[..]).unwrap();
+        assert_eq!(back.graph, d.graph);
+        assert_eq!(back.labels, d.labels);
+        assert_eq!(back.train_mask, d.train_mask);
+        assert_eq!(back.features, d.features);
+        assert_eq!(back.num_classes, d.num_classes);
+        assert_eq!(back.name, d.name);
+    }
+
+    #[test]
+    fn dataset_file_round_trip() {
+        let d = datasets::papers_like(60, 6);
+        let path = std::env::temp_dir().join("sar_io_test_dataset.bin");
+        save_dataset(&d, &path).unwrap();
+        let back = load_dataset(&path).unwrap();
+        assert_eq!(back.labels, d.labels);
+        let _ = std::fs::remove_file(&path);
+    }
+}

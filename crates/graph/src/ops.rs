@@ -1,0 +1,668 @@
+//! Raw (non-differentiable) sparse message-passing kernels.
+//!
+//! All kernels operate on [`Tensor`]s and a [`CsrGraph`] (possibly a
+//! bipartite SAR block). Autograd wrappers live in `sar-nn`; SAR's
+//! sequential aggregation calls these kernels directly per block.
+//!
+//! Conventions:
+//!
+//! * Node features are `[num_nodes, F]`; multi-head features are
+//!   `[num_nodes, H * D]` with head `h` occupying columns `h*D .. (h+1)*D`.
+//! * Per-edge values are `[E, H]`, where edge `e` is the position in the
+//!   CSR `indices` array (row-major by destination).
+
+use crate::CsrGraph;
+use sar_tensor::Tensor;
+
+// ----------------------------------------------------------------------
+// SpMM (GraphSage-style sum aggregation)
+// ----------------------------------------------------------------------
+
+/// Sum aggregation: `out[i] = Σ_{j ∈ neighbors(i)} x[j]`.
+///
+/// # Panics
+///
+/// Panics if `x` has fewer rows than the graph has columns.
+pub fn spmm_sum(g: &CsrGraph, x: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(&[g.num_rows(), x.cols()]);
+    spmm_sum_into(g, x, &mut out);
+    out
+}
+
+/// Sum aggregation accumulated into an existing output tensor.
+///
+/// This is the incremental form used by SAR's Algorithm 1: the accumulator
+/// persists across per-partition blocks while the fetched features are
+/// freed after each block.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with the graph.
+pub fn spmm_sum_into(g: &CsrGraph, x: &Tensor, out: &mut Tensor) {
+    assert_eq!(x.rows(), g.num_cols(), "x rows must equal graph columns");
+    assert_eq!(out.rows(), g.num_rows(), "out rows must equal graph rows");
+    assert_eq!(out.cols(), x.cols(), "feature width mismatch");
+    let f = x.cols();
+    for i in 0..g.num_rows() {
+        let neighbors = g.neighbors(i);
+        if neighbors.is_empty() {
+            continue;
+        }
+        let out_row = out.row_mut(i);
+        for &j in neighbors {
+            let x_row = &x.data()[j as usize * f..(j as usize + 1) * f];
+            for (o, &v) in out_row.iter_mut().zip(x_row) {
+                *o += v;
+            }
+        }
+    }
+}
+
+/// Backward of [`spmm_sum`] w.r.t. `x`: pushes each destination's gradient
+/// to all of its sources — `dx[j] += Σ_{i : j ∈ neighbors(i)} grad_rows[i]`.
+///
+/// # Panics
+///
+/// Panics if `grad_rows` does not have `num_rows` rows.
+pub fn spmm_sum_backward(g: &CsrGraph, grad_rows: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(&[g.num_cols(), grad_rows.cols()]);
+    spmm_sum_backward_into(g, grad_rows, &mut out);
+    out
+}
+
+/// Backward of [`spmm_sum`] accumulated into an existing gradient tensor.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with the graph.
+pub fn spmm_sum_backward_into(g: &CsrGraph, grad_rows: &Tensor, out: &mut Tensor) {
+    assert_eq!(grad_rows.rows(), g.num_rows(), "grad rows mismatch");
+    assert_eq!(out.rows(), g.num_cols(), "out rows must equal graph columns");
+    assert_eq!(out.cols(), grad_rows.cols(), "feature width mismatch");
+    let f = grad_rows.cols();
+    for i in 0..g.num_rows() {
+        let g_row = grad_rows.row(i);
+        for &j in g.neighbors(i) {
+            let dst = &mut out.data_mut()[j as usize * f..(j as usize + 1) * f];
+            for (d, &v) in dst.iter_mut().zip(g_row) {
+                *d += v;
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Per-edge gathers / scatters (DGL-style primitives)
+// ----------------------------------------------------------------------
+
+/// Gathers source features per edge: `out[e] = x[src(e)]`, `[E, F]`.
+///
+/// # Panics
+///
+/// Panics if `x` rows differ from the graph's column count.
+pub fn gather_src(g: &CsrGraph, x: &Tensor) -> Tensor {
+    assert_eq!(x.rows(), g.num_cols(), "x rows must equal graph columns");
+    x.gather_rows(g.indices())
+}
+
+/// Gathers destination features per edge: `out[e] = x[dst(e)]`, `[E, F]`.
+///
+/// # Panics
+///
+/// Panics if `x` rows differ from the graph's row count.
+pub fn gather_dst(g: &CsrGraph, x: &Tensor) -> Tensor {
+    assert_eq!(x.rows(), g.num_rows(), "x rows must equal graph rows");
+    let f = x.cols();
+    let mut out = Vec::with_capacity(g.num_edges() * f);
+    for i in 0..g.num_rows() {
+        for _ in g.neighbors(i) {
+            out.extend_from_slice(x.row(i));
+        }
+    }
+    Tensor::from_vec(&[g.num_edges(), f], out)
+}
+
+/// Scatter-adds per-edge values to their *source* nodes:
+/// `out[j] = Σ_{e : src(e) = j} edge_vals[e]`. This is the backward of
+/// [`gather_src`].
+///
+/// # Panics
+///
+/// Panics if `edge_vals` does not have one row per edge.
+pub fn scatter_edges_to_src(g: &CsrGraph, edge_vals: &Tensor) -> Tensor {
+    assert_eq!(edge_vals.rows(), g.num_edges(), "one row per edge required");
+    let mut out = Tensor::zeros(&[g.num_cols(), edge_vals.cols()]);
+    out.scatter_add_rows(g.indices(), edge_vals);
+    out
+}
+
+/// Scatter-adds per-edge values to their *destination* nodes:
+/// `out[i] = Σ_{e : dst(e) = i} edge_vals[e]`. This is the backward of
+/// [`gather_dst`] and the reduction step of message passing.
+///
+/// # Panics
+///
+/// Panics if `edge_vals` does not have one row per edge.
+pub fn scatter_edges_to_dst(g: &CsrGraph, edge_vals: &Tensor) -> Tensor {
+    assert_eq!(edge_vals.rows(), g.num_edges(), "one row per edge required");
+    let f = edge_vals.cols();
+    let mut out = Tensor::zeros(&[g.num_rows(), f]);
+    let mut e = 0usize;
+    for i in 0..g.num_rows() {
+        let deg = g.in_degree(i);
+        let out_row = out.row_mut(i);
+        for _ in 0..deg {
+            for (o, &v) in out_row.iter_mut().zip(edge_vals.row(e)) {
+                *o += v;
+            }
+            e += 1;
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// Edge softmax (standard two-step GAT path)
+// ----------------------------------------------------------------------
+
+/// Softmax of per-edge scores over each destination's incoming edges,
+/// independently per head: `alpha[e, h] = softmax_{e ∈ in(i)}(scores[e, h])`.
+///
+/// Numerically stabilized with the per-destination maximum.
+///
+/// # Panics
+///
+/// Panics if `scores` does not have one row per edge.
+pub fn edge_softmax(g: &CsrGraph, scores: &Tensor) -> Tensor {
+    assert_eq!(scores.rows(), g.num_edges(), "one score row per edge required");
+    let h = scores.cols();
+    let mut out = scores.clone();
+    for i in 0..g.num_rows() {
+        let (start, end) = (g.indptr()[i], g.indptr()[i + 1]);
+        if start == end {
+            continue;
+        }
+        for head in 0..h {
+            let mut max = f32::NEG_INFINITY;
+            for e in start..end {
+                max = max.max(out.data()[e * h + head]);
+            }
+            let mut denom = 0.0f32;
+            for e in start..end {
+                let v = (out.data()[e * h + head] - max).exp();
+                out.data_mut()[e * h + head] = v;
+                denom += v;
+            }
+            for e in start..end {
+                out.data_mut()[e * h + head] /= denom;
+            }
+        }
+    }
+    out
+}
+
+/// Backward of [`edge_softmax`]: given `alpha` (the forward output) and the
+/// upstream gradient, returns the gradient w.r.t. the raw scores.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn edge_softmax_backward(g: &CsrGraph, alpha: &Tensor, grad: &Tensor) -> Tensor {
+    assert_eq!(alpha.shape(), grad.shape(), "alpha/grad shape mismatch");
+    assert_eq!(alpha.rows(), g.num_edges(), "one row per edge required");
+    let h = alpha.cols();
+    let mut out = Tensor::zeros(&[g.num_edges(), h]);
+    for i in 0..g.num_rows() {
+        let (start, end) = (g.indptr()[i], g.indptr()[i + 1]);
+        for head in 0..h {
+            let mut dot = 0.0f32;
+            for e in start..end {
+                dot += alpha.data()[e * h + head] * grad.data()[e * h + head];
+            }
+            for e in start..end {
+                let a = alpha.data()[e * h + head];
+                let gr = grad.data()[e * h + head];
+                out.data_mut()[e * h + head] = a * (gr - dot);
+            }
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// Multi-head weighted SpMM (standard GAT message reduction)
+// ----------------------------------------------------------------------
+
+/// Multi-head attention-weighted aggregation:
+/// `out[i, h*D..] = Σ_{e=(j→i)} alpha[e, h] * x[j, h*D..]`.
+///
+/// This is the fused `u_mul_e` + sum reduction DGL applies after edge
+/// softmax: per-edge messages are *not* materialized, but `alpha` is.
+///
+/// # Panics
+///
+/// Panics if `x.cols()` is not divisible by the head count of `alpha` or
+/// shapes are inconsistent with the graph.
+pub fn spmm_multihead(g: &CsrGraph, alpha: &Tensor, x: &Tensor) -> Tensor {
+    assert_eq!(alpha.rows(), g.num_edges(), "one alpha row per edge required");
+    assert_eq!(x.rows(), g.num_cols(), "x rows must equal graph columns");
+    let heads = alpha.cols();
+    let hd = x.cols();
+    assert_eq!(hd % heads, 0, "feature width {hd} not divisible by {heads} heads");
+    let d = hd / heads;
+    let mut out = Tensor::zeros(&[g.num_rows(), hd]);
+    let mut e = 0usize;
+    for i in 0..g.num_rows() {
+        let deg = g.in_degree(i);
+        let out_row = out.row_mut(i);
+        for k in 0..deg {
+            let j = g.indices()[e + k] as usize;
+            let x_row = &x.data()[j * hd..(j + 1) * hd];
+            for head in 0..heads {
+                let a = alpha.data()[(e + k) * heads + head];
+                if a == 0.0 {
+                    continue;
+                }
+                let lo = head * d;
+                for c in lo..lo + d {
+                    out_row[c] += a * x_row[c];
+                }
+            }
+        }
+        e += deg;
+    }
+    out
+}
+
+/// Backward of [`spmm_multihead`]: returns `(d_alpha, d_x)`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn spmm_multihead_backward(
+    g: &CsrGraph,
+    alpha: &Tensor,
+    x: &Tensor,
+    grad_out: &Tensor,
+) -> (Tensor, Tensor) {
+    let heads = alpha.cols();
+    let hd = x.cols();
+    let d = hd / heads;
+    assert_eq!(grad_out.rows(), g.num_rows(), "grad rows mismatch");
+    assert_eq!(grad_out.cols(), hd, "grad width mismatch");
+    let mut d_alpha = Tensor::zeros(&[g.num_edges(), heads]);
+    let mut d_x = Tensor::zeros(&[g.num_cols(), hd]);
+    let mut e = 0usize;
+    for i in 0..g.num_rows() {
+        let deg = g.in_degree(i);
+        let g_row = grad_out.row(i);
+        for k in 0..deg {
+            let j = g.indices()[e + k] as usize;
+            let x_row = &x.data()[j * hd..(j + 1) * hd];
+            for head in 0..heads {
+                let lo = head * d;
+                let a = alpha.data()[(e + k) * heads + head];
+                let mut dot = 0.0f32;
+                for c in lo..lo + d {
+                    dot += g_row[c] * x_row[c];
+                }
+                d_alpha.data_mut()[(e + k) * heads + head] = dot;
+                if a != 0.0 {
+                    let dx_row = &mut d_x.data_mut()[j * hd..(j + 1) * hd];
+                    for c in lo..lo + d {
+                        dx_row[c] += a * g_row[c];
+                    }
+                }
+            }
+        }
+        e += deg;
+    }
+    (d_alpha, d_x)
+}
+
+// ----------------------------------------------------------------------
+// Per-head projection (attention logits)
+// ----------------------------------------------------------------------
+
+/// Per-head inner product with an attention vector:
+/// `out[n, h] = Σ_k x[n, h*D + k] * a[h*D + k]`.
+///
+/// Computes GAT's `aᵀ z` terms; `a` is `[H*D]`.
+///
+/// # Panics
+///
+/// Panics if `x.cols() != a.len()` or not divisible by `heads`.
+pub fn head_project(x: &Tensor, a: &Tensor, heads: usize) -> Tensor {
+    let hd = x.cols();
+    assert_eq!(a.numel(), hd, "attention vector length mismatch");
+    assert_eq!(hd % heads, 0, "width {hd} not divisible by {heads} heads");
+    let d = hd / heads;
+    let n = x.rows();
+    let mut out = vec![0.0f32; n * heads];
+    for i in 0..n {
+        let x_row = x.row(i);
+        for h in 0..heads {
+            let mut acc = 0.0f32;
+            for k in 0..d {
+                acc += x_row[h * d + k] * a.data()[h * d + k];
+            }
+            out[i * heads + h] = acc;
+        }
+    }
+    Tensor::from_vec(&[n, heads], out)
+}
+
+/// Backward of [`head_project`]: returns `(d_x, d_a)` given the upstream
+/// gradient `[N, H]`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn head_project_backward(
+    x: &Tensor,
+    a: &Tensor,
+    heads: usize,
+    grad: &Tensor,
+) -> (Tensor, Tensor) {
+    let hd = x.cols();
+    let d = hd / heads;
+    let n = x.rows();
+    assert_eq!(grad.rows(), n, "grad rows mismatch");
+    assert_eq!(grad.cols(), heads, "grad heads mismatch");
+    let mut d_x = Tensor::zeros(&[n, hd]);
+    let mut d_a = Tensor::zeros(&[hd]);
+    for i in 0..n {
+        let x_row = x.row(i);
+        let g_row = grad.row(i);
+        let dx_row = &mut d_x.data_mut()[i * hd..(i + 1) * hd];
+        for h in 0..heads {
+            let g = g_row[h];
+            if g == 0.0 {
+                continue;
+            }
+            for k in 0..d {
+                dx_row[h * d + k] += g * a.data()[h * d + k];
+                d_a.data_mut()[h * d + k] += g * x_row[h * d + k];
+            }
+        }
+    }
+    (d_x, d_a)
+}
+
+/// Per-edge multiplication of a `[E, H]` head tensor against `[E, H*D]`
+/// messages is intentionally *not* provided: materializing `[E, H*D]`
+/// per-edge messages is what both DGL and this reproduction avoid via
+/// [`spmm_multihead`].
+///
+/// Builds per-edge raw attention scores
+/// `e[e, h] = LeakyReLU(s_dst[dst(e), h] + s_src[src(e), h])` without
+/// materializing gathered `[E, H]` inputs twice.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with the graph.
+pub fn gat_edge_scores(g: &CsrGraph, s_dst: &Tensor, s_src: &Tensor, slope: f32) -> Tensor {
+    assert_eq!(s_dst.rows(), g.num_rows(), "s_dst rows mismatch");
+    assert_eq!(s_src.rows(), g.num_cols(), "s_src rows mismatch");
+    assert_eq!(s_dst.cols(), s_src.cols(), "head count mismatch");
+    let h = s_dst.cols();
+    let mut out = vec![0.0f32; g.num_edges() * h];
+    let mut e = 0usize;
+    for i in 0..g.num_rows() {
+        for &j in g.neighbors(i) {
+            let j = j as usize;
+            for head in 0..h {
+                let u = s_dst.data()[i * h + head] + s_src.data()[j * h + head];
+                out[e * h + head] = if u > 0.0 { u } else { slope * u };
+            }
+            e += 1;
+        }
+    }
+    Tensor::from_vec(&[g.num_edges(), h], out)
+}
+
+/// Backward of [`gat_edge_scores`]: returns `(d_s_dst, d_s_src)`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn gat_edge_scores_backward(
+    g: &CsrGraph,
+    s_dst: &Tensor,
+    s_src: &Tensor,
+    slope: f32,
+    grad: &Tensor,
+) -> (Tensor, Tensor) {
+    let h = s_dst.cols();
+    assert_eq!(grad.rows(), g.num_edges(), "grad rows mismatch");
+    assert_eq!(grad.cols(), h, "grad heads mismatch");
+    let mut d_dst = Tensor::zeros(&[g.num_rows(), h]);
+    let mut d_src = Tensor::zeros(&[g.num_cols(), h]);
+    let mut e = 0usize;
+    for i in 0..g.num_rows() {
+        for &j in g.neighbors(i) {
+            let j = j as usize;
+            for head in 0..h {
+                let u = s_dst.data()[i * h + head] + s_src.data()[j * h + head];
+                let du = grad.data()[e * h + head] * if u > 0.0 { 1.0 } else { slope };
+                d_dst.data_mut()[i * h + head] += du;
+                d_src.data_mut()[j * h + head] += du;
+            }
+            e += 1;
+        }
+    }
+    (d_dst, d_src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sar_tensor::init;
+
+    fn test_graph() -> CsrGraph {
+        // 4 nodes: 1→0, 2→0, 0→1, 3→2, 2→2 (self loop)
+        CsrGraph::from_edges(4, &[(1, 0), (2, 0), (0, 1), (3, 2), (2, 2)])
+    }
+
+    /// Dense adjacency of g as a [rows, cols] matrix (A[i][j] = 1 iff j→i).
+    fn dense_adj(g: &CsrGraph) -> Tensor {
+        let mut a = Tensor::zeros(&[g.num_rows(), g.num_cols()]);
+        for i in 0..g.num_rows() {
+            for &j in g.neighbors(i) {
+                a.row_mut(i)[j as usize] += 1.0;
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn spmm_sum_matches_dense() {
+        let g = test_graph();
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = init::randn(&[4, 3], 1.0, &mut rng);
+        let sparse = spmm_sum(&g, &x);
+        let dense = dense_adj(&g).matmul(&x);
+        assert!(sparse.allclose(&dense, 1e-5));
+    }
+
+    #[test]
+    fn spmm_backward_matches_transpose_dense() {
+        let g = test_graph();
+        let mut rng = StdRng::seed_from_u64(1);
+        let grad = init::randn(&[4, 3], 1.0, &mut rng);
+        let back = spmm_sum_backward(&g, &grad);
+        let dense = dense_adj(&g).transpose().matmul(&grad);
+        assert!(back.allclose(&dense, 1e-5));
+    }
+
+    #[test]
+    fn spmm_into_accumulates_blocks() {
+        // Splitting a graph's edges into two blocks and accumulating must
+        // equal one-shot SpMM — the core identity behind SAR's Algorithm 1.
+        let edges = [(1u32, 0u32), (2, 0), (0, 1), (3, 2), (2, 2)];
+        let g_full = CsrGraph::from_edges(4, &edges);
+        let g_a = CsrGraph::from_edges(4, &edges[..2]);
+        let g_b = CsrGraph::from_edges(4, &edges[2..]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = init::randn(&[4, 5], 1.0, &mut rng);
+        let full = spmm_sum(&g_full, &x);
+        let mut acc = Tensor::zeros(&[4, 5]);
+        spmm_sum_into(&g_a, &x, &mut acc);
+        spmm_sum_into(&g_b, &x, &mut acc);
+        assert!(acc.allclose(&full, 1e-5));
+    }
+
+    #[test]
+    fn gather_scatter_duality() {
+        let g = test_graph();
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = init::randn(&[4, 2], 1.0, &mut rng);
+        let y = init::randn(&[g.num_edges(), 2], 1.0, &mut rng);
+        // <gather_src(x), y> == <x, scatter_src(y)>  (adjointness)
+        let lhs: f32 = gather_src(&g, &x).mul(&y).sum();
+        let rhs: f32 = x.mul(&scatter_edges_to_src(&g, &y)).sum();
+        assert!((lhs - rhs).abs() < 1e-4);
+        let lhs2: f32 = gather_dst(&g, &x).mul(&y).sum();
+        let rhs2: f32 = x.mul(&scatter_edges_to_dst(&g, &y)).sum();
+        assert!((lhs2 - rhs2).abs() < 1e-4);
+    }
+
+    #[test]
+    fn edge_softmax_rows_sum_to_one() {
+        let g = test_graph();
+        let mut rng = StdRng::seed_from_u64(4);
+        let scores = init::randn(&[g.num_edges(), 3], 2.0, &mut rng);
+        let alpha = edge_softmax(&g, &scores);
+        for i in 0..g.num_rows() {
+            let (s, e) = (g.indptr()[i], g.indptr()[i + 1]);
+            if s == e {
+                continue;
+            }
+            for h in 0..3 {
+                let total: f32 = (s..e).map(|k| alpha.data()[k * 3 + h]).sum();
+                assert!((total - 1.0).abs() < 1e-5, "dst {i} head {h}: {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_softmax_is_shift_invariant_per_dst() {
+        let g = test_graph();
+        let mut rng = StdRng::seed_from_u64(5);
+        let scores = init::randn(&[g.num_edges(), 2], 1.0, &mut rng);
+        let mut shifted = scores.clone();
+        // Shift all scores of dst 0's edges by a large constant.
+        for e in g.indptr()[0]..g.indptr()[1] {
+            for h in 0..2 {
+                shifted.data_mut()[e * 2 + h] += 100.0;
+            }
+        }
+        assert!(edge_softmax(&g, &scores).allclose(&edge_softmax(&g, &shifted), 1e-4));
+    }
+
+    #[test]
+    fn spmm_multihead_matches_manual() {
+        let g = test_graph();
+        let heads = 2;
+        let d = 3;
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = init::randn(&[4, heads * d], 1.0, &mut rng);
+        let alpha = init::randn(&[g.num_edges(), heads], 1.0, &mut rng);
+        let out = spmm_multihead(&g, &alpha, &x);
+        // Manual per-destination check.
+        let mut expect = Tensor::zeros(&[4, heads * d]);
+        let mut e = 0;
+        for i in 0..4 {
+            for &j in g.neighbors(i) {
+                for h in 0..heads {
+                    let a = alpha.data()[e * heads + h];
+                    for k in 0..d {
+                        expect.row_mut(i)[h * d + k] += a * x.row(j as usize)[h * d + k];
+                    }
+                }
+                e += 1;
+            }
+        }
+        assert!(out.allclose(&expect, 1e-5));
+    }
+
+    #[test]
+    fn spmm_multihead_backward_is_adjoint() {
+        let g = test_graph();
+        let heads = 2;
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = init::randn(&[4, heads * 2], 1.0, &mut rng);
+        let alpha = init::randn(&[g.num_edges(), heads], 1.0, &mut rng);
+        let grad = init::randn(&[4, heads * 2], 1.0, &mut rng);
+        let (d_alpha, d_x) = spmm_multihead_backward(&g, &alpha, &x, &grad);
+        // <out, grad> must equal <alpha, d_alpha> and <x, d_x> by linearity
+        // in each argument.
+        let out = spmm_multihead(&g, &alpha, &x);
+        let lhs: f32 = out.mul(&grad).sum();
+        assert!((lhs - alpha.mul(&d_alpha).sum()).abs() < 1e-3);
+        assert!((lhs - x.mul(&d_x).sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn head_project_matches_manual_and_adjoint() {
+        let heads = 2;
+        let d = 3;
+        let mut rng = StdRng::seed_from_u64(8);
+        let x = init::randn(&[5, heads * d], 1.0, &mut rng);
+        let a = init::randn(&[heads * d], 1.0, &mut rng);
+        let s = head_project(&x, &a, heads);
+        for i in 0..5 {
+            for h in 0..heads {
+                let manual: f32 = (0..d)
+                    .map(|k| x.row(i)[h * d + k] * a.data()[h * d + k])
+                    .sum();
+                assert!((s.at(&[i, h]) - manual).abs() < 1e-5);
+            }
+        }
+        let grad = init::randn(&[5, heads], 1.0, &mut rng);
+        let (d_x, d_a) = head_project_backward(&x, &a, heads, &grad);
+        let lhs: f32 = s.mul(&grad).sum();
+        assert!((lhs - x.mul(&d_x).sum()).abs() < 1e-3);
+        assert!((lhs - a.mul(&d_a).sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gat_edge_scores_match_gather_formulation() {
+        let g = test_graph();
+        let mut rng = StdRng::seed_from_u64(9);
+        let s_dst = init::randn(&[4, 2], 1.0, &mut rng);
+        let s_src = init::randn(&[4, 2], 1.0, &mut rng);
+        let slope = 0.2;
+        let scores = gat_edge_scores(&g, &s_dst, &s_src, slope);
+        let manual = gather_dst(&g, &s_dst)
+            .add(&gather_src(&g, &s_src))
+            .map(|u| if u > 0.0 { u } else { slope * u });
+        assert!(scores.allclose(&manual, 1e-5));
+    }
+
+    #[test]
+    fn gat_edge_scores_backward_is_adjoint_in_linear_region() {
+        // With slope 1.0 the op is linear, so adjointness must hold exactly.
+        let g = test_graph();
+        let mut rng = StdRng::seed_from_u64(10);
+        let s_dst = init::randn(&[4, 2], 1.0, &mut rng);
+        let s_src = init::randn(&[4, 2], 1.0, &mut rng);
+        let grad = init::randn(&[g.num_edges(), 2], 1.0, &mut rng);
+        let scores = gat_edge_scores(&g, &s_dst, &s_src, 1.0);
+        let (d_dst, d_src) = gat_edge_scores_backward(&g, &s_dst, &s_src, 1.0, &grad);
+        let lhs: f32 = scores.mul(&grad).sum();
+        let rhs = s_dst.mul(&d_dst).sum() + s_src.mul(&d_src).sum();
+        assert!((lhs - rhs).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bipartite_spmm() {
+        // 3 source columns feeding 2 destination rows.
+        let g = CsrGraph::from_edges_bipartite(3, 2, &[(0, 0), (2, 0), (1, 1)]);
+        let x = Tensor::from_vec(&[3, 1], vec![1.0, 10.0, 100.0]);
+        let out = spmm_sum(&g, &x);
+        assert_eq!(out.data(), &[101.0, 10.0]);
+    }
+}

@@ -1,0 +1,452 @@
+//! Graph Attention Network layers (Eq. 3 of the paper), in both the
+//! standard two-step formulation and the fused-attention-kernel (FAK)
+//! formulation of §3.3.
+
+use std::sync::Arc;
+
+use rand::Rng;
+use sar_graph::fused::{
+    attn_grad_dot, gat_fused_block_backward, gat_fused_block_forward, OnlineAttnState,
+};
+use sar_graph::CsrGraph;
+use sar_tensor::{init, no_grad, Function, Tensor, Var};
+
+use crate::graph_autograd::{
+    edge_softmax, gather_dst, gather_src, head_project, mean_heads, spmm_multihead,
+};
+use crate::linear::Linear;
+
+/// Hyperparameters shared by [`GatLayer`] and [`FusedGatLayer`].
+#[derive(Debug, Clone)]
+pub struct GatConfig {
+    /// Input feature dimension.
+    pub in_dim: usize,
+    /// Output dimension *per head*.
+    pub head_dim: usize,
+    /// Number of attention heads.
+    pub heads: usize,
+    /// LeakyReLU negative slope for attention logits (paper uses 0.2).
+    pub slope: f32,
+    /// `true`: concatenate heads (`[N, H*D]` output, hidden layers);
+    /// `false`: average heads (`[N, D]` output, final layer).
+    pub concat: bool,
+    /// Apply a ReLU to the output (σ in Eq. 3); disable on the last layer.
+    pub activation: bool,
+}
+
+impl GatConfig {
+    /// Convenience constructor with the paper's defaults (slope 0.2,
+    /// concatenated heads, activation on).
+    pub fn new(in_dim: usize, head_dim: usize, heads: usize) -> Self {
+        GatConfig {
+            in_dim,
+            head_dim,
+            heads,
+            slope: 0.2,
+            concat: true,
+            activation: true,
+        }
+    }
+
+    /// Output width of a layer with this configuration.
+    pub fn out_width(&self) -> usize {
+        if self.concat {
+            self.heads * self.head_dim
+        } else {
+            self.head_dim
+        }
+    }
+}
+
+/// Shared parameters of a GAT layer: the projection `W` and the split
+/// attention vector (`a = [a_dst ‖ a_src]`, so
+/// `aᵀ(z_i ‖ z_j) = a_dstᵀ z_i + a_srcᵀ z_j`).
+#[derive(Debug, Clone)]
+struct GatParams {
+    lin: Linear,
+    a_dst: Var,
+    a_src: Var,
+    cfg: GatConfig,
+}
+
+impl GatParams {
+    fn new(cfg: GatConfig, rng: &mut impl Rng) -> Self {
+        let width = cfg.heads * cfg.head_dim;
+        let std = (2.0 / (cfg.head_dim as f32)).sqrt();
+        GatParams {
+            lin: Linear::new(cfg.in_dim, width, false, rng),
+            a_dst: Var::parameter(init::randn(&[width], std, rng)),
+            a_src: Var::parameter(init::randn(&[width], std, rng)),
+            cfg: cfg.clone(),
+        }
+    }
+
+    fn params(&self) -> Vec<Var> {
+        let mut p = self.lin.params();
+        p.push(self.a_dst.clone());
+        p.push(self.a_src.clone());
+        p
+    }
+
+    fn combine(&self, out: Var) -> Var {
+        let out = if self.cfg.concat {
+            out
+        } else {
+            mean_heads(&out, self.cfg.heads)
+        };
+        if self.cfg.activation {
+            out.relu()
+        } else {
+            out
+        }
+    }
+}
+
+/// The standard (DGL-style) GAT layer.
+///
+/// Decomposed two-step attention, one primitive kernel per step as in a
+/// generic message-passing framework: gather the per-edge destination and
+/// source logits (`[E, H]` each), add, LeakyReLU, edge softmax — each step
+/// writing its `[E, H]` result to memory and keeping it on the autograd
+/// tape — then aggregate messages weighted by the coefficients. This is
+/// the baseline whose runtime and peak memory Fig. 2 compares against the
+/// fused kernel, which never materializes any of these tensors.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use sar_graph::CsrGraph;
+/// use sar_nn::{GatConfig, GatLayer};
+/// use sar_tensor::{Tensor, Var};
+///
+/// let g = Arc::new(CsrGraph::from_edges(3, &[(0, 1), (1, 2)]).with_self_loops());
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let layer = GatLayer::new(GatConfig::new(4, 8, 2), &mut rng);
+/// let h = Var::constant(Tensor::ones(&[3, 4]));
+/// assert_eq!(layer.forward(&g, &h).shape(), vec![3, 16]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GatLayer {
+    p: GatParams,
+}
+
+impl GatLayer {
+    /// Creates a standard GAT layer.
+    pub fn new(cfg: GatConfig, rng: &mut impl Rng) -> Self {
+        GatLayer {
+            p: GatParams::new(cfg, rng),
+        }
+    }
+
+    /// Applies the layer over graph `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` has the wrong width or row count.
+    pub fn forward(&self, g: &Arc<CsrGraph>, h: &Var) -> Var {
+        let cfg = &self.p.cfg;
+        let z = self.p.lin.forward(h);
+        let s_dst = head_project(&z, &self.p.a_dst, cfg.heads);
+        let s_src = head_project(&z, &self.p.a_src, cfg.heads);
+        // DGL-style primitive pipeline: u_add_v -> leaky_relu ->
+        // edge_softmax, materializing one [E, H] tensor per step.
+        let e_dst = gather_dst(g, &s_dst);
+        let e_src = gather_src(g, &s_src);
+        let scores = e_dst.add(&e_src).leaky_relu(cfg.slope);
+        let alpha = edge_softmax(g, &scores);
+        let out = spmm_multihead(g, &alpha, &z);
+        self.p.combine(out)
+    }
+
+    /// Trainable parameters.
+    pub fn params(&self) -> Vec<Var> {
+        self.p.params()
+    }
+
+    /// The layer's configuration.
+    pub fn config(&self) -> &GatConfig {
+        &self.p.cfg
+    }
+}
+
+/// The fused-attention-kernel GAT layer (§3.3).
+///
+/// Attention coefficients are computed on the fly inside a single fused
+/// forward kernel (online stable softmax) and recomputed on the fly in the
+/// fused backward kernel. The `[E, H]` coefficient tensor never exists;
+/// only `O(N·H)` softmax statistics are saved — the memory profile Fig. 2b
+/// measures.
+#[derive(Debug, Clone)]
+pub struct FusedGatLayer {
+    p: GatParams,
+}
+
+struct FusedAttnFn {
+    parents: Vec<Var>, // [z, s_dst, s_src]
+    graph: Arc<CsrGraph>,
+    slope: f32,
+    heads: usize,
+    max: Tensor,
+    den: Tensor,
+}
+
+impl Function for FusedAttnFn {
+    fn parents(&self) -> &[Var] {
+        &self.parents
+    }
+
+    fn name(&self) -> &'static str {
+        "fused_gat_attention"
+    }
+
+    fn backward(&self, grad_output: &Tensor, output: &Tensor) -> Vec<Option<Tensor>> {
+        let (z, s_dst, s_src) = (&self.parents[0], &self.parents[1], &self.parents[2]);
+        let grad_dot = attn_grad_dot(grad_output, output, self.heads);
+        let mut d_s_dst = Tensor::zeros(&[self.graph.num_rows(), self.heads]);
+        let grads = gat_fused_block_backward(
+            &self.graph,
+            &s_dst.value(),
+            &s_src.value(),
+            &z.value(),
+            self.slope,
+            &self.max,
+            &self.den,
+            grad_output,
+            &grad_dot,
+            &mut d_s_dst,
+        );
+        vec![Some(grads.d_x_src), Some(d_s_dst), Some(grads.d_s_src)]
+    }
+}
+
+impl FusedGatLayer {
+    /// Creates a fused GAT layer.
+    pub fn new(cfg: GatConfig, rng: &mut impl Rng) -> Self {
+        FusedGatLayer {
+            p: GatParams::new(cfg, rng),
+        }
+    }
+
+    /// Creates a fused layer sharing the parameters of a standard layer —
+    /// used by tests and benchmarks to compare the two implementations on
+    /// identical weights.
+    pub fn from_standard(layer: &GatLayer) -> Self {
+        FusedGatLayer { p: layer.p.clone() }
+    }
+
+    /// Applies the layer over graph `g` using the fused kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` has the wrong width or row count.
+    pub fn forward(&self, g: &Arc<CsrGraph>, h: &Var) -> Var {
+        let cfg = &self.p.cfg;
+        let z = self.p.lin.forward(h);
+        let s_dst = head_project(&z, &self.p.a_dst, cfg.heads);
+        let s_src = head_project(&z, &self.p.a_src, cfg.heads);
+
+        // Fused forward: streams all edges once, keeping only O(N·H)
+        // softmax state; coefficients are never materialized.
+        let (value, max, den) = no_grad(|| {
+            let mut state = OnlineAttnState::new(g.num_rows(), cfg.heads, cfg.head_dim);
+            gat_fused_block_forward(
+                g,
+                &s_dst.value(),
+                &s_src.value(),
+                &z.value(),
+                cfg.slope,
+                &mut state,
+            );
+            state.finalize_into()
+        });
+
+        let out = Var::from_function(
+            value,
+            FusedAttnFn {
+                parents: vec![z, s_dst, s_src],
+                graph: Arc::clone(g),
+                slope: cfg.slope,
+                heads: cfg.heads,
+                max,
+                den,
+            },
+        );
+        self.p.combine(out)
+    }
+
+    /// Trainable parameters.
+    pub fn params(&self) -> Vec<Var> {
+        self.p.params()
+    }
+
+    /// The layer's configuration.
+    pub fn config(&self) -> &GatConfig {
+        &self.p.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sar_tensor::MemoryTracker;
+
+    fn graph() -> Arc<CsrGraph> {
+        Arc::new(
+            CsrGraph::from_edges(
+                6,
+                &[(0, 1), (2, 1), (3, 1), (1, 0), (4, 3), (3, 4), (5, 2), (2, 5)],
+            )
+            .with_self_loops(),
+        )
+    }
+
+    fn input(rng: &mut StdRng) -> Var {
+        Var::parameter(init::randn(&[6, 5], 1.0, rng))
+    }
+
+    #[test]
+    fn standard_forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let layer = GatLayer::new(GatConfig::new(5, 3, 4), &mut rng);
+        let h = input(&mut rng);
+        assert_eq!(layer.forward(&graph(), &h).shape(), vec![6, 12]);
+
+        let mut cfg = GatConfig::new(5, 3, 4);
+        cfg.concat = false;
+        let layer = GatLayer::new(cfg, &mut rng);
+        assert_eq!(layer.forward(&graph(), &h).shape(), vec![6, 3]);
+    }
+
+    #[test]
+    fn fused_matches_standard_forward() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut cfg = GatConfig::new(5, 4, 2);
+        cfg.activation = false;
+        let std_layer = GatLayer::new(cfg, &mut rng);
+        let fused = FusedGatLayer::from_standard(&std_layer);
+        let h = input(&mut rng);
+        let g = graph();
+        let a = std_layer.forward(&g, &h);
+        let b = fused.forward(&g, &h);
+        assert!(
+            a.value().allclose(&b.value(), 1e-4),
+            "fused and standard forward disagree"
+        );
+    }
+
+    #[test]
+    fn fused_matches_standard_gradients() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut cfg = GatConfig::new(4, 3, 2);
+        cfg.activation = false;
+        let std_layer = GatLayer::new(cfg, &mut rng);
+        let fused = FusedGatLayer::from_standard(&std_layer);
+        let g = graph();
+
+        let h1 = Var::parameter(init::randn(&[6, 4], 1.0, &mut StdRng::seed_from_u64(3)));
+        std_layer.forward(&g, &h1).sum().backward();
+        let h2 = Var::parameter(h1.value_clone());
+        // Parameters are shared; clear their grads between the two runs.
+        for p in std_layer.params() {
+            p.zero_grad();
+        }
+        fused.forward(&g, &h2).sum().backward();
+
+        let g1 = h1.grad().expect("standard grad");
+        let g2 = h2.grad().expect("fused grad");
+        assert!(g1.allclose(&g2, 1e-3), "input grads disagree");
+    }
+
+    #[test]
+    fn fused_param_grads_match_standard() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut cfg = GatConfig::new(4, 3, 2);
+        cfg.activation = false;
+        let g = graph();
+        let h_val = init::randn(&[6, 4], 1.0, &mut rng);
+
+        let std_layer = GatLayer::new(cfg.clone(), &mut StdRng::seed_from_u64(5));
+        std_layer
+            .forward(&g, &Var::constant(h_val.clone()))
+            .sum()
+            .backward();
+        let std_grads: Vec<Tensor> = std_layer
+            .params()
+            .iter()
+            .map(|p| p.grad().expect("grad"))
+            .collect();
+
+        let fused = FusedGatLayer::new(cfg, &mut StdRng::seed_from_u64(5));
+        fused
+            .forward(&g, &Var::constant(h_val))
+            .sum()
+            .backward();
+        for (i, p) in fused.params().iter().enumerate() {
+            let fg = p.grad().expect("grad");
+            assert!(
+                fg.allclose(&std_grads[i], 1e-3),
+                "param {i} grads disagree"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_uses_less_forward_memory_on_dense_graphs() {
+        // Many edges, few nodes: the [E, H] coefficient tensors dominate.
+        let mut rng = StdRng::seed_from_u64(6);
+        let edges: Vec<(u32, u32)> = (0..40u32)
+            .flat_map(|i| (0..40u32).map(move |j| (i, j)))
+            .collect();
+        let g = Arc::new(CsrGraph::from_edges(40, &edges));
+        let cfg = GatConfig::new(8, 4, 8);
+        let std_layer = GatLayer::new(cfg, &mut rng);
+        let fused = FusedGatLayer::from_standard(&std_layer);
+        let h = Var::constant(init::randn(&[40, 8], 1.0, &mut rng));
+
+        MemoryTracker::reset_peak();
+        let base = MemoryTracker::stats().current_bytes;
+        let out_std = std_layer.forward(&g, &h);
+        let peak_std = MemoryTracker::stats().peak_bytes - base;
+        drop(out_std);
+
+        MemoryTracker::reset_peak();
+        let base = MemoryTracker::stats().current_bytes;
+        let out_fused = fused.forward(&g, &h);
+        let peak_fused = MemoryTracker::stats().peak_bytes - base;
+        drop(out_fused);
+
+        assert!(
+            peak_fused < peak_std / 2,
+            "fused peak {peak_fused} should be well below standard peak {peak_std}"
+        );
+    }
+
+    #[test]
+    fn attention_rows_influence_output() {
+        // Changing a source node's features must change its neighbors'
+        // outputs (sanity: attention actually routes information).
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut cfg = GatConfig::new(3, 2, 1);
+        cfg.activation = false;
+        let layer = GatLayer::new(cfg, &mut rng);
+        let g = graph();
+        let base = init::randn(&[6, 3], 1.0, &mut rng);
+        let out1 = layer.forward(&g, &Var::constant(base.clone()));
+        let mut changed = base.clone();
+        changed.row_mut(0)[0] += 2.0;
+        let out2 = layer.forward(&g, &Var::constant(changed));
+        // Node 1 has 0 as an in-neighbor.
+        let d: f32 = out1
+            .value()
+            .row(1)
+            .iter()
+            .zip(out2.value().row(1))
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(d > 1e-4, "neighbor output did not react to source change");
+    }
+}

@@ -1,0 +1,106 @@
+//! Classification losses and metrics for node classification.
+
+use sar_tensor::{Tensor, Var};
+
+/// Masked cross-entropy: softmax over each row of `logits` followed by
+/// negative log-likelihood averaged over the rows where `mask` is `true`.
+///
+/// When `normalizer` is `Some(m)`, divides by `m` instead of the local mask
+/// count — distributed workers pass the *global* training-node count so
+/// their per-worker losses sum to the exact full-batch loss.
+///
+/// # Panics
+///
+/// Panics if lengths disagree or a masked label is out of range.
+pub fn cross_entropy_masked(
+    logits: &Var,
+    labels: &[u32],
+    mask: &[bool],
+    normalizer: Option<f32>,
+) -> Var {
+    logits.log_softmax_rows().nll_masked(labels, mask, normalizer)
+}
+
+/// Counts correct argmax predictions among masked rows; returns
+/// `(correct, total)` so distributed workers can sum both before dividing.
+///
+/// # Panics
+///
+/// Panics if lengths disagree.
+pub fn correct_count(logits: &Tensor, labels: &[u32], mask: &[bool]) -> (usize, usize) {
+    assert_eq!(logits.rows(), labels.len(), "labels length mismatch");
+    assert_eq!(logits.rows(), mask.len(), "mask length mismatch");
+    let pred = logits.argmax_rows();
+    let mut correct = 0;
+    let mut total = 0;
+    for i in 0..labels.len() {
+        if mask[i] {
+            total += 1;
+            if pred[i] == labels[i] {
+                correct += 1;
+            }
+        }
+    }
+    (correct, total)
+}
+
+/// Masked accuracy in `[0, 1]` (0 when the mask is empty).
+pub fn accuracy(logits: &Tensor, labels: &[u32], mask: &[bool]) -> f64 {
+    let (correct, total) = correct_count(logits, labels, mask);
+    if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_logits_give_low_loss_and_full_accuracy() {
+        let logits = Tensor::from_vec(&[3, 2], vec![10., -10., -10., 10., 10., -10.]);
+        let labels = vec![0u32, 1, 0];
+        let mask = vec![true; 3];
+        let loss = cross_entropy_masked(&Var::constant(logits.clone()), &labels, &mask, None);
+        assert!(loss.value().item() < 1e-3);
+        assert_eq!(accuracy(&logits, &labels, &mask), 1.0);
+    }
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Tensor::zeros(&[5, 4]);
+        let labels = vec![0u32; 5];
+        let mask = vec![true; 5];
+        let loss = cross_entropy_masked(&Var::constant(logits), &labels, &mask, None);
+        assert!((loss.value().item() - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mask_excludes_rows() {
+        let logits = Tensor::from_vec(&[2, 2], vec![10., -10., 10., -10.]);
+        let labels = vec![0u32, 1]; // second row is wrong but masked out
+        let mask = vec![true, false];
+        assert_eq!(accuracy(&logits, &labels, &mask), 1.0);
+        let (c, t) = correct_count(&logits, &labels, &mask);
+        assert_eq!((c, t), (1, 1));
+    }
+
+    #[test]
+    fn empty_mask_is_zero_accuracy() {
+        let logits = Tensor::zeros(&[2, 2]);
+        assert_eq!(accuracy(&logits, &[0, 0], &[false, false]), 0.0);
+    }
+
+    #[test]
+    fn gradient_only_on_masked_rows() {
+        let x = Var::parameter(Tensor::zeros(&[3, 2]));
+        let loss = cross_entropy_masked(&x, &[0, 1, 0], &[true, false, true], None);
+        loss.backward();
+        let g = x.grad().unwrap();
+        assert!(g.row(0).iter().any(|&v| v != 0.0));
+        assert!(g.row(1).iter().all(|&v| v == 0.0));
+        assert!(g.row(2).iter().any(|&v| v != 0.0));
+    }
+}

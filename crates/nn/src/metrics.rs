@@ -1,0 +1,216 @@
+//! Classification metrics beyond plain accuracy: confusion matrices and
+//! macro-averaged F1, with merge support for distributed evaluation.
+
+use sar_tensor::Tensor;
+
+/// A `C × C` confusion matrix: `counts[true][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<u64>,
+    num_classes: usize,
+}
+
+impl ConfusionMatrix {
+    /// An empty matrix over `num_classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_classes == 0`.
+    pub fn new(num_classes: usize) -> Self {
+        assert!(num_classes > 0, "need at least one class");
+        ConfusionMatrix {
+            counts: vec![0; num_classes * num_classes],
+            num_classes,
+        }
+    }
+
+    /// Builds a matrix from logits, labels and a mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree or labels are out of range.
+    pub fn from_logits(
+        logits: &Tensor,
+        labels: &[u32],
+        mask: &[bool],
+        num_classes: usize,
+    ) -> Self {
+        assert_eq!(logits.rows(), labels.len(), "labels length mismatch");
+        assert_eq!(logits.rows(), mask.len(), "mask length mismatch");
+        let mut m = ConfusionMatrix::new(num_classes);
+        let pred = logits.argmax_rows();
+        for i in 0..labels.len() {
+            if mask[i] {
+                m.record(labels[i], pred[i]);
+            }
+        }
+        m
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either class is out of range.
+    pub fn record(&mut self, truth: u32, predicted: u32) {
+        let c = self.num_classes;
+        assert!((truth as usize) < c && (predicted as usize) < c, "class out of range");
+        self.counts[truth as usize * c + predicted as usize] += 1;
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// `counts[true][predicted]`.
+    pub fn count(&self, truth: usize, predicted: usize) -> u64 {
+        self.counts[truth * self.num_classes + predicted]
+    }
+
+    /// Merges another worker's matrix into this one (distributed eval).
+    ///
+    /// # Panics
+    ///
+    /// Panics if class counts differ.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.num_classes, other.num_classes, "class count mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// The raw counts, row-major by true class (for all-reduce payloads).
+    pub fn as_flat(&self) -> Vec<f32> {
+        self.counts.iter().map(|&c| c as f32).collect()
+    }
+
+    /// Rebuilds a matrix from an all-reduced flat payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not `num_classes²`.
+    pub fn from_flat(flat: &[f32], num_classes: usize) -> Self {
+        assert_eq!(flat.len(), num_classes * num_classes, "flat size mismatch");
+        ConfusionMatrix {
+            counts: flat.iter().map(|&c| c.round() as u64).collect(),
+            num_classes,
+        }
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.num_classes).map(|i| self.count(i, i)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Per-class (precision, recall, F1); classes with no observations
+    /// yield zeros.
+    pub fn per_class_prf(&self) -> Vec<(f64, f64, f64)> {
+        (0..self.num_classes)
+            .map(|k| {
+                let tp = self.count(k, k) as f64;
+                let fp: f64 = (0..self.num_classes)
+                    .filter(|&t| t != k)
+                    .map(|t| self.count(t, k) as f64)
+                    .sum();
+                let fn_: f64 = (0..self.num_classes)
+                    .filter(|&p| p != k)
+                    .map(|p| self.count(k, p) as f64)
+                    .sum();
+                let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+                let recall = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
+                let f1 = if precision + recall > 0.0 {
+                    2.0 * precision * recall / (precision + recall)
+                } else {
+                    0.0
+                };
+                (precision, recall, f1)
+            })
+            .collect()
+    }
+
+    /// Macro-averaged F1 over classes that appear in the ground truth.
+    pub fn macro_f1(&self) -> f64 {
+        let prf = self.per_class_prf();
+        let present: Vec<usize> = (0..self.num_classes)
+            .filter(|&k| (0..self.num_classes).any(|p| self.count(k, p) > 0))
+            .collect();
+        if present.is_empty() {
+            return 0.0;
+        }
+        present.iter().map(|&k| prf[k].2).sum::<f64>() / present.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let logits = Tensor::from_vec(&[3, 2], vec![5., 0., 0., 5., 5., 0.]);
+        let m = ConfusionMatrix::from_logits(&logits, &[0, 1, 0], &[true; 3], 2);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.macro_f1(), 1.0);
+        assert_eq!(m.count(0, 0), 2);
+        assert_eq!(m.count(1, 1), 1);
+    }
+
+    #[test]
+    fn confusion_counts_and_prf() {
+        let mut m = ConfusionMatrix::new(2);
+        // 3 true 0 (2 right, 1 wrong), 1 true 1 (wrong).
+        m.record(0, 0);
+        m.record(0, 0);
+        m.record(0, 1);
+        m.record(1, 0);
+        assert_eq!(m.accuracy(), 0.5);
+        let prf = m.per_class_prf();
+        // Class 0: tp 2, fp 1, fn 1 → p=2/3, r=2/3.
+        assert!((prf[0].0 - 2.0 / 3.0).abs() < 1e-9);
+        assert!((prf[0].1 - 2.0 / 3.0).abs() < 1e-9);
+        // Class 1: tp 0 → all zeros.
+        assert_eq!(prf[1], (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn merge_equals_joint_computation() {
+        let mut a = ConfusionMatrix::new(3);
+        a.record(0, 0);
+        a.record(1, 2);
+        let mut b = ConfusionMatrix::new(3);
+        b.record(1, 2);
+        b.record(2, 2);
+        let mut joint = ConfusionMatrix::new(3);
+        for m in [&a, &b] {
+            joint.merge(m);
+        }
+        assert_eq!(joint.count(1, 2), 2);
+        assert_eq!(joint.count(2, 2), 1);
+        // Flat round-trip (the all-reduce path).
+        let rebuilt = ConfusionMatrix::from_flat(&joint.as_flat(), 3);
+        assert_eq!(rebuilt, joint);
+    }
+
+    #[test]
+    fn macro_f1_ignores_absent_classes() {
+        let mut m = ConfusionMatrix::new(5);
+        m.record(0, 0);
+        m.record(1, 1);
+        // Classes 2..4 never appear as ground truth.
+        assert_eq!(m.macro_f1(), 1.0);
+    }
+
+    #[test]
+    fn mask_excludes_rows() {
+        let logits = Tensor::from_vec(&[2, 2], vec![5., 0., 5., 0.]);
+        let m = ConfusionMatrix::from_logits(&logits, &[0, 1], &[true, false], 2);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.count(1, 0), 0);
+    }
+}

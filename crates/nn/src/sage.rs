@@ -1,0 +1,145 @@
+//! GraphSage layer (Eq. 2 of the paper).
+
+use std::sync::Arc;
+
+use rand::Rng;
+use sar_graph::CsrGraph;
+use sar_tensor::Var;
+
+use crate::graph_autograd::spmm_mean;
+use crate::linear::Linear;
+
+/// A GraphSage layer:
+/// `h'_i = σ(W_res h_i + W (1/|N(i)|) Σ_{j ∈ N(i)} h_j)`.
+///
+/// Matches Eq. 2: messages are the linearly projected neighbor features
+/// (`z_j = W h_j`), aggregated by mean, plus a residual projection of the
+/// node's own features. The aggregation is *linear in z*, which is why SAR
+/// needs no refetch in the backward pass (case 1 of Algorithm 2).
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use sar_graph::CsrGraph;
+/// use sar_nn::GraphSageLayer;
+/// use sar_tensor::{Tensor, Var};
+///
+/// let g = Arc::new(CsrGraph::from_edges(3, &[(0, 1), (1, 2)]).with_self_loops());
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let layer = GraphSageLayer::new(4, 8, true, &mut rng);
+/// let h = Var::constant(Tensor::ones(&[3, 4]));
+/// assert_eq!(layer.forward(&g, &h).shape(), vec![3, 8]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphSageLayer {
+    lin_neigh: Linear,
+    lin_res: Linear,
+    activation: bool,
+}
+
+impl GraphSageLayer {
+    /// Creates a layer mapping `in_dim → out_dim`. `activation` applies a
+    /// ReLU (disable on the output layer).
+    pub fn new(in_dim: usize, out_dim: usize, activation: bool, rng: &mut impl Rng) -> Self {
+        GraphSageLayer {
+            lin_neigh: Linear::new(in_dim, out_dim, false, rng),
+            lin_res: Linear::new(in_dim, out_dim, true, rng),
+            activation,
+        }
+    }
+
+    /// Applies the layer over graph `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` has the wrong width or row count.
+    pub fn forward(&self, g: &Arc<CsrGraph>, h: &Var) -> Var {
+        let z = self.lin_neigh.forward(h);
+        let agg = spmm_mean(g, &z);
+        let out = agg.add(&self.lin_res.forward(h));
+        if self.activation {
+            out.relu()
+        } else {
+            out
+        }
+    }
+
+    /// The neighbor-projection sub-layer (`W` in Eq. 2).
+    pub fn lin_neigh(&self) -> &Linear {
+        &self.lin_neigh
+    }
+
+    /// The residual sub-layer (`W_res` in Eq. 2).
+    pub fn lin_res(&self) -> &Linear {
+        &self.lin_res
+    }
+
+    /// Whether a ReLU is applied.
+    pub fn has_activation(&self) -> bool {
+        self.activation
+    }
+
+    /// Trainable parameters.
+    pub fn params(&self) -> Vec<Var> {
+        let mut p = self.lin_neigh.params();
+        p.extend(self.lin_res.params());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sar_tensor::{init, Tensor};
+
+    fn graph() -> Arc<CsrGraph> {
+        Arc::new(CsrGraph::from_edges(4, &[(0, 1), (1, 0), (2, 3), (3, 2)]).with_self_loops())
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let layer = GraphSageLayer::new(5, 7, true, &mut rng);
+        let h = Var::constant(init::randn(&[4, 5], 1.0, &mut rng));
+        assert_eq!(layer.forward(&graph(), &h).shape(), vec![4, 7]);
+        assert_eq!(layer.params().len(), 3);
+    }
+
+    #[test]
+    fn relu_clamps_when_enabled() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let with = GraphSageLayer::new(3, 4, true, &mut rng);
+        let h = Var::constant(init::randn(&[4, 3], 2.0, &mut rng));
+        let out = with.forward(&graph(), &h);
+        assert!(out.value().data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn gradients_reach_all_params() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let layer = GraphSageLayer::new(3, 2, true, &mut rng);
+        let h = Var::constant(Tensor::ones(&[4, 3]));
+        layer.forward(&graph(), &h).sum().backward();
+        for (i, p) in layer.params().iter().enumerate() {
+            assert!(p.grad().is_some(), "param {i} got no grad");
+        }
+    }
+
+    #[test]
+    fn isolated_node_uses_only_residual() {
+        // Graph where node 0 has no in-edges (and no self loop).
+        let g = Arc::new(CsrGraph::from_edges(2, &[(0, 1)]));
+        let mut rng = StdRng::seed_from_u64(3);
+        let layer = GraphSageLayer::new(2, 2, false, &mut rng);
+        let h = Var::constant(init::randn(&[2, 2], 1.0, &mut rng));
+        let out = layer.forward(&g, &h);
+        let res_only = layer.lin_res.forward(&h);
+        for c in 0..2 {
+            assert!((out.value().at(&[0, c]) - res_only.value().at(&[0, c])).abs() < 1e-6);
+        }
+    }
+}

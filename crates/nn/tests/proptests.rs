@@ -1,0 +1,96 @@
+//! Property-based tests of the layer zoo: the fused and standard GAT
+//! layers must agree on arbitrary graphs and configurations, and layer
+//! outputs must stay finite under extreme inputs.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sar_graph::generators::erdos_renyi;
+use sar_nn::{FusedGatLayer, GatConfig, GatLayer, GraphSageLayer};
+use sar_tensor::{init, Var};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fused_gat_matches_standard_on_random_configs(
+        seed in 0u64..500,
+        n in 4usize..20,
+        m in 2usize..80,
+        heads in 1usize..4,
+        head_dim in 1usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Arc::new(erdos_renyi(n, m, &mut rng).with_self_loops());
+        let in_dim = 6;
+        let mut cfg = GatConfig::new(in_dim, head_dim, heads);
+        cfg.activation = false;
+        let std_layer = GatLayer::new(cfg, &mut rng);
+        let fused = FusedGatLayer::from_standard(&std_layer);
+        let x = init::randn(&[n, in_dim], 1.0, &mut rng);
+
+        let h1 = Var::parameter(x.clone());
+        std_layer.forward(&g, &h1).sum().backward();
+        for p in std_layer.params() {
+            p.zero_grad();
+        }
+        let h2 = Var::parameter(x);
+        fused.forward(&g, &h2).sum().backward();
+
+        prop_assert!(
+            h1.grad().unwrap().allclose(&h2.grad().unwrap(), 1e-3),
+            "input grads diverge (seed {seed}, n {n}, m {m}, heads {heads})"
+        );
+    }
+
+    #[test]
+    fn gat_outputs_stay_finite_under_large_inputs(
+        seed in 0u64..300,
+        scale in 1.0f32..40.0,
+    ) {
+        // The edge softmax must stay stable however large the logits get.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Arc::new(erdos_renyi(12, 50, &mut rng).with_self_loops());
+        let layer = GatLayer::new(GatConfig::new(4, 3, 2), &mut rng);
+        let x = Var::constant(init::randn(&[12, 4], scale, &mut rng));
+        let out = layer.forward(&g, &x);
+        prop_assert!(out.value().data().iter().all(|v| v.is_finite()));
+        let fused = FusedGatLayer::from_standard(&layer);
+        let out_f = fused.forward(&g, &x);
+        prop_assert!(out_f.value().data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn sage_layer_is_permutation_equivariant(seed in 0u64..300, n in 3usize..12) {
+        // Relabeling nodes and permuting the input rows must permute the
+        // output rows identically.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = erdos_renyi(n, 4 * n, &mut rng).with_self_loops();
+        let layer = GraphSageLayer::new(5, 4, true, &mut rng);
+        let x = init::randn(&[n, 5], 1.0, &mut rng);
+
+        // Permutation: rotate labels by one.
+        let perm: Vec<u32> = (0..n as u32).map(|i| (i + 1) % n as u32).collect();
+        let edges_p: Vec<(u32, u32)> = g
+            .iter_edges()
+            .map(|(s, d)| (perm[s as usize], perm[d as usize]))
+            .collect();
+        let g_p = sar_graph::CsrGraph::from_edges(n, &edges_p);
+        let mut x_p = sar_tensor::Tensor::zeros(&[n, 5]);
+        for i in 0..n {
+            x_p.row_mut(perm[i] as usize).copy_from_slice(x.row(i));
+        }
+
+        let out = layer.forward(&Arc::new(g), &Var::constant(x));
+        let out_p = layer.forward(&Arc::new(g_p), &Var::constant(x_p));
+        for i in 0..n {
+            let a = out.value().row(i).to_vec();
+            let b = out_p.value().row(perm[i] as usize).to_vec();
+            for (va, vb) in a.iter().zip(&b) {
+                prop_assert!((va - vb).abs() < 1e-4, "row {i} not equivariant");
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Baseline partitioners: random, contiguous ranges, and BFS region
+//! growing. Used in the partitioner-quality ablation and as fallbacks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sar_graph::CsrGraph;
+
+use crate::Partitioning;
+
+/// Assigns each node to a part uniformly at random, then rebalances by
+/// moving nodes out of overfull parts so sizes differ by at most one.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > graph.num_nodes()`.
+pub fn random(graph: &CsrGraph, k: usize, seed: u64) -> Partitioning {
+    let n = graph.num_nodes();
+    assert!(k > 0 && k <= n, "k must be in 1..=num_nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // A random permutation chopped into equal chunks gives an exactly
+    // balanced uniform assignment.
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        perm.swap(i, j);
+    }
+    let mut assignment = vec![0u32; n];
+    for (pos, &node) in perm.iter().enumerate() {
+        assignment[node as usize] = (pos % k) as u32;
+    }
+    Partitioning::new(k, assignment)
+}
+
+/// Assigns contiguous index ranges of (near-)equal size.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > graph.num_nodes()`.
+pub fn range(graph: &CsrGraph, k: usize) -> Partitioning {
+    let n = graph.num_nodes();
+    assert!(k > 0 && k <= n, "k must be in 1..=num_nodes");
+    let assignment = (0..n).map(|i| ((i * k) / n) as u32).collect();
+    Partitioning::new(k, assignment)
+}
+
+/// Grows `k` balanced regions by breadth-first search from random seeds.
+///
+/// Each region stops accepting nodes once it reaches `⌈n/k⌉`; leftover
+/// nodes (unreachable or displaced) are appended to the smallest parts.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > graph.num_nodes()`.
+pub fn bfs(graph: &CsrGraph, k: usize, seed: u64) -> Partitioning {
+    let n = graph.num_nodes();
+    assert!(k > 0 && k <= n, "k must be in 1..=num_nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cap = n.div_ceil(k);
+    let mut assignment = vec![u32::MAX; n];
+    let mut sizes = vec![0usize; k];
+    let mut queue = std::collections::VecDeque::new();
+
+    for part in 0..k as u32 {
+        // Pick an unassigned seed.
+        let mut tries = 0;
+        let seed_node = loop {
+            let cand = rng.random_range(0..n);
+            if assignment[cand] == u32::MAX {
+                break cand;
+            }
+            tries += 1;
+            if tries > 4 * n {
+                match assignment.iter().position(|&a| a == u32::MAX) {
+                    Some(i) => break i,
+                    None => break 0,
+                }
+            }
+        };
+        if assignment[seed_node] != u32::MAX {
+            continue;
+        }
+        queue.clear();
+        queue.push_back(seed_node);
+        assignment[seed_node] = part;
+        sizes[part as usize] += 1;
+        while let Some(u) = queue.pop_front() {
+            if sizes[part as usize] >= cap {
+                break;
+            }
+            for &v in graph.neighbors(u) {
+                let v = v as usize;
+                if assignment[v] == u32::MAX && sizes[part as usize] < cap {
+                    assignment[v] = part;
+                    sizes[part as usize] += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+
+    // Any stragglers go to the currently smallest part.
+    for a in assignment.iter_mut() {
+        if *a == u32::MAX {
+            let smallest = (0..k).min_by_key(|&p| sizes[p]).unwrap();
+            *a = smallest as u32;
+            sizes[smallest] += 1;
+        }
+    }
+    Partitioning::new(k, assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sar_graph::generators::erdos_renyi;
+
+    fn g() -> CsrGraph {
+        erdos_renyi(100, 600, &mut StdRng::seed_from_u64(0)).symmetrize()
+    }
+
+    #[test]
+    fn random_is_exactly_balanced() {
+        let p = random(&g(), 4, 0);
+        let sizes = p.part_sizes();
+        assert!(sizes.iter().all(|&s| s == 25), "{sizes:?}");
+    }
+
+    #[test]
+    fn range_is_contiguous() {
+        let p = range(&g(), 4);
+        for i in 1..100 {
+            assert!(p.part_of(i) >= p.part_of(i - 1));
+        }
+        assert_eq!(p.part_sizes(), vec![25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn bfs_assigns_everything_within_cap() {
+        let p = bfs(&g(), 3, 1);
+        assert_eq!(p.part_sizes().iter().sum::<usize>(), 100);
+        assert!(p.balance() <= 1.35, "balance {}", p.balance());
+    }
+
+    #[test]
+    fn bfs_handles_disconnected_graphs() {
+        // No edges at all: BFS can never grow, stragglers must be placed.
+        let g = CsrGraph::from_edges(50, &[]);
+        let p = bfs(&g, 5, 2);
+        assert_eq!(p.part_sizes().iter().sum::<usize>(), 50);
+        assert!(p.balance() < 1.5);
+    }
+
+    #[test]
+    fn bfs_regions_are_locally_coherent() {
+        // On a path graph, BFS regions should produce a much smaller cut
+        // than random assignment.
+        let edges: Vec<(u32, u32)> = (0..99).map(|i| (i, i + 1)).collect();
+        let g = CsrGraph::from_edges(100, &edges).symmetrize();
+        let p = bfs(&g, 4, 3);
+        let r = random(&g, 4, 3);
+        assert!(p.edge_cut(&g) < r.edge_cut(&g));
+    }
+}

@@ -1,0 +1,233 @@
+#![warn(missing_docs)]
+
+//! Graph partitioning — the METIS substitute for the SAR reproduction.
+//!
+//! The paper partitions ogbn-products / ogbn-papers100M with METIS, relying
+//! on two properties: roughly equal partition sizes (load and memory
+//! balance) and a small edge cut (communication volume). This crate
+//! provides:
+//!
+//! * [`multilevel`] — a METIS-style multilevel partitioner: heavy-edge
+//!   matching coarsening, greedy-growing recursive bisection, and
+//!   boundary refinement on every uncoarsening level.
+//! * [`random`], [`range`], [`bfs`] — baselines used by the partitioner
+//!   ablation (`repro ablation-partition`).
+//! * [`Partitioning`] — the assignment plus quality statistics
+//!   ([`Partitioning::edge_cut`], [`Partitioning::balance`]).
+//!
+//! # Example
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use sar_graph::generators::weighted_sbm;
+//! use sar_partition::{multilevel, random};
+//!
+//! let (g, _) = weighted_sbm(200, 2000, 4, 0.9, 0.4, &mut StdRng::seed_from_u64(0));
+//! let g = g.symmetrize();
+//! let ml = multilevel(&g, 4, 7);
+//! let rnd = random(&g, 4, 7);
+//! assert!(ml.edge_cut(&g) <= rnd.edge_cut(&g));
+//! ```
+
+mod baselines;
+mod multilevel;
+
+pub use baselines::{bfs, random, range};
+pub use multilevel::multilevel;
+
+use sar_graph::CsrGraph;
+
+/// Which partitioner to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// METIS-like multilevel partitioning (the paper's choice).
+    Multilevel,
+    /// Uniform random assignment.
+    Random,
+    /// Contiguous index ranges.
+    Range,
+    /// BFS region growing.
+    Bfs,
+}
+
+/// Partitions `graph` into `k` parts with the chosen [`Method`].
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k` exceeds the node count.
+pub fn partition(graph: &CsrGraph, k: usize, method: Method, seed: u64) -> Partitioning {
+    match method {
+        Method::Multilevel => multilevel(graph, k, seed),
+        Method::Random => random(graph, k, seed),
+        Method::Range => range(graph, k),
+        Method::Bfs => bfs(graph, k, seed),
+    }
+}
+
+/// A k-way node assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioning {
+    num_parts: usize,
+    assignment: Vec<u32>,
+}
+
+impl Partitioning {
+    /// Wraps an explicit assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_parts == 0` or any entry is `>= num_parts`.
+    pub fn new(num_parts: usize, assignment: Vec<u32>) -> Self {
+        assert!(num_parts > 0, "need at least one part");
+        assert!(
+            assignment.iter().all(|&p| (p as usize) < num_parts),
+            "assignment entry out of range"
+        );
+        Self {
+            num_parts,
+            assignment,
+        }
+    }
+
+    /// Number of parts.
+    pub fn num_parts(&self) -> usize {
+        self.num_parts
+    }
+
+    /// Part of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn part_of(&self, i: usize) -> usize {
+        self.assignment[i] as usize
+    }
+
+    /// The raw assignment array.
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// Node count per part.
+    pub fn part_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_parts];
+        for &p in &self.assignment {
+            sizes[p as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Nodes of each part, in ascending node order.
+    pub fn part_members(&self) -> Vec<Vec<u32>> {
+        let mut members = vec![Vec::new(); self.num_parts];
+        for (i, &p) in self.assignment.iter().enumerate() {
+            members[p as usize].push(i as u32);
+        }
+        members
+    }
+
+    /// Number of edges whose endpoints lie in different parts.
+    pub fn edge_cut(&self, graph: &CsrGraph) -> usize {
+        graph
+            .iter_edges()
+            .filter(|&(s, d)| self.assignment[s as usize] != self.assignment[d as usize])
+            .count()
+    }
+
+    /// Fraction of edges crossing parts.
+    pub fn cut_fraction(&self, graph: &CsrGraph) -> f64 {
+        if graph.num_edges() == 0 {
+            return 0.0;
+        }
+        self.edge_cut(graph) as f64 / graph.num_edges() as f64
+    }
+
+    /// Load imbalance: `max part size / ideal part size` (1.0 = perfect).
+    pub fn balance(&self) -> f64 {
+        let sizes = self.part_sizes();
+        let max = *sizes.iter().max().unwrap() as f64;
+        let ideal = self.assignment.len() as f64 / self.num_parts as f64;
+        if ideal == 0.0 {
+            1.0
+        } else {
+            max / ideal
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sar_graph::generators::{erdos_renyi, weighted_sbm};
+
+    fn test_graph(seed: u64) -> CsrGraph {
+        erdos_renyi(300, 2400, &mut StdRng::seed_from_u64(seed)).symmetrize()
+    }
+
+    #[test]
+    fn all_methods_cover_all_nodes() {
+        let g = test_graph(0);
+        for method in [Method::Multilevel, Method::Random, Method::Range, Method::Bfs] {
+            let p = partition(&g, 4, method, 0);
+            assert_eq!(p.assignment().len(), g.num_nodes(), "{method:?}");
+            assert_eq!(p.part_sizes().iter().sum::<usize>(), g.num_nodes());
+        }
+    }
+
+    #[test]
+    fn all_methods_are_reasonably_balanced() {
+        let g = test_graph(1);
+        for method in [Method::Multilevel, Method::Random, Method::Range, Method::Bfs] {
+            let p = partition(&g, 8, method, 1);
+            assert!(p.balance() < 1.5, "{method:?} imbalance {}", p.balance());
+        }
+    }
+
+    #[test]
+    fn multilevel_beats_random_on_community_graphs() {
+        let (g, _) = weighted_sbm(600, 6000, 8, 0.95, 0.4, &mut StdRng::seed_from_u64(2));
+        let g = g.symmetrize();
+        let ml = multilevel(&g, 8, 3);
+        let rnd = random(&g, 8, 3);
+        assert!(
+            ml.edge_cut(&g) < rnd.edge_cut(&g) / 2,
+            "multilevel cut {} vs random cut {}",
+            ml.edge_cut(&g),
+            rnd.edge_cut(&g)
+        );
+    }
+
+    #[test]
+    fn partitioning_stats() {
+        let p = Partitioning::new(2, vec![0, 0, 1, 1]);
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(p.edge_cut(&g), 1);
+        assert_eq!(p.part_sizes(), vec![2, 2]);
+        assert!((p.balance() - 1.0).abs() < 1e-9);
+        assert_eq!(p.part_members()[1], vec![2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_invalid_assignment() {
+        let _ = Partitioning::new(2, vec![0, 5]);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = test_graph(4);
+        let a = multilevel(&g, 4, 42);
+        let b = multilevel(&g, 4, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_part_has_no_cut() {
+        let g = test_graph(5);
+        let p = partition(&g, 1, Method::Multilevel, 0);
+        assert_eq!(p.edge_cut(&g), 0);
+        assert_eq!(p.num_parts(), 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests of the partitioners' invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sar_graph::generators::{erdos_renyi, weighted_sbm};
+use sar_partition::{partition, Method};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_method_covers_every_node(seed in 0u64..300, n in 10usize..120, k in 1usize..8) {
+        let k = k.min(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = erdos_renyi(n, n * 4, &mut rng).symmetrize();
+        for method in [Method::Multilevel, Method::Random, Method::Range, Method::Bfs] {
+            let p = partition(&g, k, method, seed);
+            prop_assert_eq!(p.assignment().len(), n);
+            prop_assert_eq!(p.part_sizes().iter().sum::<usize>(), n);
+            prop_assert_eq!(p.num_parts(), k);
+            // Every edge is either cut or not; cut fraction in [0, 1].
+            let cf = p.cut_fraction(&g);
+            prop_assert!((0.0..=1.0).contains(&cf));
+        }
+    }
+
+    #[test]
+    fn multilevel_balance_bounded(seed in 0u64..200, n in 40usize..200, k in 2usize..9) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, _) = weighted_sbm(n, n * 6, 4, 0.8, 0.3, &mut rng);
+        let g = g.symmetrize();
+        let p = partition(&g, k, Method::Multilevel, seed);
+        prop_assert!(p.balance() < 1.8, "imbalance {} for n={n}, k={k}", p.balance());
+    }
+
+    #[test]
+    fn multilevel_is_deterministic(seed in 0u64..200, n in 20usize..80) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = erdos_renyi(n, n * 5, &mut rng).symmetrize();
+        let a = partition(&g, 4.min(n), Method::Multilevel, seed);
+        let b = partition(&g, 4.min(n), Method::Multilevel, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_equals_one_never_cuts(seed in 0u64..200, n in 2usize..60) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = erdos_renyi(n, n * 3, &mut rng);
+        for method in [Method::Multilevel, Method::Random, Method::Range, Method::Bfs] {
+            let p = partition(&g, 1, method, seed);
+            prop_assert_eq!(p.edge_cut(&g), 0);
+        }
+    }
+
+    #[test]
+    fn part_members_are_consistent_with_assignment(seed in 0u64..200, n in 5usize..60, k in 1usize..6) {
+        let k = k.min(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = erdos_renyi(n, n * 2, &mut rng);
+        let p = partition(&g, k, Method::Random, seed);
+        let members = p.part_members();
+        for (part, nodes) in members.iter().enumerate() {
+            for &node in nodes {
+                prop_assert_eq!(p.part_of(node as usize), part);
+            }
+            // Members are sorted ascending.
+            prop_assert!(nodes.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Random tensor initialization (Xavier/Glorot and Gaussian), seeded
+//! explicitly so every simulated worker can construct bit-identical
+//! parameters.
+
+use rand::Rng;
+
+use crate::Tensor;
+
+/// Standard-normal samples scaled by `std`, via Box–Muller.
+pub fn randn(shape: &[usize], std: f32, rng: &mut impl Rng) -> Tensor {
+    let numel: usize = shape.iter().product();
+    let mut data = Vec::with_capacity(numel);
+    while data.len() < numel {
+        let u1: f32 = rng.random::<f32>().max(1e-12);
+        let u2: f32 = rng.random();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < numel {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    Tensor::from_vec(shape, data)
+}
+
+/// Uniform samples in `[lo, hi)`.
+pub fn uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+    let numel: usize = shape.iter().product();
+    let data = (0..numel)
+        .map(|_| lo + (hi - lo) * rng.random::<f32>())
+        .collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// Xavier/Glorot uniform initialization for a `[fan_in, fan_out]` weight.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(&[fan_in, fan_out], -bound, bound, rng)
+}
+
+/// Kaiming/He normal initialization for a `[fan_in, fan_out]` weight.
+pub fn kaiming_normal(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+    let std = (2.0 / fan_in as f32).sqrt();
+    randn(&[fan_in, fan_out], std, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = randn(&[10_000], 2.0, &mut rng);
+        let mean = t.mean();
+        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+            / t.numel() as f32;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = uniform(&[1000], -0.5, 0.5, &mut rng);
+        assert!(t.data().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn xavier_bound_matches_formula() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = xavier_uniform(30, 20, &mut rng);
+        let bound = (6.0f32 / 50.0).sqrt();
+        assert!(t.data().iter().all(|&x| x.abs() <= bound));
+        assert_eq!(t.shape(), &[30, 20]);
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = randn(&[32], 1.0, &mut StdRng::seed_from_u64(7));
+        let b = randn(&[32], 1.0, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

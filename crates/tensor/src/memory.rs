@@ -1,0 +1,190 @@
+//! Thread-local accounting of live tensor bytes.
+//!
+//! Every [`Tensor`](crate::Tensor) registers its payload bytes with the
+//! tracker of the thread it was created on and deregisters them when
+//! dropped. Because the SAR reproduction runs each simulated cluster worker
+//! on its own thread, the per-thread peak directly yields the per-worker
+//! peak memory the paper reports in its figures.
+//!
+//! Tensors must not be moved across threads while tracked (the bookkeeping
+//! would land on the wrong thread). Cross-worker messages therefore carry
+//! raw `Vec<f32>` payloads obtained via
+//! [`Tensor::into_data`](crate::Tensor::into_data), which detaches the
+//! bytes from the tracker first.
+
+use std::cell::Cell;
+
+/// A snapshot of the current thread's tensor-memory counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryStats {
+    /// Bytes of tensor payloads currently alive on this thread.
+    pub current_bytes: usize,
+    /// High-water mark of `current_bytes` since the last
+    /// [`MemoryTracker::reset_peak`].
+    pub peak_bytes: usize,
+    /// Number of tensor allocations registered since thread start.
+    pub allocations: u64,
+}
+
+impl MemoryStats {
+    /// Peak memory in mebibytes, convenient for reports.
+    pub fn peak_mib(&self) -> f64 {
+        self.peak_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Current memory in mebibytes.
+    pub fn current_mib(&self) -> f64 {
+        self.current_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+thread_local! {
+    static CURRENT: Cell<usize> = const { Cell::new(0) };
+    static PEAK: Cell<usize> = const { Cell::new(0) };
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Handle to the calling thread's tensor-memory accountant.
+///
+/// The tracker is always active; `MemoryTracker` is a zero-sized handle that
+/// names the thread-local counters.
+///
+/// # Example
+///
+/// ```
+/// use sar_tensor::{MemoryTracker, Tensor};
+///
+/// MemoryTracker::reset_peak();
+/// let before = MemoryTracker::stats().peak_bytes;
+/// let t = Tensor::zeros(&[1024, 64]);
+/// assert!(MemoryTracker::stats().peak_bytes >= before + 1024 * 64 * 4);
+/// drop(t);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemoryTracker;
+
+impl MemoryTracker {
+    /// Returns the calling thread's counters.
+    pub fn stats() -> MemoryStats {
+        MemoryStats {
+            current_bytes: CURRENT.with(Cell::get),
+            peak_bytes: PEAK.with(Cell::get),
+            allocations: ALLOCS.with(Cell::get),
+        }
+    }
+
+    /// Resets the peak to the current live byte count.
+    ///
+    /// Call at the start of a measured region; read
+    /// [`MemoryTracker::stats`] at the end.
+    pub fn reset_peak() {
+        let cur = CURRENT.with(Cell::get);
+        PEAK.with(|p| p.set(cur));
+    }
+
+    /// Registers `bytes` of a freshly allocated tensor payload.
+    pub(crate) fn register(bytes: usize) {
+        CURRENT.with(|c| {
+            let cur = c.get() + bytes;
+            c.set(cur);
+            PEAK.with(|p| {
+                if cur > p.get() {
+                    p.set(cur);
+                }
+            });
+        });
+        ALLOCS.with(|a| a.set(a.get() + 1));
+    }
+
+    /// Deregisters `bytes` of a dropped tensor payload.
+    ///
+    /// Saturates at zero so that a tensor erroneously moved across threads
+    /// corrupts statistics rather than panicking in a destructor.
+    pub(crate) fn deregister(bytes: usize) {
+        CURRENT.with(|c| c.set(c.get().saturating_sub(bytes)));
+    }
+}
+
+/// Runs `f` and returns its result together with the peak tensor bytes that
+/// were live at any point during the call (including tensors that were
+/// already alive when the call started).
+///
+/// # Example
+///
+/// ```
+/// use sar_tensor::{memory::measure_peak, Tensor};
+///
+/// let (_, peak) = measure_peak(|| Tensor::ones(&[256, 256]).sum());
+/// assert!(peak >= 256 * 256 * 4);
+/// ```
+pub fn measure_peak<T>(f: impl FnOnce() -> T) -> (T, usize) {
+    MemoryTracker::reset_peak();
+    let out = f();
+    (out, MemoryTracker::stats().peak_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    #[test]
+    fn tracks_alloc_and_drop() {
+        let base = MemoryTracker::stats().current_bytes;
+        let t = Tensor::zeros(&[10, 10]);
+        assert_eq!(MemoryTracker::stats().current_bytes, base + 400);
+        drop(t);
+        assert_eq!(MemoryTracker::stats().current_bytes, base);
+    }
+
+    #[test]
+    fn peak_is_high_water_mark() {
+        MemoryTracker::reset_peak();
+        let base = MemoryTracker::stats().current_bytes;
+        {
+            let _a = Tensor::zeros(&[100]);
+            let _b = Tensor::zeros(&[100]);
+        }
+        let stats = MemoryTracker::stats();
+        assert_eq!(stats.current_bytes, base);
+        assert!(stats.peak_bytes >= base + 800);
+    }
+
+    #[test]
+    fn clone_registers_again() {
+        let base = MemoryTracker::stats().current_bytes;
+        let t = Tensor::zeros(&[25]);
+        let u = t.clone();
+        assert_eq!(MemoryTracker::stats().current_bytes, base + 200);
+        drop(t);
+        drop(u);
+        assert_eq!(MemoryTracker::stats().current_bytes, base);
+    }
+
+    #[test]
+    fn into_data_detaches() {
+        let base = MemoryTracker::stats().current_bytes;
+        let t = Tensor::zeros(&[25]);
+        let v = t.into_data();
+        assert_eq!(MemoryTracker::stats().current_bytes, base);
+        drop(v);
+        assert_eq!(MemoryTracker::stats().current_bytes, base);
+    }
+
+    #[test]
+    fn measure_peak_reports_inner_alloc() {
+        let (_, peak) = measure_peak(|| {
+            let t = Tensor::zeros(&[1000]);
+            t.sum()
+        });
+        assert!(peak >= 4000);
+    }
+
+    #[test]
+    fn peak_never_below_current() {
+        MemoryTracker::reset_peak();
+        let _t = Tensor::zeros(&[123]);
+        let s = MemoryTracker::stats();
+        assert!(s.peak_bytes >= s.current_bytes);
+    }
+}

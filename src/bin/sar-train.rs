@@ -1,0 +1,243 @@
+//! `sar-train` — command-line distributed full-batch GNN training.
+//!
+//! ```text
+//! sar-train [flags]
+//!
+//!   --dataset products|papers     synthetic stand-in to generate  (products)
+//!   --dataset-file PATH           or load a binary dataset (sar_graph::io)
+//!   --nodes N                     stand-in size                   (4000)
+//!   --workers N                   simulated cluster size          (4)
+//!   --arch sage|gat|gcn           model architecture              (sage)
+//!   --mode sar|sar-fak|dp         execution mode                  (sar-fak)
+//!   --layers N                    GNN depth                       (3)
+//!   --hidden N                    hidden size (per head for GAT)  (128)
+//!   --heads N                     GAT attention heads             (4)
+//!   --epochs N                    training epochs                 (50)
+//!   --lr X                        base learning rate              (0.01)
+//!   --dropout X                   dropout probability             (0.3)
+//!   --jk                          jumping-knowledge skip connections
+//!   --no-label-aug                disable masked label prediction
+//!   --no-cs                       disable Correct & Smooth
+//!   --prefetch                    3/N prefetching fetches
+//!   --partitioner ml|random|range|bfs                             (ml)
+//!   --save-model PATH             checkpoint final parameters
+//!   --seed N                                                      (0)
+//! ```
+
+use sar::comm::CostModel;
+use sar::core::{checkpoint, train, Arch, Mode, ModelConfig, TrainConfig};
+use sar::graph::{datasets, io, Dataset};
+use sar::nn::{ConfusionMatrix, CsConfig, LrSchedule};
+use sar::partition::{partition, Method};
+
+struct Args {
+    dataset: String,
+    dataset_file: Option<String>,
+    nodes: usize,
+    workers: usize,
+    arch: String,
+    mode: String,
+    layers: usize,
+    hidden: usize,
+    heads: usize,
+    epochs: usize,
+    lr: f32,
+    dropout: f32,
+    jk: bool,
+    label_aug: bool,
+    cs: bool,
+    prefetch: bool,
+    partitioner: String,
+    save_model: Option<String>,
+    seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            dataset: "products".into(),
+            dataset_file: None,
+            nodes: 4000,
+            workers: 4,
+            arch: "sage".into(),
+            mode: "sar-fak".into(),
+            layers: 3,
+            hidden: 128,
+            heads: 4,
+            epochs: 50,
+            lr: 0.01,
+            dropout: 0.3,
+            jk: false,
+            label_aug: true,
+            cs: true,
+            prefetch: false,
+            partitioner: "ml".into(),
+            save_model: None,
+            seed: 0,
+        }
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("sar-train: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let mut value = || -> String {
+            i += 1;
+            argv.get(i)
+                .cloned()
+                .unwrap_or_else(|| fail(&format!("missing value for {flag}")))
+        };
+        match flag {
+            "--dataset" => args.dataset = value(),
+            "--dataset-file" => args.dataset_file = Some(value()),
+            "--nodes" => args.nodes = value().parse().unwrap_or_else(|_| fail("--nodes")),
+            "--workers" => args.workers = value().parse().unwrap_or_else(|_| fail("--workers")),
+            "--arch" => args.arch = value(),
+            "--mode" => args.mode = value(),
+            "--layers" => args.layers = value().parse().unwrap_or_else(|_| fail("--layers")),
+            "--hidden" => args.hidden = value().parse().unwrap_or_else(|_| fail("--hidden")),
+            "--heads" => args.heads = value().parse().unwrap_or_else(|_| fail("--heads")),
+            "--epochs" => args.epochs = value().parse().unwrap_or_else(|_| fail("--epochs")),
+            "--lr" => args.lr = value().parse().unwrap_or_else(|_| fail("--lr")),
+            "--dropout" => args.dropout = value().parse().unwrap_or_else(|_| fail("--dropout")),
+            "--jk" => args.jk = true,
+            "--no-label-aug" => args.label_aug = false,
+            "--no-cs" => args.cs = false,
+            "--prefetch" => args.prefetch = true,
+            "--partitioner" => args.partitioner = value(),
+            "--save-model" => args.save_model = Some(value()),
+            "--seed" => args.seed = value().parse().unwrap_or_else(|_| fail("--seed")),
+            "--help" | "-h" => {
+                eprintln!("see the doc comment at the top of src/bin/sar-train.rs");
+                std::process::exit(0);
+            }
+            other => fail(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn load_dataset(args: &Args) -> Dataset {
+    if let Some(path) = &args.dataset_file {
+        return io::load_dataset(path)
+            .unwrap_or_else(|e| fail(&format!("cannot load {path}: {e}")));
+    }
+    match args.dataset.as_str() {
+        "products" => datasets::products_like(args.nodes, args.seed),
+        "papers" => datasets::papers_like(args.nodes, args.seed),
+        other => fail(&format!("unknown dataset {other}")),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let dataset = load_dataset(&args);
+    let mode = match args.mode.as_str() {
+        "sar" => Mode::Sar,
+        "sar-fak" => Mode::SarFused,
+        "dp" => Mode::DomainParallel,
+        other => fail(&format!("unknown mode {other}")),
+    };
+    let arch = match args.arch.as_str() {
+        "sage" => Arch::GraphSage { hidden: args.hidden },
+        "gcn" => Arch::Gcn { hidden: args.hidden },
+        "gat" => Arch::Gat {
+            head_dim: args.hidden,
+            heads: args.heads,
+        },
+        other => fail(&format!("unknown arch {other}")),
+    };
+    let method = match args.partitioner.as_str() {
+        "ml" => Method::Multilevel,
+        "random" => Method::Random,
+        "range" => Method::Range,
+        "bfs" => Method::Bfs,
+        other => fail(&format!("unknown partitioner {other}")),
+    };
+
+    println!(
+        "dataset {} | {} nodes, {} edges, {} classes",
+        dataset.name,
+        dataset.num_nodes(),
+        dataset.graph.num_edges(),
+        dataset.num_classes
+    );
+    let partitioning = partition(&dataset.graph, args.workers, method, args.seed);
+    println!(
+        "partitioned into {} parts | cut {:.1}% | balance {:.3}",
+        args.workers,
+        100.0 * partitioning.cut_fraction(&dataset.graph),
+        partitioning.balance()
+    );
+
+    let cfg = TrainConfig {
+        model: ModelConfig {
+            arch,
+            mode,
+            layers: args.layers,
+            in_dim: 0,
+            num_classes: dataset.num_classes,
+            dropout: args.dropout,
+            batch_norm: true,
+            jumping_knowledge: args.jk,
+            seed: args.seed,
+        },
+        epochs: args.epochs,
+        lr: args.lr,
+        schedule: LrSchedule::StepDecay {
+            every: (args.epochs / 3).max(1),
+            gamma: 0.5,
+        },
+        label_aug: args.label_aug,
+        aug_frac: 0.5,
+        cs: args.cs.then(CsConfig::default),
+        prefetch: args.prefetch,
+        seed: args.seed,
+    };
+    println!(
+        "training {:?} / {:?} for {} epochs on {} workers ...",
+        arch, mode, args.epochs, args.workers
+    );
+    let report = train(&dataset, &partitioning, CostModel::default(), &cfg);
+
+    for (e, loss) in report.losses.iter().enumerate() {
+        if e % (args.epochs / 10).max(1) == 0 || e + 1 == report.losses.len() {
+            println!("epoch {e:>4}  loss {loss:.4}");
+        }
+    }
+    println!("val  accuracy: {:.2}%", 100.0 * report.val_acc);
+    println!("test accuracy: {:.2}%", 100.0 * report.test_acc);
+    if let Some(cs) = report.test_acc_cs {
+        println!("test accuracy after C&S: {:.2}%", 100.0 * cs);
+    }
+    let cm = ConfusionMatrix::from_logits(
+        &report.logits,
+        &dataset.labels,
+        &dataset.test_mask,
+        dataset.num_classes,
+    );
+    println!("test macro-F1: {:.3}", cm.macro_f1());
+    println!(
+        "avg epoch time (modeled): {:.3}s | max peak memory/worker: {:.2} MiB | total traffic: {:.1} MiB",
+        report.avg_epoch_time(),
+        report.max_peak_bytes() as f64 / (1024.0 * 1024.0),
+        report.total_sent_bytes as f64 / (1024.0 * 1024.0),
+    );
+
+    if let Some(path) = &args.save_model {
+        let file = std::fs::File::create(path)
+            .unwrap_or_else(|e| fail(&format!("cannot create {path}: {e}")));
+        checkpoint::save_raw_params(&report.final_params, file)
+            .unwrap_or_else(|e| fail(&format!("cannot save model: {e}")));
+        println!("saved trained parameters to {path}");
+    }
+}
