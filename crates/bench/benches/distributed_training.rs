@@ -56,13 +56,9 @@ fn bench_epoch(c: &mut Criterion) {
                 continue;
             }
             let c_ = cfg(arch, mode, d.num_classes);
-            group.bench_with_input(
-                BenchmarkId::new(arch_name, mode_name),
-                &c_,
-                |bench, c_| {
-                    bench.iter(|| black_box(train(&d, &part, CostModel::default(), c_)))
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(arch_name, mode_name), &c_, |bench, c_| {
+                bench.iter(|| black_box(train(&d, &part, CostModel::default(), c_)))
+            });
         }
     }
     group.finish();

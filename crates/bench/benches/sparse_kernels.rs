@@ -56,5 +56,10 @@ fn bench_spmm_multihead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_spmm, bench_edge_softmax, bench_spmm_multihead);
+criterion_group!(
+    benches,
+    bench_spmm,
+    bench_edge_softmax,
+    bench_spmm_multihead
+);
 criterion_main!(benches);

@@ -12,7 +12,12 @@
 //!   ablation-softmax    stable vs naive online softmax (§3.4)
 //!   ablation-partition  partitioner quality vs comm volume
 //!   exactness           SAR results independent of worker count
-//!   all                 everything above
+//!   smoke               CI gate: scaled-down 4-worker Sage + GAT runs;
+//!                       writes per-worker RunReport JSON (--out DIR) and
+//!                       exits non-zero on NaN loss or a ledger-invariant
+//!                       violation (Sage backward must add zero fetch
+//!                       bytes; GAT must re-fetch what the forward fetched)
+//!   all                 everything above except smoke
 //!
 //! flags:
 //!   --products-nodes N   products-like size     (default 4000)
@@ -23,6 +28,7 @@
 //!   --mem-budget-products-mib X  OOM budget, Figs. 3/4 (default 512)
 //!   --mem-budget-papers-mib X    OOM budget, Figs. 5/6 (default 48)
 //!   --worlds A,B,C       worker counts override
+//!   --out DIR            RunReport JSON output directory (smoke only)
 //!   --seed N             RNG seed               (default 0)
 //! ```
 
@@ -30,11 +36,16 @@ use sar_bench::experiments::{
     ablation_partition, ablation_prefetch, ablation_softmax, exactness, fig2, scaling, table1,
     ExpConfig, Workload,
 };
-use sar_core::Arch;
+use sar_bench::report::{mib, RunReport, Table};
+use sar_core::{train, Arch, Mode, ModelConfig, TrainConfig};
+use sar_graph::datasets;
+use sar_nn::LrSchedule;
+use sar_partition::multilevel;
 
-fn parse_flags(args: &[String]) -> (ExpConfig, Option<Vec<usize>>) {
+fn parse_flags(args: &[String]) -> (ExpConfig, Option<Vec<usize>>, Option<String>) {
     let mut cfg = ExpConfig::default();
     let mut worlds = None;
+    let mut out = None;
     let mut i = 0;
     while i < args.len() {
         let key = args[i].as_str();
@@ -65,11 +76,9 @@ fn parse_flags(args: &[String]) -> (ExpConfig, Option<Vec<usize>>) {
         } else if let Some(v) = take("--mem-budget-papers-mib") {
             cfg.mem_budget_papers_mib = v.parse().expect("--mem-budget-papers-mib");
         } else if let Some(v) = take("--worlds") {
-            worlds = Some(
-                v.split(',')
-                    .map(|x| x.parse().expect("--worlds"))
-                    .collect(),
-            );
+            worlds = Some(v.split(',').map(|x| x.parse().expect("--worlds")).collect());
+        } else if let Some(v) = take("--out") {
+            out = Some(v);
         } else if let Some(v) = take("--seed") {
             cfg.seed = v.parse().expect("--seed");
         } else {
@@ -78,7 +87,152 @@ fn parse_flags(args: &[String]) -> (ExpConfig, Option<Vec<usize>>) {
         }
         i += 1;
     }
-    (cfg, worlds)
+    (cfg, worlds, out)
+}
+
+// ----------------------------------------------------------------------
+// `smoke` — the CI gate
+// ----------------------------------------------------------------------
+
+/// Scaled-down 4-worker GraphSage and GAT training runs whose
+/// observability ledgers are checked against the paper's communication
+/// claims. Returns the violations found (empty = gate passes).
+fn smoke(cfg: &ExpConfig, out_dir: Option<&str>) -> Vec<String> {
+    const WORLD: usize = 4;
+    const EPOCHS: usize = 3;
+    let nodes = cfg.products_nodes.min(1500);
+    let dataset = datasets::products_like(nodes, cfg.seed);
+    let part = multilevel(&dataset.graph, WORLD, cfg.seed);
+    let mut violations = Vec::new();
+
+    if let Some(dir) = out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("[repro] cannot create {dir}: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    let runs: [(&str, &str, &str, Arch, Mode); 2] = [
+        (
+            "smoke-sage",
+            "sage",
+            "sar",
+            Arch::GraphSage { hidden: 64 },
+            Mode::Sar,
+        ),
+        (
+            "smoke-gat",
+            "gat",
+            "sar-fak",
+            Arch::Gat {
+                head_dim: 16,
+                heads: 4,
+            },
+            Mode::SarFused,
+        ),
+    ];
+    for (exp, arch_name, mode_name, arch, mode) in runs {
+        let tcfg = TrainConfig {
+            model: ModelConfig {
+                arch,
+                mode,
+                layers: 3,
+                in_dim: 0,
+                num_classes: dataset.num_classes,
+                dropout: 0.3,
+                batch_norm: true,
+                jumping_knowledge: false,
+                seed: cfg.seed,
+            },
+            epochs: EPOCHS,
+            lr: 0.01,
+            schedule: LrSchedule::Constant,
+            label_aug: true,
+            aug_frac: 0.5,
+            // No Correct & Smooth: its propagation rounds would fold extra
+            // fetch traffic into the forward-fetch ledger and blur the
+            // forward/backward volume comparison below.
+            cs: None,
+            prefetch: false,
+            seed: cfg.seed,
+        };
+        eprintln!("[repro] smoke: training {arch_name}/{mode_name} on {WORLD} workers ...");
+        let run = train(&dataset, &part, cfg.cost_model(), &tcfg);
+        let report = RunReport::from_train(exp, arch_name, mode_name, &run);
+
+        let mut t = Table::new(
+            format!("smoke — {arch_name} per-worker ledger (MiB received)"),
+            &[
+                "rank",
+                "fwd fetch",
+                "bwd refetch",
+                "grad routing",
+                "collective",
+                "peak MiB",
+            ],
+        );
+        for w in &report.workers {
+            t.row(vec![
+                w.rank.to_string(),
+                mib(w.phase_sum("forward_fetch", |p| p.recv_bytes) as usize),
+                mib(w.phase_sum("backward_refetch", |p| p.recv_bytes) as usize),
+                mib(w.phase_sum("grad_routing", |p| p.recv_bytes) as usize),
+                mib(w.phase_sum("collective", |p| p.recv_bytes) as usize),
+                mib(w.steady_peak_bytes),
+            ]);
+        }
+        t.print();
+
+        if report.has_non_finite_loss() {
+            violations.push(format!(
+                "{exp}: non-finite training loss {:?}",
+                report.losses
+            ));
+        }
+        for w in &report.workers {
+            let fwd = w.phase_sum("forward_fetch", |p| p.recv_bytes);
+            let refetch_recv = w.phase_sum("backward_refetch", |p| p.recv_bytes);
+            let refetch_sent = w.phase_sum("backward_refetch", |p| p.sent_bytes);
+            if fwd == 0 {
+                violations.push(format!("{exp}: rank {} fetched zero forward bytes", w.rank));
+            }
+            match arch_name {
+                // Case 1: the backward pass must add no fetch traffic.
+                "sage" => {
+                    if refetch_recv + refetch_sent != 0 {
+                        violations.push(format!(
+                            "{exp}: rank {} sage backward refetched {refetch_recv}B recv / \
+                             {refetch_sent}B sent (expected 0)",
+                            w.rank
+                        ));
+                    }
+                }
+                // Case 2: each of the EPOCHS backward passes re-fetches
+                // exactly what one of the EPOCHS+1 forward passes (the
+                // extra one is evaluation) fetched.
+                _ => {
+                    let expected = fwd as f64 * EPOCHS as f64 / (EPOCHS + 1) as f64;
+                    let rel = (refetch_recv as f64 - expected).abs() / expected.max(1.0);
+                    if refetch_recv == 0 || rel > 0.02 {
+                        violations.push(format!(
+                            "{exp}: rank {} gat refetched {refetch_recv}B, expected ~{expected:.0}B \
+                             (rel err {rel:.4})",
+                            w.rank
+                        ));
+                    }
+                }
+            }
+        }
+
+        if let Some(dir) = out_dir {
+            let path = format!("{dir}/{exp}.json");
+            match report.write_json(&path) {
+                Ok(()) => eprintln!("[repro] wrote {path}"),
+                Err(e) => violations.push(format!("{exp}: cannot write {path}: {e}")),
+            }
+        }
+    }
+    violations
 }
 
 fn run(name: &str, cfg: &ExpConfig, worlds: Option<&[usize]>) {
@@ -137,11 +291,23 @@ fn main() {
         eprintln!("usage: repro <experiment|all> [flags] — see crate docs");
         std::process::exit(2);
     }
-    let (cfg, worlds) = parse_flags(&args[1..]);
+    let (cfg, worlds, out) = parse_flags(&args[1..]);
     eprintln!(
         "[repro] products-like n={}, papers-like n={}, epochs={}, timing-epochs={}, bw-scale={}",
         cfg.products_nodes, cfg.papers_nodes, cfg.epochs, cfg.timing_epochs, cfg.bandwidth_scale
     );
+    if args[0] == "smoke" {
+        let violations = smoke(&cfg, out.as_deref());
+        if violations.is_empty() {
+            eprintln!("[repro] smoke: all ledger invariants hold");
+        } else {
+            for v in &violations {
+                eprintln!("[repro] smoke VIOLATION: {v}");
+            }
+            std::process::exit(1);
+        }
+        return;
+    }
     if args[0] == "all" {
         for name in [
             "table1",

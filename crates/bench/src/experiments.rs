@@ -72,7 +72,10 @@ fn paper_train_cfg(model: ModelConfig, epochs: usize, seed: u64) -> TrainConfig 
         model,
         epochs,
         lr: 0.01,
-        schedule: LrSchedule::StepDecay { every: 30, gamma: 0.5 },
+        schedule: LrSchedule::StepDecay {
+            every: 30,
+            gamma: 0.5,
+        },
         label_aug: true,
         aug_frac: 0.5,
         cs: Some(CsConfig::default()),
@@ -233,12 +236,7 @@ pub enum Workload {
 /// domain-parallel training against SAR (and SAR+FAK for GAT).
 ///
 /// Returns `(epoch-time table, peak-memory table)`.
-pub fn scaling(
-    arch: Arch,
-    workload: Workload,
-    worlds: &[usize],
-    cfg: &ExpConfig,
-) -> Vec<Table> {
+pub fn scaling(arch: Arch, workload: Workload, worlds: &[usize], cfg: &ExpConfig) -> Vec<Table> {
     let (d, figure) = match workload {
         Workload::Products => (
             datasets::products_like(cfg.products_nodes, cfg.seed),
@@ -261,7 +259,10 @@ pub fn scaling(
             (Mode::Sar, "SAR"),
             (Mode::SarFused, "SAR+FAK"),
         ],
-        _ => &[(Mode::DomainParallel, "domain-parallel"), (Mode::Sar, "SAR")],
+        _ => &[
+            (Mode::DomainParallel, "domain-parallel"),
+            (Mode::Sar, "SAR"),
+        ],
     };
     let arch_name = match arch {
         Arch::GraphSage { .. } => "GraphSage",
@@ -386,8 +387,12 @@ pub fn ablation_prefetch(cfg: &ExpConfig) -> Table {
         t.row(vec![
             prefetch.to_string(),
             mib(peak),
-            if prefetch { "3/N (local + current + next)" } else { "2/N (local + current)" }
-                .to_string(),
+            if prefetch {
+                "3/N (local + current + next)"
+            } else {
+                "2/N (local + current)"
+            }
+            .to_string(),
         ]);
     }
     t
@@ -443,7 +448,13 @@ pub fn ablation_partition(cfg: &ExpConfig) -> Table {
     let world = 8;
     let mut t = Table::new(
         "Ablation — partitioner quality (GraphSage, SAR, 8 workers)",
-        &["method", "cut fraction", "balance", "MB sent/epoch", "epoch time (s)"],
+        &[
+            "method",
+            "cut fraction",
+            "balance",
+            "MB sent/epoch",
+            "epoch time (s)",
+        ],
     );
     for (method, name) in [
         (Method::Multilevel, "multilevel (METIS-like)"),
@@ -498,7 +509,12 @@ pub fn exactness(cfg: &ExpConfig) -> Table {
     let mut tc = paper_train_cfg(model, 6, cfg.seed);
     tc.cs = None;
     tc.label_aug = false;
-    let reference = train(&d, &multilevel(&d.graph, 1, cfg.seed), cfg.cost_model(), &tc);
+    let reference = train(
+        &d,
+        &multilevel(&d.graph, 1, cfg.seed),
+        cfg.cost_model(),
+        &tc,
+    );
     let mut t = Table::new(
         "Exactness — SAR training is independent of the worker count",
         &["workers", "final loss", "max |Δ logit| vs N=1"],
@@ -509,7 +525,12 @@ pub fn exactness(cfg: &ExpConfig) -> Table {
         "0".into(),
     ]);
     for world in [2usize, 4, 8] {
-        let run = train(&d, &multilevel(&d.graph, world, cfg.seed), cfg.cost_model(), &tc);
+        let run = train(
+            &d,
+            &multilevel(&d.graph, world, cfg.seed),
+            cfg.cost_model(),
+            &tc,
+        );
         let delta = run
             .logits
             .data()
@@ -562,6 +583,9 @@ mod tests {
     fn softmax_ablation_shows_naive_overflow() {
         let t = ablation_softmax(&tiny());
         let rendered = t.render();
-        assert!(rendered.contains("non-finite"), "naive kernel should overflow:\n{rendered}");
+        assert!(
+            rendered.contains("non-finite"),
+            "naive kernel should overflow:\n{rendered}"
+        );
     }
 }

@@ -1,4 +1,17 @@
-//! Plain-text table rendering for experiment reports.
+//! Plain-text table rendering and machine-readable run reports.
+//!
+//! [`Table`] renders the paper's tables/figures for human eyes;
+//! [`RunReport`] serializes a full training run — per-worker, per-layer,
+//! per-phase timings, communication volumes and tensor-memory peaks — to
+//! JSON so CI can archive and gate on it. The JSON is hand-rolled (the
+//! build environment is offline, so no serde); the schema is documented
+//! on [`RunReport::to_json`].
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use sar_comm::Phase;
 
 /// A printable result table.
 #[derive(Debug, Clone)]
@@ -81,6 +94,293 @@ pub fn pct(p: f64) -> String {
     format!("{:.1}%", p * 100.0)
 }
 
+// ----------------------------------------------------------------------
+// Machine-readable run reports
+// ----------------------------------------------------------------------
+
+/// One `(phase, layer)` cell of a worker's observability ledger.
+#[derive(Debug, Clone)]
+pub struct PhaseRow {
+    /// Phase name (`"forward_fetch"`, `"backward_refetch"`,
+    /// `"grad_routing"`, `"collective"`, `"other"`).
+    pub phase: &'static str,
+    /// GNN layer the traffic was attributed to, if any.
+    pub layer: Option<u16>,
+    /// Bytes sent while this cell was active (self-sends included).
+    pub sent_bytes: u64,
+    /// Bytes received from remote peers.
+    pub recv_bytes: u64,
+    /// Messages sent.
+    pub sent_messages: u64,
+    /// Messages received from remote peers.
+    pub recv_messages: u64,
+    /// Simulated α–β communication time charged, microseconds.
+    pub sim_comm_us: f64,
+    /// Exclusive CPU time spent under this cell, microseconds.
+    pub cpu_us: f64,
+    /// Peak live tensor bytes observed inside this cell's scopes.
+    pub peak_tensor_bytes: u64,
+}
+
+/// One worker's profile: totals plus the per-phase ledger.
+#[derive(Debug, Clone)]
+pub struct WorkerProfile {
+    /// Worker rank.
+    pub rank: usize,
+    /// Steady-state peak live tensor bytes (from the second epoch on).
+    pub steady_peak_bytes: usize,
+    /// Total bytes sent over the whole run.
+    pub total_sent_bytes: u64,
+    /// Total bytes received over the whole run.
+    pub total_recv_bytes: u64,
+    /// Total simulated communication time, microseconds.
+    pub sim_comm_us: f64,
+    /// The per-phase / per-layer ledger rows, in ledger order.
+    pub phases: Vec<PhaseRow>,
+}
+
+impl WorkerProfile {
+    /// Sums `f` over this worker's ledger rows in the given phase.
+    pub fn phase_sum(&self, phase: &str, f: impl Fn(&PhaseRow) -> u64) -> u64 {
+        self.phases.iter().filter(|r| r.phase == phase).map(f).sum()
+    }
+
+    /// Max of `f` over this worker's ledger rows in the given phase.
+    pub fn phase_max(&self, phase: &str, f: impl Fn(&PhaseRow) -> u64) -> u64 {
+        self.phases
+            .iter()
+            .filter(|r| r.phase == phase)
+            .map(f)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A machine-readable record of one distributed training run.
+///
+/// Build with [`RunReport::from_train`], serialize with
+/// [`RunReport::to_json`] / [`RunReport::write_json`].
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Free-form experiment label (e.g. `"smoke-sage"`).
+    pub experiment: String,
+    /// Architecture label (e.g. `"sage"`, `"gat"`).
+    pub arch: String,
+    /// Execution-mode label (e.g. `"sar"`, `"sar-fak"`, `"dp"`).
+    pub mode: String,
+    /// Number of workers.
+    pub world: usize,
+    /// Global training loss per epoch.
+    pub losses: Vec<f32>,
+    /// Modeled epoch times (max compute + max comm), seconds.
+    pub epoch_times: Vec<f64>,
+    /// Validation accuracy.
+    pub val_acc: f64,
+    /// Test accuracy.
+    pub test_acc: f64,
+    /// Test accuracy after Correct & Smooth, if run.
+    pub test_acc_cs: Option<f64>,
+    /// Per-worker profiles, indexed by rank.
+    pub workers: Vec<WorkerProfile>,
+}
+
+impl RunReport {
+    /// Lifts a [`sar_core::RunReport`] into the serializable form.
+    pub fn from_train(
+        experiment: impl Into<String>,
+        arch: impl Into<String>,
+        mode: impl Into<String>,
+        run: &sar_core::RunReport,
+    ) -> Self {
+        let workers = run
+            .worker_comm
+            .iter()
+            .enumerate()
+            .map(|(rank, comm)| WorkerProfile {
+                rank,
+                steady_peak_bytes: run.peak_bytes.get(rank).copied().unwrap_or(0),
+                total_sent_bytes: comm.total_sent(),
+                total_recv_bytes: comm.recv_bytes,
+                sim_comm_us: comm.sim_comm_us,
+                phases: comm
+                    .ledger
+                    .rows()
+                    .map(|(phase, layer, e)| PhaseRow {
+                        phase: phase.name(),
+                        layer,
+                        sent_bytes: e.sent_bytes,
+                        recv_bytes: e.recv_bytes,
+                        sent_messages: e.sent_messages,
+                        recv_messages: e.recv_messages,
+                        sim_comm_us: e.sim_comm_us,
+                        cpu_us: e.cpu_us,
+                        peak_tensor_bytes: e.peak_tensor_bytes,
+                    })
+                    .collect(),
+            })
+            .collect();
+        RunReport {
+            experiment: experiment.into(),
+            arch: arch.into(),
+            mode: mode.into(),
+            world: run.world,
+            losses: run.losses.clone(),
+            epoch_times: run.epoch_times.clone(),
+            val_acc: run.val_acc,
+            test_acc: run.test_acc,
+            test_acc_cs: run.test_acc_cs,
+            workers,
+        }
+    }
+
+    /// `true` if any recorded epoch loss is NaN or infinite.
+    pub fn has_non_finite_loss(&self) -> bool {
+        self.losses.iter().any(|l| !l.is_finite())
+    }
+
+    /// The worker's ledger total for `(phase, metric)` summed across
+    /// layers, for all workers. Convenience for CI gates.
+    pub fn per_worker_phase_sum(&self, phase: Phase, f: impl Fn(&PhaseRow) -> u64) -> Vec<u64> {
+        self.workers
+            .iter()
+            .map(|w| w.phase_sum(phase.name(), &f))
+            .collect()
+    }
+
+    /// Serializes to a self-contained JSON document:
+    ///
+    /// ```json
+    /// {
+    ///   "experiment": "...", "arch": "...", "mode": "...", "world": 4,
+    ///   "losses": [...], "epoch_times_secs": [...],
+    ///   "val_acc": 0.9, "test_acc": 0.9, "test_acc_cs": null,
+    ///   "workers": [
+    ///     {"rank": 0, "steady_peak_bytes": 0, "total_sent_bytes": 0,
+    ///      "total_recv_bytes": 0, "sim_comm_us": 0.0,
+    ///      "phases": [
+    ///        {"phase": "forward_fetch", "layer": 0, "sent_bytes": 0,
+    ///         "recv_bytes": 0, "sent_messages": 0, "recv_messages": 0,
+    ///         "sim_comm_us": 0.0, "cpu_us": 0.0, "peak_tensor_bytes": 0}
+    ///      ]}
+    ///   ]
+    /// }
+    /// ```
+    ///
+    /// Non-finite floats serialize as `null` (JSON has no NaN).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"experiment\": {},", json_str(&self.experiment));
+        let _ = writeln!(s, "  \"arch\": {},", json_str(&self.arch));
+        let _ = writeln!(s, "  \"mode\": {},", json_str(&self.mode));
+        let _ = writeln!(s, "  \"world\": {},", self.world);
+        let _ = writeln!(
+            s,
+            "  \"losses\": [{}],",
+            join(self.losses.iter().map(|&l| json_f64(l as f64)))
+        );
+        let _ = writeln!(
+            s,
+            "  \"epoch_times_secs\": [{}],",
+            join(self.epoch_times.iter().map(|&t| json_f64(t)))
+        );
+        let _ = writeln!(s, "  \"val_acc\": {},", json_f64(self.val_acc));
+        let _ = writeln!(s, "  \"test_acc\": {},", json_f64(self.test_acc));
+        let _ = writeln!(
+            s,
+            "  \"test_acc_cs\": {},",
+            self.test_acc_cs.map_or("null".into(), json_f64)
+        );
+        s.push_str("  \"workers\": [\n");
+        for (i, w) in self.workers.iter().enumerate() {
+            s.push_str("    {");
+            let _ = write!(
+                s,
+                "\"rank\": {}, \"steady_peak_bytes\": {}, \"total_sent_bytes\": {}, \
+                 \"total_recv_bytes\": {}, \"sim_comm_us\": {},",
+                w.rank,
+                w.steady_peak_bytes,
+                w.total_sent_bytes,
+                w.total_recv_bytes,
+                json_f64(w.sim_comm_us)
+            );
+            s.push_str("\n     \"phases\": [");
+            for (j, r) in w.phases.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(
+                    s,
+                    "\n       {{\"phase\": {}, \"layer\": {}, \"sent_bytes\": {}, \
+                     \"recv_bytes\": {}, \"sent_messages\": {}, \"recv_messages\": {}, \
+                     \"sim_comm_us\": {}, \"cpu_us\": {}, \"peak_tensor_bytes\": {}}}",
+                    json_str(r.phase),
+                    r.layer.map_or("null".to_string(), |l| l.to_string()),
+                    r.sent_bytes,
+                    r.recv_bytes,
+                    r.sent_messages,
+                    r.recv_messages,
+                    json_f64(r.sim_comm_us),
+                    json_f64(r.cpu_us),
+                    r.peak_tensor_bytes,
+                );
+            }
+            s.push_str("]}");
+            s.push_str(if i + 1 < self.workers.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Writes the JSON document to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a JSON number (`null` for NaN/infinity — JSON has
+/// no non-finite literals).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+fn join(items: impl Iterator<Item = String>) -> String {
+    items.collect::<Vec<_>>().join(", ")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +410,76 @@ mod tests {
         assert_eq!(mib(1024 * 1024), "1.00");
         assert_eq!(secs(1.23456), "1.235");
         assert_eq!(pct(0.801), "80.1%");
+    }
+
+    fn sample_report() -> RunReport {
+        RunReport {
+            experiment: "smoke \"quoted\"".into(),
+            arch: "sage".into(),
+            mode: "sar".into(),
+            world: 2,
+            losses: vec![1.5, f32::NAN],
+            epoch_times: vec![0.25],
+            val_acc: 0.5,
+            test_acc: 0.75,
+            test_acc_cs: None,
+            workers: vec![WorkerProfile {
+                rank: 0,
+                steady_peak_bytes: 1024,
+                total_sent_bytes: 64,
+                total_recv_bytes: 32,
+                sim_comm_us: 12.5,
+                phases: vec![PhaseRow {
+                    phase: "forward_fetch",
+                    layer: Some(1),
+                    sent_bytes: 64,
+                    recv_bytes: 32,
+                    sent_messages: 2,
+                    recv_messages: 1,
+                    sim_comm_us: 12.5,
+                    cpu_us: 3.0,
+                    peak_tensor_bytes: 512,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_escapes_and_nulls() {
+        let r = sample_report();
+        let json = r.to_json();
+        assert!(json.contains(r#""experiment": "smoke \"quoted\"""#));
+        // NaN loss must serialize as null, not a bare NaN token.
+        assert!(json.contains("\"losses\": [1.5, null]"));
+        assert!(!json.contains("NaN"));
+        assert!(json.contains("\"test_acc_cs\": null"));
+        assert!(json.contains(r#""phase": "forward_fetch", "layer": 1"#));
+        // Balanced braces/brackets — cheap structural sanity without a
+        // JSON parser in the dependency set.
+        let count = |c: char| json.chars().filter(|&x| x == c).count();
+        assert_eq!(count('{'), count('}'));
+        assert_eq!(count('['), count(']'));
+    }
+
+    #[test]
+    fn non_finite_loss_detected() {
+        let mut r = sample_report();
+        assert!(r.has_non_finite_loss());
+        r.losses = vec![1.0, 0.5];
+        assert!(!r.has_non_finite_loss());
+    }
+
+    #[test]
+    fn phase_sums_filter_by_phase() {
+        let r = sample_report();
+        assert_eq!(
+            r.workers[0].phase_sum("forward_fetch", |p| p.recv_bytes),
+            32
+        );
+        assert_eq!(r.workers[0].phase_sum("grad_routing", |p| p.recv_bytes), 0);
+        assert_eq!(
+            r.per_worker_phase_sum(Phase::ForwardFetch, |p| p.sent_bytes),
+            vec![64]
+        );
     }
 }

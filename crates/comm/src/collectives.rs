@@ -146,8 +146,7 @@ mod tests {
     fn all_reduce_sum_vectors() {
         for n in [1, 2, 3, 4, 7] {
             let out = Cluster::new(n, CostModel::default()).run(move |ctx| {
-                let mut data: Vec<f32> =
-                    (0..10).map(|i| (ctx.rank() * 10 + i) as f32).collect();
+                let mut data: Vec<f32> = (0..10).map(|i| (ctx.rank() * 10 + i) as f32).collect();
                 ctx.all_reduce_sum(&mut data);
                 data
             });
@@ -176,9 +175,8 @@ mod tests {
 
     #[test]
     fn all_gather_collects_by_rank() {
-        let out = Cluster::new(3, CostModel::default()).run(|ctx| {
-            ctx.all_gather_f32(&vec![ctx.rank() as f32; ctx.rank() + 1])
-        });
+        let out = Cluster::new(3, CostModel::default())
+            .run(|ctx| ctx.all_gather_f32(&vec![ctx.rank() as f32; ctx.rank() + 1]));
         for o in out {
             assert_eq!(o.result[0], vec![0.0]);
             assert_eq!(o.result[1], vec![1.0, 1.0]);
@@ -200,9 +198,8 @@ mod tests {
 
     #[test]
     fn max_scalar() {
-        let out = Cluster::new(4, CostModel::default()).run(|ctx| {
-            ctx.all_reduce_max_scalar(-(ctx.rank() as f32))
-        });
+        let out = Cluster::new(4, CostModel::default())
+            .run(|ctx| ctx.all_reduce_max_scalar(-(ctx.rank() as f32)));
         for o in out {
             assert_eq!(o.result, 0.0);
         }

@@ -1,15 +1,18 @@
 //! Per-worker communication context: tagged point-to-point messaging.
 
 use std::cell::{Cell, RefCell};
-use std::rc::Rc;
 use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{Receiver, Sender};
+use sar_tensor::MemScope;
 
 use crate::message::{Message, Payload};
 use crate::net::{CommStats, CostModel};
+use crate::phase::Phase;
+use crate::time::thread_cpu_secs;
 
 /// A worker's handle to the simulated cluster.
 ///
@@ -31,6 +34,12 @@ pub struct WorkerCtx {
     stats: Rc<RefCell<CommStats>>,
     pending: RefCell<HashMap<(u32, u64), VecDeque<Payload>>>,
     coll_seq: Cell<u64>,
+    phase: Cell<Phase>,
+    layer: Cell<Option<u16>>,
+    // Thread CPU clock at the last phase/layer switch; NaN until the first
+    // switch on the worker thread (the context is created on the spawning
+    // thread, whose CPU clock is unrelated).
+    cpu_mark: Cell<f64>,
 }
 
 /// Tags at or above this value are reserved for collectives.
@@ -58,6 +67,9 @@ impl WorkerCtx {
             stats: Rc::new(RefCell::new(CommStats::new(world))),
             pending: RefCell::new(HashMap::new()),
             coll_seq: Cell::new(0),
+            phase: Cell::new(Phase::Other),
+            layer: Cell::new(None),
+            cpu_mark: Cell::new(f64::NAN),
         }
     }
 
@@ -95,6 +107,76 @@ impl WorkerCtx {
         Rc::clone(&self.stats)
     }
 
+    /// The phase currently attributed traffic and CPU time.
+    pub fn current_phase(&self) -> Phase {
+        self.phase.get()
+    }
+
+    /// The model layer currently attributed traffic and CPU time, if any.
+    pub fn current_layer(&self) -> Option<u16> {
+        self.layer.get()
+    }
+
+    /// Attributes the thread CPU time elapsed since the last attribution
+    /// point to the current `(phase, layer)` cell and restarts the mark.
+    /// Scope guards call this on entry and exit, making CPU attribution
+    /// *exclusive*: a nested scope's time is charged to the nested cell
+    /// only. Call directly before reading [`WorkerCtx::stats`] at a
+    /// measurement boundary (e.g. the end of an epoch) so trailing time is
+    /// not lost.
+    pub fn flush_phase_timing(&self) {
+        let now = thread_cpu_secs();
+        let mark = self.cpu_mark.get();
+        if mark.is_finite() && now > mark {
+            self.stats
+                .borrow_mut()
+                .ledger
+                .entry_mut(self.phase.get(), self.layer.get())
+                .cpu_us += (now - mark) * 1e6;
+        }
+        self.cpu_mark.set(now);
+    }
+
+    /// Enters `phase` until the returned guard drops (scopes nest; the
+    /// previous phase is restored). While active, every send/receive on a
+    /// non-collective tag, all CPU time, and the tensor-memory high-water
+    /// mark are attributed to `(phase, current layer)` in the ledger.
+    pub fn phase_scope(&self, phase: Phase) -> PhaseScope<'_> {
+        self.flush_phase_timing();
+        let prev = self.phase.replace(phase);
+        PhaseScope {
+            ctx: self,
+            prev,
+            mem: Some(MemScope::begin()),
+        }
+    }
+
+    /// Attributes traffic and CPU time to model layer `layer` until the
+    /// returned guard drops (the previous layer is restored).
+    pub fn layer_scope(&self, layer: u16) -> LayerScope<'_> {
+        self.layer_scope_opt(Some(layer))
+    }
+
+    /// Like [`WorkerCtx::layer_scope`] with an optional layer — used by
+    /// backward-pass functions restoring the layer they were recorded
+    /// under (which may be none).
+    pub fn layer_scope_opt(&self, layer: Option<u16>) -> LayerScope<'_> {
+        self.flush_phase_timing();
+        let prev = self.layer.replace(layer);
+        LayerScope { ctx: self, prev }
+    }
+
+    /// The ledger phase a message on `tag` belongs to: collective tags are
+    /// classified as [`Phase::Collective`] regardless of the active scope,
+    /// everything else goes to the current phase.
+    fn traffic_phase(&self, tag: u64) -> Phase {
+        if tag >= COLLECTIVE_TAG_BASE {
+            Phase::Collective
+        } else {
+            self.phase.get()
+        }
+    }
+
     /// Sends `payload` to worker `dst` under `tag`.
     ///
     /// Sending to self is allowed (the message loops back through the
@@ -113,6 +195,11 @@ impl WorkerCtx {
             let mut s = self.stats.borrow_mut();
             s.sent_bytes[dst] += bytes;
             s.sent_messages += 1;
+            let entry = s
+                .ledger
+                .entry_mut(self.traffic_phase(tag), self.layer.get());
+            entry.sent_bytes += bytes;
+            entry.sent_messages += 1;
         }
         if dst == self.rank {
             self.pending
@@ -172,9 +259,17 @@ impl WorkerCtx {
                 .push_back(msg.payload);
         };
         if src != self.rank {
+            let bytes = payload.byte_len() as u64;
+            let cost_us = self.cost.message_cost_us(payload.byte_len());
             let mut s = self.stats.borrow_mut();
-            s.recv_bytes += payload.byte_len() as u64;
-            s.sim_comm_us += self.cost.message_cost_us(payload.byte_len());
+            s.recv_bytes += bytes;
+            s.sim_comm_us += cost_us;
+            let entry = s
+                .ledger
+                .entry_mut(self.traffic_phase(tag), self.layer.get());
+            entry.recv_bytes += bytes;
+            entry.recv_messages += 1;
+            entry.sim_comm_us += cost_us;
         }
         payload
     }
@@ -213,7 +308,55 @@ impl WorkerCtx {
     /// Charges extra simulated communication time (used by collectives to
     /// model algorithms whose step count differs from their message count).
     pub fn charge_sim_us(&self, us: f64) {
-        self.stats.borrow_mut().sim_comm_us += us;
+        let mut s = self.stats.borrow_mut();
+        s.sim_comm_us += us;
+        s.ledger
+            .entry_mut(self.phase.get(), self.layer.get())
+            .sim_comm_us += us;
+    }
+}
+
+/// Guard returned by [`WorkerCtx::phase_scope`]. On drop it flushes CPU
+/// attribution, folds the scope's tensor-memory high-water mark into the
+/// phase's ledger cell, and restores the previous phase.
+#[must_use = "the phase ends when this guard drops"]
+pub struct PhaseScope<'a> {
+    ctx: &'a WorkerCtx,
+    prev: Phase,
+    mem: Option<MemScope>,
+}
+
+impl Drop for PhaseScope<'_> {
+    fn drop(&mut self) {
+        self.ctx.flush_phase_timing();
+        let peak = self
+            .mem
+            .take()
+            .map(|m| m.finish().peak_bytes as u64)
+            .unwrap_or(0);
+        {
+            let mut s = self.ctx.stats.borrow_mut();
+            let entry = s
+                .ledger
+                .entry_mut(self.ctx.phase.get(), self.ctx.layer.get());
+            entry.peak_tensor_bytes = entry.peak_tensor_bytes.max(peak);
+        }
+        self.ctx.phase.set(self.prev);
+    }
+}
+
+/// Guard returned by [`WorkerCtx::layer_scope`]. On drop it flushes CPU
+/// attribution and restores the previous layer.
+#[must_use = "the layer attribution ends when this guard drops"]
+pub struct LayerScope<'a> {
+    ctx: &'a WorkerCtx,
+    prev: Option<u16>,
+}
+
+impl Drop for LayerScope<'_> {
+    fn drop(&mut self) {
+        self.ctx.flush_phase_timing();
+        self.ctx.layer.set(self.prev);
     }
 }
 
@@ -222,6 +365,149 @@ impl std::fmt::Debug for WorkerCtx {
         f.debug_struct("WorkerCtx")
             .field("rank", &self.rank)
             .field("world", &self.world)
+            .field("phase", &self.phase.get())
+            .field("layer", &self.layer.get())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cluster, CostModel};
+
+    #[test]
+    fn traffic_lands_in_the_active_phase() {
+        let out = Cluster::new(2, CostModel::default()).run(|ctx| {
+            let peer = 1 - ctx.rank();
+            {
+                let _p = ctx.phase_scope(Phase::ForwardFetch);
+                ctx.send(peer, 0, Payload::F32(vec![0.0; 250]));
+                let _ = ctx.recv(peer, 0);
+            }
+            {
+                let _p = ctx.phase_scope(Phase::GradRouting);
+                ctx.send(peer, 1, Payload::F32(vec![0.0; 125]));
+                let _ = ctx.recv(peer, 1);
+            }
+            ctx.stats()
+        });
+        for o in &out {
+            let fetch = o.result.ledger.phase_total(Phase::ForwardFetch);
+            let route = o.result.ledger.phase_total(Phase::GradRouting);
+            assert_eq!(fetch.sent_bytes, 1000);
+            assert_eq!(fetch.recv_bytes, 1000);
+            assert_eq!(fetch.recv_messages, 1);
+            assert_eq!(route.sent_bytes, 500);
+            assert_eq!(route.recv_bytes, 500);
+            // Ledger splits exactly the totals.
+            assert_eq!(fetch.sent_bytes + route.sent_bytes, o.result.total_sent());
+            assert!((fetch.sim_comm_us + route.sim_comm_us - o.result.sim_comm_us).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn collective_tags_classify_automatically() {
+        let out = Cluster::new(2, CostModel::default()).run(|ctx| {
+            // Even inside a ForwardFetch scope, collective traffic must be
+            // ledgered as Collective.
+            let _p = ctx.phase_scope(Phase::ForwardFetch);
+            let s = ctx.all_reduce_sum_scalar(1.0);
+            assert_eq!(s, 2.0);
+            ctx.stats()
+        });
+        for o in &out {
+            let coll = o.result.ledger.phase_total(Phase::Collective);
+            assert!(coll.sent_bytes > 0);
+            assert_eq!(
+                o.result.ledger.phase_total(Phase::ForwardFetch).sent_bytes,
+                0
+            );
+            assert_eq!(coll.sent_bytes, o.result.total_sent());
+        }
+    }
+
+    #[test]
+    fn nested_scopes_restore_and_attribute_exclusively() {
+        let out = Cluster::new(1, CostModel::default()).run(|ctx| {
+            assert_eq!(ctx.current_phase(), Phase::Other);
+            {
+                let _outer = ctx.phase_scope(Phase::BackwardRefetch);
+                assert_eq!(ctx.current_phase(), Phase::BackwardRefetch);
+                {
+                    let _inner = ctx.phase_scope(Phase::GradRouting);
+                    assert_eq!(ctx.current_phase(), Phase::GradRouting);
+                    // Burn CPU inside the inner scope.
+                    let mut acc = 0u64;
+                    for i in 0..5_000_000u64 {
+                        acc = acc.wrapping_add(i * i);
+                    }
+                    assert!(acc != 1);
+                }
+                assert_eq!(ctx.current_phase(), Phase::BackwardRefetch);
+            }
+            assert_eq!(ctx.current_phase(), Phase::Other);
+            ctx.stats()
+        });
+        let ledger = &out[0].result.ledger;
+        assert!(ledger.phase_total(Phase::GradRouting).cpu_us > 0.0);
+    }
+
+    #[test]
+    fn layer_scopes_split_the_ledger_by_layer() {
+        let out = Cluster::new(2, CostModel::default()).run(|ctx| {
+            let peer = 1 - ctx.rank();
+            for layer in 0..2u16 {
+                let _l = ctx.layer_scope(layer);
+                let _p = ctx.phase_scope(Phase::ForwardFetch);
+                ctx.send(
+                    peer,
+                    layer as u64,
+                    Payload::F32(vec![0.0; 100 * (layer as usize + 1)]),
+                );
+                let _ = ctx.recv(peer, layer as u64);
+            }
+            assert_eq!(ctx.current_layer(), None);
+            ctx.stats()
+        });
+        for o in &out {
+            let l0 = o.result.ledger.get(Phase::ForwardFetch, Some(0));
+            let l1 = o.result.ledger.get(Phase::ForwardFetch, Some(1));
+            assert_eq!(l0.recv_bytes, 400);
+            assert_eq!(l1.recv_bytes, 800);
+        }
+    }
+
+    #[test]
+    fn phase_scope_records_memory_peak() {
+        use sar_tensor::Tensor;
+        let out = Cluster::new(1, CostModel::default()).run(|ctx| {
+            {
+                let _p = ctx.phase_scope(Phase::ForwardFetch);
+                let t = Tensor::zeros(&[1000, 10]);
+                drop(t);
+            }
+            ctx.stats()
+        });
+        let peak = out[0]
+            .result
+            .ledger
+            .phase_total(Phase::ForwardFetch)
+            .peak_tensor_bytes;
+        assert!(peak >= 1000 * 10 * 4, "peak {peak}");
+    }
+
+    #[test]
+    fn self_sends_count_bytes_but_not_receives() {
+        let out = Cluster::new(1, CostModel::default()).run(|ctx| {
+            let _p = ctx.phase_scope(Phase::GradRouting);
+            ctx.send(0, 0, Payload::F32(vec![0.0; 10]));
+            let _ = ctx.recv(0, 0);
+            ctx.stats()
+        });
+        let route = out[0].result.ledger.phase_total(Phase::GradRouting);
+        assert_eq!(route.sent_bytes, 40);
+        assert_eq!(route.recv_bytes, 0);
+        assert_eq!(route.sim_comm_us, 0.0);
     }
 }

@@ -35,10 +35,12 @@ mod collectives;
 mod ctx;
 mod message;
 mod net;
+mod phase;
 pub mod time;
 
 pub use cluster::{Cluster, WorkerOutcome};
-pub use ctx::WorkerCtx;
+pub use ctx::{LayerScope, PhaseScope, WorkerCtx};
 pub use message::Payload;
 pub use net::{CommStats, CostModel};
-pub use time::{measure_cpu, thread_cpu_secs};
+pub use phase::{Phase, PhaseEntry, PhaseLedger};
+pub use time::{measure_cpu, thread_cpu_secs, CpuTimer};

@@ -1,5 +1,7 @@
 //! The α–β communication cost model and per-worker traffic statistics.
 
+use crate::phase::PhaseLedger;
+
 /// α–β model of a network link: transferring a `b`-byte message costs
 /// `alpha_us + b / bytes_per_us` microseconds of simulated time, charged to
 /// the receiving worker.
@@ -66,6 +68,10 @@ pub struct CommStats {
     pub recv_bytes: u64,
     /// Simulated communication time charged to this worker, microseconds.
     pub sim_comm_us: f64,
+    /// Per-phase / per-layer breakdown of the traffic above, plus CPU time
+    /// and tensor-memory peaks recorded by phase scopes
+    /// (see [`WorkerCtx::phase_scope`](crate::WorkerCtx::phase_scope)).
+    pub ledger: PhaseLedger,
 }
 
 impl CommStats {
@@ -75,6 +81,7 @@ impl CommStats {
             sent_messages: 0,
             recv_bytes: 0,
             sim_comm_us: 0.0,
+            ledger: PhaseLedger::default(),
         }
     }
 

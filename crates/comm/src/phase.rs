@@ -1,0 +1,192 @@
+//! The per-phase / per-layer observability ledger.
+//!
+//! SAR's cost story is told per *phase* of Algorithms 1 and 2: the
+//! sequential forward fetch, the backward re-fetch (case 2 only — the
+//! paper's 50% communication overhead), the error routing back to owners,
+//! and the parameter/loss collectives. The [`PhaseLedger`] splits every
+//! byte, message, simulated microsecond, CPU microsecond and tensor-memory
+//! high-water mark along those phases (and, when a layer scope is active,
+//! along model layers), so a run can *verify* the paper's claims — e.g.
+//! that GraphSage's backward pass fetches zero bytes, or that prefetching
+//! raises the resident-block peak from 2/N to 3/N.
+
+use std::collections::BTreeMap;
+
+/// A phase of the distributed training loop, in the paper's terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Phase {
+    /// Algorithm 1's sequential rotation fetch during the forward pass
+    /// (plus the aggregation compute consuming each fetched block).
+    ForwardFetch,
+    /// Algorithm 2's re-fetch of remote features during the backward pass
+    /// of attention-style layers (case 2) — the paper's 50% extra volume.
+    BackwardRefetch,
+    /// Routing error blocks back to the workers that own the features
+    /// (`E_{p→q}` sends and the `E_p = Σ_q E_{q→p}` accumulation).
+    GradRouting,
+    /// Collectives: gradient all-reduce, loss/accuracy reductions,
+    /// distributed batch-norm statistics. Classified automatically from
+    /// the collective tag range.
+    Collective,
+    /// Anything not inside an explicit phase scope (dense layer compute,
+    /// optimizer steps, evaluation).
+    #[default]
+    Other,
+}
+
+impl Phase {
+    /// All phases, in ledger order.
+    pub const ALL: [Phase; 5] = [
+        Phase::ForwardFetch,
+        Phase::BackwardRefetch,
+        Phase::GradRouting,
+        Phase::Collective,
+        Phase::Other,
+    ];
+
+    /// Stable snake_case name, used as the JSON key in run reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::ForwardFetch => "forward_fetch",
+            Phase::BackwardRefetch => "backward_refetch",
+            Phase::GradRouting => "grad_routing",
+            Phase::Collective => "collective",
+            Phase::Other => "other",
+        }
+    }
+}
+
+/// Accumulated measurements for one `(phase, layer)` cell of the ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseEntry {
+    /// Bytes sent while in this phase (self-sends included, mirroring
+    /// [`CommStats::sent_bytes`](crate::CommStats::sent_bytes)).
+    pub sent_bytes: u64,
+    /// Bytes received from *remote* peers while in this phase.
+    pub recv_bytes: u64,
+    /// Messages sent.
+    pub sent_messages: u64,
+    /// Messages received from remote peers.
+    pub recv_messages: u64,
+    /// Simulated α–β communication time charged in this phase, µs.
+    pub sim_comm_us: f64,
+    /// Thread CPU time spent while this phase was active, µs (exclusive:
+    /// a nested phase's time is charged to the nested phase only).
+    pub cpu_us: f64,
+    /// Highest live tensor bytes observed during any scope of this phase.
+    pub peak_tensor_bytes: u64,
+}
+
+impl PhaseEntry {
+    /// Folds `other` into `self`: counters add, the peak takes the max.
+    pub fn absorb(&mut self, other: &PhaseEntry) {
+        self.sent_bytes += other.sent_bytes;
+        self.recv_bytes += other.recv_bytes;
+        self.sent_messages += other.sent_messages;
+        self.recv_messages += other.recv_messages;
+        self.sim_comm_us += other.sim_comm_us;
+        self.cpu_us += other.cpu_us;
+        self.peak_tensor_bytes = self.peak_tensor_bytes.max(other.peak_tensor_bytes);
+    }
+}
+
+/// Per-phase, per-layer ledger of one worker's communication, compute and
+/// memory. Lives inside [`CommStats`](crate::CommStats), so it travels
+/// with the existing statistics plumbing to
+/// [`WorkerOutcome`](crate::WorkerOutcome) untouched.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PhaseLedger {
+    entries: BTreeMap<(Phase, Option<u16>), PhaseEntry>,
+}
+
+impl PhaseLedger {
+    /// The mutable cell for `(phase, layer)`, created zeroed on first use.
+    pub fn entry_mut(&mut self, phase: Phase, layer: Option<u16>) -> &mut PhaseEntry {
+        self.entries.entry((phase, layer)).or_default()
+    }
+
+    /// A copy of the `(phase, layer)` cell (zeros if never touched).
+    pub fn get(&self, phase: Phase, layer: Option<u16>) -> PhaseEntry {
+        self.entries
+            .get(&(phase, layer))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// The phase's totals across all layers (peaks take the max).
+    pub fn phase_total(&self, phase: Phase) -> PhaseEntry {
+        let mut total = PhaseEntry::default();
+        for ((p, _), e) in &self.entries {
+            if *p == phase {
+                total.absorb(e);
+            }
+        }
+        total
+    }
+
+    /// Iterates every populated `(phase, layer)` cell in ledger order.
+    pub fn rows(&self) -> impl Iterator<Item = (Phase, Option<u16>, &PhaseEntry)> {
+        self.entries.iter().map(|(&(p, l), e)| (p, l, e))
+    }
+
+    /// Number of populated cells.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no cell has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_accumulate_and_total() {
+        let mut ledger = PhaseLedger::default();
+        ledger.entry_mut(Phase::ForwardFetch, Some(0)).sent_bytes += 100;
+        ledger.entry_mut(Phase::ForwardFetch, Some(1)).sent_bytes += 50;
+        ledger
+            .entry_mut(Phase::ForwardFetch, Some(0))
+            .peak_tensor_bytes = 7;
+        ledger
+            .entry_mut(Phase::ForwardFetch, Some(1))
+            .peak_tensor_bytes = 9;
+        ledger.entry_mut(Phase::GradRouting, None).recv_bytes += 30;
+
+        let total = ledger.phase_total(Phase::ForwardFetch);
+        assert_eq!(total.sent_bytes, 150);
+        assert_eq!(total.peak_tensor_bytes, 9); // max, not sum
+        assert_eq!(ledger.phase_total(Phase::GradRouting).recv_bytes, 30);
+        assert_eq!(
+            ledger.phase_total(Phase::BackwardRefetch),
+            PhaseEntry::default()
+        );
+        assert_eq!(ledger.len(), 3);
+    }
+
+    #[test]
+    fn untouched_cells_read_as_zero() {
+        let ledger = PhaseLedger::default();
+        assert!(ledger.is_empty());
+        assert_eq!(ledger.get(Phase::Collective, None), PhaseEntry::default());
+    }
+
+    #[test]
+    fn phase_names_are_stable() {
+        let names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "forward_fetch",
+                "backward_refetch",
+                "grad_routing",
+                "collective",
+                "other"
+            ]
+        );
+    }
+}

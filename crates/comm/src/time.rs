@@ -39,6 +39,45 @@ pub fn measure_cpu<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, thread_cpu_secs() - start)
 }
 
+/// A lightweight scoped CPU timer: captures the thread CPU clock at
+/// construction and reports the elapsed CPU seconds on demand. The
+/// building block of the phase scopes in
+/// [`WorkerCtx::phase_scope`](crate::WorkerCtx::phase_scope); also usable
+/// standalone when a region's timing should not go through the ledger.
+///
+/// # Example
+///
+/// ```
+/// use sar_comm::time::CpuTimer;
+///
+/// let timer = CpuTimer::start();
+/// let _work: u64 = (0..1000u64).sum();
+/// assert!(timer.elapsed_secs() >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CpuTimer {
+    start: f64,
+}
+
+impl CpuTimer {
+    /// Starts a timer on the calling thread's CPU clock.
+    pub fn start() -> CpuTimer {
+        CpuTimer {
+            start: thread_cpu_secs(),
+        }
+    }
+
+    /// CPU seconds this thread has spent since [`CpuTimer::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        thread_cpu_secs() - self.start
+    }
+
+    /// [`CpuTimer::elapsed_secs`] in microseconds, the ledger's unit.
+    pub fn elapsed_us(&self) -> f64 {
+        self.elapsed_secs() * 1e6
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,5 +107,17 @@ mod tests {
         let a = thread_cpu_secs();
         let b = thread_cpu_secs();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn cpu_timer_advances_with_work() {
+        let timer = CpuTimer::start();
+        let mut acc = 0u64;
+        for i in 0..10_000_000u64 {
+            acc = acc.wrapping_add(i * i);
+        }
+        assert!(acc != 1); // keep the loop alive
+        assert!(timer.elapsed_secs() > 0.0);
+        assert!(timer.elapsed_us() >= timer.elapsed_secs());
     }
 }

@@ -37,10 +37,7 @@ pub fn save_params<W: Write>(params: &[Var], writer: W) -> io::Result<()> {
 /// # Errors
 ///
 /// Returns any underlying I/O error.
-pub fn save_raw_params<W: Write>(
-    params: &[(Vec<usize>, Vec<f32>)],
-    writer: W,
-) -> io::Result<()> {
+pub fn save_raw_params<W: Write>(params: &[(Vec<usize>, Vec<f32>)], writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
     w.write_all(MAGIC)?;
     w.write_all(&(params.len() as u64).to_le_bytes())?;

@@ -59,8 +59,7 @@ impl DistGraph {
         }
 
         // Bucket edges by (dst_part, src_part), in local coordinates.
-        let mut buckets: Vec<Vec<Vec<(u32, u32)>>> =
-            vec![vec![Vec::new(); world]; world];
+        let mut buckets: Vec<Vec<Vec<(u32, u32)>>> = vec![vec![Vec::new(); world]; world];
         for (s, d) in graph.iter_edges() {
             let p = owner[d as usize] as usize;
             let q = owner[s as usize] as usize;
@@ -91,7 +90,9 @@ impl DistGraph {
                     let edges: Vec<(u32, u32)> = buckets[p][q]
                         .iter()
                         .map(|&(s, d)| {
-                            let col = needed.binary_search(&s).expect("needed list covers sources")
+                            let col = needed
+                                .binary_search(&s)
+                                .expect("needed list covers sources")
                                 as u32;
                             (col, d)
                         })
@@ -107,8 +108,11 @@ impl DistGraph {
                         &edges,
                     ));
                 }
-                let halo_graph =
-                    Arc::new(CsrGraph::from_edges_bipartite(halo_cols, n_local, &halo_edges));
+                let halo_graph = Arc::new(CsrGraph::from_edges_bipartite(
+                    halo_cols,
+                    n_local,
+                    &halo_edges,
+                ));
                 let serves_to: Vec<Vec<u32>> =
                     (0..world).map(|q| needed_from[q][p].clone()).collect();
                 let global_in_degree = members[p]
@@ -206,6 +210,32 @@ impl DistGraph {
             .map(|q| self.needed_from[q].len())
             .sum()
     }
+
+    /// Total rows this worker serves to remote peers per rotation — the
+    /// dual of [`DistGraph::remote_fetch_rows`] (equal for undirected
+    /// graphs, where `needed_from` and `serves_to` are transposes).
+    pub fn remote_serve_rows(&self) -> usize {
+        (0..self.world)
+            .filter(|&q| q != self.rank)
+            .map(|q| self.serves_to[q].len())
+            .sum()
+    }
+
+    /// Bytes this worker *receives* during one Algorithm-1 rotation over a
+    /// `[n_local, cols]` feature tensor (4-byte floats). The observability
+    /// ledger's `ForwardFetch` (and, for attention layers, each
+    /// `BackwardRefetch`) received volume must match this exactly — the
+    /// cross-check wired into `crates/core/tests/observability.rs`.
+    pub fn predicted_fetch_bytes(&self, cols: usize) -> u64 {
+        (self.remote_fetch_rows() * cols * 4) as u64
+    }
+
+    /// Bytes this worker *receives* while peers route error blocks back
+    /// over a `[n_local, cols]` gradient (Algorithm 2's `E_p = Σ_q
+    /// E_{q→p}` step): one row per served node.
+    pub fn predicted_grad_route_bytes(&self, cols: usize) -> u64 {
+        (self.remote_serve_rows() * cols * 4) as u64
+    }
 }
 
 #[cfg(test)]
@@ -271,7 +301,10 @@ mod tests {
             }
             // Compare with the full result restricted to p's nodes.
             let expect = full.gather_rows(shard.local_nodes());
-            assert!(acc.allclose(&expect, 1e-4), "worker {p} aggregation mismatch");
+            assert!(
+                acc.allclose(&expect, 1e-4),
+                "worker {p} aggregation mismatch"
+            );
             assert_eq!(part.part_of(shard.local_nodes()[0] as usize), p);
         }
     }

@@ -10,7 +10,7 @@
 
 use std::rc::Rc;
 
-use sar_comm::Payload;
+use sar_comm::{Payload, Phase};
 use sar_tensor::{Function, Tensor, Var};
 
 use crate::worker::Worker;
@@ -18,6 +18,7 @@ use crate::worker::Worker;
 struct HaloFetchFn {
     parents: Vec<Var>, // [z]
     w: Rc<Worker>,
+    layer: Option<u16>,
 }
 
 impl Function for HaloFetchFn {
@@ -33,6 +34,7 @@ impl Function for HaloFetchFn {
         // Slice the halo gradient per partition section and route each
         // slice back to the owner; accumulate what peers route to us.
         let w = &self.w;
+        let _layer = w.ctx.layer_scope_opt(self.layer);
         let cols = grad_output.cols();
         let grad_z = w.exchange_grads(cols, |q| {
             let start = w.graph.halo_offset(q);
@@ -58,8 +60,13 @@ pub fn halo_fetch(w: &Rc<Worker>, z: &Var) -> Var {
     let n = w.world();
     let p = w.rank();
     let cols = z.value().cols();
-    assert_eq!(z.value().rows(), w.graph.num_local(), "z rows != local nodes");
+    assert_eq!(
+        z.value().rows(),
+        w.graph.num_local(),
+        "z rows != local nodes"
+    );
     let tag = w.next_tag();
+    let phase = w.ctx.phase_scope(Phase::ForwardFetch);
 
     // Send every peer its rows, then assemble the halo in partition order.
     {
@@ -84,12 +91,14 @@ pub fn halo_fetch(w: &Rc<Worker>, z: &Var) -> Var {
     let refs: Vec<&Tensor> = sections.iter().collect();
     let halo = Tensor::vstack(&refs);
     drop(sections);
+    drop(phase);
 
     Var::from_function(
         halo,
         HaloFetchFn {
             parents: vec![z.clone()],
             w: Rc::clone(w),
+            layer: w.ctx.current_layer(),
         },
     )
 }

@@ -86,9 +86,7 @@ pub fn infer(
             feats
         };
         let mut rng = StdRng::seed_from_u64(0); // dropout is off in eval
-        let logits = no_grad(|| {
-            model.forward(&w, &Var::constant(input), false, &mut rng)
-        });
+        let logits = no_grad(|| model.forward(&w, &Var::constant(input), false, &mut rng));
         (shard.global_ids.clone(), logits.value_clone().into_data())
     });
 

@@ -32,13 +32,13 @@
 pub mod checkpoint;
 mod dist_bn;
 pub mod dist_cs;
-pub mod inference;
 mod dist_graph;
 pub mod domain_parallel;
+pub mod inference;
 mod model;
 pub mod seq_agg;
-pub mod spatial;
 mod shard;
+pub mod spatial;
 pub mod trainer;
 mod worker;
 

@@ -200,10 +200,7 @@ impl DistLayer {
                     .iter()
                     .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
                     .collect();
-                let inv_sqrt = Var::constant(Tensor::from_vec(
-                    &[w.graph.num_local()],
-                    inv_sqrt,
-                ));
+                let inv_sqrt = Var::constant(Tensor::from_vec(&[w.graph.num_local()], inv_sqrt));
                 let z = lin.forward(h).mul_col(&inv_sqrt);
                 let agg = match mode {
                     Mode::DomainParallel => {
@@ -319,11 +316,7 @@ impl DistModel {
                     }
                 }
                 Arch::Gat { head_dim, heads } => {
-                    let in_dim = if l == 0 {
-                        cfg.in_dim
-                    } else {
-                        heads * head_dim
-                    };
+                    let in_dim = if l == 0 { cfg.in_dim } else { heads * head_dim };
                     // The final layer predicts classes with averaged heads.
                     let d = if last { cfg.num_classes } else { head_dim };
                     let width = heads * d;
@@ -344,8 +337,7 @@ impl DistModel {
                 }
             }
         }
-        let jk_classifier =
-            jk.then(|| Linear::new(jk_width, cfg.num_classes, true, &mut rng));
+        let jk_classifier = jk.then(|| Linear::new(jk_width, cfg.num_classes, true, &mut rng));
         DistModel {
             cfg: cfg.clone(),
             layers,
@@ -385,6 +377,10 @@ impl DistModel {
         let mut h = x.clone();
         let mut jk_outputs = Vec::new();
         for (l, layer) in self.layers.iter().enumerate() {
+            // Attribute this layer's traffic/CPU to layer `l` in the
+            // observability ledger; aggregation Functions recorded here
+            // capture the layer and restore it during backward.
+            let _layer_scope = w.ctx.layer_scope(l as u16);
             h = layer.forward(w, &h, self.cfg.mode);
             if self.cfg.jumping_knowledge {
                 jk_outputs.push(h.clone());

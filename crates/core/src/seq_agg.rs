@@ -21,9 +21,10 @@
 
 use std::rc::Rc;
 
+use sar_comm::Phase;
 use sar_graph::fused::{
-    attn_grad_dot, gat_fused_block_backward, gat_fused_block_forward,
-    gat_twostep_block_backward, gat_twostep_block_forward, OnlineAttnState,
+    attn_grad_dot, gat_fused_block_backward, gat_fused_block_forward, gat_twostep_block_backward,
+    gat_twostep_block_forward, OnlineAttnState,
 };
 use sar_graph::ops;
 use sar_tensor::{Function, Tensor, Var};
@@ -37,6 +38,9 @@ use crate::worker::Worker;
 struct SageAggFn {
     parents: Vec<Var>, // [z]
     w: Rc<Worker>,
+    // Layer this aggregation was recorded under, restored in backward so
+    // error routing is ledgered against the right layer.
+    layer: Option<u16>,
 }
 
 impl Function for SageAggFn {
@@ -52,6 +56,7 @@ impl Function for SageAggFn {
         // Case 1: the error for partition q's features is a linear map of
         // the output error — computed and shipped without refetching z.
         let w = &self.w;
+        let _layer = w.ctx.layer_scope_opt(self.layer);
         let grad_z = w.exchange_grads(grad_output.cols(), |q| {
             ops::spmm_sum_backward(w.graph.block(q), grad_output)
         });
@@ -75,14 +80,18 @@ impl Function for SageAggFn {
 pub fn sage_aggregate(w: &Rc<Worker>, z: &Var) -> Var {
     let cols = z.value().cols();
     let mut acc = Tensor::zeros(&[w.graph.num_local(), cols]);
-    w.fetch_rounds(&z.value(), |q, fetched| {
-        ops::spmm_sum_into(w.graph.block(q), fetched, &mut acc);
-    });
+    {
+        let _phase = w.ctx.phase_scope(Phase::ForwardFetch);
+        w.fetch_rounds(&z.value(), |q, fetched| {
+            ops::spmm_sum_into(w.graph.block(q), fetched, &mut acc);
+        });
+    }
     Var::from_function(
         acc,
         SageAggFn {
             parents: vec![z.clone()],
             w: Rc::clone(w),
+            layer: w.ctx.current_layer(),
         },
     )
 }
@@ -109,6 +118,7 @@ struct GatAggFn {
     heads: usize,
     slope: f32,
     mode: FakMode,
+    layer: Option<u16>,
     // Saved online-softmax statistics ([n_local, H] each) — the only
     // state SAR keeps to re-materialize attention in the backward pass.
     max: Tensor,
@@ -126,6 +136,7 @@ impl Function for GatAggFn {
 
     fn backward(&self, grad_output: &Tensor, output: &Tensor) -> Vec<Option<Tensor>> {
         let w = &self.w;
+        let _layer = w.ctx.layer_scope_opt(self.layer);
         let (z, s_dst, a_src) = (&self.parents[0], &self.parents[1], &self.parents[2]);
         let heads = self.heads;
         let hd = z.value().cols();
@@ -136,9 +147,12 @@ impl Function for GatAggFn {
 
         // Case 2: re-fetch every partition's features (the rematerialized
         // pieces of the computational graph), push gradients per block,
-        // free the block, move on.
+        // free the block, move on. The rotation fetch is ledgered as
+        // BackwardRefetch — the paper's 50% extra communication — while
+        // the per-block gradient sends nest under GradRouting.
         let a_src_val = a_src.value_clone();
         {
+            let _refetch = w.ctx.phase_scope(Phase::BackwardRefetch);
             let s_dst_ref = s_dst.value();
             let z_ref = z.value();
             w.fetch_rounds(&z_ref, |q, z_block| {
@@ -146,12 +160,28 @@ impl Function for GatAggFn {
                 let block = w.graph.block(q);
                 let grads = match self.mode {
                     FakMode::Fused => gat_fused_block_backward(
-                        block, &s_dst_ref, &s_src_block, z_block, self.slope, &self.max,
-                        &self.den, grad_output, &grad_dot, &mut d_s_dst,
+                        block,
+                        &s_dst_ref,
+                        &s_src_block,
+                        z_block,
+                        self.slope,
+                        &self.max,
+                        &self.den,
+                        grad_output,
+                        &grad_dot,
+                        &mut d_s_dst,
                     ),
                     FakMode::TwoStep => gat_twostep_block_backward(
-                        block, &s_dst_ref, &s_src_block, z_block, self.slope, &self.max,
-                        &self.den, grad_output, &grad_dot, &mut d_s_dst,
+                        block,
+                        &s_dst_ref,
+                        &s_src_block,
+                        z_block,
+                        self.slope,
+                        &self.max,
+                        &self.den,
+                        grad_output,
+                        &grad_dot,
+                        &mut d_s_dst,
                     ),
                 };
                 // Fold the s_src path back into z and a_src:
@@ -161,6 +191,7 @@ impl Function for GatAggFn {
                 d_a_src.add_assign(&da);
                 let mut d_z_block = grads.d_x_src;
                 d_z_block.add_assign(&dz_from_s);
+                let _route = w.ctx.phase_scope(Phase::GradRouting);
                 if q == w.rank() {
                     // Local contribution: scattered below via a loop-back
                     // send so all blocks take the same path.
@@ -181,13 +212,16 @@ impl Function for GatAggFn {
         let n = w.world();
         let p = w.rank();
         let mut grad_z = Tensor::zeros(&[w.graph.num_local(), hd]);
-        for r in 0..n {
-            let q = (p + n - r) % n;
-            let rows = w.graph.serves_to(q);
-            let data = w.ctx.recv(q, grad_tag).into_f32();
-            assert_eq!(data.len(), rows.len() * hd, "grad block size mismatch");
-            let block = Tensor::from_vec(&[rows.len(), hd], data);
-            grad_z.scatter_add_rows(rows, &block);
+        {
+            let _route = w.ctx.phase_scope(Phase::GradRouting);
+            for r in 0..n {
+                let q = (p + n - r) % n;
+                let rows = w.graph.serves_to(q);
+                let data = w.ctx.recv(q, grad_tag).into_f32();
+                assert_eq!(data.len(), rows.len() * hd, "grad block size mismatch");
+                let block = Tensor::from_vec(&[rows.len(), hd], data);
+                grad_z.scatter_add_rows(rows, &block);
+            }
         }
 
         // "Sum θ^l.grad across all machines" (Algorithm 2): the attention
@@ -232,16 +266,27 @@ pub fn gat_aggregate(
     let a_src_val = a_src.value_clone();
     let mut state = OnlineAttnState::new(w.graph.num_local(), heads, head_dim);
     {
+        let _phase = w.ctx.phase_scope(Phase::ForwardFetch);
         let s_dst_ref = s_dst.value();
         w.fetch_rounds(&z.value(), |q, z_block| {
             let s_src_block = ops::head_project(z_block, &a_src_val, heads);
             let block = w.graph.block(q);
             match mode {
                 FakMode::Fused => gat_fused_block_forward(
-                    block, &s_dst_ref, &s_src_block, z_block, slope, &mut state,
+                    block,
+                    &s_dst_ref,
+                    &s_src_block,
+                    z_block,
+                    slope,
+                    &mut state,
                 ),
                 FakMode::TwoStep => gat_twostep_block_forward(
-                    block, &s_dst_ref, &s_src_block, z_block, slope, &mut state,
+                    block,
+                    &s_dst_ref,
+                    &s_src_block,
+                    z_block,
+                    slope,
+                    &mut state,
                 ),
             }
         });
@@ -255,6 +300,7 @@ pub fn gat_aggregate(
             heads,
             slope,
             mode,
+            layer: w.ctx.current_layer(),
             max,
             den,
         },

@@ -61,7 +61,11 @@ pub fn build_conv1d_graphs(
     radius: usize,
     partitioning: &Partitioning,
 ) -> Vec<Vec<Arc<DistGraph>>> {
-    assert_eq!(partitioning.assignment().len(), len, "partitioning mismatch");
+    assert_eq!(
+        partitioning.assignment().len(),
+        len,
+        "partitioning mismatch"
+    );
     (-(radius as isize)..=radius as isize)
         .map(|k| {
             DistGraph::build_all(&shift_graph(len, k), partitioning)

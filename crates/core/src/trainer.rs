@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sar_comm::{thread_cpu_secs, Cluster, CostModel, WorkerCtx};
+use sar_comm::{thread_cpu_secs, Cluster, CommStats, CostModel, WorkerCtx};
 use sar_graph::Dataset;
 use sar_nn::loss::{correct_count, cross_entropy_masked};
 use sar_nn::{Adam, CsConfig, LrSchedule};
@@ -57,7 +57,10 @@ impl TrainConfig {
             model,
             epochs: 100,
             lr: 0.01,
-            schedule: LrSchedule::StepDecay { every: 30, gamma: 0.5 },
+            schedule: LrSchedule::StepDecay {
+                every: 30,
+                gamma: 0.5,
+            },
             label_aug: true,
             aug_frac: 0.5,
             cs: Some(CsConfig::default()),
@@ -126,6 +129,10 @@ pub struct RunReport {
     pub peak_bytes: Vec<usize>,
     /// Total bytes sent across the cluster over the whole run.
     pub total_sent_bytes: u64,
+    /// Per-worker communication statistics for the whole run, including
+    /// the per-phase / per-layer observability ledger
+    /// ([`CommStats::ledger`]). Indexed by rank.
+    pub worker_comm: Vec<CommStats>,
     /// Full-graph logits `[n, C]` reassembled from all workers.
     pub logits: Tensor,
     /// Trained parameter values (shape, data) in [`DistModel::params`]
@@ -230,7 +237,8 @@ pub fn run_worker(
     let model = DistModel::new(&model_cfg);
     let params = model.params();
     let mut opt = Adam::new(params.clone(), cfg.lr).with_schedule(cfg.schedule);
-    let mut dropout_rng = StdRng::seed_from_u64(cfg.seed ^ (w.rank() as u64).wrapping_mul(0x9e3779b97f4a7c15));
+    let mut dropout_rng =
+        StdRng::seed_from_u64(cfg.seed ^ (w.rank() as u64).wrapping_mul(0x9e3779b97f4a7c15));
 
     let mut epochs = Vec::with_capacity(cfg.epochs);
     let mut steady_peak = 0usize;
@@ -240,6 +248,9 @@ pub fn run_worker(
             // steady-state peak-memory measurement.
             MemoryTracker::reset_peak();
         }
+        // Start (epoch 0) or settle (later epochs) the per-phase CPU
+        // attribution so the epoch's ledger delta is self-contained.
+        w.ctx.flush_phase_timing();
         let cpu0 = thread_cpu_secs();
         let comm0 = w.ctx.stats();
 
@@ -264,12 +275,8 @@ pub fn run_worker(
 
         let x = Var::constant(build_input(shard, cfg.label_aug, aug_mask.as_deref()));
         let logits = model.forward(&w, &x, true, &mut dropout_rng);
-        let loss = cross_entropy_masked(
-            &logits,
-            &shard.labels,
-            &predict_mask,
-            Some(global_predict),
-        );
+        let loss =
+            cross_entropy_masked(&logits, &shard.labels, &predict_mask, Some(global_predict));
         opt.zero_grad();
         loss.backward();
         all_reduce_grads(&w, &params);
@@ -277,6 +284,7 @@ pub fn run_worker(
         opt.advance_epoch();
 
         let global_loss = w.ctx.all_reduce_sum_scalar(loss.value().item());
+        w.ctx.flush_phase_timing();
         let comm1 = w.ctx.stats();
         epochs.push(EpochRecord {
             loss: global_loss,
@@ -325,6 +333,9 @@ pub fn run_worker(
         }
     });
 
+    // Settle trailing CPU attribution so the shared statistics the cluster
+    // collects after this closure returns carry a complete ledger.
+    w.ctx.flush_phase_timing();
     let params_out = (w.rank() == 0).then(|| {
         params
             .iter()
@@ -369,12 +380,7 @@ pub fn train(
 
     let outcomes = Cluster::new(world, cost).run(move |ctx| {
         let rank = ctx.rank();
-        run_worker(
-            ctx,
-            Arc::clone(&graphs[rank]),
-            &shards[rank],
-            &cfg_arc,
-        )
+        run_worker(ctx, Arc::clone(&graphs[rank]), &shards[rank], &cfg_arc)
     });
 
     // Aggregate.
@@ -421,8 +427,12 @@ pub fn train(
         val_acc: outcomes[0].result.val_acc,
         test_acc: outcomes[0].result.test_acc,
         test_acc_cs: outcomes[0].result.test_acc_cs,
-        peak_bytes: outcomes.iter().map(|o| o.result.steady_peak_bytes).collect(),
+        peak_bytes: outcomes
+            .iter()
+            .map(|o| o.result.steady_peak_bytes)
+            .collect(),
         total_sent_bytes: outcomes.iter().map(|o| o.comm.total_sent()).sum(),
+        worker_comm: outcomes.iter().map(|o| o.comm.clone()).collect(),
         logits,
         final_params,
     }

@@ -5,7 +5,7 @@ use std::cell::Cell;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use sar_comm::{Payload, WorkerCtx};
+use sar_comm::{Payload, Phase, WorkerCtx};
 use sar_tensor::Tensor;
 
 use crate::dist_graph::DistGraph;
@@ -136,9 +136,18 @@ impl Worker {
     pub fn fetch_rounds(&self, data: &Tensor, mut consume: impl FnMut(usize, &Tensor)) {
         let n = self.world();
         let p = self.rank();
-        assert_eq!(data.rows(), self.graph.num_local(), "data rows != local nodes");
+        assert_eq!(
+            data.rows(),
+            self.graph.num_local(),
+            "data rows != local nodes"
+        );
         let cols = data.cols();
         let tag = self.next_tag();
+        // Ledger the rotation exchange as a forward fetch unless the
+        // caller already declared a phase (the GAT backward pass runs this
+        // same loop under BackwardRefetch).
+        let _phase = (self.ctx.current_phase() == Phase::Other)
+            .then(|| self.ctx.phase_scope(Phase::ForwardFetch));
 
         // Round 0: local gather, no communication.
         let local = data.gather_rows(self.graph.needed_from(p));
@@ -163,10 +172,7 @@ impl Worker {
             for r in 1..n {
                 let serve_dst = (p + n - r) % n;
                 self.serve(data, serve_dst, tag);
-                let next = (
-                    (p + r) % n,
-                    self.receive_block((p + r) % n, tag, cols),
-                );
+                let next = ((p + r) % n, self.receive_block((p + r) % n, tag, cols));
                 consume(current.0, &current.1);
                 current = next;
             }
@@ -191,6 +197,7 @@ impl Worker {
         let n = self.world();
         let p = self.rank();
         let tag = self.next_tag();
+        let _phase = self.ctx.phase_scope(Phase::GradRouting);
         let mut grad = Tensor::zeros(&[self.graph.num_local(), cols]);
 
         // Local contribution first (no communication).

@@ -45,7 +45,10 @@ fn sar_sage_aggregation_matches_single_machine() {
     for world in [1usize, 2, 3, 5] {
         let part = random(&g, world, 7);
         let graphs: Arc<Vec<Arc<DistGraph>>> = Arc::new(
-            DistGraph::build_all(&g, &part).into_iter().map(Arc::new).collect(),
+            DistGraph::build_all(&g, &part)
+                .into_iter()
+                .map(Arc::new)
+                .collect(),
         );
         let x = Arc::new(x.data().to_vec());
         let go = Arc::new(grad_out.data().to_vec());
@@ -69,7 +72,10 @@ fn sar_sage_aggregation_matches_single_machine() {
                 .iter()
                 .map(|o| {
                     let (ids, out, _) = &o.result;
-                    (ids.clone(), Tensor::from_vec(&[ids.len(), FEAT], out.clone()))
+                    (
+                        ids.clone(),
+                        Tensor::from_vec(&[ids.len(), FEAT], out.clone()),
+                    )
                 })
                 .collect(),
             FEAT,
@@ -138,7 +144,10 @@ fn check_sar_gat(mode: FakMode) {
     for world in [1usize, 3, 4] {
         let part = multilevel(&g, world.min(N_NODES), 11);
         let graphs: Arc<Vec<Arc<DistGraph>>> = Arc::new(
-            DistGraph::build_all(&g, &part).into_iter().map(Arc::new).collect(),
+            DistGraph::build_all(&g, &part)
+                .into_iter()
+                .map(Arc::new)
+                .collect(),
         );
         let xs = Arc::new(x.data().to_vec());
         let gos = Arc::new(grad_out.data().to_vec());
@@ -172,7 +181,10 @@ fn check_sar_gat(mode: FakMode) {
                 .iter()
                 .map(|o| {
                     let ids = &o.result.0;
-                    (ids.clone(), Tensor::from_vec(&[ids.len(), hd], o.result.1.clone()))
+                    (
+                        ids.clone(),
+                        Tensor::from_vec(&[ids.len(), hd], o.result.1.clone()),
+                    )
                 })
                 .collect(),
             hd,
@@ -182,22 +194,37 @@ fn check_sar_gat(mode: FakMode) {
                 .iter()
                 .map(|o| {
                     let ids = &o.result.0;
-                    (ids.clone(), Tensor::from_vec(&[ids.len(), hd], o.result.2.clone()))
+                    (
+                        ids.clone(),
+                        Tensor::from_vec(&[ids.len(), hd], o.result.2.clone()),
+                    )
                 })
                 .collect(),
             hd,
         );
-        assert!(outs.allclose(&ref_out, 1e-3), "world {world}: forward mismatch ({mode:?})");
-        assert!(dzs.allclose(&ref_dz, 1e-3), "world {world}: dz mismatch ({mode:?})");
+        assert!(
+            outs.allclose(&ref_out, 1e-3),
+            "world {world}: forward mismatch ({mode:?})"
+        );
+        assert!(
+            dzs.allclose(&ref_dz, 1e-3),
+            "world {world}: dz mismatch ({mode:?})"
+        );
         // a_dst grads are per-worker partial sums (the trainer all-reduces
         // them); a_src grads are already all-reduced inside Algorithm 2.
         let mut dad = Tensor::zeros(&[hd]);
         for o in &outcomes {
             dad.add_assign(&Tensor::from_vec(&[hd], o.result.3.clone()));
         }
-        assert!(dad.allclose(&ref_dad, 1e-3), "world {world}: d_a_dst mismatch ({mode:?})");
+        assert!(
+            dad.allclose(&ref_dad, 1e-3),
+            "world {world}: d_a_dst mismatch ({mode:?})"
+        );
         let das = Tensor::from_vec(&[hd], outcomes[0].result.4.clone());
-        assert!(das.allclose(&ref_das, 1e-3), "world {world}: d_a_src mismatch ({mode:?})");
+        assert!(
+            das.allclose(&ref_das, 1e-3),
+            "world {world}: d_a_src mismatch ({mode:?})"
+        );
     }
 }
 
@@ -222,7 +249,10 @@ fn domain_parallel_halo_matches_single_machine() {
     for world in [1usize, 2, 4] {
         let part = random(&g, world, 13);
         let graphs: Arc<Vec<Arc<DistGraph>>> = Arc::new(
-            DistGraph::build_all(&g, &part).into_iter().map(Arc::new).collect(),
+            DistGraph::build_all(&g, &part)
+                .into_iter()
+                .map(Arc::new)
+                .collect(),
         );
         let xs = Arc::new(x.data().to_vec());
         let gos = Arc::new(grad_out.data().to_vec());
@@ -246,7 +276,10 @@ fn domain_parallel_halo_matches_single_machine() {
                 .iter()
                 .map(|o| {
                     let ids = &o.result.0;
-                    (ids.clone(), Tensor::from_vec(&[ids.len(), FEAT], o.result.1.clone()))
+                    (
+                        ids.clone(),
+                        Tensor::from_vec(&[ids.len(), FEAT], o.result.1.clone()),
+                    )
                 })
                 .collect(),
             FEAT,
@@ -256,13 +289,22 @@ fn domain_parallel_halo_matches_single_machine() {
                 .iter()
                 .map(|o| {
                     let ids = &o.result.0;
-                    (ids.clone(), Tensor::from_vec(&[ids.len(), FEAT], o.result.2.clone()))
+                    (
+                        ids.clone(),
+                        Tensor::from_vec(&[ids.len(), FEAT], o.result.2.clone()),
+                    )
                 })
                 .collect(),
             FEAT,
         );
-        assert!(outs.allclose(&expect_out, 1e-4), "world {world}: DP forward mismatch");
-        assert!(grads.allclose(&expect_grad, 1e-4), "world {world}: DP backward mismatch");
+        assert!(
+            outs.allclose(&expect_out, 1e-4),
+            "world {world}: DP forward mismatch"
+        );
+        assert!(
+            grads.allclose(&expect_grad, 1e-4),
+            "world {world}: DP backward mismatch"
+        );
     }
 }
 
@@ -274,7 +316,10 @@ fn prefetch_does_not_change_results() {
     let expect = ops::spmm_sum(&g, &x);
 
     let graphs: Arc<Vec<Arc<DistGraph>>> = Arc::new(
-        DistGraph::build_all(&g, &part).into_iter().map(Arc::new).collect(),
+        DistGraph::build_all(&g, &part)
+            .into_iter()
+            .map(Arc::new)
+            .collect(),
     );
     let xs = Arc::new(x.data().to_vec());
     let outcomes = Cluster::new(4, CostModel::default()).run(move |ctx| {
@@ -291,7 +336,10 @@ fn prefetch_does_not_change_results() {
             .iter()
             .map(|o| {
                 let ids = &o.result.0;
-                (ids.clone(), Tensor::from_vec(&[ids.len(), FEAT], o.result.1.clone()))
+                (
+                    ids.clone(),
+                    Tensor::from_vec(&[ids.len(), FEAT], o.result.1.clone()),
+                )
             })
             .collect(),
         FEAT,
@@ -309,7 +357,10 @@ fn partitioning_choice_does_not_change_results() {
     let assignment: Vec<u32> = (0..N_NODES).map(|i| if i < 5 { 0 } else { 1 }).collect();
     let part = Partitioning::new(2, assignment);
     let graphs: Arc<Vec<Arc<DistGraph>>> = Arc::new(
-        DistGraph::build_all(&g, &part).into_iter().map(Arc::new).collect(),
+        DistGraph::build_all(&g, &part)
+            .into_iter()
+            .map(Arc::new)
+            .collect(),
     );
     let xs = Arc::new(x.data().to_vec());
     let outcomes = Cluster::new(2, CostModel::default()).run(move |ctx| {
@@ -326,7 +377,10 @@ fn partitioning_choice_does_not_change_results() {
             .iter()
             .map(|o| {
                 let ids = &o.result.0;
-                (ids.clone(), Tensor::from_vec(&[ids.len(), FEAT], o.result.1.clone()))
+                (
+                    ids.clone(),
+                    Tensor::from_vec(&[ids.len(), FEAT], o.result.1.clone()),
+                )
             })
             .collect(),
         FEAT,

@@ -59,7 +59,12 @@ fn gcn_modes_agree() {
         &d,
         &p,
         CostModel::default(),
-        &cfg(Arch::Gcn { hidden: 12 }, Mode::DomainParallel, d.num_classes, false),
+        &cfg(
+            Arch::Gcn { hidden: 12 },
+            Mode::DomainParallel,
+            d.num_classes,
+            false,
+        ),
     );
     let sar = train(
         &d,
@@ -132,7 +137,12 @@ fn checkpoint_then_infer_reproduces_training_logits() {
     use sar_core::{checkpoint, inference};
     let d = datasets::products_like(300, 7);
     let part = multilevel(&d.graph, 3, 7);
-    let mut c = cfg(Arch::GraphSage { hidden: 12 }, Mode::Sar, d.num_classes, false);
+    let mut c = cfg(
+        Arch::GraphSage { hidden: 12 },
+        Mode::Sar,
+        d.num_classes,
+        false,
+    );
     c.label_aug = true;
     c.aug_frac = 0.5;
     let run = train(&d, &part, CostModel::default(), &c);
@@ -193,11 +203,7 @@ fn spatial_conv1d_matches_single_machine_reference() {
 
     // Single-machine reference via shift graphs on the full domain.
     let conv_ref = DistConv1d::new(cin, cout, radius, &mut StdRng::seed_from_u64(42));
-    let weights: Vec<Tensor> = conv_ref
-        .params()
-        .iter()
-        .map(|p| p.value_clone())
-        .collect();
+    let weights: Vec<Tensor> = conv_ref.params().iter().map(|p| p.value_clone()).collect();
     let mut expect = Tensor::zeros(&[len, cout]);
     for (t, k) in (-(radius as isize)..=radius as isize).enumerate() {
         let g = shift_graph(len, k);
@@ -264,5 +270,8 @@ fn spatial_conv1d_matches_single_machine_reference() {
         let pushed = ops::spmm_sum_backward(&g, &grad_out);
         dx_expect.add_assign(&pushed.matmul_nt(&weights[w_idx]));
     }
-    assert!(dx.allclose(&dx_expect, 1e-4), "spatial conv backward mismatch");
+    assert!(
+        dx.allclose(&dx_expect, 1e-4),
+        "spatial conv backward mismatch"
+    );
 }

@@ -53,10 +53,7 @@ fn with_classes(mut cfg: TrainConfig, d: &Dataset) -> TrainConfig {
 #[test]
 fn sage_training_is_exact_across_worker_counts() {
     let d = small_dataset();
-    let cfg = with_classes(
-        quick_config(Arch::GraphSage { hidden: 16 }, Mode::Sar),
-        &d,
-    );
+    let cfg = with_classes(quick_config(Arch::GraphSage { hidden: 16 }, Mode::Sar), &d);
     let single = train(&d, &multilevel(&d.graph, 1, 0), CostModel::default(), &cfg);
     for world in [2usize, 4] {
         let multi = train(
@@ -141,10 +138,7 @@ fn all_modes_agree_on_gat() {
 #[test]
 fn training_learns_beyond_majority_class() {
     let d = small_dataset();
-    let mut cfg = with_classes(
-        quick_config(Arch::GraphSage { hidden: 32 }, Mode::Sar),
-        &d,
-    );
+    let mut cfg = with_classes(quick_config(Arch::GraphSage { hidden: 32 }, Mode::Sar), &d);
     cfg.epochs = 40;
     cfg.lr = 0.02;
     cfg.label_aug = true;
@@ -175,10 +169,7 @@ fn training_learns_beyond_majority_class() {
 #[test]
 fn label_augmentation_improves_over_plain_training() {
     let d = small_dataset();
-    let mut plain = with_classes(
-        quick_config(Arch::GraphSage { hidden: 32 }, Mode::Sar),
-        &d,
-    );
+    let mut plain = with_classes(quick_config(Arch::GraphSage { hidden: 32 }, Mode::Sar), &d);
     plain.epochs = 30;
     plain.lr = 0.02;
     let mut aug = plain.clone();
@@ -302,10 +293,23 @@ fn distributed_batchnorm_matches_single_machine() {
 
     // Distributed: rows split across 3 workers (unevenly).
     let g = sar_graph::generators::erdos_renyi(n, 10, &mut StdRng::seed_from_u64(1)).symmetrize();
-    let assignment: Vec<u32> = (0..n).map(|i| if i < 10 { 0 } else if i < 22 { 1 } else { 2 }).collect();
+    let assignment: Vec<u32> = (0..n)
+        .map(|i| {
+            if i < 10 {
+                0
+            } else if i < 22 {
+                1
+            } else {
+                2
+            }
+        })
+        .collect();
     let part = sar_partition::Partitioning::new(3, assignment);
     let graphs: Arc<Vec<Arc<DistGraph>>> = Arc::new(
-        DistGraph::build_all(&g, &part).into_iter().map(Arc::new).collect(),
+        DistGraph::build_all(&g, &part)
+            .into_iter()
+            .map(Arc::new)
+            .collect(),
     );
     let xs = Arc::new(x.data().to_vec());
     let gs = Arc::new(grad.data().to_vec());
@@ -349,7 +353,10 @@ fn distributed_cs_matches_single_machine() {
 
     let part = multilevel(&d.graph, 4, 12);
     let graphs: Arc<Vec<Arc<DistGraph>>> = Arc::new(
-        DistGraph::build_all(&d.graph, &part).into_iter().map(Arc::new).collect(),
+        DistGraph::build_all(&d.graph, &part)
+            .into_iter()
+            .map(Arc::new)
+            .collect(),
     );
     let shards = Arc::new(Shard::build_all(&d, &part));
     let ps = Arc::new(probs.data().to_vec());
@@ -363,7 +370,13 @@ fn distributed_cs_matches_single_machine() {
         let local_p = full_p.gather_rows(&ids);
         let w = Worker::new(ctx, graph);
         let w = Rc::clone(&w);
-        let out = dist_correct_and_smooth(&w, &local_p, &shard.labels, &shard.train_mask, &CsConfig::default());
+        let out = dist_correct_and_smooth(
+            &w,
+            &local_p,
+            &shard.labels,
+            &shard.train_mask,
+            &CsConfig::default(),
+        );
         (ids, out.into_data())
     });
     let mut out = Tensor::zeros(&[300, c]);

@@ -146,9 +146,7 @@ fn tags_stay_aligned_across_interleaved_protocols() {
         let mut ok = true;
         w.fetch_rounds(&a, |_, f| ok &= f.data().iter().all(|&v| v == 1.0));
         w.fetch_rounds(&b, |_, f| ok &= f.data().iter().all(|&v| v == 2.0));
-        let g = w.exchange_grads(1, |q| {
-            Tensor::full(&[w.graph.needed_from(q).len(), 1], 3.0)
-        });
+        let g = w.exchange_grads(1, |q| Tensor::full(&[w.graph.needed_from(q).len(), 1], 3.0));
         ok && g.data().iter().all(|&v| v == 0.0 || v % 3.0 == 0.0)
     });
     assert!(out.iter().all(|o| o.result));

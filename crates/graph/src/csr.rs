@@ -53,8 +53,14 @@ impl CsrGraph {
     pub fn from_edges_bipartite(num_cols: usize, num_rows: usize, edges: &[(u32, u32)]) -> Self {
         let mut counts = vec![0usize; num_rows];
         for &(s, d) in edges {
-            assert!((s as usize) < num_cols, "source {s} out of range ({num_cols} cols)");
-            assert!((d as usize) < num_rows, "destination {d} out of range ({num_rows} rows)");
+            assert!(
+                (s as usize) < num_cols,
+                "source {s} out of range ({num_cols} cols)"
+            );
+            assert!(
+                (d as usize) < num_rows,
+                "destination {d} out of range ({num_rows} rows)"
+            );
             counts[d as usize] += 1;
         }
         let mut indptr = vec![0usize; num_rows + 1];
@@ -87,8 +93,15 @@ impl CsrGraph {
     pub fn from_raw(num_cols: usize, indptr: Vec<usize>, indices: Vec<u32>) -> Self {
         assert!(!indptr.is_empty(), "indptr must have at least one entry");
         let num_rows = indptr.len() - 1;
-        assert_eq!(*indptr.last().unwrap(), indices.len(), "indptr/indices mismatch");
-        assert!(indptr.windows(2).all(|w| w[0] <= w[1]), "indptr must be monotone");
+        assert_eq!(
+            *indptr.last().unwrap(),
+            indices.len(),
+            "indptr/indices mismatch"
+        );
+        assert!(
+            indptr.windows(2).all(|w| w[0] <= w[1]),
+            "indptr must be monotone"
+        );
         assert!(
             indices.iter().all(|&j| (j as usize) < num_cols),
             "column index out of range"
@@ -176,9 +189,7 @@ impl CsrGraph {
 
     /// Iterates all edges as `(src, dst)` pairs.
     pub fn iter_edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        (0..self.num_rows).flat_map(move |i| {
-            self.neighbors(i).iter().map(move |&j| (j, i as u32))
-        })
+        (0..self.num_rows).flat_map(move |i| self.neighbors(i).iter().map(move |&j| (j, i as u32)))
     }
 
     /// The reverse graph: edge `j → i` becomes `i → j`. For a square graph

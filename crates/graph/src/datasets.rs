@@ -106,7 +106,10 @@ pub struct SyntheticConfig {
 ///
 /// Panics if fractions are invalid or the configuration is degenerate.
 pub fn synthetic(cfg: &SyntheticConfig) -> Dataset {
-    assert!(cfg.train_frac + cfg.val_frac < 1.0, "splits must leave test nodes");
+    assert!(
+        cfg.train_frac + cfg.val_frac < 1.0,
+        "splits must leave test nodes"
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let m = cfg.num_nodes * cfg.avg_degree;
     let (raw, true_blocks) = weighted_sbm(
@@ -270,8 +273,16 @@ mod tests {
             let row = d.features.row(i);
             let best = (0..d.num_classes)
                 .min_by(|&a, &b| {
-                    let da: f32 = centroids[a].iter().zip(row).map(|(c, x)| (c - x) * (c - x)).sum();
-                    let db: f32 = centroids[b].iter().zip(row).map(|(c, x)| (c - x) * (c - x)).sum();
+                    let da: f32 = centroids[a]
+                        .iter()
+                        .zip(row)
+                        .map(|(c, x)| (c - x) * (c - x))
+                        .sum();
+                    let db: f32 = centroids[b]
+                        .iter()
+                        .zip(row)
+                        .map(|(c, x)| (c - x) * (c - x))
+                        .sum();
                     da.partial_cmp(&db).unwrap()
                 })
                 .unwrap();
@@ -280,7 +291,10 @@ mod tests {
             }
         }
         let acc = correct as f64 / d.num_nodes() as f64;
-        assert!(acc > 3.0 / 47.0, "nearest-centroid accuracy {acc} too close to chance");
+        assert!(
+            acc > 3.0 / 47.0,
+            "nearest-centroid accuracy {acc} too close to chance"
+        );
     }
 
     #[test]

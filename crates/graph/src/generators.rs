@@ -18,12 +18,7 @@ use crate::CsrGraph;
 pub fn erdos_renyi(n: usize, m: usize, rng: &mut impl Rng) -> CsrGraph {
     assert!(n > 0, "graph must have at least one node");
     let edges: Vec<(u32, u32)> = (0..m)
-        .map(|_| {
-            (
-                rng.random_range(0..n) as u32,
-                rng.random_range(0..n) as u32,
-            )
-        })
+        .map(|_| (rng.random_range(0..n) as u32, rng.random_range(0..n) as u32))
         .collect();
     CsrGraph::from_edges(n, &edges)
 }
@@ -36,8 +31,18 @@ pub fn erdos_renyi(n: usize, m: usize, rng: &mut impl Rng) -> CsrGraph {
 /// # Panics
 ///
 /// Panics if the probabilities are not a sub-distribution.
-pub fn rmat(scale: u32, edge_factor: usize, a: f64, b: f64, c: f64, rng: &mut impl Rng) -> CsrGraph {
-    assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0, "invalid R-MAT probabilities");
+pub fn rmat(
+    scale: u32,
+    edge_factor: usize,
+    a: f64,
+    b: f64,
+    c: f64,
+    rng: &mut impl Rng,
+) -> CsrGraph {
+    assert!(
+        a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0,
+        "invalid R-MAT probabilities"
+    );
     let n = 1usize << scale;
     let m = edge_factor * n;
     let mut edges = Vec::with_capacity(m);
@@ -97,7 +102,10 @@ pub fn weighted_sbm(
     rng: &mut impl Rng,
 ) -> (CsrGraph, Vec<u32>) {
     assert!(n > 0 && blocks > 0, "need nodes and blocks");
-    assert!((0.0..=1.0).contains(&homophily), "homophily must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&homophily),
+        "homophily must be in [0,1]"
+    );
     // Block assignment: contiguous ranges shuffled via random offsets would
     // make partitioning trivial; assign uniformly at random instead.
     let labels: Vec<u32> = (0..n).map(|_| rng.random_range(0..blocks) as u32).collect();
@@ -118,7 +126,14 @@ pub fn weighted_sbm(
     }
     let block_cums: Vec<Vec<f64>> = block_nodes
         .iter()
-        .map(|nodes| cumulative(&nodes.iter().map(|&i| weights[i as usize]).collect::<Vec<_>>()))
+        .map(|nodes| {
+            cumulative(
+                &nodes
+                    .iter()
+                    .map(|&i| weights[i as usize])
+                    .collect::<Vec<_>>(),
+            )
+        })
         .collect();
 
     let mut edges = Vec::with_capacity(m);

@@ -66,8 +66,7 @@ pub fn read_edge_list<R: Read>(reader: R) -> io::Result<CsrGraph> {
                 let n = it
                     .next()
                     .ok_or_else(|| bad_data("missing node count in header"))?;
-                declared_nodes =
-                    Some(n.parse().map_err(|_| bad_data("bad node count"))?);
+                declared_nodes = Some(n.parse().map_err(|_| bad_data("bad node count"))?);
             }
             continue;
         }
@@ -88,7 +87,10 @@ pub fn read_edge_list<R: Read>(reader: R) -> io::Result<CsrGraph> {
             .max()
             .unwrap_or(0)
     });
-    if edges.iter().any(|&(s, d)| s as usize >= n || d as usize >= n) {
+    if edges
+        .iter()
+        .any(|&(s, d)| s as usize >= n || d as usize >= n)
+    {
         return Err(bad_data("edge endpoint exceeds declared node count"));
     }
     Ok(CsrGraph::from_edges(n, &edges))

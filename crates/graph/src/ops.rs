@@ -77,7 +77,11 @@ pub fn spmm_sum_backward(g: &CsrGraph, grad_rows: &Tensor) -> Tensor {
 /// Panics if shapes are inconsistent with the graph.
 pub fn spmm_sum_backward_into(g: &CsrGraph, grad_rows: &Tensor, out: &mut Tensor) {
     assert_eq!(grad_rows.rows(), g.num_rows(), "grad rows mismatch");
-    assert_eq!(out.rows(), g.num_cols(), "out rows must equal graph columns");
+    assert_eq!(
+        out.rows(),
+        g.num_cols(),
+        "out rows must equal graph columns"
+    );
     assert_eq!(out.cols(), grad_rows.cols(), "feature width mismatch");
     let f = grad_rows.cols();
     for i in 0..g.num_rows() {
@@ -174,7 +178,11 @@ pub fn scatter_edges_to_dst(g: &CsrGraph, edge_vals: &Tensor) -> Tensor {
 ///
 /// Panics if `scores` does not have one row per edge.
 pub fn edge_softmax(g: &CsrGraph, scores: &Tensor) -> Tensor {
-    assert_eq!(scores.rows(), g.num_edges(), "one score row per edge required");
+    assert_eq!(
+        scores.rows(),
+        g.num_edges(),
+        "one score row per edge required"
+    );
     let h = scores.cols();
     let mut out = scores.clone();
     for i in 0..g.num_rows() {
@@ -244,11 +252,19 @@ pub fn edge_softmax_backward(g: &CsrGraph, alpha: &Tensor, grad: &Tensor) -> Ten
 /// Panics if `x.cols()` is not divisible by the head count of `alpha` or
 /// shapes are inconsistent with the graph.
 pub fn spmm_multihead(g: &CsrGraph, alpha: &Tensor, x: &Tensor) -> Tensor {
-    assert_eq!(alpha.rows(), g.num_edges(), "one alpha row per edge required");
+    assert_eq!(
+        alpha.rows(),
+        g.num_edges(),
+        "one alpha row per edge required"
+    );
     assert_eq!(x.rows(), g.num_cols(), "x rows must equal graph columns");
     let heads = alpha.cols();
     let hd = x.cols();
-    assert_eq!(hd % heads, 0, "feature width {hd} not divisible by {heads} heads");
+    assert_eq!(
+        hd % heads,
+        0,
+        "feature width {hd} not divisible by {heads} heads"
+    );
     let d = hd / heads;
     let mut out = Tensor::zeros(&[g.num_rows(), hd]);
     let mut e = 0usize;

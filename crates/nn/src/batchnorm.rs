@@ -51,18 +51,16 @@ impl BatchNorm1d {
                 let m = self.momentum;
                 let mean_t = mean.value_clone();
                 let var_t = var.value_clone();
-                self.running_mean = self
-                    .running_mean
-                    .scale(1.0 - m)
-                    .add(&mean_t.scale(m));
+                self.running_mean = self.running_mean.scale(1.0 - m).add(&mean_t.scale(m));
                 self.running_var = self.running_var.scale(1.0 - m).add(&var_t.scale(m));
             }
             let std = var.add_scalar(self.eps).sqrt();
-            centered.div_row(&std).mul_row(&self.gamma).add_bias(&self.beta)
+            centered
+                .div_row(&std)
+                .mul_row(&self.gamma)
+                .add_bias(&self.beta)
         } else {
-            let inv_std = self
-                .running_var
-                .map(|v| 1.0 / (v + self.eps).sqrt());
+            let inv_std = self.running_var.map(|v| 1.0 / (v + self.eps).sqrt());
             let x_hat = x
                 .sub_row(&Var::constant(self.running_mean.clone()))
                 .mul_row(&Var::constant(inv_std));

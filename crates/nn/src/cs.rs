@@ -94,7 +94,9 @@ pub fn correct_and_smooth(
     let mut e = e0.clone();
     for _ in 0..cfg.iters_correct {
         let prop = propagate_sym(graph, &e, &inv_sqrt);
-        e = e0.scale(1.0 - cfg.alpha_correct).add(&prop.scale(cfg.alpha_correct));
+        e = e0
+            .scale(1.0 - cfg.alpha_correct)
+            .add(&prop.scale(cfg.alpha_correct));
     }
     let corrected = probs.add(&e.scale(cfg.correction_scale));
 
@@ -112,7 +114,9 @@ pub fn correct_and_smooth(
     let mut g = g0.clone();
     for _ in 0..cfg.iters_smooth {
         let prop = propagate_sym(graph, &g, &inv_sqrt);
-        g = g0.scale(1.0 - cfg.alpha_smooth).add(&prop.scale(cfg.alpha_smooth));
+        g = g0
+            .scale(1.0 - cfg.alpha_smooth)
+            .add(&prop.scale(cfg.alpha_smooth));
     }
     g
 }
@@ -164,8 +168,8 @@ mod tests {
     fn zero_iterations_is_near_identity_off_train() {
         let d = datasets::products_like(200, 2);
         let mut rng = StdRng::seed_from_u64(3);
-        let probs = sar_tensor::init::uniform(&[200, d.num_classes], 0.0, 1.0, &mut rng)
-            .softmax_rows();
+        let probs =
+            sar_tensor::init::uniform(&[200, d.num_classes], 0.0, 1.0, &mut rng).softmax_rows();
         let cfg = CsConfig {
             iters_correct: 0,
             iters_smooth: 0,

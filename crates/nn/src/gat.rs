@@ -298,7 +298,16 @@ mod tests {
         Arc::new(
             CsrGraph::from_edges(
                 6,
-                &[(0, 1), (2, 1), (3, 1), (1, 0), (4, 3), (3, 4), (5, 2), (2, 5)],
+                &[
+                    (0, 1),
+                    (2, 1),
+                    (3, 1),
+                    (1, 0),
+                    (4, 3),
+                    (3, 4),
+                    (5, 2),
+                    (2, 5),
+                ],
             )
             .with_self_loops(),
         )
@@ -381,16 +390,10 @@ mod tests {
             .collect();
 
         let fused = FusedGatLayer::new(cfg, &mut StdRng::seed_from_u64(5));
-        fused
-            .forward(&g, &Var::constant(h_val))
-            .sum()
-            .backward();
+        fused.forward(&g, &Var::constant(h_val)).sum().backward();
         for (i, p) in fused.params().iter().enumerate() {
             let fg = p.grad().expect("grad");
-            assert!(
-                fg.allclose(&std_grads[i], 1e-3),
-                "param {i} grads disagree"
-            );
+            assert!(fg.allclose(&std_grads[i], 1e-3), "param {i} grads disagree");
         }
     }
 

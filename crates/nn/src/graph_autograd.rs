@@ -284,13 +284,19 @@ mod tests {
         let x = init::randn(&[5, 6], 1.0, &mut rng);
         let a = init::randn(&[6], 1.0, &mut rng);
         let w = Var::constant(init::randn(&[5, 2], 1.0, &mut rng));
-        check_gradients(&[x, a], |vs| head_project(&vs[0], &vs[1], 2).mul(&w).sum(), 1e-2);
+        check_gradients(
+            &[x, a],
+            |vs| head_project(&vs[0], &vs[1], 2).mul(&w).sum(),
+            1e-2,
+        );
     }
 
     #[test]
     fn gat_edge_scores_gradcheck() {
         let g = graph();
-        let mut rng = StdRng::seed_from_u64(6);
+        // Seed chosen so no edge score lands near the leaky-relu kink at 0,
+        // where finite differences straddle the nonsmooth point.
+        let mut rng = StdRng::seed_from_u64(9);
         let s_dst = init::randn(&[4, 2], 1.0, &mut rng);
         let s_src = init::randn(&[4, 2], 1.0, &mut rng);
         let w = Var::constant(init::randn(&[g.num_edges(), 2], 1.0, &mut rng));

@@ -18,7 +18,9 @@ pub fn cross_entropy_masked(
     mask: &[bool],
     normalizer: Option<f32>,
 ) -> Var {
-    logits.log_softmax_rows().nll_masked(labels, mask, normalizer)
+    logits
+        .log_softmax_rows()
+        .nll_masked(labels, mask, normalizer)
 }
 
 /// Counts correct argmax predictions among masked rows; returns

@@ -29,12 +29,7 @@ impl ConfusionMatrix {
     /// # Panics
     ///
     /// Panics if lengths disagree or labels are out of range.
-    pub fn from_logits(
-        logits: &Tensor,
-        labels: &[u32],
-        mask: &[bool],
-        num_classes: usize,
-    ) -> Self {
+    pub fn from_logits(logits: &Tensor, labels: &[u32], mask: &[bool], num_classes: usize) -> Self {
         assert_eq!(logits.rows(), labels.len(), "labels length mismatch");
         assert_eq!(logits.rows(), mask.len(), "mask length mismatch");
         let mut m = ConfusionMatrix::new(num_classes);
@@ -54,7 +49,10 @@ impl ConfusionMatrix {
     /// Panics if either class is out of range.
     pub fn record(&mut self, truth: u32, predicted: u32) {
         let c = self.num_classes;
-        assert!((truth as usize) < c && (predicted as usize) < c, "class out of range");
+        assert!(
+            (truth as usize) < c && (predicted as usize) < c,
+            "class out of range"
+        );
         self.counts[truth as usize * c + predicted as usize] += 1;
     }
 

@@ -80,10 +80,7 @@ pub struct Sgd {
 impl Sgd {
     /// Creates an SGD optimizer over `params`.
     pub fn new(params: Vec<Var>, lr: f32, momentum: f32) -> Self {
-        let velocity = params
-            .iter()
-            .map(|p| Tensor::zeros(&p.shape()))
-            .collect();
+        let velocity = params.iter().map(|p| Tensor::zeros(&p.shape())).collect();
         Sgd {
             params,
             velocity,
@@ -200,9 +197,7 @@ impl Adam {
         for ((p, m), v) in self.params.iter().zip(&mut self.m).zip(&mut self.v) {
             if let Some(g) = p.grad() {
                 *m = m.scale(self.beta1).add(&g.scale(1.0 - self.beta1));
-                *v = v
-                    .scale(self.beta2)
-                    .add(&g.mul(&g).scale(1.0 - self.beta2));
+                *v = v.scale(self.beta2).add(&g.mul(&g).scale(1.0 - self.beta2));
                 let m_hat = m.scale(1.0 / bc1);
                 let v_hat = v.scale(1.0 / bc2);
                 let eps = self.eps;
@@ -280,11 +275,17 @@ mod tests {
 
     #[test]
     fn schedules_decay() {
-        let s = LrSchedule::StepDecay { every: 10, gamma: 0.5 };
+        let s = LrSchedule::StepDecay {
+            every: 10,
+            gamma: 0.5,
+        };
         assert_eq!(s.lr_at(1.0, 0), 1.0);
         assert_eq!(s.lr_at(1.0, 10), 0.5);
         assert_eq!(s.lr_at(1.0, 25), 0.25);
-        let c = LrSchedule::Cosine { total: 100, floor: 0.0 };
+        let c = LrSchedule::Cosine {
+            total: 100,
+            floor: 0.0,
+        };
         assert!((c.lr_at(1.0, 0) - 1.0).abs() < 1e-6);
         assert!((c.lr_at(1.0, 100) - 0.0).abs() < 1e-6);
         assert!(c.lr_at(1.0, 50) < 0.6);
@@ -323,7 +324,10 @@ mod tests {
         };
         let plain = run(0.0);
         let decayed = run(0.1);
-        assert!(decayed < plain, "decay must shrink the weight: {decayed} vs {plain}");
+        assert!(
+            decayed < plain,
+            "decay must shrink the weight: {decayed} vs {plain}"
+        );
     }
 
     #[test]

@@ -169,7 +169,12 @@ mod tests {
     #[test]
     fn all_methods_cover_all_nodes() {
         let g = test_graph(0);
-        for method in [Method::Multilevel, Method::Random, Method::Range, Method::Bfs] {
+        for method in [
+            Method::Multilevel,
+            Method::Random,
+            Method::Range,
+            Method::Bfs,
+        ] {
             let p = partition(&g, 4, method, 0);
             assert_eq!(p.assignment().len(), g.num_nodes(), "{method:?}");
             assert_eq!(p.part_sizes().iter().sum::<usize>(), g.num_nodes());
@@ -179,7 +184,12 @@ mod tests {
     #[test]
     fn all_methods_are_reasonably_balanced() {
         let g = test_graph(1);
-        for method in [Method::Multilevel, Method::Random, Method::Range, Method::Bfs] {
+        for method in [
+            Method::Multilevel,
+            Method::Random,
+            Method::Range,
+            Method::Bfs,
+        ] {
             let p = partition(&g, 8, method, 1);
             assert!(p.balance() < 1.5, "{method:?} imbalance {}", p.balance());
         }

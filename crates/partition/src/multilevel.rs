@@ -202,11 +202,7 @@ impl WGraph {
                 Some(u) => u,
                 None => {
                     // Disconnected: restart from any unvisited node.
-                    match nodes
-                        .iter()
-                        .copied()
-                        .find(|&u| !visited[u as usize])
-                    {
+                    match nodes.iter().copied().find(|&u| !visited[u as usize]) {
                         Some(u) => {
                             visited[u as usize] = true;
                             u
@@ -224,8 +220,16 @@ impl WGraph {
                 }
             }
         }
-        let left: Vec<u32> = nodes.iter().copied().filter(|&u| side[u as usize]).collect();
-        let right: Vec<u32> = nodes.iter().copied().filter(|&u| !side[u as usize]).collect();
+        let left: Vec<u32> = nodes
+            .iter()
+            .copied()
+            .filter(|&u| side[u as usize])
+            .collect();
+        let right: Vec<u32> = nodes
+            .iter()
+            .copied()
+            .filter(|&u| !side[u as usize])
+            .collect();
         // Degenerate splits can happen on tiny coarse graphs; fall back to
         // an even split by index.
         let (left, right) = if left.is_empty() || right.is_empty() {
@@ -375,11 +379,7 @@ mod tests {
         let g = g.symmetrize();
         for k in [2, 3, 8, 16] {
             let p = multilevel(&g, k, 2);
-            assert!(
-                p.balance() < 1.35,
-                "k={k} imbalance {}",
-                p.balance()
-            );
+            assert!(p.balance() < 1.35, "k={k} imbalance {}", p.balance());
         }
     }
 
@@ -409,6 +409,10 @@ mod tests {
         let (g, _) = weighted_sbm(400, 4000, 2, 0.95, 0.4, &mut StdRng::seed_from_u64(5));
         let g = g.symmetrize();
         let p = multilevel(&g, 2, 6);
-        assert!(p.cut_fraction(&g) < 0.25, "cut fraction {}", p.cut_fraction(&g));
+        assert!(
+            p.cut_fraction(&g) < 0.25,
+            "cut fraction {}",
+            p.cut_fraction(&g)
+        );
     }
 }

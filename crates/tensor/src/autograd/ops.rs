@@ -47,12 +47,9 @@ impl Var {
     /// Panics if shapes differ.
     pub fn add(&self, other: &Var) -> Var {
         let value = self.value().add(&other.value());
-        Var::from_op(
-            value,
-            vec![self.clone(), other.clone()],
-            "add",
-            |g| vec![Some(g.clone()), Some(g.clone())],
-        )
+        Var::from_op(value, vec![self.clone(), other.clone()], "add", |g| {
+            vec![Some(g.clone()), Some(g.clone())]
+        })
     }
 
     /// Elementwise difference.
@@ -62,12 +59,9 @@ impl Var {
     /// Panics if shapes differ.
     pub fn sub(&self, other: &Var) -> Var {
         let value = self.value().sub(&other.value());
-        Var::from_op(
-            value,
-            vec![self.clone(), other.clone()],
-            "sub",
-            |g| vec![Some(g.clone()), Some(g.scale(-1.0))],
-        )
+        Var::from_op(value, vec![self.clone(), other.clone()], "sub", |g| {
+            vec![Some(g.clone()), Some(g.scale(-1.0))]
+        })
     }
 
     /// Elementwise product.
@@ -78,17 +72,9 @@ impl Var {
     pub fn mul(&self, other: &Var) -> Var {
         let value = self.value().mul(&other.value());
         let (a, b) = (self.clone(), other.clone());
-        Var::from_op(
-            value,
-            vec![self.clone(), other.clone()],
-            "mul",
-            move |g| {
-                vec![
-                    Some(g.mul(&b.value())),
-                    Some(g.mul(&a.value())),
-                ]
-            },
-        )
+        Var::from_op(value, vec![self.clone(), other.clone()], "mul", move |g| {
+            vec![Some(g.mul(&b.value())), Some(g.mul(&a.value()))]
+        })
     }
 
     /// Elementwise quotient.
@@ -99,19 +85,14 @@ impl Var {
     pub fn div(&self, other: &Var) -> Var {
         let value = self.value().div(&other.value());
         let (a, b) = (self.clone(), other.clone());
-        Var::from_op(
-            value,
-            vec![self.clone(), other.clone()],
-            "div",
-            move |g| {
-                let bv = b.value();
-                let da = g.div(&bv);
-                let db = g
-                    .mul(&a.value())
-                    .zip_map(&bv, |num, den| -num / (den * den));
-                vec![Some(da), Some(db)]
-            },
-        )
+        Var::from_op(value, vec![self.clone(), other.clone()], "div", move |g| {
+            let bv = b.value();
+            let da = g.div(&bv);
+            let db = g
+                .mul(&a.value())
+                .zip_map(&bv, |num, den| -num / (den * den));
+            vec![Some(da), Some(db)]
+        })
     }
 
     /// Multiplies every element by `s`.
@@ -244,12 +225,9 @@ impl Var {
     /// Panics if the bias length differs from the column count.
     pub fn add_bias(&self, bias: &Var) -> Var {
         let value = self.value().add_row_broadcast(&bias.value());
-        Var::from_op(
-            value,
-            vec![self.clone(), bias.clone()],
-            "add_bias",
-            |g| vec![Some(g.clone()), Some(g.sum_axis0())],
-        )
+        Var::from_op(value, vec![self.clone(), bias.clone()], "add_bias", |g| {
+            vec![Some(g.clone()), Some(g.sum_axis0())]
+        })
     }
 
     /// Subtracts a 1-D row vector from every row.
@@ -258,15 +236,10 @@ impl Var {
     ///
     /// Panics if the vector length differs from the column count.
     pub fn sub_row(&self, row: &Var) -> Var {
-        let value = self
-            .value()
-            .add_row_broadcast(&row.value().scale(-1.0));
-        Var::from_op(
-            value,
-            vec![self.clone(), row.clone()],
-            "sub_row",
-            |g| vec![Some(g.clone()), Some(g.sum_axis0().scale(-1.0))],
-        )
+        let value = self.value().add_row_broadcast(&row.value().scale(-1.0));
+        Var::from_op(value, vec![self.clone(), row.clone()], "sub_row", |g| {
+            vec![Some(g.clone()), Some(g.sum_axis0().scale(-1.0))]
+        })
     }
 
     /// Multiplies every row elementwise by a 1-D row vector.
@@ -561,7 +534,11 @@ mod tests {
     fn activation_gradients() {
         let a = randn(&[4, 3], 5).map(|x| x + 0.05); // avoid relu kink at 0
         check_gradients(std::slice::from_ref(&a), |vs| vs[0].relu().sum(), 2e-2);
-        check_gradients(std::slice::from_ref(&a), |vs| vs[0].leaky_relu(0.2).sum(), 2e-2);
+        check_gradients(
+            std::slice::from_ref(&a),
+            |vs| vs[0].leaky_relu(0.2).sum(),
+            2e-2,
+        );
         check_gradients(std::slice::from_ref(&a), |vs| vs[0].sigmoid().sum(), 1e-2);
         check_gradients(&[a], |vs| vs[0].tanh().sum(), 1e-2);
     }
@@ -579,9 +556,21 @@ mod tests {
         let a = randn(&[4, 3], 7);
         let row = randn(&[3], 8).map(|x| x + 2.0);
         let col = randn(&[4], 9);
-        check_gradients(&[a.clone(), row.clone()], |vs| vs[0].add_bias(&vs[1]).sum(), 1e-2);
-        check_gradients(&[a.clone(), row.clone()], |vs| vs[0].sub_row(&vs[1]).sum(), 1e-2);
-        check_gradients(&[a.clone(), row.clone()], |vs| vs[0].mul_row(&vs[1]).sum(), 1e-2);
+        check_gradients(
+            &[a.clone(), row.clone()],
+            |vs| vs[0].add_bias(&vs[1]).sum(),
+            1e-2,
+        );
+        check_gradients(
+            &[a.clone(), row.clone()],
+            |vs| vs[0].sub_row(&vs[1]).sum(),
+            1e-2,
+        );
+        check_gradients(
+            &[a.clone(), row.clone()],
+            |vs| vs[0].mul_row(&vs[1]).sum(),
+            1e-2,
+        );
         check_gradients(&[a.clone(), row], |vs| vs[0].div_row(&vs[1]).sum(), 1e-2);
         check_gradients(&[a, col], |vs| vs[0].mul_col(&vs[1]).sum(), 1e-2);
     }
@@ -591,7 +580,11 @@ mod tests {
         let a = randn(&[3, 5], 10);
         // Weighted sums make the softmax gradient non-trivial.
         let w = Var::constant(randn(&[3, 5], 11));
-        check_gradients(std::slice::from_ref(&a), |vs| vs[0].softmax_rows().mul(&w).sum(), 1e-2);
+        check_gradients(
+            std::slice::from_ref(&a),
+            |vs| vs[0].softmax_rows().mul(&w).sum(),
+            1e-2,
+        );
         let w2 = Var::constant(randn(&[3, 5], 12));
         check_gradients(&[a], |vs| vs[0].log_softmax_rows().mul(&w2).sum(), 1e-2);
     }
@@ -641,7 +634,10 @@ mod tests {
         let x = Var::constant(Tensor::ones(&[100, 100]));
         let y = x.dropout(0.3, true, &mut rng);
         let mean = y.value().mean();
-        assert!((mean - 1.0).abs() < 0.05, "inverted dropout mean ≈ 1, got {mean}");
+        assert!(
+            (mean - 1.0).abs() < 0.05,
+            "inverted dropout mean ≈ 1, got {mean}"
+        );
     }
 
     #[test]
@@ -661,7 +657,11 @@ mod tests {
     fn sum_axis0_and_reshape_gradients() {
         let a = randn(&[3, 4], 17);
         let w = Var::constant(randn(&[4], 18));
-        check_gradients(std::slice::from_ref(&a), |vs| vs[0].sum_axis0().mul(&w).sum(), 1e-2);
+        check_gradients(
+            std::slice::from_ref(&a),
+            |vs| vs[0].sum_axis0().mul(&w).sum(),
+            1e-2,
+        );
         let w2 = Var::constant(randn(&[4, 3], 19));
         check_gradients(&[a], |vs| vs[0].reshape(&[4, 3]).mul(&w2).sum(), 1e-2);
     }

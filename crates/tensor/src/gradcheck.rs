@@ -25,12 +25,7 @@ pub fn check_gradients(inputs: &[Tensor], f: impl Fn(&[Var]) -> Var, tol: f32) {
 /// # Panics
 ///
 /// Panics if any gradient entry disagrees beyond `tol`.
-pub fn check_gradients_eps(
-    inputs: &[Tensor],
-    f: impl Fn(&[Var]) -> Var,
-    tol: f32,
-    eps: f32,
-) {
+pub fn check_gradients_eps(inputs: &[Tensor], f: impl Fn(&[Var]) -> Var, tol: f32, eps: f32) {
     let vars: Vec<Var> = inputs.iter().map(|t| Var::parameter(t.clone())).collect();
     let out = f(&vars);
     assert_eq!(out.value().numel(), 1, "gradcheck requires a scalar output");
@@ -52,7 +47,11 @@ pub fn check_gradients_eps(
                     .iter()
                     .enumerate()
                     .map(|(k, t)| {
-                        Var::constant(if k == vi { perturbed.clone() } else { t.clone() })
+                        Var::constant(if k == vi {
+                            perturbed.clone()
+                        } else {
+                            t.clone()
+                        })
                     })
                     .collect();
                 f(&vars).value().item()

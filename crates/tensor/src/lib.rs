@@ -43,5 +43,5 @@ pub mod memory;
 mod tensor;
 
 pub use autograd::{grad_enabled, hstack, no_grad, Function, Var};
-pub use memory::{MemoryStats, MemoryTracker};
+pub use memory::{MemScope, MemoryStats, MemoryTracker, ScopePeak};
 pub use tensor::Tensor;

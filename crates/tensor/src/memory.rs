@@ -12,7 +12,7 @@
 //! [`Tensor::into_data`](crate::Tensor::into_data), which detaches the
 //! bytes from the tracker first.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 
 /// A snapshot of the current thread's tensor-memory counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -42,6 +42,14 @@ thread_local! {
     static CURRENT: Cell<usize> = const { Cell::new(0) };
     static PEAK: Cell<usize> = const { Cell::new(0) };
     static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static SCOPES: RefCell<Vec<ScopeSlot>> = const { RefCell::new(Vec::new()) };
+    static NEXT_SCOPE_ID: Cell<u64> = const { Cell::new(0) };
+}
+
+struct ScopeSlot {
+    id: u64,
+    start_bytes: usize,
+    peak_bytes: usize,
 }
 
 /// Handle to the calling thread's tensor-memory accountant.
@@ -84,7 +92,7 @@ impl MemoryTracker {
 
     /// Registers `bytes` of a freshly allocated tensor payload.
     pub(crate) fn register(bytes: usize) {
-        CURRENT.with(|c| {
+        let cur = CURRENT.with(|c| {
             let cur = c.get() + bytes;
             c.set(cur);
             PEAK.with(|p| {
@@ -92,6 +100,14 @@ impl MemoryTracker {
                     p.set(cur);
                 }
             });
+            cur
+        });
+        SCOPES.with(|s| {
+            for slot in s.borrow_mut().iter_mut() {
+                if cur > slot.peak_bytes {
+                    slot.peak_bytes = cur;
+                }
+            }
         });
         ALLOCS.with(|a| a.set(a.get() + 1));
     }
@@ -121,6 +137,98 @@ pub fn measure_peak<T>(f: impl FnOnce() -> T) -> (T, usize) {
     MemoryTracker::reset_peak();
     let out = f();
     (out, MemoryTracker::stats().peak_bytes)
+}
+
+/// The high-water mark observed by one [`MemScope`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScopePeak {
+    /// Live tensor bytes when the scope was opened.
+    pub start_bytes: usize,
+    /// Highest live byte count seen while the scope was open (at least
+    /// `start_bytes`).
+    pub peak_bytes: usize,
+}
+
+impl ScopePeak {
+    /// Bytes the scope added on top of what was already live — the
+    /// *incremental* high-water mark.
+    pub fn delta_bytes(&self) -> usize {
+        self.peak_bytes - self.start_bytes
+    }
+}
+
+/// A watermark scope: records the peak live tensor bytes on this thread
+/// between [`MemScope::begin`] and [`MemScope::finish`] (or drop).
+///
+/// Unlike [`MemoryTracker::reset_peak`], scopes nest: any number can be
+/// open at once, each observing its own high-water mark. Per-phase memory
+/// peaks in the observability ledger are measured this way without
+/// disturbing the run-wide peak.
+///
+/// # Example
+///
+/// ```
+/// use sar_tensor::{memory::MemScope, Tensor};
+///
+/// let scope = MemScope::begin();
+/// let t = Tensor::zeros(&[256, 4]);
+/// drop(t);
+/// let peak = scope.finish();
+/// assert!(peak.delta_bytes() >= 256 * 4 * 4);
+/// ```
+#[derive(Debug)]
+pub struct MemScope {
+    id: u64,
+}
+
+impl MemScope {
+    /// Opens a scope on the calling thread.
+    pub fn begin() -> MemScope {
+        let id = NEXT_SCOPE_ID.with(|n| {
+            let id = n.get();
+            n.set(id + 1);
+            id
+        });
+        let cur = CURRENT.with(Cell::get);
+        SCOPES.with(|s| {
+            s.borrow_mut().push(ScopeSlot {
+                id,
+                start_bytes: cur,
+                peak_bytes: cur,
+            })
+        });
+        MemScope { id }
+    }
+
+    /// Closes the scope and returns its high-water mark. Must be called on
+    /// the thread that opened the scope (elsewhere it returns zeros).
+    pub fn finish(self) -> ScopePeak {
+        let out = close_scope(self.id);
+        std::mem::forget(self);
+        out
+    }
+}
+
+impl Drop for MemScope {
+    fn drop(&mut self) {
+        let _ = close_scope(self.id);
+    }
+}
+
+fn close_scope(id: u64) -> ScopePeak {
+    SCOPES.with(|s| {
+        let mut slots = s.borrow_mut();
+        match slots.iter().position(|slot| slot.id == id) {
+            Some(i) => {
+                let slot = slots.remove(i);
+                ScopePeak {
+                    start_bytes: slot.start_bytes,
+                    peak_bytes: slot.peak_bytes,
+                }
+            }
+            None => ScopePeak::default(),
+        }
+    })
 }
 
 #[cfg(test)]
@@ -186,5 +294,53 @@ mod tests {
         let _t = Tensor::zeros(&[123]);
         let s = MemoryTracker::stats();
         assert!(s.peak_bytes >= s.current_bytes);
+    }
+
+    #[test]
+    fn scope_observes_transient_peak() {
+        let base = MemoryTracker::stats().current_bytes;
+        let scope = MemScope::begin();
+        {
+            let _a = Tensor::zeros(&[500]);
+            let _b = Tensor::zeros(&[250]);
+        }
+        let peak = scope.finish();
+        assert_eq!(peak.start_bytes, base);
+        assert!(peak.peak_bytes >= base + 3000);
+        assert!(peak.delta_bytes() >= 3000);
+    }
+
+    #[test]
+    fn scopes_nest_independently() {
+        let outer = MemScope::begin();
+        let _held = Tensor::zeros(&[100]); // 400 bytes, live across inner
+        let inner = MemScope::begin();
+        let t = Tensor::zeros(&[100]);
+        drop(t);
+        let inner_peak = inner.finish();
+        let outer_peak = outer.finish();
+        // Inner saw only its own 400-byte allocation on top of the held one.
+        assert!(inner_peak.delta_bytes() >= 400);
+        assert!(outer_peak.delta_bytes() >= inner_peak.delta_bytes() + 400);
+    }
+
+    #[test]
+    fn scope_drop_without_finish_is_clean() {
+        let scope = MemScope::begin();
+        drop(scope);
+        // A later scope still works (the slot was removed).
+        let s = MemScope::begin();
+        let _t = Tensor::zeros(&[10]);
+        assert!(s.finish().delta_bytes() >= 40);
+    }
+
+    #[test]
+    fn scope_ignores_prior_peak() {
+        // A big allocation before the scope must not leak into it.
+        let t = Tensor::zeros(&[10_000]);
+        drop(t);
+        let scope = MemScope::begin();
+        let peak = scope.finish();
+        assert_eq!(peak.delta_bytes(), 0);
     }
 }

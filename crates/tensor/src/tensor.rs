@@ -255,8 +255,7 @@ impl Tensor {
             assert_eq!(t.rows(), r, "hstack row mismatch");
             let c = t.cols();
             for i in 0..r {
-                data[i * total_c + col_off..i * total_c + col_off + c]
-                    .copy_from_slice(t.row(i));
+                data[i * total_c + col_off..i * total_c + col_off + c].copy_from_slice(t.row(i));
             }
             col_off += c;
         }
@@ -288,7 +287,10 @@ impl Tensor {
         let c = self.cols();
         assert!(range.end <= self.rows(), "slice_rows out of bounds");
         let rows = range.len();
-        Tensor::from_vec(&[rows, c], self.data[range.start * c..range.end * c].to_vec())
+        Tensor::from_vec(
+            &[rows, c],
+            self.data[range.start * c..range.end * c].to_vec(),
+        )
     }
 
     // ------------------------------------------------------------------
@@ -625,7 +627,11 @@ impl Tensor {
     pub fn scatter_add_rows(&mut self, idx: &[u32], src: &Tensor) {
         let c = self.cols();
         assert_eq!(src.cols(), c, "scatter_add_rows column mismatch");
-        assert_eq!(src.rows(), idx.len(), "scatter_add_rows index count mismatch");
+        assert_eq!(
+            src.rows(),
+            idx.len(),
+            "scatter_add_rows index count mismatch"
+        );
         let r = self.rows();
         for (k, &i) in idx.iter().enumerate() {
             let i = i as usize;
@@ -673,11 +679,7 @@ impl Tensor {
         let mut out = self.data.clone();
         for row in out.chunks_mut(c) {
             let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
-            let log_denom = row
-                .iter()
-                .map(|&x| (x - max).exp())
-                .sum::<f32>()
-                .ln();
+            let log_denom = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
             for x in row.iter_mut() {
                 *x = *x - max - log_denom;
             }

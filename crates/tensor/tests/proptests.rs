@@ -7,11 +7,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn tensor_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Tensor> {
-    (1..=max_rows, 1..=max_cols)
-        .prop_flat_map(|(r, c)| {
-            proptest::collection::vec(-5.0f32..5.0, r * c)
-                .prop_map(move |data| Tensor::from_vec(&[r, c], data))
-        })
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-5.0f32..5.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(&[r, c], data))
+    })
 }
 
 proptest! {

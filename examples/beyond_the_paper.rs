@@ -32,7 +32,10 @@ fn main() {
         },
         epochs: 30,
         lr: 0.02,
-        schedule: LrSchedule::Cosine { total: 30, floor: 0.001 },
+        schedule: LrSchedule::Cosine {
+            total: 30,
+            floor: 0.001,
+        },
         label_aug: true,
         aug_frac: 0.5,
         cs: None,
@@ -56,7 +59,11 @@ fn main() {
         std::fs::File::create(&path).expect("create checkpoint"),
     )
     .expect("write checkpoint");
-    println!("checkpointed {} parameter tensors to {}", report.final_params.len(), path.display());
+    println!(
+        "checkpointed {} parameter tensors to {}",
+        report.final_params.len(),
+        path.display()
+    );
 
     // ...and serve it with distributed inference on a 7-worker cluster —
     // a partitioning the model has never seen.

@@ -30,7 +30,10 @@ fn main() {
         },
         epochs: 40,
         lr: 0.01,
-        schedule: LrSchedule::StepDecay { every: 20, gamma: 0.5 },
+        schedule: LrSchedule::StepDecay {
+            every: 20,
+            gamma: 0.5,
+        },
         label_aug: true,
         aug_frac: 0.5,
         // Correct & Smooth runs distributedly after training, reusing
@@ -47,7 +50,10 @@ fn main() {
     );
     let report = train(&dataset, &partitioning, CostModel::default(), &cfg);
 
-    println!("\nfinal loss:          {:.4}", report.losses.last().unwrap());
+    println!(
+        "\nfinal loss:          {:.4}",
+        report.losses.last().unwrap()
+    );
     println!("val accuracy:        {:.1}%", 100.0 * report.val_acc);
     println!("test accuracy:       {:.1}%", 100.0 * report.test_acc);
     let cs = report.test_acc_cs.expect("C&S was enabled");

@@ -36,7 +36,10 @@ fn main() {
 
     let mut outputs = Vec::new();
     let mut grads = Vec::new();
-    for (name, is_fused) in [("standard (DGL-style)", false), ("fused kernel (FAK)", true)] {
+    for (name, is_fused) in [
+        ("standard (DGL-style)", false),
+        ("fused kernel (FAK)", true),
+    ] {
         let h = Var::parameter(x.clone());
         MemoryTracker::reset_peak();
         let base = MemoryTracker::stats().current_bytes;

@@ -48,7 +48,10 @@ fn main() {
         },
         epochs: 30,
         lr: 0.01,
-        schedule: LrSchedule::StepDecay { every: 15, gamma: 0.5 },
+        schedule: LrSchedule::StepDecay {
+            every: 15,
+            gamma: 0.5,
+        },
         label_aug: true,
         aug_frac: 0.5,
         cs: None,

@@ -21,9 +21,16 @@
 //!   --prefetch                    3/N prefetching fetches
 //!   --partitioner ml|random|range|bfs                             (ml)
 //!   --save-model PATH             checkpoint final parameters
+//!   --report-json PATH            write the per-worker observability
+//!                                 RunReport (phase/layer comm ledger,
+//!                                 memory peaks, timings) as JSON
 //!   --seed N                                                      (0)
 //! ```
+//!
+//! Exits with status 1 if training diverged (non-finite loss) — after
+//! writing the report, so CI can archive the evidence.
 
+use sar::bench::report::RunReport;
 use sar::comm::CostModel;
 use sar::core::{checkpoint, train, Arch, Mode, ModelConfig, TrainConfig};
 use sar::graph::{datasets, io, Dataset};
@@ -49,6 +56,7 @@ struct Args {
     prefetch: bool,
     partitioner: String,
     save_model: Option<String>,
+    report_json: Option<String>,
     seed: u64,
 }
 
@@ -73,6 +81,7 @@ impl Default for Args {
             prefetch: false,
             partitioner: "ml".into(),
             save_model: None,
+            report_json: None,
             seed: 0,
         }
     }
@@ -114,6 +123,7 @@ fn parse_args() -> Args {
             "--prefetch" => args.prefetch = true,
             "--partitioner" => args.partitioner = value(),
             "--save-model" => args.save_model = Some(value()),
+            "--report-json" => args.report_json = Some(value()),
             "--seed" => args.seed = value().parse().unwrap_or_else(|_| fail("--seed")),
             "--help" | "-h" => {
                 eprintln!("see the doc comment at the top of src/bin/sar-train.rs");
@@ -148,8 +158,12 @@ fn main() {
         other => fail(&format!("unknown mode {other}")),
     };
     let arch = match args.arch.as_str() {
-        "sage" => Arch::GraphSage { hidden: args.hidden },
-        "gcn" => Arch::Gcn { hidden: args.hidden },
+        "sage" => Arch::GraphSage {
+            hidden: args.hidden,
+        },
+        "gcn" => Arch::Gcn {
+            hidden: args.hidden,
+        },
         "gat" => Arch::Gat {
             head_dim: args.hidden,
             heads: args.heads,
@@ -239,5 +253,22 @@ fn main() {
         checkpoint::save_raw_params(&report.final_params, file)
             .unwrap_or_else(|e| fail(&format!("cannot save model: {e}")));
         println!("saved trained parameters to {path}");
+    }
+
+    let json_report = RunReport::from_train(
+        format!("sar-train/{}", dataset.name),
+        &args.arch,
+        &args.mode,
+        &report,
+    );
+    if let Some(path) = &args.report_json {
+        json_report
+            .write_json(path)
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        println!("wrote observability report to {path}");
+    }
+    if json_report.has_non_finite_loss() {
+        eprintln!("sar-train: training diverged (non-finite loss)");
+        std::process::exit(1);
     }
 }

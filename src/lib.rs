@@ -21,9 +21,13 @@
 //!   sequential-aggregation forward pass (Algorithm 1), the
 //!   rematerializing backward pass (Algorithm 2), the vanilla
 //!   domain-parallel baseline, and the full-batch trainer.
+//! * [`bench`] — the experiment harness reproducing the paper's tables
+//!   and figures, plus machine-readable [`bench::report::RunReport`]
+//!   JSON for CI.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
+pub use sar_bench as bench;
 pub use sar_comm as comm;
 pub use sar_core as core;
 pub use sar_graph as graph;

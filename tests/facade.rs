@@ -48,11 +48,7 @@ fn memory_scales_down_with_workers() {
     // The paper's 2/N law: per-worker peak memory must shrink
     // substantially as workers are added.
     let d = datasets::products_like(1200, 1);
-    let cfg = tiny_cfg(
-        Arch::GraphSage { hidden: 64 },
-        Mode::Sar,
-        d.num_classes,
-    );
+    let cfg = tiny_cfg(Arch::GraphSage { hidden: 64 }, Mode::Sar, d.num_classes);
     let mut cfg = cfg;
     cfg.epochs = 2;
     let peak = |world: usize| {
@@ -70,7 +66,12 @@ fn memory_scales_down_with_workers() {
 #[test]
 fn all_partitioners_compose_with_training() {
     let d = datasets::products_like(250, 2);
-    for method in [Method::Multilevel, Method::Random, Method::Range, Method::Bfs] {
+    for method in [
+        Method::Multilevel,
+        Method::Random,
+        Method::Range,
+        Method::Bfs,
+    ] {
         let p = partition(&d.graph, 2, method, 0);
         let cfg = tiny_cfg(Arch::GraphSage { hidden: 8 }, Mode::Sar, d.num_classes);
         let run = train(&d, &p, CostModel::default(), &cfg);

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+#![allow(non_camel_case_types)]
+
+//! Offline stand-in for the `libc` crate.
+//!
+//! Declares exactly the C interface the workspace uses: per-thread CPU
+//! clock reads via `clock_gettime(CLOCK_THREAD_CPUTIME_ID, ..)`. The
+//! symbols come from the platform libc that std already links.
+
+/// C `int`.
+pub type c_int = i32;
+
+/// C `long` (LP64: 64-bit on the Linux targets this workspace builds for).
+pub type c_long = i64;
+
+/// Seconds-since-epoch type of [`timespec`].
+pub type time_t = i64;
+
+/// Identifier of the calling thread's CPU-time clock (Linux value).
+pub const CLOCK_THREAD_CPUTIME_ID: c_int = 3;
+
+/// Identifier of the monotonic clock (Linux value).
+pub const CLOCK_MONOTONIC: c_int = 1;
+
+/// C `struct timespec`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct timespec {
+    /// Whole seconds.
+    pub tv_sec: time_t,
+    /// Nanoseconds in `[0, 1e9)`.
+    pub tv_nsec: c_long,
+}
+
+#[cfg(unix)]
+extern "C" {
+    /// Reads clock `clockid` into `tp`; returns 0 on success.
+    pub fn clock_gettime(clockid: c_int, tp: *mut timespec) -> c_int;
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_cpu_clock_reads() {
+        let mut ts = timespec {
+            tv_sec: 0,
+            tv_nsec: 0,
+        };
+        let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+        assert_eq!(rc, 0);
+        assert!(ts.tv_sec >= 0);
+        assert!((0..1_000_000_000).contains(&ts.tv_nsec));
+    }
+}

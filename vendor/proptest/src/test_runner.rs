@@ -1,0 +1,75 @@
+//! Configuration, errors, and the deterministic case generator.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// How many cases each property runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of randomized cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case failed.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed with the given message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// Result type property bodies are rewritten into by [`crate::proptest!`].
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic per-case random source.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Builds the generator for (test name, case index) — identical across
+    /// runs and machines so failures reproduce.
+    pub fn deterministic(name: &str, case: u32) -> Self {
+        // FNV-1a over the fully qualified test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(
+            h ^ ((case as u64) << 32 | case as u64),
+        ))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
