@@ -16,10 +16,16 @@
 //!                       writes per-worker RunReport JSON (--out DIR) and
 //!                       exits non-zero on NaN loss or a ledger-invariant
 //!                       violation (Sage backward must add zero fetch
-//!                       bytes; GAT must re-fetch what the forward fetched)
+//!                       bytes; GAT must re-fetch what the forward fetched).
+//!                       With --transport tcp the same workloads run as 4
+//!                       real OS processes over TCP loopback (spawned via
+//!                       the sar-worker binary) and are gated on the same
+//!                       invariants
 //!   all                 everything above except smoke
 //!
 //! flags:
+//!   --transport sim|tcp  smoke backend: in-process simulated cluster or
+//!                        one OS process per rank over TCP    (sim)
 //!   --products-nodes N   products-like size     (default 4000)
 //!   --papers-nodes N     papers-like size       (default 8000)
 //!   --epochs N           accuracy-run epochs    (default 40)
@@ -36,16 +42,15 @@ use sar_bench::experiments::{
     ablation_partition, ablation_prefetch, ablation_softmax, exactness, fig2, scaling, table1,
     ExpConfig, Workload,
 };
-use sar_bench::report::{mib, RunReport, Table};
-use sar_core::{train, Arch, Mode, ModelConfig, TrainConfig};
-use sar_graph::datasets;
-use sar_nn::LrSchedule;
-use sar_partition::multilevel;
+use sar_bench::report::RunReport;
+use sar_bench::{launcher, smoke};
+use sar_core::{train, Arch};
 
-fn parse_flags(args: &[String]) -> (ExpConfig, Option<Vec<usize>>, Option<String>) {
+fn parse_flags(args: &[String]) -> (ExpConfig, Option<Vec<usize>>, Option<String>, String) {
     let mut cfg = ExpConfig::default();
     let mut worlds = None;
     let mut out = None;
+    let mut transport = "sim".to_string();
     let mut i = 0;
     while i < args.len() {
         let key = args[i].as_str();
@@ -79,6 +84,12 @@ fn parse_flags(args: &[String]) -> (ExpConfig, Option<Vec<usize>>, Option<String
             worlds = Some(v.split(',').map(|x| x.parse().expect("--worlds")).collect());
         } else if let Some(v) = take("--out") {
             out = Some(v);
+        } else if let Some(v) = take("--transport") {
+            if v != "sim" && v != "tcp" {
+                eprintln!("--transport must be sim or tcp, not {v}");
+                std::process::exit(2);
+            }
+            transport = v;
         } else if let Some(v) = take("--seed") {
             cfg.seed = v.parse().expect("--seed");
         } else {
@@ -87,7 +98,7 @@ fn parse_flags(args: &[String]) -> (ExpConfig, Option<Vec<usize>>, Option<String
         }
         i += 1;
     }
-    (cfg, worlds, out)
+    (cfg, worlds, out, transport)
 }
 
 // ----------------------------------------------------------------------
@@ -96,134 +107,38 @@ fn parse_flags(args: &[String]) -> (ExpConfig, Option<Vec<usize>>, Option<String
 
 /// Scaled-down 4-worker GraphSage and GAT training runs whose
 /// observability ledgers are checked against the paper's communication
-/// claims. Returns the violations found (empty = gate passes).
-fn smoke(cfg: &ExpConfig, out_dir: Option<&str>) -> Vec<String> {
-    const WORLD: usize = 4;
-    const EPOCHS: usize = 3;
+/// claims. The workloads and the invariants live in [`sar_bench::smoke`],
+/// shared verbatim with the TCP backend. Returns the violations found
+/// (empty = gate passes).
+fn smoke_sim(cfg: &ExpConfig, out_dir: Option<&str>) -> Vec<String> {
     let nodes = cfg.products_nodes.min(1500);
-    let dataset = datasets::products_like(nodes, cfg.seed);
-    let part = multilevel(&dataset.graph, WORLD, cfg.seed);
     let mut violations = Vec::new();
-
-    if let Some(dir) = out_dir {
-        if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("[repro] cannot create {dir}: {e}");
-            std::process::exit(2);
-        }
-    }
-
-    let runs: [(&str, &str, &str, Arch, Mode); 2] = [
-        (
-            "smoke-sage",
-            "sage",
-            "sar",
-            Arch::GraphSage { hidden: 64 },
-            Mode::Sar,
-        ),
-        (
-            "smoke-gat",
-            "gat",
-            "sar-fak",
-            Arch::Gat {
-                head_dim: 16,
-                heads: 4,
-            },
-            Mode::SarFused,
-        ),
-    ];
-    for (exp, arch_name, mode_name, arch, mode) in runs {
-        let tcfg = TrainConfig {
-            model: ModelConfig {
-                arch,
-                mode,
-                layers: 3,
-                in_dim: 0,
-                num_classes: dataset.num_classes,
-                dropout: 0.3,
-                batch_norm: true,
-                jumping_knowledge: false,
-                seed: cfg.seed,
-            },
-            epochs: EPOCHS,
-            lr: 0.01,
-            schedule: LrSchedule::Constant,
-            label_aug: true,
-            aug_frac: 0.5,
-            // No Correct & Smooth: its propagation rounds would fold extra
-            // fetch traffic into the forward-fetch ledger and blur the
-            // forward/backward volume comparison below.
-            cs: None,
-            prefetch: false,
-            seed: cfg.seed,
+    for arch_name in ["sage", "gat"] {
+        let wl = smoke::workload(arch_name, nodes, cfg.seed);
+        let exp = format!("smoke-{arch_name}");
+        let (dataset, part) = match wl.build_data(smoke::WORLD) {
+            Ok(dp) => dp,
+            Err(e) => {
+                violations.push(format!("{exp}: {e}"));
+                continue;
+            }
         };
-        eprintln!("[repro] smoke: training {arch_name}/{mode_name} on {WORLD} workers ...");
-        let run = train(&dataset, &part, cfg.cost_model(), &tcfg);
-        let report = RunReport::from_train(exp, arch_name, mode_name, &run);
-
-        let mut t = Table::new(
-            format!("smoke — {arch_name} per-worker ledger (MiB received)"),
-            &[
-                "rank",
-                "fwd fetch",
-                "bwd refetch",
-                "grad routing",
-                "collective",
-                "peak MiB",
-            ],
+        let tcfg = match wl.train_config(&dataset) {
+            Ok(t) => t,
+            Err(e) => {
+                violations.push(format!("{exp}: {e}"));
+                continue;
+            }
+        };
+        eprintln!(
+            "[repro] smoke: training {arch_name}/{} on {} workers ...",
+            wl.mode,
+            smoke::WORLD
         );
-        for w in &report.workers {
-            t.row(vec![
-                w.rank.to_string(),
-                mib(w.phase_sum("forward_fetch", |p| p.recv_bytes) as usize),
-                mib(w.phase_sum("backward_refetch", |p| p.recv_bytes) as usize),
-                mib(w.phase_sum("grad_routing", |p| p.recv_bytes) as usize),
-                mib(w.phase_sum("collective", |p| p.recv_bytes) as usize),
-                mib(w.steady_peak_bytes),
-            ]);
-        }
-        t.print();
-
-        if report.has_non_finite_loss() {
-            violations.push(format!(
-                "{exp}: non-finite training loss {:?}",
-                report.losses
-            ));
-        }
-        for w in &report.workers {
-            let fwd = w.phase_sum("forward_fetch", |p| p.recv_bytes);
-            let refetch_recv = w.phase_sum("backward_refetch", |p| p.recv_bytes);
-            let refetch_sent = w.phase_sum("backward_refetch", |p| p.sent_bytes);
-            if fwd == 0 {
-                violations.push(format!("{exp}: rank {} fetched zero forward bytes", w.rank));
-            }
-            match arch_name {
-                // Case 1: the backward pass must add no fetch traffic.
-                "sage" => {
-                    if refetch_recv + refetch_sent != 0 {
-                        violations.push(format!(
-                            "{exp}: rank {} sage backward refetched {refetch_recv}B recv / \
-                             {refetch_sent}B sent (expected 0)",
-                            w.rank
-                        ));
-                    }
-                }
-                // Case 2: each of the EPOCHS backward passes re-fetches
-                // exactly what one of the EPOCHS+1 forward passes (the
-                // extra one is evaluation) fetched.
-                _ => {
-                    let expected = fwd as f64 * EPOCHS as f64 / (EPOCHS + 1) as f64;
-                    let rel = (refetch_recv as f64 - expected).abs() / expected.max(1.0);
-                    if refetch_recv == 0 || rel > 0.02 {
-                        violations.push(format!(
-                            "{exp}: rank {} gat refetched {refetch_recv}B, expected ~{expected:.0}B \
-                             (rel err {rel:.4})",
-                            w.rank
-                        ));
-                    }
-                }
-            }
-        }
-
+        let run = train(&dataset, &part, cfg.cost_model(), &tcfg);
+        let report = RunReport::from_train(&exp, arch_name, &wl.mode, &run);
+        smoke::ledger_table(&report).print();
+        violations.extend(smoke::violations(&report, wl.epochs));
         if let Some(dir) = out_dir {
             let path = format!("{dir}/{exp}.json");
             match report.write_json(&path) {
@@ -233,6 +148,56 @@ fn smoke(cfg: &ExpConfig, out_dir: Option<&str>) -> Vec<String> {
         }
     }
     violations
+}
+
+/// The same smoke workloads as real OS processes: one `sar-worker`
+/// process per rank over TCP loopback. Rank 0 of each run gathers the
+/// ledgers, applies the same invariants (`--check smoke`) and writes the
+/// same RunReport JSON; any rank failure or invariant violation surfaces
+/// here as a non-zero child exit.
+fn smoke_tcp(cfg: &ExpConfig, out_dir: Option<&str>) -> Vec<String> {
+    let nodes = cfg.products_nodes.min(1500);
+    let exe = match launcher::sibling_binary("sar-worker") {
+        Ok(exe) => exe,
+        Err(e) => return vec![format!("smoke-tcp: {e}")],
+    };
+    let mut violations = Vec::new();
+    for arch_name in ["sage", "gat"] {
+        let wl = smoke::workload(arch_name, nodes, cfg.seed);
+        let exp = format!("smoke-{arch_name}");
+        let mut args = wl.to_args();
+        args.extend([
+            "--check".to_string(),
+            "smoke".to_string(),
+            "--experiment".to_string(),
+            exp.clone(),
+        ]);
+        if let Some(dir) = out_dir {
+            args.extend(["--out".to_string(), format!("{dir}/{exp}.json")]);
+        }
+        eprintln!(
+            "[repro] smoke: training {arch_name}/{} on {} OS processes over TCP ...",
+            wl.mode,
+            smoke::WORLD
+        );
+        if let Err(e) = launcher::spawn_ranks(&exe, smoke::WORLD, &args) {
+            violations.push(format!("{exp}: {e}"));
+        }
+    }
+    violations
+}
+
+fn smoke(cfg: &ExpConfig, out_dir: Option<&str>, transport: &str) -> Vec<String> {
+    if let Some(dir) = out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("[repro] cannot create {dir}: {e}");
+            std::process::exit(2);
+        }
+    }
+    match transport {
+        "tcp" => smoke_tcp(cfg, out_dir),
+        _ => smoke_sim(cfg, out_dir),
+    }
 }
 
 fn run(name: &str, cfg: &ExpConfig, worlds: Option<&[usize]>) {
@@ -291,15 +256,15 @@ fn main() {
         eprintln!("usage: repro <experiment|all> [flags] — see crate docs");
         std::process::exit(2);
     }
-    let (cfg, worlds, out) = parse_flags(&args[1..]);
+    let (cfg, worlds, out, transport) = parse_flags(&args[1..]);
     eprintln!(
         "[repro] products-like n={}, papers-like n={}, epochs={}, timing-epochs={}, bw-scale={}",
         cfg.products_nodes, cfg.papers_nodes, cfg.epochs, cfg.timing_epochs, cfg.bandwidth_scale
     );
     if args[0] == "smoke" {
-        let violations = smoke(&cfg, out.as_deref());
+        let violations = smoke(&cfg, out.as_deref(), &transport);
         if violations.is_empty() {
-            eprintln!("[repro] smoke: all ledger invariants hold");
+            eprintln!("[repro] smoke ({transport}): all ledger invariants hold");
         } else {
             for v in &violations {
                 eprintln!("[repro] smoke VIOLATION: {v}");

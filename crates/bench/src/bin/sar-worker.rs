@@ -1,0 +1,251 @@
+//! `sar-worker` — one OS process per rank for real TCP training runs.
+//!
+//! ```text
+//! sar-worker --spawn-local N [workload flags]      # launcher mode
+//! sar-worker --rank R --world N --rendezvous-file PATH [workload flags]
+//!
+//! workload flags (identical on every rank — each process rebuilds the
+//! dataset, partitioning and model deterministically from them):
+//!   --dataset products|papers    synthetic stand-in        (products)
+//!   --nodes N                    stand-in size             (1500)
+//!   --arch sage|gcn|gat          model architecture        (sage)
+//!   --hidden N                   hidden size / GAT head dim (64)
+//!   --heads N                    GAT attention heads       (4)
+//!   --mode sar|sar-fak|dp        execution mode            (sar)
+//!   --layers N                   GNN depth                 (3)
+//!   --jk                         jumping-knowledge skips
+//!   --epochs N                   training epochs           (3)
+//!   --lr X                       base learning rate        (0.01)
+//!   --dropout X                  dropout probability       (0.3)
+//!   --no-label-aug               disable masked label prediction
+//!   --aug-frac X                 label-augmentation fraction (0.5)
+//!   --cs                         Correct & Smooth post-processing
+//!   --prefetch                   3/N prefetching fetches
+//!   --partitioner ml|random|range|bfs               (ml)
+//!   --schedule constant|step     learning-rate schedule (constant)
+//!   --seed N                                        (0)
+//!
+//! rank-0-only outputs:
+//!   --experiment NAME            report label       (<arch>-<mode>)
+//!   --out PATH                   write the gathered RunReport JSON
+//!   --check smoke                apply the smoke ledger invariants to
+//!                                the gathered report; exit 1 on any
+//!                                violation
+//!
+//! other:
+//!   --rendezvous-timeout-secs N  poll budget for the rendezvous file (60)
+//! ```
+//!
+//! In `--spawn-local N` mode the binary re-execs itself once per rank
+//! (via `std::env::current_exe`), wires the ranks together through a
+//! fresh rendezvous file in the temp directory, waits for all children,
+//! and exits non-zero if any rank does. Rank 0 gathers every rank's
+//! per-phase communication ledger over the data plane after training and
+//! assembles the same `RunReport` JSON the simulated backend writes.
+
+use std::time::Duration;
+
+use sar_bench::distrun::{run_rank, RankOpts, Workload};
+use sar_bench::{launcher, smoke};
+
+struct Cli {
+    spawn_local: Option<usize>,
+    rank: Option<usize>,
+    world: Option<usize>,
+    rendezvous_file: Option<std::path::PathBuf>,
+    rendezvous_timeout: Duration,
+    experiment: Option<String>,
+    out: Option<String>,
+    check: Option<String>,
+    workload: Workload,
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("sar-worker: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        spawn_local: None,
+        rank: None,
+        world: None,
+        rendezvous_file: None,
+        rendezvous_timeout: Duration::from_secs(60),
+        experiment: None,
+        out: None,
+        check: None,
+        workload: Workload::default(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let mut value = || -> String {
+            i += 1;
+            argv.get(i)
+                .cloned()
+                .unwrap_or_else(|| fail(&format!("missing value for {flag}")))
+        };
+        let w = &mut cli.workload;
+        match flag {
+            "--spawn-local" => {
+                cli.spawn_local = Some(value().parse().unwrap_or_else(|_| fail("--spawn-local")))
+            }
+            "--rank" => cli.rank = Some(value().parse().unwrap_or_else(|_| fail("--rank"))),
+            "--world" => cli.world = Some(value().parse().unwrap_or_else(|_| fail("--world"))),
+            "--rendezvous-file" => cli.rendezvous_file = Some(value().into()),
+            "--rendezvous-timeout-secs" => {
+                cli.rendezvous_timeout = Duration::from_secs(
+                    value()
+                        .parse()
+                        .unwrap_or_else(|_| fail("--rendezvous-timeout-secs")),
+                )
+            }
+            "--experiment" => cli.experiment = Some(value()),
+            "--out" => cli.out = Some(value()),
+            "--check" => cli.check = Some(value()),
+            "--dataset" => w.dataset = value(),
+            "--nodes" => w.nodes = value().parse().unwrap_or_else(|_| fail("--nodes")),
+            "--arch" => w.arch = value(),
+            "--hidden" => w.hidden = value().parse().unwrap_or_else(|_| fail("--hidden")),
+            "--heads" => w.heads = value().parse().unwrap_or_else(|_| fail("--heads")),
+            "--mode" => w.mode = value(),
+            "--layers" => w.layers = value().parse().unwrap_or_else(|_| fail("--layers")),
+            "--jk" => w.jk = true,
+            "--epochs" => w.epochs = value().parse().unwrap_or_else(|_| fail("--epochs")),
+            "--lr" => w.lr = value().parse().unwrap_or_else(|_| fail("--lr")),
+            "--dropout" => w.dropout = value().parse().unwrap_or_else(|_| fail("--dropout")),
+            "--no-label-aug" => w.label_aug = false,
+            "--aug-frac" => w.aug_frac = value().parse().unwrap_or_else(|_| fail("--aug-frac")),
+            "--cs" => w.cs = true,
+            "--prefetch" => w.prefetch = true,
+            "--partitioner" => w.partitioner = value(),
+            "--schedule" => w.schedule = value(),
+            "--seed" => w.seed = value().parse().unwrap_or_else(|_| fail("--seed")),
+            "--help" | "-h" => {
+                eprintln!("see the doc comment at the top of crates/bench/src/bin/sar-worker.rs");
+                std::process::exit(0);
+            }
+            other => fail(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if let Some(check) = &cli.check {
+        if check != "smoke" {
+            fail(&format!("unknown --check {check} (only: smoke)"));
+        }
+    }
+    cli
+}
+
+/// `--spawn-local N`: re-exec this binary once per rank and wait.
+fn spawn_local(n: usize, cli: &Cli) -> ! {
+    if n == 0 {
+        fail("--spawn-local needs at least one rank");
+    }
+    let exe = std::env::current_exe()
+        .unwrap_or_else(|e| fail(&format!("cannot locate own executable: {e}")));
+    let mut args = cli.workload.to_args();
+    args.extend([
+        "--rendezvous-timeout-secs".to_string(),
+        cli.rendezvous_timeout.as_secs().to_string(),
+    ]);
+    if let Some(exp) = &cli.experiment {
+        args.extend(["--experiment".to_string(), exp.clone()]);
+    }
+    if let Some(out) = &cli.out {
+        args.extend(["--out".to_string(), out.clone()]);
+    }
+    if let Some(check) = &cli.check {
+        args.extend(["--check".to_string(), check.clone()]);
+    }
+    eprintln!(
+        "[sar-worker] spawning {n} local rank processes ({} / {} on {} nodes) ...",
+        cli.workload.arch, cli.workload.mode, cli.workload.nodes
+    );
+    match launcher::spawn_ranks(&exe, n, &args) {
+        Ok(()) => {
+            eprintln!("[sar-worker] all {n} ranks completed");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("[sar-worker] launch failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let cli = parse_cli();
+    if let Some(n) = cli.spawn_local {
+        if cli.rank.is_some() || cli.rendezvous_file.is_some() {
+            fail("--spawn-local is exclusive with --rank/--rendezvous-file");
+        }
+        spawn_local(n, &cli);
+    }
+
+    let rank = cli
+        .rank
+        .unwrap_or_else(|| fail("--rank is required (or use --spawn-local N)"));
+    let world = cli.world.unwrap_or_else(|| fail("--world is required"));
+    let rendezvous_file = cli
+        .rendezvous_file
+        .clone()
+        .unwrap_or_else(|| fail("--rendezvous-file is required"));
+    let experiment = cli
+        .experiment
+        .clone()
+        .unwrap_or_else(|| format!("{}-{}", cli.workload.arch, cli.workload.mode));
+    let opts = RankOpts {
+        rank,
+        world,
+        rendezvous_file,
+        rendezvous_timeout: cli.rendezvous_timeout,
+        experiment,
+    };
+
+    match run_rank(&opts, &cli.workload) {
+        Ok(None) => {} // ranks 1..N: results were shipped to rank 0
+        Ok(Some(report)) => {
+            smoke::ledger_table(&report).print();
+            println!(
+                "losses {:?} | val {:.2}% | test {:.2}%",
+                report.losses,
+                100.0 * report.val_acc,
+                100.0 * report.test_acc
+            );
+            if let Some(path) = &cli.out {
+                if let Some(dir) = std::path::Path::new(path).parent() {
+                    if !dir.as_os_str().is_empty() {
+                        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+                            fail(&format!("cannot create {}: {e}", dir.display()))
+                        });
+                    }
+                }
+                report
+                    .write_json(path)
+                    .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+                eprintln!("[sar-worker] wrote {path}");
+            }
+            if cli.check.as_deref() == Some("smoke") {
+                let violations = smoke::violations(&report, cli.workload.epochs);
+                if !violations.is_empty() {
+                    for v in &violations {
+                        eprintln!("[sar-worker] smoke VIOLATION: {v}");
+                    }
+                    std::process::exit(1);
+                }
+                eprintln!("[sar-worker] smoke: all ledger invariants hold over TCP");
+            }
+            if report.has_non_finite_loss() {
+                eprintln!("sar-worker: training diverged (non-finite loss)");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("sar-worker: {e}");
+            std::process::exit(1);
+        }
+    }
+}

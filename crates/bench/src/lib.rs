@@ -25,6 +25,16 @@
 //! max_p(simulated α–β communication seconds)`; peak memory is the real
 //! per-worker-thread live tensor high-water mark. Default sizes target a
 //! small CI machine; scale up with `--nodes`.
+//!
+//! Besides the simulated in-process cluster, the harness can run real
+//! multi-process training over TCP loopback: [`launcher`] spawns one
+//! `sar-worker` OS process per rank, [`distrun`] is the per-rank
+//! lifecycle (rebuild state from flags → rendezvous → train → gather),
+//! and [`smoke`] holds the CI gate's workloads and ledger invariants,
+//! shared verbatim between both backends.
 
+pub mod distrun;
 pub mod experiments;
+pub mod launcher;
 pub mod report;
+pub mod smoke;

@@ -115,7 +115,7 @@ pub struct PhaseRow {
     /// Messages received from remote peers.
     pub recv_messages: u64,
     /// Simulated α–β communication time charged, microseconds.
-    pub sim_comm_us: f64,
+    pub comm_us: f64,
     /// Exclusive CPU time spent under this cell, microseconds.
     pub cpu_us: f64,
     /// Peak live tensor bytes observed inside this cell's scopes.
@@ -134,12 +134,42 @@ pub struct WorkerProfile {
     /// Total bytes received over the whole run.
     pub total_recv_bytes: u64,
     /// Total simulated communication time, microseconds.
-    pub sim_comm_us: f64,
+    pub comm_us: f64,
     /// The per-phase / per-layer ledger rows, in ledger order.
     pub phases: Vec<PhaseRow>,
 }
 
 impl WorkerProfile {
+    /// Lifts one worker's [`sar_comm::CommStats`] (plus its measured
+    /// steady-state memory peak) into the serializable profile. Used both
+    /// by [`RunReport::from_train`] for in-process runs and by the
+    /// multi-process launcher, which gathers each rank's stats over the
+    /// wire.
+    pub fn from_stats(rank: usize, steady_peak_bytes: usize, comm: &sar_comm::CommStats) -> Self {
+        WorkerProfile {
+            rank,
+            steady_peak_bytes,
+            total_sent_bytes: comm.total_sent(),
+            total_recv_bytes: comm.recv_bytes,
+            comm_us: comm.comm_us,
+            phases: comm
+                .ledger
+                .rows()
+                .map(|(phase, layer, e)| PhaseRow {
+                    phase: phase.name(),
+                    layer,
+                    sent_bytes: e.sent_bytes,
+                    recv_bytes: e.recv_bytes,
+                    sent_messages: e.sent_messages,
+                    recv_messages: e.recv_messages,
+                    comm_us: e.comm_us,
+                    cpu_us: e.cpu_us,
+                    peak_tensor_bytes: e.peak_tensor_bytes,
+                })
+                .collect(),
+        }
+    }
+
     /// Sums `f` over this worker's ledger rows in the given phase.
     pub fn phase_sum(&self, phase: &str, f: impl Fn(&PhaseRow) -> u64) -> u64 {
         self.phases.iter().filter(|r| r.phase == phase).map(f).sum()
@@ -196,27 +226,12 @@ impl RunReport {
             .worker_comm
             .iter()
             .enumerate()
-            .map(|(rank, comm)| WorkerProfile {
-                rank,
-                steady_peak_bytes: run.peak_bytes.get(rank).copied().unwrap_or(0),
-                total_sent_bytes: comm.total_sent(),
-                total_recv_bytes: comm.recv_bytes,
-                sim_comm_us: comm.sim_comm_us,
-                phases: comm
-                    .ledger
-                    .rows()
-                    .map(|(phase, layer, e)| PhaseRow {
-                        phase: phase.name(),
-                        layer,
-                        sent_bytes: e.sent_bytes,
-                        recv_bytes: e.recv_bytes,
-                        sent_messages: e.sent_messages,
-                        recv_messages: e.recv_messages,
-                        sim_comm_us: e.sim_comm_us,
-                        cpu_us: e.cpu_us,
-                        peak_tensor_bytes: e.peak_tensor_bytes,
-                    })
-                    .collect(),
+            .map(|(rank, comm)| {
+                WorkerProfile::from_stats(
+                    rank,
+                    run.peak_bytes.get(rank).copied().unwrap_or(0),
+                    comm,
+                )
             })
             .collect();
         RunReport {
@@ -256,11 +271,11 @@ impl RunReport {
     ///   "val_acc": 0.9, "test_acc": 0.9, "test_acc_cs": null,
     ///   "workers": [
     ///     {"rank": 0, "steady_peak_bytes": 0, "total_sent_bytes": 0,
-    ///      "total_recv_bytes": 0, "sim_comm_us": 0.0,
+    ///      "total_recv_bytes": 0, "comm_us": 0.0,
     ///      "phases": [
     ///        {"phase": "forward_fetch", "layer": 0, "sent_bytes": 0,
     ///         "recv_bytes": 0, "sent_messages": 0, "recv_messages": 0,
-    ///         "sim_comm_us": 0.0, "cpu_us": 0.0, "peak_tensor_bytes": 0}
+    ///         "comm_us": 0.0, "cpu_us": 0.0, "peak_tensor_bytes": 0}
     ///      ]}
     ///   ]
     /// }
@@ -297,12 +312,12 @@ impl RunReport {
             let _ = write!(
                 s,
                 "\"rank\": {}, \"steady_peak_bytes\": {}, \"total_sent_bytes\": {}, \
-                 \"total_recv_bytes\": {}, \"sim_comm_us\": {},",
+                 \"total_recv_bytes\": {}, \"comm_us\": {},",
                 w.rank,
                 w.steady_peak_bytes,
                 w.total_sent_bytes,
                 w.total_recv_bytes,
-                json_f64(w.sim_comm_us)
+                json_f64(w.comm_us)
             );
             s.push_str("\n     \"phases\": [");
             for (j, r) in w.phases.iter().enumerate() {
@@ -313,14 +328,14 @@ impl RunReport {
                     s,
                     "\n       {{\"phase\": {}, \"layer\": {}, \"sent_bytes\": {}, \
                      \"recv_bytes\": {}, \"sent_messages\": {}, \"recv_messages\": {}, \
-                     \"sim_comm_us\": {}, \"cpu_us\": {}, \"peak_tensor_bytes\": {}}}",
+                     \"comm_us\": {}, \"cpu_us\": {}, \"peak_tensor_bytes\": {}}}",
                     json_str(r.phase),
                     r.layer.map_or("null".to_string(), |l| l.to_string()),
                     r.sent_bytes,
                     r.recv_bytes,
                     r.sent_messages,
                     r.recv_messages,
-                    json_f64(r.sim_comm_us),
+                    json_f64(r.comm_us),
                     json_f64(r.cpu_us),
                     r.peak_tensor_bytes,
                 );
@@ -428,7 +443,7 @@ mod tests {
                 steady_peak_bytes: 1024,
                 total_sent_bytes: 64,
                 total_recv_bytes: 32,
-                sim_comm_us: 12.5,
+                comm_us: 12.5,
                 phases: vec![PhaseRow {
                     phase: "forward_fetch",
                     layer: Some(1),
@@ -436,7 +451,7 @@ mod tests {
                     recv_bytes: 32,
                     sent_messages: 2,
                     recv_messages: 1,
-                    sim_comm_us: 12.5,
+                    comm_us: 12.5,
                     cpu_us: 3.0,
                     peak_tensor_bytes: 512,
                 }],

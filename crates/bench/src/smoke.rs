@@ -1,0 +1,232 @@
+//! The CI smoke gate, shared between transports.
+//!
+//! `repro smoke` runs scaled-down 4-worker GraphSage and GAT training
+//! and checks the observability ledgers against the paper's
+//! communication claims (Algorithm 2 cases 1 and 2). The workload
+//! definitions and the invariant checks live here so the in-process
+//! simulated backend (`repro smoke`) and the multi-process TCP backend
+//! (`repro smoke --transport tcp`, which spawns one `sar-worker` process
+//! per rank) gate on *exactly* the same program and the same rules —
+//! any divergence between the backends then fails the same check.
+
+use crate::distrun::Workload;
+use crate::report::{mib, RunReport, Table};
+
+/// Worker count for the smoke runs.
+pub const WORLD: usize = 4;
+/// Epoch count for the smoke runs.
+pub const EPOCHS: usize = 3;
+
+/// The smoke workload for `"sage"` or `"gat"`. `nodes` and `seed` come
+/// from the `repro` flags; everything else is pinned here.
+///
+/// # Panics
+///
+/// Panics on an architecture other than `"sage"` or `"gat"` — the smoke
+/// gate only defines those two.
+pub fn workload(arch: &str, nodes: usize, seed: u64) -> Workload {
+    let base = Workload {
+        dataset: "products".into(),
+        nodes,
+        layers: 3,
+        epochs: EPOCHS,
+        lr: 0.01,
+        dropout: 0.3,
+        label_aug: true,
+        aug_frac: 0.5,
+        // No Correct & Smooth: its propagation rounds would fold extra
+        // fetch traffic into the forward-fetch ledger and blur the
+        // forward/backward volume comparison below.
+        cs: false,
+        prefetch: false,
+        partitioner: "ml".into(),
+        schedule: "constant".into(),
+        seed,
+        ..Workload::default()
+    };
+    match arch {
+        "sage" => Workload {
+            arch: "sage".into(),
+            hidden: 64,
+            mode: "sar".into(),
+            ..base
+        },
+        "gat" => Workload {
+            arch: "gat".into(),
+            hidden: 16,
+            heads: 4,
+            mode: "sar-fak".into(),
+            ..base
+        },
+        other => panic!("smoke workload is only defined for sage and gat, not {other}"),
+    }
+}
+
+/// The per-worker ledger table printed by the smoke gate.
+pub fn ledger_table(report: &RunReport) -> Table {
+    let mut t = Table::new(
+        format!("{} — per-worker ledger (MiB received)", report.experiment),
+        &[
+            "rank",
+            "fwd fetch",
+            "bwd refetch",
+            "grad routing",
+            "collective",
+            "peak MiB",
+        ],
+    );
+    for w in &report.workers {
+        t.row(vec![
+            w.rank.to_string(),
+            mib(w.phase_sum("forward_fetch", |p| p.recv_bytes) as usize),
+            mib(w.phase_sum("backward_refetch", |p| p.recv_bytes) as usize),
+            mib(w.phase_sum("grad_routing", |p| p.recv_bytes) as usize),
+            mib(w.phase_sum("collective", |p| p.recv_bytes) as usize),
+            mib(w.steady_peak_bytes),
+        ]);
+    }
+    t
+}
+
+/// Checks a smoke run's report against the paper's ledger invariants.
+/// Returns the violations found (empty = gate passes):
+///
+/// * any non-finite training loss;
+/// * a rank that fetched zero forward bytes (the partition degenerated);
+/// * `sage` — Algorithm 2 case 1: the backward pass must add **zero**
+///   refetch traffic, sent or received;
+/// * `gat` — Algorithm 2 case 2: each of the `epochs` backward passes
+///   re-fetches exactly what one of the `epochs + 1` forward passes (the
+///   extra one is evaluation) fetched, within 2%.
+pub fn violations(report: &RunReport, epochs: usize) -> Vec<String> {
+    let exp = &report.experiment;
+    let mut violations = Vec::new();
+    if report.has_non_finite_loss() {
+        violations.push(format!(
+            "{exp}: non-finite training loss {:?}",
+            report.losses
+        ));
+    }
+    for w in &report.workers {
+        let fwd = w.phase_sum("forward_fetch", |p| p.recv_bytes);
+        let refetch_recv = w.phase_sum("backward_refetch", |p| p.recv_bytes);
+        let refetch_sent = w.phase_sum("backward_refetch", |p| p.sent_bytes);
+        if fwd == 0 {
+            violations.push(format!("{exp}: rank {} fetched zero forward bytes", w.rank));
+        }
+        match report.arch.as_str() {
+            "sage" if refetch_recv + refetch_sent != 0 => {
+                violations.push(format!(
+                    "{exp}: rank {} sage backward refetched {refetch_recv}B recv / \
+                     {refetch_sent}B sent (expected 0)",
+                    w.rank
+                ));
+            }
+            "gat" => {
+                let expected = fwd as f64 * epochs as f64 / (epochs + 1) as f64;
+                let rel = (refetch_recv as f64 - expected).abs() / expected.max(1.0);
+                if refetch_recv == 0 || rel > 0.02 {
+                    violations.push(format!(
+                        "{exp}: rank {} gat refetched {refetch_recv}B, expected ~{expected:.0}B \
+                         (rel err {rel:.4})",
+                        w.rank
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{PhaseRow, WorkerProfile};
+
+    fn profile(fwd: u64, refetch_recv: u64, refetch_sent: u64) -> WorkerProfile {
+        let row = |phase: &'static str, recv: u64, sent: u64| PhaseRow {
+            phase,
+            layer: None,
+            sent_bytes: sent,
+            recv_bytes: recv,
+            sent_messages: 0,
+            recv_messages: 0,
+            comm_us: 0.0,
+            cpu_us: 0.0,
+            peak_tensor_bytes: 0,
+        };
+        WorkerProfile {
+            rank: 0,
+            steady_peak_bytes: 0,
+            total_sent_bytes: 0,
+            total_recv_bytes: 0,
+            comm_us: 0.0,
+            phases: vec![
+                row("forward_fetch", fwd, fwd),
+                row("backward_refetch", refetch_recv, refetch_sent),
+            ],
+        }
+    }
+
+    fn report(arch: &str, workers: Vec<WorkerProfile>) -> RunReport {
+        RunReport {
+            experiment: "t".into(),
+            arch: arch.into(),
+            mode: "sar".into(),
+            world: workers.len(),
+            losses: vec![1.0, 0.5],
+            epoch_times: vec![0.1, 0.1],
+            val_acc: 0.5,
+            test_acc: 0.5,
+            test_acc_cs: None,
+            workers,
+        }
+    }
+
+    #[test]
+    fn clean_sage_run_passes() {
+        let r = report("sage", vec![profile(4000, 0, 0)]);
+        assert!(violations(&r, EPOCHS).is_empty());
+    }
+
+    #[test]
+    fn sage_refetch_is_flagged() {
+        let r = report("sage", vec![profile(4000, 100, 0)]);
+        let v = violations(&r, EPOCHS);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("sage backward refetched"));
+    }
+
+    #[test]
+    fn gat_ratio_is_enforced() {
+        // 3 backward refetches out of 4 forward fetches: exactly 3/4.
+        let good = report("gat", vec![profile(4000, 3000, 3000)]);
+        assert!(violations(&good, EPOCHS).is_empty());
+        let bad = report("gat", vec![profile(4000, 1000, 1000)]);
+        assert!(!violations(&bad, EPOCHS).is_empty());
+    }
+
+    #[test]
+    fn nan_loss_and_zero_fetch_are_flagged() {
+        let mut r = report("sage", vec![profile(0, 0, 0)]);
+        r.losses = vec![f32::NAN];
+        let v = violations(&r, EPOCHS);
+        assert_eq!(v.len(), 2, "{v:?}");
+    }
+
+    #[test]
+    fn smoke_workloads_pin_the_paper_configs() {
+        let sage = workload("sage", 1500, 0);
+        assert_eq!((sage.arch.as_str(), sage.hidden), ("sage", 64));
+        assert_eq!(sage.mode, "sar");
+        let gat = workload("gat", 1500, 0);
+        assert_eq!((gat.hidden, gat.heads), (16, 4));
+        assert_eq!(gat.mode, "sar-fak");
+        for wl in [sage, gat] {
+            assert_eq!(wl.epochs, EPOCHS);
+            assert!(!wl.cs, "C&S would blur the volume comparison");
+            assert_eq!(wl.schedule, "constant");
+        }
+    }
+}

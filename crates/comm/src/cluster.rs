@@ -3,12 +3,11 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::unbounded;
 use sar_tensor::MemoryTracker;
 
 use crate::ctx::WorkerCtx;
-use crate::message::Message;
 use crate::net::{CommStats, CostModel};
+use crate::transport::ChannelTransport;
 
 /// What one worker produced: its closure result plus measurements.
 #[derive(Debug, Clone)]
@@ -98,29 +97,20 @@ impl Cluster {
     {
         let n = self.world;
         let f = Arc::new(f);
-        let mut senders = Vec::with_capacity(n);
-        let mut receivers = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = unbounded::<Message>();
-            senders.push(tx);
-            receivers.push(rx);
-        }
-        let barrier = Arc::new(std::sync::Barrier::new(n));
+        // Each mesh transport holds a sender clone for every rank, so a
+        // worker that finishes early (dropping its transport) never
+        // invalidates a peer's in-flight send.
+        let mesh = ChannelTransport::mesh(n);
 
         let mut handles = Vec::with_capacity(n);
-        for (rank, receiver) in receivers.into_iter().enumerate() {
+        for (rank, transport) in mesh.into_iter().enumerate() {
             let f = Arc::clone(&f);
-            let barrier = Arc::clone(&barrier);
-            // Every worker can send to every other; the main thread also
-            // keeps a clone of each sender alive (see below) so a worker
-            // that finishes early never invalidates a peer's send.
-            let senders = senders.clone();
             let cost = self.cost;
             let timeout = self.recv_timeout;
             let handle = std::thread::Builder::new()
                 .name(format!("sar-worker-{rank}"))
                 .spawn(move || {
-                    let ctx = WorkerCtx::new(rank, n, senders, receiver, barrier, cost, timeout);
+                    let ctx = WorkerCtx::new(Box::new(transport), cost, timeout);
                     let stats = ctx.share_stats();
                     MemoryTracker::reset_peak();
                     let result = f(ctx);
@@ -145,8 +135,6 @@ impl Cluster {
                 Err(e) => panic = panic.or(Some(e)),
             }
         }
-        // `senders` kept alive until here on purpose.
-        drop(senders);
         if let Some(e) = panic {
             std::panic::resume_unwind(e);
         }
@@ -205,16 +193,19 @@ mod tests {
 
     #[test]
     fn traffic_is_counted_and_charged() {
+        use crate::wire::WIRE_HEADER_LEN;
         let out = Cluster::new(2, CostModel::default()).run(|ctx| {
             let peer = 1 - ctx.rank();
             ctx.send(peer, 0, Payload::F32(vec![0.0; 1000]));
             let _ = ctx.recv(peer, 0);
         });
+        // 4000 payload bytes + the framed-message header.
+        let wire = 4000 + WIRE_HEADER_LEN as u64;
         for o in &out {
-            assert_eq!(o.comm.total_sent(), 4000);
-            assert_eq!(o.comm.recv_bytes, 4000);
-            let expect = CostModel::default().message_cost_us(4000);
-            assert!((o.comm.sim_comm_us - expect).abs() < 1e-9);
+            assert_eq!(o.comm.total_sent(), wire);
+            assert_eq!(o.comm.recv_bytes, wire);
+            let expect = CostModel::default().message_cost_us(wire as usize);
+            assert!((o.comm.comm_us - expect).abs() < 1e-9);
         }
     }
 
@@ -224,7 +215,7 @@ mod tests {
             ctx.send(0, 0, Payload::F32(vec![0.0; 100]));
             let _ = ctx.recv(0, 0);
         });
-        assert_eq!(out[0].comm.sim_comm_us, 0.0);
+        assert_eq!(out[0].comm.comm_us, 0.0);
     }
 
     #[test]

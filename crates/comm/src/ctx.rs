@@ -3,32 +3,35 @@
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
-use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{Receiver, Sender};
 use sar_tensor::MemScope;
 
-use crate::message::{Message, Payload};
+use crate::message::Payload;
 use crate::net::{CommStats, CostModel};
 use crate::phase::Phase;
 use crate::time::thread_cpu_secs;
+use crate::transport::{Clock, Transport};
 
-/// A worker's handle to the simulated cluster.
+/// A worker's handle to the cluster.
 ///
-/// Each worker thread owns exactly one `WorkerCtx`. Point-to-point
-/// messages are tagged; [`WorkerCtx::recv`] matches on `(src, tag)` and
-/// buffers out-of-order arrivals, so independent protocols (per-layer
-/// feature fetches, gradient pushes, collectives) can interleave safely.
+/// Each worker owns exactly one `WorkerCtx`, wrapping one
+/// [`Transport`] backend (in-process channels or TCP — the algorithms
+/// above never see the difference). Point-to-point messages are tagged;
+/// [`WorkerCtx::recv`] matches on `(src, tag)` and buffers out-of-order
+/// arrivals, so independent protocols (per-layer feature fetches, gradient
+/// pushes, collectives) can interleave safely.
+///
+/// All traffic is accounted in [`Payload::wire_len`] bytes — payload plus
+/// the framed-message header — so byte ledgers are identical across
+/// backends. Communication *time* follows the backend's [`Clock`]:
+/// simulated α–β cost on the channel backend, measured wall-clock blocking
+/// time on TCP.
 ///
 /// `WorkerCtx` is intentionally not `Clone`: SAR's algorithms are
 /// bulk-synchronous SPMD, one context per worker.
 pub struct WorkerCtx {
-    rank: usize,
-    world: usize,
-    senders: Vec<Sender<Message>>,
-    receiver: Receiver<Message>,
-    barrier: Arc<std::sync::Barrier>,
+    transport: Box<dyn Transport>,
     cost: CostModel,
     recv_timeout: Duration,
     stats: Rc<RefCell<CommStats>>,
@@ -46,22 +49,14 @@ pub struct WorkerCtx {
 pub(crate) const COLLECTIVE_TAG_BASE: u64 = 1 << 62;
 
 impl WorkerCtx {
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn new(
-        rank: usize,
-        world: usize,
-        senders: Vec<Sender<Message>>,
-        receiver: Receiver<Message>,
-        barrier: Arc<std::sync::Barrier>,
-        cost: CostModel,
-        recv_timeout: Duration,
-    ) -> Self {
+    /// Wraps a transport backend in a worker context.
+    ///
+    /// `recv_timeout` bounds how long a blocked [`WorkerCtx::recv`] waits
+    /// before declaring the protocol dead.
+    pub fn new(transport: Box<dyn Transport>, cost: CostModel, recv_timeout: Duration) -> Self {
+        let world = transport.world_size();
         WorkerCtx {
-            rank,
-            world,
-            senders,
-            receiver,
-            barrier,
+            transport,
             cost,
             recv_timeout,
             stats: Rc::new(RefCell::new(CommStats::new(world))),
@@ -83,12 +78,17 @@ impl WorkerCtx {
 
     /// This worker's rank in `0..world_size`.
     pub fn rank(&self) -> usize {
-        self.rank
+        self.transport.rank()
     }
 
     /// Number of workers in the cluster.
     pub fn world_size(&self) -> usize {
-        self.world
+        self.transport.world_size()
+    }
+
+    /// How the underlying transport accounts communication time.
+    pub fn clock(&self) -> Clock {
+        self.transport.clock()
     }
 
     /// The cluster's α–β cost model.
@@ -180,17 +180,19 @@ impl WorkerCtx {
     /// Sends `payload` to worker `dst` under `tag`.
     ///
     /// Sending to self is allowed (the message loops back through the
-    /// pending buffer) but never charged simulated time. Channels are
-    /// unbounded, so `send` never blocks — protocols where every worker
-    /// sends before receiving cannot deadlock.
+    /// pending buffer, never touching the transport) but never charged
+    /// communication time. Neither backend's `send` blocks on a quiet
+    /// network — protocols where every worker sends before receiving
+    /// cannot deadlock (TCP can block briefly if a socket buffer fills,
+    /// which is backpressure, not a protocol stall).
     ///
     /// # Panics
     ///
-    /// Panics if `dst` is out of range or the destination worker has
-    /// panicked (its channel is disconnected).
+    /// Panics if `dst` is out of range or the destination worker is gone
+    /// (its channel is disconnected / its connection dropped).
     pub fn send(&self, dst: usize, tag: u64, payload: Payload) {
-        assert!(dst < self.world, "destination {dst} out of range");
-        let bytes = payload.byte_len() as u64;
+        assert!(dst < self.world_size(), "destination {dst} out of range");
+        let bytes = payload.wire_len() as u64;
         {
             let mut s = self.stats.borrow_mut();
             s.sent_bytes[dst] += bytes;
@@ -201,35 +203,41 @@ impl WorkerCtx {
             entry.sent_bytes += bytes;
             entry.sent_messages += 1;
         }
-        if dst == self.rank {
+        if dst == self.rank() {
             self.pending
                 .borrow_mut()
-                .entry((self.rank as u32, tag))
+                .entry((self.rank() as u32, tag))
                 .or_default()
                 .push_back(payload);
             return;
         }
-        self.senders[dst]
-            .send(Message {
-                src: self.rank as u32,
-                tag,
-                payload,
-            })
-            .expect("destination worker hung up (panicked?)");
+        self.transport.send(dst, tag, payload).unwrap_or_else(|e| {
+            panic!(
+                "worker {} sending to (dst={dst}, tag={tag}): {e} — \
+                 the destination worker hung up (panicked?)",
+                self.rank()
+            )
+        });
     }
 
     /// Receives the next payload from `src` under `tag`, blocking until it
     /// arrives. Out-of-order messages for other `(src, tag)` pairs are
     /// buffered.
     ///
-    /// Charges this worker `alpha + bytes/beta` of simulated communication
-    /// time unless `src == rank`.
+    /// Charges this worker's ledger communication time unless
+    /// `src == rank`: `alpha + wire_len/beta` of simulated time under
+    /// [`Clock::Simulated`], the measured wall-clock time spent blocked on
+    /// the transport under [`Clock::Wall`].
     ///
     /// # Panics
     ///
-    /// Panics if the cluster has been torn down while waiting.
+    /// Panics if nothing arrives within the receive timeout (a peer died
+    /// or the protocol deadlocked) or the transport reports a peer
+    /// failure.
     pub fn recv(&self, src: usize, tag: u64) -> Payload {
         let key = (src as u32, tag);
+        let wall = self.transport.clock() == Clock::Wall;
+        let mut blocked_us = 0.0f64;
         let payload = loop {
             if let Some(p) = self
                 .pending
@@ -239,16 +247,20 @@ impl WorkerCtx {
             {
                 break p;
             }
+            let start = wall.then(Instant::now);
             let msg = self
-                .receiver
-                .recv_timeout(self.recv_timeout)
+                .transport
+                .recv_any(self.recv_timeout)
                 .unwrap_or_else(|e| {
                     panic!(
                         "worker {} waiting on (src={src}, tag={tag}): {e} — \
-                         a peer likely panicked or the protocol deadlocked",
-                        self.rank
+                         a peer likely panicked, died, or the protocol deadlocked",
+                        self.rank()
                     )
                 });
+            if let Some(start) = start {
+                blocked_us += start.elapsed().as_secs_f64() * 1e6;
+            }
             if (msg.src, msg.tag) == key {
                 break msg.payload;
             }
@@ -258,24 +270,28 @@ impl WorkerCtx {
                 .or_default()
                 .push_back(msg.payload);
         };
-        if src != self.rank {
-            let bytes = payload.byte_len() as u64;
-            let cost_us = self.cost.message_cost_us(payload.byte_len());
+        if src != self.rank() {
+            let bytes = payload.wire_len() as u64;
+            let cost_us = if wall {
+                blocked_us
+            } else {
+                self.cost.message_cost_us(payload.wire_len())
+            };
             let mut s = self.stats.borrow_mut();
             s.recv_bytes += bytes;
-            s.sim_comm_us += cost_us;
+            s.comm_us += cost_us;
             let entry = s
                 .ledger
                 .entry_mut(self.traffic_phase(tag), self.layer.get());
             entry.recv_bytes += bytes;
             entry.recv_messages += 1;
-            entry.sim_comm_us += cost_us;
+            entry.comm_us += cost_us;
         }
         payload
     }
 
     /// `true` if a message from `(src, tag)` is already available without
-    /// blocking (it may sit in the pending buffer or the channel).
+    /// blocking (it may sit in the pending buffer or the transport).
     pub fn try_ready(&self, src: usize, tag: u64) -> bool {
         let key = (src as u32, tag);
         if self
@@ -286,7 +302,15 @@ impl WorkerCtx {
         {
             return true;
         }
-        while let Ok(msg) = self.receiver.try_recv() {
+        loop {
+            let msg = match self.transport.try_recv_any() {
+                Ok(Some(m)) => m,
+                Ok(None) => return false,
+                Err(e) => panic!(
+                    "worker {} polling for (src={src}, tag={tag}): {e}",
+                    self.rank()
+                ),
+            };
             let k = (msg.src, msg.tag);
             self.pending
                 .borrow_mut()
@@ -297,22 +321,28 @@ impl WorkerCtx {
                 return true;
             }
         }
-        false
     }
 
-    /// Blocks until all workers have reached the barrier.
+    /// Blocks until all workers have reached the barrier. Barrier traffic
+    /// is transport-internal: it appears in no byte ledger on any backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a peer dies while the barrier is forming.
     pub fn barrier(&self) {
-        self.barrier.wait();
+        self.transport
+            .barrier()
+            .unwrap_or_else(|e| panic!("worker {} barrier failed: {e}", self.rank()));
     }
 
-    /// Charges extra simulated communication time (used by collectives to
-    /// model algorithms whose step count differs from their message count).
-    pub fn charge_sim_us(&self, us: f64) {
+    /// Charges extra communication time (used by collectives to model
+    /// algorithms whose step count differs from their message count).
+    pub fn charge_comm_us(&self, us: f64) {
         let mut s = self.stats.borrow_mut();
-        s.sim_comm_us += us;
+        s.comm_us += us;
         s.ledger
             .entry_mut(self.phase.get(), self.layer.get())
-            .sim_comm_us += us;
+            .comm_us += us;
     }
 }
 
@@ -363,8 +393,9 @@ impl Drop for LayerScope<'_> {
 impl std::fmt::Debug for WorkerCtx {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkerCtx")
-            .field("rank", &self.rank)
-            .field("world", &self.world)
+            .field("rank", &self.rank())
+            .field("world", &self.world_size())
+            .field("clock", &self.clock())
             .field("phase", &self.phase.get())
             .field("layer", &self.layer.get())
             .finish()
@@ -374,7 +405,10 @@ impl std::fmt::Debug for WorkerCtx {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::WIRE_HEADER_LEN;
     use crate::{Cluster, CostModel};
+
+    const H: u64 = WIRE_HEADER_LEN as u64;
 
     #[test]
     fn traffic_lands_in_the_active_phase() {
@@ -395,14 +429,14 @@ mod tests {
         for o in &out {
             let fetch = o.result.ledger.phase_total(Phase::ForwardFetch);
             let route = o.result.ledger.phase_total(Phase::GradRouting);
-            assert_eq!(fetch.sent_bytes, 1000);
-            assert_eq!(fetch.recv_bytes, 1000);
+            assert_eq!(fetch.sent_bytes, 1000 + H);
+            assert_eq!(fetch.recv_bytes, 1000 + H);
             assert_eq!(fetch.recv_messages, 1);
-            assert_eq!(route.sent_bytes, 500);
-            assert_eq!(route.recv_bytes, 500);
+            assert_eq!(route.sent_bytes, 500 + H);
+            assert_eq!(route.recv_bytes, 500 + H);
             // Ledger splits exactly the totals.
             assert_eq!(fetch.sent_bytes + route.sent_bytes, o.result.total_sent());
-            assert!((fetch.sim_comm_us + route.sim_comm_us - o.result.sim_comm_us).abs() < 1e-9);
+            assert!((fetch.comm_us + route.comm_us - o.result.comm_us).abs() < 1e-9);
         }
     }
 
@@ -473,8 +507,8 @@ mod tests {
         for o in &out {
             let l0 = o.result.ledger.get(Phase::ForwardFetch, Some(0));
             let l1 = o.result.ledger.get(Phase::ForwardFetch, Some(1));
-            assert_eq!(l0.recv_bytes, 400);
-            assert_eq!(l1.recv_bytes, 800);
+            assert_eq!(l0.recv_bytes, 400 + H);
+            assert_eq!(l1.recv_bytes, 800 + H);
         }
     }
 
@@ -506,8 +540,30 @@ mod tests {
             ctx.stats()
         });
         let route = out[0].result.ledger.phase_total(Phase::GradRouting);
-        assert_eq!(route.sent_bytes, 40);
+        assert_eq!(route.sent_bytes, 40 + H);
         assert_eq!(route.recv_bytes, 0);
-        assert_eq!(route.sim_comm_us, 0.0);
+        assert_eq!(route.comm_us, 0.0);
+    }
+
+    #[test]
+    fn tcp_backed_ctx_measures_wall_clock_and_same_bytes() {
+        use crate::tcp::{run_tcp_threads, TcpOpts};
+        let out = run_tcp_threads(2, TcpOpts::default(), |t| {
+            let ctx = WorkerCtx::new(Box::new(t), CostModel::default(), Duration::from_secs(30));
+            assert_eq!(ctx.clock(), Clock::Wall);
+            let peer = 1 - ctx.rank();
+            let _p = ctx.phase_scope(Phase::ForwardFetch);
+            ctx.send(peer, 0, Payload::F32(vec![0.0; 250]));
+            let _ = ctx.recv(peer, 0);
+            ctx.stats()
+        });
+        for stats in &out {
+            let fetch = stats.ledger.phase_total(Phase::ForwardFetch);
+            // Byte ledger identical to the sim backend...
+            assert_eq!(fetch.sent_bytes, 1000 + H);
+            assert_eq!(fetch.recv_bytes, 1000 + H);
+            // ...but time is measured, not modeled.
+            assert!(stats.comm_us >= 0.0);
+        }
     }
 }

@@ -1,22 +1,30 @@
 #![warn(missing_docs)]
 
-//! Simulated distributed runtime — the torch.distributed / OneCCL
-//! substitute for the SAR reproduction.
+//! Distributed runtime — the torch.distributed / OneCCL substitute for
+//! the SAR reproduction.
 //!
-//! The paper runs on a Xeon cluster connected by 200 Gb/s InfiniBand. Here
-//! a [`Cluster`] runs `N` *worker threads* inside one process, connected by
-//! unbounded channels. This preserves everything the paper measures:
+//! The paper runs on a Xeon cluster connected by 200 Gb/s InfiniBand.
+//! Here the training algorithms talk to a pluggable [`Transport`] with
+//! two backends:
 //!
-//! * **Memory** is real: each worker thread's tensor allocations are
-//!   tracked by `sar-tensor`'s thread-local accountant, so per-worker peak
-//!   memory is a direct measurement.
-//! * **Communication time** is simulated: every message is charged to the
-//!   receiving worker under an α–β [`CostModel`] (per-message latency +
-//!   bytes / bandwidth), and every byte is recorded in a traffic matrix.
-//!   Benchmarks report `epoch time = max over workers (measured compute +
-//!   simulated communication)`, which reproduces the paper's
-//!   communication-bound regimes (e.g. GAT+SAR at 128 workers) without
-//!   real network hardware.
+//! * **In-process channels** ([`ChannelTransport`], driven by
+//!   [`Cluster`]): `N` worker threads inside one process, connected by
+//!   unbounded channels. Memory is real (each worker thread's tensor
+//!   allocations are tracked by `sar-tensor`'s thread-local accountant)
+//!   and communication *time* is simulated: every message is charged to
+//!   the receiving worker under an α–β [`CostModel`] (per-message
+//!   latency plus bytes / bandwidth). Benchmarks report `epoch time =
+//!   max over workers (measured compute + simulated communication)`,
+//!   which reproduces the paper's communication-bound regimes (e.g.
+//!   GAT+SAR at 128 workers) without real network hardware.
+//! * **TCP** ([`TcpTransport`]): one OS process per rank exchanging
+//!   length-prefixed, checksummed frames over per-peer sockets, with a
+//!   rank-0 rendezvous that distributes the roster of (ephemeral) listen
+//!   addresses. Communication time is *measured* wall-clock blocking time.
+//!
+//! Byte and message ledgers are identical across backends — both account
+//! traffic in [`Payload::wire_len`] units (payload + frame header) — so a
+//! TCP run can be validated byte-for-byte against a simulated one.
 //!
 //! # Example
 //!
@@ -36,11 +44,17 @@ mod ctx;
 mod message;
 mod net;
 mod phase;
+pub mod tcp;
 pub mod time;
+mod transport;
+pub mod wire;
 
 pub use cluster::{Cluster, WorkerOutcome};
 pub use ctx::{LayerScope, PhaseScope, WorkerCtx};
-pub use message::Payload;
+pub use message::{Message, Payload};
 pub use net::{CommStats, CostModel};
 pub use phase::{Phase, PhaseEntry, PhaseLedger};
+pub use tcp::{TcpOpts, TcpTransport};
 pub use time::{measure_cpu, thread_cpu_secs, CpuTimer};
+pub use transport::{ChannelTransport, Clock, Transport, TransportError};
+pub use wire::{WIRE_HEADER_LEN, WIRE_MAGIC};

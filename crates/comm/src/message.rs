@@ -1,4 +1,6 @@
-//! Message payloads exchanged between simulated workers.
+//! Message payloads exchanged between workers.
+
+use crate::wire::WIRE_HEADER_LEN;
 
 /// A typed message payload.
 ///
@@ -13,18 +15,29 @@ pub enum Payload {
     F32(Vec<f32>),
     /// A buffer of `u32` values (indices, labels).
     U32(Vec<u32>),
+    /// An opaque byte buffer (serialized reports, control metadata).
+    Bytes(Vec<u8>),
     /// A pure synchronization token.
     Empty,
 }
 
 impl Payload {
-    /// Wire size in bytes (used by the α–β cost model).
+    /// Payload size in bytes, excluding framing.
     pub fn byte_len(&self) -> usize {
         match self {
             Payload::F32(v) => v.len() * 4,
             Payload::U32(v) => v.len() * 4,
+            Payload::Bytes(v) => v.len(),
             Payload::Empty => 0,
         }
+    }
+
+    /// Size of this payload on the wire: the framed-message header plus
+    /// [`Payload::byte_len`]. Every backend accounts traffic with this —
+    /// the α–β cost model charges it and the TCP encoder emits exactly this
+    /// many bytes — so the sim and TCP byte ledgers are directly comparable.
+    pub fn wire_len(&self) -> usize {
+        WIRE_HEADER_LEN + self.byte_len()
     }
 
     /// Extracts an `f32` buffer.
@@ -50,13 +63,29 @@ impl Payload {
             other => panic!("expected U32 payload, got {other:?}"),
         }
     }
+
+    /// Extracts a raw byte buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is not [`Payload::Bytes`].
+    pub fn into_bytes(self) -> Vec<u8> {
+        match self {
+            Payload::Bytes(v) => v,
+            other => panic!("expected Bytes payload, got {other:?}"),
+        }
+    }
 }
 
-/// An addressed message in flight.
+/// An addressed message in flight, as handed to [`WorkerCtx`] by a
+/// [`Transport`](crate::Transport) backend.
 #[derive(Debug)]
-pub(crate) struct Message {
+pub struct Message {
+    /// Sender rank.
     pub src: u32,
+    /// Message tag.
     pub tag: u64,
+    /// The payload.
     pub payload: Payload,
 }
 
@@ -68,7 +97,14 @@ mod tests {
     fn byte_len_counts_payload() {
         assert_eq!(Payload::F32(vec![0.0; 10]).byte_len(), 40);
         assert_eq!(Payload::U32(vec![1, 2]).byte_len(), 8);
+        assert_eq!(Payload::Bytes(vec![0; 5]).byte_len(), 5);
         assert_eq!(Payload::Empty.byte_len(), 0);
+    }
+
+    #[test]
+    fn wire_len_adds_the_frame_header() {
+        assert_eq!(Payload::F32(vec![0.0; 10]).wire_len(), WIRE_HEADER_LEN + 40);
+        assert_eq!(Payload::Empty.wire_len(), WIRE_HEADER_LEN);
     }
 
     #[test]

@@ -66,8 +66,10 @@ pub struct CommStats {
     pub sent_messages: u64,
     /// Bytes received.
     pub recv_bytes: u64,
-    /// Simulated communication time charged to this worker, microseconds.
-    pub sim_comm_us: f64,
+    /// Communication time charged to this worker, microseconds: α–β
+    /// simulated time on the channel backend, measured wall-clock blocking
+    /// time on the TCP backend (see [`Clock`](crate::Clock)).
+    pub comm_us: f64,
     /// Per-phase / per-layer breakdown of the traffic above, plus CPU time
     /// and tensor-memory peaks recorded by phase scopes
     /// (see [`WorkerCtx::phase_scope`](crate::WorkerCtx::phase_scope)).
@@ -75,12 +77,13 @@ pub struct CommStats {
 }
 
 impl CommStats {
-    pub(crate) fn new(world: usize) -> Self {
+    /// Zeroed statistics for a `world`-rank cluster.
+    pub fn new(world: usize) -> Self {
         CommStats {
             sent_bytes: vec![0; world],
             sent_messages: 0,
             recv_bytes: 0,
-            sim_comm_us: 0.0,
+            comm_us: 0.0,
             ledger: PhaseLedger::default(),
         }
     }
@@ -90,9 +93,133 @@ impl CommStats {
         self.sent_bytes.iter().sum()
     }
 
-    /// Simulated communication time in seconds.
-    pub fn sim_comm_secs(&self) -> f64 {
-        self.sim_comm_us / 1e6
+    /// Communication time in seconds.
+    pub fn comm_secs(&self) -> f64 {
+        self.comm_us / 1e6
+    }
+
+    /// Serializes the statistics to a self-contained little-endian byte
+    /// buffer — the format used to gather per-rank results to rank 0 over
+    /// the transport itself when workers live in separate processes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64 + 64 * self.ledger.len());
+        buf.extend_from_slice(&(self.sent_bytes.len() as u32).to_le_bytes());
+        for b in &self.sent_bytes {
+            buf.extend_from_slice(&b.to_le_bytes());
+        }
+        buf.extend_from_slice(&self.sent_messages.to_le_bytes());
+        buf.extend_from_slice(&self.recv_bytes.to_le_bytes());
+        buf.extend_from_slice(&self.comm_us.to_le_bytes());
+        buf.extend_from_slice(&(self.ledger.len() as u32).to_le_bytes());
+        for (phase, layer, e) in self.ledger.rows() {
+            buf.push(phase.code());
+            match layer {
+                Some(l) => {
+                    buf.push(1);
+                    buf.extend_from_slice(&l.to_le_bytes());
+                }
+                None => {
+                    buf.push(0);
+                    buf.extend_from_slice(&0u16.to_le_bytes());
+                }
+            }
+            buf.extend_from_slice(&e.sent_bytes.to_le_bytes());
+            buf.extend_from_slice(&e.recv_bytes.to_le_bytes());
+            buf.extend_from_slice(&e.sent_messages.to_le_bytes());
+            buf.extend_from_slice(&e.recv_messages.to_le_bytes());
+            buf.extend_from_slice(&e.comm_us.to_le_bytes());
+            buf.extend_from_slice(&e.cpu_us.to_le_bytes());
+            buf.extend_from_slice(&e.peak_tensor_bytes.to_le_bytes());
+        }
+        buf
+    }
+
+    /// Inverse of [`CommStats::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic if the buffer is truncated or structurally
+    /// invalid (unknown phase code, impossible lengths).
+    pub fn from_bytes(buf: &[u8]) -> Result<CommStats, String> {
+        let mut cur = Cursor { buf, pos: 0 };
+        let world = cur.u32()? as usize;
+        if world > 1 << 20 {
+            return Err(format!("implausible world size {world}"));
+        }
+        let mut stats = CommStats::new(world);
+        for slot in stats.sent_bytes.iter_mut() {
+            *slot = cur.u64()?;
+        }
+        stats.sent_messages = cur.u64()?;
+        stats.recv_bytes = cur.u64()?;
+        stats.comm_us = cur.f64()?;
+        let rows = cur.u32()? as usize;
+        if rows > 1 << 20 {
+            return Err(format!("implausible ledger size {rows}"));
+        }
+        for _ in 0..rows {
+            let code = cur.u8()?;
+            let phase = crate::phase::Phase::from_code(code)
+                .ok_or_else(|| format!("unknown phase code {code}"))?;
+            let has_layer = cur.u8()? != 0;
+            let layer_raw = cur.u16()?;
+            let layer = has_layer.then_some(layer_raw);
+            let entry = stats.ledger.entry_mut(phase, layer);
+            entry.sent_bytes = cur.u64()?;
+            entry.recv_bytes = cur.u64()?;
+            entry.sent_messages = cur.u64()?;
+            entry.recv_messages = cur.u64()?;
+            entry.comm_us = cur.f64()?;
+            entry.cpu_us = cur.f64()?;
+            entry.peak_tensor_bytes = cur.u64()?;
+        }
+        if cur.pos != buf.len() {
+            return Err(format!(
+                "CommStats buffer has {} trailing bytes",
+                buf.len() - cur.pos
+            ));
+        }
+        Ok(stats)
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice, shared by the
+/// [`CommStats`] codec.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| format!("CommStats buffer truncated at offset {}", self.pos))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 }
 
@@ -115,5 +242,38 @@ mod tests {
         let m = CostModel::default().scale_bandwidth(10.0);
         assert!(m.message_cost_us(250_000) > CostModel::default().message_cost_us(250_000));
         assert_eq!(m.alpha_us, CostModel::default().alpha_us);
+    }
+
+    #[test]
+    fn comm_stats_codec_round_trips() {
+        use crate::phase::Phase;
+        let mut s = CommStats::new(3);
+        s.sent_bytes = vec![10, 0, 99];
+        s.sent_messages = 7;
+        s.recv_bytes = 1234;
+        s.comm_us = 42.5;
+        let e = s.ledger.entry_mut(Phase::ForwardFetch, Some(2));
+        e.sent_bytes = 100;
+        e.recv_bytes = 200;
+        e.sent_messages = 3;
+        e.recv_messages = 4;
+        e.comm_us = 1.25;
+        e.cpu_us = 9.75;
+        e.peak_tensor_bytes = 4096;
+        s.ledger.entry_mut(Phase::GradRouting, None).recv_bytes = 55;
+
+        let round = CommStats::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(round, s);
+    }
+
+    #[test]
+    fn comm_stats_codec_rejects_truncation_and_garbage() {
+        let s = CommStats::new(2);
+        let bytes = s.to_bytes();
+        assert!(CommStats::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(CommStats::from_bytes(&extra).is_err());
+        assert!(CommStats::from_bytes(&[0xff; 8]).is_err());
     }
 }

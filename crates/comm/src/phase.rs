@@ -4,7 +4,7 @@
 //! sequential forward fetch, the backward re-fetch (case 2 only — the
 //! paper's 50% communication overhead), the error routing back to owners,
 //! and the parameter/loss collectives. The [`PhaseLedger`] splits every
-//! byte, message, simulated microsecond, CPU microsecond and tensor-memory
+//! byte, message, communication microsecond, CPU microsecond and tensor-memory
 //! high-water mark along those phases (and, when a layer scope is active,
 //! along model layers), so a run can *verify* the paper's claims — e.g.
 //! that GraphSage's backward pass fetches zero bytes, or that prefetching
@@ -54,6 +54,23 @@ impl Phase {
             Phase::Other => "other",
         }
     }
+
+    /// Stable numeric code, used by the binary codec that ships
+    /// [`CommStats`](crate::CommStats) between worker processes.
+    pub fn code(self) -> u8 {
+        match self {
+            Phase::ForwardFetch => 0,
+            Phase::BackwardRefetch => 1,
+            Phase::GradRouting => 2,
+            Phase::Collective => 3,
+            Phase::Other => 4,
+        }
+    }
+
+    /// Inverse of [`Phase::code`].
+    pub fn from_code(code: u8) -> Option<Phase> {
+        Phase::ALL.into_iter().find(|p| p.code() == code)
+    }
 }
 
 /// Accumulated measurements for one `(phase, layer)` cell of the ledger.
@@ -68,8 +85,11 @@ pub struct PhaseEntry {
     pub sent_messages: u64,
     /// Messages received from remote peers.
     pub recv_messages: u64,
-    /// Simulated α–β communication time charged in this phase, µs.
-    pub sim_comm_us: f64,
+    /// Communication time charged in this phase, µs: α–β simulated on a
+    /// [`Clock::Simulated`](crate::Clock::Simulated) backend, measured
+    /// wall-clock blocking time on a
+    /// [`Clock::Wall`](crate::Clock::Wall) backend.
+    pub comm_us: f64,
     /// Thread CPU time spent while this phase was active, µs (exclusive:
     /// a nested phase's time is charged to the nested phase only).
     pub cpu_us: f64,
@@ -84,7 +104,7 @@ impl PhaseEntry {
         self.recv_bytes += other.recv_bytes;
         self.sent_messages += other.sent_messages;
         self.recv_messages += other.recv_messages;
-        self.sim_comm_us += other.sim_comm_us;
+        self.comm_us += other.comm_us;
         self.cpu_us += other.cpu_us;
         self.peak_tensor_bytes = self.peak_tensor_bytes.max(other.peak_tensor_bytes);
     }

@@ -1,0 +1,852 @@
+//! The TCP transport backend: a real wire under the SAR runtime.
+//!
+//! One OS process per rank, one duplex TCP connection per peer pair, and
+//! the checksummed frame format of [`wire`](crate::wire). The backend is
+//! assembled in two steps:
+//!
+//! 1. **Rendezvous** — every rank binds a *data* listener on an ephemeral
+//!    port (`port 0`; nothing in the protocol assumes fixed ports, so
+//!    parallel CI jobs never collide). Rank 0 additionally serves the
+//!    rendezvous point: ranks `1..N` connect to it, announce
+//!    `(rank, data_address)`, and receive the full roster of all `N` data
+//!    addresses in exchange.
+//! 2. **Mesh** — rank `p` connects to the data listener of every rank
+//!    `q > p` (with retry + exponential backoff) and accepts one
+//!    connection from every rank `q < p`. Each accepted/established stream
+//!    is identified by a one-frame hello carrying the peer's rank.
+//!
+//! After the mesh is up, one reader thread per peer decodes frames and
+//! demultiplexes them: data frames flow to the inbox consumed by
+//! [`Transport::recv_any`]; barrier frames feed the barrier accountant;
+//! a shutdown frame (or clean EOF after [`TcpTransport`] starts closing)
+//! ends the thread. A corrupt frame or an unexpected EOF is surfaced
+//! *through the inbox* as a typed [`TransportError`], so a blocked
+//! receiver learns about a dead peer immediately instead of hanging.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+
+use crate::message::{Message, Payload};
+use crate::transport::{Clock, Transport, TransportError};
+use crate::wire::{read_frame, write_frame, Frame, FrameKind, WireError};
+
+/// Connection and I/O tuning for [`TcpTransport`].
+#[derive(Debug, Clone, Copy)]
+pub struct TcpOpts {
+    /// Connection attempts per peer before giving up.
+    pub connect_attempts: u32,
+    /// Backoff before the second attempt; doubles per attempt, capped at
+    /// one second.
+    pub connect_backoff: Duration,
+    /// Socket write timeout, and the deadline for handshake reads and
+    /// barrier formation.
+    pub io_timeout: Duration,
+}
+
+impl Default for TcpOpts {
+    fn default() -> Self {
+        TcpOpts {
+            connect_attempts: 25,
+            connect_backoff: Duration::from_millis(20),
+            io_timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+impl TcpOpts {
+    /// Short-fuse options for failure-path tests.
+    pub fn impatient() -> Self {
+        TcpOpts {
+            connect_attempts: 3,
+            connect_backoff: Duration::from_millis(5),
+            io_timeout: Duration::from_millis(500),
+        }
+    }
+}
+
+/// What a reader thread forwards to the consuming worker.
+type InboxItem = Result<Message, TransportError>;
+
+/// A TCP-backed [`Transport`]: per-peer framed streams, wall-clock time
+/// accounting, clean shutdown on drop.
+pub struct TcpTransport {
+    rank: usize,
+    world: usize,
+    /// Write halves, indexed by peer rank (`None` at `rank`). A `Mutex`
+    /// keeps the type `Sync`; workers are single-threaded so it is
+    /// uncontended.
+    writers: Vec<Option<Mutex<TcpStream>>>,
+    inbox_rx: Receiver<InboxItem>,
+    /// Kept alive so `inbox_rx` never reports a closed channel while the
+    /// transport itself is alive.
+    _inbox_tx: Sender<InboxItem>,
+    barrier_rx: Receiver<(usize, u64)>,
+    barrier_seq: Mutex<u64>,
+    /// Early barrier announcements: peers that already reached a barrier
+    /// sequence number this rank has not entered yet.
+    barrier_counts: Mutex<HashMap<u64, usize>>,
+    closing: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("rank", &self.rank)
+            .field("world", &self.world)
+            .finish()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Rendezvous
+// ----------------------------------------------------------------------
+
+/// Rendezvous hello: `rank` announces its data listener address.
+fn send_hello(stream: &mut TcpStream, rank: usize, data_addr: SocketAddr) -> std::io::Result<()> {
+    let addr = data_addr.to_string().into_bytes();
+    let mut buf = Vec::with_capacity(8 + addr.len());
+    buf.extend_from_slice(&(rank as u32).to_le_bytes());
+    buf.extend_from_slice(&(addr.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&addr);
+    stream.write_all(&buf)
+}
+
+fn read_exact(stream: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<()> {
+    stream.read_exact(buf)
+}
+
+fn recv_hello(stream: &mut TcpStream) -> Result<(usize, SocketAddr), TransportError> {
+    let mut head = [0u8; 8];
+    read_exact(stream, &mut head).map_err(TransportError::Io)?;
+    let rank = u32::from_le_bytes(head[..4].try_into().unwrap()) as usize;
+    let len = u32::from_le_bytes(head[4..8].try_into().unwrap()) as usize;
+    if len > 256 {
+        return Err(TransportError::Handshake(format!(
+            "rendezvous hello claims a {len}-byte address"
+        )));
+    }
+    let mut addr = vec![0u8; len];
+    read_exact(stream, &mut addr).map_err(TransportError::Io)?;
+    let addr = String::from_utf8(addr)
+        .map_err(|e| TransportError::Handshake(format!("non-utf8 address: {e}")))?;
+    let addr: SocketAddr = addr
+        .parse()
+        .map_err(|e| TransportError::Handshake(format!("bad address {addr:?}: {e}")))?;
+    Ok((rank, addr))
+}
+
+fn send_roster(stream: &mut TcpStream, roster: &[SocketAddr]) -> std::io::Result<()> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&(roster.len() as u32).to_le_bytes());
+    for a in roster {
+        let s = a.to_string().into_bytes();
+        buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&s);
+    }
+    stream.write_all(&buf)
+}
+
+fn recv_roster(stream: &mut TcpStream, world: usize) -> Result<Vec<SocketAddr>, TransportError> {
+    let mut head = [0u8; 4];
+    read_exact(stream, &mut head).map_err(TransportError::Io)?;
+    let n = u32::from_le_bytes(head) as usize;
+    if n != world {
+        return Err(TransportError::Handshake(format!(
+            "roster lists {n} ranks, expected {world}"
+        )));
+    }
+    let mut roster = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut lenb = [0u8; 4];
+        read_exact(stream, &mut lenb).map_err(TransportError::Io)?;
+        let len = u32::from_le_bytes(lenb) as usize;
+        if len > 256 {
+            return Err(TransportError::Handshake(format!(
+                "roster entry claims a {len}-byte address"
+            )));
+        }
+        let mut addr = vec![0u8; len];
+        read_exact(stream, &mut addr).map_err(TransportError::Io)?;
+        let addr = String::from_utf8(addr)
+            .map_err(|e| TransportError::Handshake(format!("non-utf8 address: {e}")))?;
+        roster.push(
+            addr.parse()
+                .map_err(|e| TransportError::Handshake(format!("bad address {addr:?}: {e}")))?,
+        );
+    }
+    Ok(roster)
+}
+
+/// Connects to `addr` with retry + exponential backoff. `peer` only labels
+/// the error.
+fn connect_with_retry(
+    addr: SocketAddr,
+    peer: usize,
+    opts: &TcpOpts,
+) -> Result<TcpStream, TransportError> {
+    let mut backoff = opts.connect_backoff;
+    let mut last = None;
+    for attempt in 0..opts.connect_attempts {
+        match TcpStream::connect_timeout(&addr, opts.io_timeout.max(Duration::from_millis(250))) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = Some(e),
+        }
+        if attempt + 1 < opts.connect_attempts {
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(Duration::from_secs(1));
+        }
+    }
+    Err(TransportError::ConnectFailed {
+        peer,
+        attempts: opts.connect_attempts,
+        last: last.unwrap_or_else(|| std::io::Error::other("no attempt made")),
+    })
+}
+
+/// Accepts one connection with a deadline (the listener is switched to
+/// non-blocking and polled).
+fn accept_with_deadline(
+    listener: &TcpListener,
+    deadline: Instant,
+) -> Result<(TcpStream, SocketAddr), TransportError> {
+    listener.set_nonblocking(true).map_err(TransportError::Io)?;
+    loop {
+        match listener.accept() {
+            Ok(pair) => {
+                listener
+                    .set_nonblocking(false)
+                    .map_err(TransportError::Io)?;
+                pair.0.set_nonblocking(false).map_err(TransportError::Io)?;
+                return Ok(pair);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(TransportError::Timeout {
+                        waited: Duration::from_secs(0),
+                    });
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(TransportError::Io(e)),
+        }
+    }
+}
+
+impl TcpTransport {
+    /// Rank 0: binds the data listener, serves the rendezvous on
+    /// `rendezvous` (commonly bound to port 0 by the caller), and meshes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if fewer than `world - 1` peers join before the deadline, a
+    /// rank joins twice, or the mesh cannot form.
+    pub fn host(
+        rendezvous: TcpListener,
+        world: usize,
+        opts: TcpOpts,
+    ) -> Result<TcpTransport, TransportError> {
+        assert!(world > 0, "cluster needs at least one rank");
+        let host_ip = rendezvous.local_addr().map_err(TransportError::Io)?.ip();
+        let data_listener = TcpListener::bind((host_ip, 0)).map_err(TransportError::Io)?;
+        let my_addr = data_listener.local_addr().map_err(TransportError::Io)?;
+
+        let mut roster: Vec<Option<SocketAddr>> = vec![None; world];
+        roster[0] = Some(my_addr);
+        let deadline = Instant::now() + opts.io_timeout;
+        let mut joined: Vec<(usize, TcpStream)> = Vec::with_capacity(world - 1);
+        while joined.len() + 1 < world {
+            let (mut stream, _) =
+                accept_with_deadline(&rendezvous, deadline).map_err(|e| match e {
+                    TransportError::Timeout { .. } => TransportError::Handshake(format!(
+                        "only {} of {world} ranks joined the rendezvous within {:?}",
+                        joined.len() + 1,
+                        opts.io_timeout
+                    )),
+                    other => other,
+                })?;
+            stream
+                .set_read_timeout(Some(opts.io_timeout))
+                .map_err(TransportError::Io)?;
+            let (rank, addr) = recv_hello(&mut stream)?;
+            if rank == 0 || rank >= world {
+                return Err(TransportError::Handshake(format!(
+                    "rendezvous hello from out-of-range rank {rank} (world {world})"
+                )));
+            }
+            if roster[rank].is_some() {
+                return Err(TransportError::Handshake(format!(
+                    "rank {rank} joined the rendezvous twice"
+                )));
+            }
+            roster[rank] = Some(addr);
+            joined.push((rank, stream));
+        }
+        let roster: Vec<SocketAddr> = roster.into_iter().map(|a| a.unwrap()).collect();
+        for (_, stream) in &mut joined {
+            send_roster(stream, &roster).map_err(TransportError::Io)?;
+        }
+        drop(joined);
+        Self::mesh(0, world, data_listener, &roster, opts)
+    }
+
+    /// Ranks `1..world`: joins the rendezvous served by rank 0 at `addr`,
+    /// receives the roster, and meshes.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::ConnectFailed`] (naming rank 0) if the rendezvous
+    /// never answers; handshake or mesh errors otherwise.
+    pub fn join(
+        addr: impl ToSocketAddrs,
+        rank: usize,
+        world: usize,
+        opts: TcpOpts,
+    ) -> Result<TcpTransport, TransportError> {
+        assert!(rank > 0 && rank < world, "join is for ranks 1..world");
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(TransportError::Io)?
+            .next()
+            .ok_or_else(|| {
+                TransportError::Handshake("rendezvous address resolves to nothing".into())
+            })?;
+        let data_listener = TcpListener::bind((addr.ip(), 0)).map_err(TransportError::Io)?;
+        let my_addr = data_listener.local_addr().map_err(TransportError::Io)?;
+
+        let mut stream = connect_with_retry(addr, 0, &opts)?;
+        stream
+            .set_read_timeout(Some(opts.io_timeout))
+            .map_err(TransportError::Io)?;
+        send_hello(&mut stream, rank, my_addr).map_err(TransportError::Io)?;
+        let roster = recv_roster(&mut stream, world)?;
+        drop(stream);
+        Self::mesh(rank, world, data_listener, &roster, opts)
+    }
+
+    /// Builds the full mesh from a known roster: connect to every higher
+    /// rank, accept from every lower rank, then start the reader threads.
+    fn mesh(
+        rank: usize,
+        world: usize,
+        data_listener: TcpListener,
+        roster: &[SocketAddr],
+        opts: TcpOpts,
+    ) -> Result<TcpTransport, TransportError> {
+        let mut streams: Vec<Option<TcpStream>> = (0..world).map(|_| None).collect();
+
+        // Outbound: to every higher rank. A one-frame hello identifies us.
+        for (q, &peer_addr) in roster.iter().enumerate().skip(rank + 1) {
+            let mut s = connect_with_retry(peer_addr, q, &opts)?;
+            s.set_nodelay(true).ok();
+            write_frame(
+                &mut s,
+                FrameKind::Data,
+                rank as u32,
+                HELLO_TAG,
+                &Payload::Empty,
+            )
+            .map_err(TransportError::Io)?;
+            streams[q] = Some(s);
+        }
+        // Inbound: one connection from every lower rank.
+        let deadline = Instant::now() + opts.io_timeout;
+        for _ in 0..rank {
+            let (mut s, _) = accept_with_deadline(&data_listener, deadline).map_err(|e| {
+                if matches!(e, TransportError::Timeout { .. }) {
+                    TransportError::Handshake(format!(
+                        "rank {rank}: not all lower ranks connected within {:?}",
+                        opts.io_timeout
+                    ))
+                } else {
+                    e
+                }
+            })?;
+            s.set_nodelay(true).ok();
+            s.set_read_timeout(Some(opts.io_timeout))
+                .map_err(TransportError::Io)?;
+            let hello = read_frame(&mut s).map_err(|e| {
+                TransportError::Handshake(format!("rank {rank}: bad mesh hello: {e}"))
+            })?;
+            let q = hello.src as usize;
+            if hello.tag != HELLO_TAG || q >= rank {
+                return Err(TransportError::Handshake(format!(
+                    "rank {rank}: unexpected mesh hello from rank {q} (tag {})",
+                    hello.tag
+                )));
+            }
+            if streams[q].is_some() {
+                return Err(TransportError::Handshake(format!(
+                    "rank {rank}: rank {q} connected twice"
+                )));
+            }
+            s.set_read_timeout(None).map_err(TransportError::Io)?;
+            streams[q] = Some(s);
+        }
+
+        // Demux plumbing + reader threads.
+        let (inbox_tx, inbox_rx) = unbounded::<InboxItem>();
+        let (barrier_tx, barrier_rx) = unbounded::<(usize, u64)>();
+        let closing = Arc::new(AtomicBool::new(false));
+        let mut writers: Vec<Option<Mutex<TcpStream>>> = (0..world).map(|_| None).collect();
+        for (q, slot) in streams.into_iter().enumerate() {
+            let Some(stream) = slot else { continue };
+            stream
+                .set_write_timeout(Some(opts.io_timeout))
+                .map_err(TransportError::Io)?;
+            let read_half = stream.try_clone().map_err(TransportError::Io)?;
+            writers[q] = Some(Mutex::new(stream));
+            let tx = inbox_tx.clone();
+            let btx = barrier_tx.clone();
+            let closing = Arc::clone(&closing);
+            std::thread::Builder::new()
+                .name(format!("sar-tcp-r{rank}-p{q}"))
+                .spawn(move || reader_loop(read_half, q, tx, btx, closing))
+                .map_err(TransportError::Io)?;
+        }
+        Ok(TcpTransport {
+            rank,
+            world,
+            writers,
+            inbox_rx,
+            _inbox_tx: inbox_tx,
+            barrier_rx,
+            barrier_seq: Mutex::new(0),
+            barrier_counts: Mutex::new(HashMap::new()),
+            closing,
+        })
+    }
+
+    /// Simulates a crash for fault-injection tests: closes every peer
+    /// socket immediately, without shutdown frames. Peers observe an
+    /// unexpected EOF and surface [`TransportError::Disconnected`].
+    pub fn abort(&self) {
+        self.closing.store(true, Ordering::SeqCst);
+        for w in self.writers.iter().flatten() {
+            if let Ok(s) = w.lock() {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// Mesh-hello marker tag (never collides with worker tags, which the
+/// runtime allocates far below `u64::MAX`).
+const HELLO_TAG: u64 = u64::MAX;
+
+fn reader_loop(
+    mut stream: TcpStream,
+    peer: usize,
+    inbox: Sender<InboxItem>,
+    barriers: Sender<(usize, u64)>,
+    closing: Arc<AtomicBool>,
+) {
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Frame {
+                kind: FrameKind::Data,
+                src,
+                tag,
+                payload,
+            }) => {
+                let item = if src as usize == peer {
+                    Ok(Message { src, tag, payload })
+                } else {
+                    Err(TransportError::Corrupt {
+                        peer,
+                        detail: format!("frame claims src rank {src}"),
+                    })
+                };
+                let failed = item.is_err();
+                if inbox.send(item).is_err() || failed {
+                    return;
+                }
+            }
+            Ok(Frame {
+                kind: FrameKind::Barrier,
+                tag,
+                ..
+            }) => {
+                if barriers.send((peer, tag)).is_err() {
+                    return;
+                }
+            }
+            Ok(Frame {
+                kind: FrameKind::Shutdown,
+                ..
+            }) => return,
+            Err(WireError::Eof) => {
+                if !closing.load(Ordering::SeqCst) {
+                    let _ = inbox.send(Err(TransportError::Disconnected { peer }));
+                }
+                return;
+            }
+            Err(WireError::ChecksumMismatch { expected, actual }) => {
+                let _ = inbox.send(Err(TransportError::Corrupt {
+                    peer,
+                    detail: format!(
+                        "checksum mismatch (frame {expected:#010x}, computed {actual:#010x})"
+                    ),
+                }));
+                return;
+            }
+            Err(WireError::BadHeader(d)) => {
+                let _ = inbox.send(Err(TransportError::Corrupt { peer, detail: d }));
+                return;
+            }
+            Err(WireError::Io(e)) => {
+                if !closing.load(Ordering::SeqCst) {
+                    let _ = inbox.send(Err(TransportError::Io(e)));
+                }
+                return;
+            }
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.world
+    }
+
+    fn clock(&self) -> Clock {
+        Clock::Wall
+    }
+
+    fn send(&self, dst: usize, tag: u64, payload: Payload) -> Result<(), TransportError> {
+        let writer = self.writers[dst]
+            .as_ref()
+            .ok_or(TransportError::Disconnected { peer: dst })?;
+        let mut stream = writer
+            .lock()
+            .map_err(|_| TransportError::Handshake("writer lock poisoned".into()))?;
+        write_frame(
+            &mut *stream,
+            FrameKind::Data,
+            self.rank as u32,
+            tag,
+            &payload,
+        )
+        .map_err(|e| {
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::BrokenPipe
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+            ) {
+                TransportError::Disconnected { peer: dst }
+            } else {
+                TransportError::Io(e)
+            }
+        })
+    }
+
+    fn recv_any(&self, timeout: Duration) -> Result<Message, TransportError> {
+        match self.inbox_rx.recv_timeout(timeout) {
+            Ok(item) => item,
+            Err(RecvTimeoutError::Timeout) => Err(TransportError::Timeout { waited: timeout }),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(TransportError::Disconnected { peer: self.rank })
+            }
+        }
+    }
+
+    fn try_recv_any(&self) -> Result<Option<Message>, TransportError> {
+        match self.inbox_rx.try_recv() {
+            Ok(item) => item.map(Some),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => {
+                Err(TransportError::Disconnected { peer: self.rank })
+            }
+        }
+    }
+
+    fn barrier(&self) -> Result<(), TransportError> {
+        if self.world == 1 {
+            return Ok(());
+        }
+        let seq = {
+            let mut s = self.barrier_seq.lock().expect("barrier seq lock");
+            let v = *s;
+            *s += 1;
+            v
+        };
+        for (q, w) in self.writers.iter().enumerate() {
+            let Some(w) = w else { continue };
+            let mut stream = w
+                .lock()
+                .map_err(|_| TransportError::Handshake("writer lock poisoned".into()))?;
+            write_frame(
+                &mut *stream,
+                FrameKind::Barrier,
+                self.rank as u32,
+                seq,
+                &Payload::Empty,
+            )
+            .map_err(|_| TransportError::Disconnected { peer: q })?;
+        }
+        let deadline = Instant::now() + Duration::from_secs(600);
+        loop {
+            {
+                let mut counts = self.barrier_counts.lock().expect("barrier counts lock");
+                if counts.get(&seq).copied().unwrap_or(0) == self.world - 1 {
+                    counts.remove(&seq);
+                    return Ok(());
+                }
+            }
+            let left =
+                deadline
+                    .checked_duration_since(Instant::now())
+                    .ok_or(TransportError::Timeout {
+                        waited: Duration::from_secs(600),
+                    })?;
+            match self
+                .barrier_rx
+                .recv_timeout(left.min(Duration::from_millis(200)))
+            {
+                Ok((_, s)) => {
+                    *self
+                        .barrier_counts
+                        .lock()
+                        .expect("barrier counts lock")
+                        .entry(s)
+                        .or_insert(0) += 1;
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(TransportError::Disconnected { peer: self.rank })
+                }
+            }
+        }
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.closing.store(true, Ordering::SeqCst);
+        for w in self.writers.iter().flatten() {
+            if let Ok(mut s) = w.lock() {
+                let _ = write_frame(
+                    &mut *s,
+                    FrameKind::Shutdown,
+                    self.rank as u32,
+                    0,
+                    &Payload::Empty,
+                );
+                let _ = s.shutdown(Shutdown::Write);
+            }
+        }
+        // Reader threads exit on the peers' shutdown frames or EOFs; they
+        // are detached, so no join (a blocked join could deadlock with a
+        // peer that drops later).
+    }
+}
+
+/// Spawns a localhost TCP cluster with one *thread* per rank — the
+/// harness used by parity and protocol tests (real sockets, no process
+/// management). Rank 0 hosts the rendezvous on an ephemeral port; the
+/// other ranks learn the address through a channel, exactly as external
+/// launchers learn it through the rendezvous file.
+///
+/// # Panics
+///
+/// Panics if any rank fails to establish its transport, or if a worker
+/// closure panics.
+pub fn run_tcp_threads<T, F>(world: usize, opts: TcpOpts, f: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(TcpTransport) -> T + Send + Sync + 'static,
+{
+    let rendezvous = TcpListener::bind(("127.0.0.1", 0)).expect("bind rendezvous");
+    let addr = rendezvous.local_addr().expect("rendezvous addr");
+    let f = Arc::new(f);
+    let mut handles = Vec::with_capacity(world);
+    for rank in 0..world {
+        let f = Arc::clone(&f);
+        let rendezvous = (rank == 0).then(|| rendezvous.try_clone().expect("clone listener"));
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("sar-tcp-worker-{rank}"))
+                .spawn(move || {
+                    let transport = match rendezvous {
+                        Some(l) => TcpTransport::host(l, world, opts),
+                        None => TcpTransport::join(addr, rank, world, opts),
+                    }
+                    .unwrap_or_else(|e| panic!("rank {rank}: transport setup failed: {e}"));
+                    f(transport)
+                })
+                .expect("spawn tcp worker"),
+        );
+    }
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("tcp worker panicked"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_ranks_exchange_over_loopback() {
+        let out = run_tcp_threads(2, TcpOpts::default(), |t| {
+            let peer = 1 - t.rank();
+            t.send(peer, 7, Payload::U32(vec![t.rank() as u32 * 10]))
+                .unwrap();
+            let m = t.recv_any(Duration::from_secs(10)).unwrap();
+            assert_eq!(m.src as usize, peer);
+            assert_eq!(m.tag, 7);
+            m.payload.into_u32()[0]
+        });
+        assert_eq!(out, vec![10, 0]);
+    }
+
+    #[test]
+    fn four_rank_mesh_routes_all_pairs() {
+        let out = run_tcp_threads(4, TcpOpts::default(), |t| {
+            let n = t.world_size();
+            for q in 0..n {
+                if q != t.rank() {
+                    t.send(q, 1, Payload::U32(vec![t.rank() as u32])).unwrap();
+                }
+            }
+            let mut got = vec![false; n];
+            got[t.rank()] = true;
+            for _ in 0..n - 1 {
+                let m = t.recv_any(Duration::from_secs(10)).unwrap();
+                got[m.payload.into_u32()[0] as usize] = true;
+            }
+            got.iter().all(|&b| b)
+        });
+        assert!(out.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn per_peer_order_is_preserved() {
+        let out = run_tcp_threads(2, TcpOpts::default(), |t| {
+            let peer = 1 - t.rank();
+            for i in 0..50u32 {
+                t.send(peer, i as u64, Payload::U32(vec![i])).unwrap();
+            }
+            let mut seen = Vec::with_capacity(50);
+            for _ in 0..50 {
+                let m = t.recv_any(Duration::from_secs(10)).unwrap();
+                seen.push(m.payload.into_u32()[0]);
+            }
+            seen
+        });
+        let expect: Vec<u32> = (0..50).collect();
+        assert_eq!(out[0], expect);
+        assert_eq!(out[1], expect);
+    }
+
+    #[test]
+    fn barriers_synchronize_and_stay_off_the_inbox() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static ENTERED: AtomicUsize = AtomicUsize::new(0);
+        let out = run_tcp_threads(3, TcpOpts::default(), |t| {
+            ENTERED.fetch_add(1, Ordering::SeqCst);
+            t.barrier().unwrap();
+            let seen = ENTERED.load(Ordering::SeqCst);
+            // A second barrier immediately after: sequence numbers keep
+            // consecutive barriers apart.
+            t.barrier().unwrap();
+            assert!(
+                t.try_recv_any().unwrap().is_none(),
+                "barrier leaked a frame"
+            );
+            seen
+        });
+        assert!(out.iter().all(|&s| s == 3));
+    }
+
+    #[test]
+    fn connect_failure_names_the_peer_rank() {
+        // Nothing listens here: grab an ephemeral port and release it.
+        let addr = {
+            let l = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+            l.local_addr().unwrap()
+        };
+        let err = TcpTransport::join(addr, 1, 2, TcpOpts::impatient())
+            .err()
+            .expect("join must fail with no rendezvous");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("rank 0") && msg.contains("attempts"),
+            "error must name the unreachable rank and the retry count: {msg}"
+        );
+    }
+
+    #[test]
+    fn mid_stream_disconnect_surfaces_typed_error_without_hanging() {
+        let out = run_tcp_threads(2, TcpOpts::default(), |t| {
+            if t.rank() == 1 {
+                // Crash without a shutdown frame.
+                t.abort();
+                return "aborted".to_string();
+            }
+            match t.recv_any(Duration::from_secs(10)) {
+                Err(TransportError::Disconnected { peer }) => format!("disconnected:{peer}"),
+                other => format!("unexpected: {other:?}"),
+            }
+        });
+        assert_eq!(out[0], "disconnected:1");
+    }
+
+    #[test]
+    fn corrupted_frame_is_rejected_with_checksum_error() {
+        // A real rank 0 against a hand-rolled "rank 1" that completes the
+        // rendezvous + mesh handshake and then sends a bit-flipped frame.
+        let rendezvous = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let rdv_addr = rendezvous.local_addr().unwrap();
+        let evil = std::thread::spawn(move || {
+            let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+            let my_addr = listener.local_addr().unwrap();
+            let mut s = TcpStream::connect(rdv_addr).unwrap();
+            send_hello(&mut s, 1, my_addr).unwrap();
+            let _roster = recv_roster(&mut s, 2).unwrap();
+            // Rank 0 connects to us (lower rank dials higher).
+            let (mut data, _) = listener.accept().unwrap();
+            let hello = read_frame(&mut data).unwrap();
+            assert_eq!(hello.src, 0);
+            let mut frame =
+                crate::wire::encode_frame(FrameKind::Data, 1, 9, &Payload::F32(vec![1.0, 2.0]));
+            let last = frame.len() - 1;
+            frame[last] ^= 0x40;
+            data.write_all(&frame).unwrap();
+            data.flush().unwrap();
+            // Hold the socket open so EOF cannot race the corrupt frame.
+            std::thread::sleep(Duration::from_millis(300));
+        });
+        let t = TcpTransport::host(rendezvous, 2, TcpOpts::default()).unwrap();
+        match t.recv_any(Duration::from_secs(5)) {
+            Err(TransportError::Corrupt { peer: 1, detail }) => {
+                assert!(detail.contains("checksum"), "detail: {detail}");
+            }
+            other => panic!("expected checksum rejection, got {other:?}"),
+        }
+        evil.join().unwrap();
+    }
+
+    #[test]
+    fn bytes_payload_round_trips_on_the_wire() {
+        let out = run_tcp_threads(2, TcpOpts::default(), |t| {
+            let peer = 1 - t.rank();
+            let blob: Vec<u8> = (0..=255).collect();
+            t.send(peer, 3, Payload::Bytes(blob.clone())).unwrap();
+            let m = t.recv_any(Duration::from_secs(10)).unwrap();
+            m.payload.into_bytes() == blob
+        });
+        assert!(out[0] && out[1]);
+    }
+}

@@ -1,0 +1,316 @@
+//! The pluggable transport abstraction beneath [`WorkerCtx`].
+//!
+//! SAR's algorithms talk to the cluster through [`WorkerCtx`]; `WorkerCtx`
+//! talks to the world through a [`Transport`]. Two backends ship with the
+//! crate:
+//!
+//! * [`ChannelTransport`] — the original in-process backend: `N` worker
+//!   threads connected by unbounded channels, with communication *time*
+//!   simulated under the α–β [`CostModel`](crate::CostModel) (a
+//!   [`Clock::Simulated`] backend).
+//! * [`TcpTransport`](crate::TcpTransport) — one OS process per rank,
+//!   length-prefixed checksummed frames over per-peer TCP connections
+//!   (a [`Clock::Wall`] backend: communication time is measured, not
+//!   modeled).
+//!
+//! Both guarantee **per-`(peer, tag)` FIFO ordering**: two messages sent
+//! from the same rank arrive in send order (channels preserve it directly;
+//! a TCP stream preserves it per connection). Neither reorders across
+//! peers. Channels are unbounded and TCP relies on kernel socket buffers
+//! plus the sender's blocking `write`, so `send` provides backpressure
+//! only on the TCP backend (a full socket buffer blocks the sender until
+//! the peer drains it).
+//!
+//! [`WorkerCtx`]: crate::WorkerCtx
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+
+use crate::message::{Message, Payload};
+
+/// How a backend accounts communication time in the observability ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Clock {
+    /// Charged from the α–β cost model (deterministic, hardware-free).
+    Simulated,
+    /// Measured wall-clock time spent blocked on the network.
+    Wall,
+}
+
+/// Errors surfaced by transport backends.
+///
+/// The in-process backend can only time out or lose a peer; the TCP
+/// backend adds connection, handshake, and integrity failures. Every
+/// variant names enough context (peer rank, attempt counts) to debug a
+/// dead cluster from one worker's log line.
+#[derive(Debug)]
+pub enum TransportError {
+    /// Could not connect to `peer` after `attempts` tries with exponential
+    /// backoff.
+    ConnectFailed {
+        /// Rank that never answered.
+        peer: usize,
+        /// Connection attempts made.
+        attempts: u32,
+        /// The last I/O error observed.
+        last: std::io::Error,
+    },
+    /// The rendezvous or mesh handshake violated the protocol.
+    Handshake(String),
+    /// A peer's connection closed without a clean shutdown frame.
+    Disconnected {
+        /// Rank whose connection dropped.
+        peer: usize,
+    },
+    /// No message arrived within the timeout.
+    Timeout {
+        /// How long the receiver waited.
+        waited: Duration,
+    },
+    /// A frame failed integrity checks (checksum mismatch, bad magic,
+    /// impossible length) — the stream from `peer` is unusable.
+    Corrupt {
+        /// Rank whose stream produced the bad frame.
+        peer: usize,
+        /// Decoder diagnostic.
+        detail: String,
+    },
+    /// Any other I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::ConnectFailed {
+                peer,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "could not connect to rank {peer} after {attempts} attempts: {last}"
+            ),
+            TransportError::Handshake(d) => write!(f, "handshake failed: {d}"),
+            TransportError::Disconnected { peer } => {
+                write!(f, "connection to rank {peer} closed unexpectedly")
+            }
+            TransportError::Timeout { waited } => {
+                write!(f, "no message within {waited:?}")
+            }
+            TransportError::Corrupt { peer, detail } => {
+                write!(f, "corrupt frame from rank {peer}: {detail}")
+            }
+            TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// A point-to-point message fabric connecting `world_size` ranks.
+///
+/// # Contract
+///
+/// * `send` is addressed `(dst, tag, payload)` and must not be invoked
+///   with `dst == rank` — [`WorkerCtx`](crate::WorkerCtx) loops self-sends
+///   back internally and never hands them to the transport.
+/// * `recv_any` yields the next inbound message from *any* peer; tag
+///   matching and out-of-order buffering live above the transport, in
+///   `WorkerCtx`.
+/// * Messages from one peer arrive in the order they were sent (per-peer
+///   FIFO). No ordering holds across peers.
+/// * `barrier` blocks until every rank reaches it. Barrier traffic is
+///   transport-internal and must **not** surface through `recv_any` or be
+///   charged to the byte ledgers (the channel backend synchronizes without
+///   messages; parity between backends requires TCP to hide its barrier
+///   frames too).
+pub trait Transport: Send {
+    /// This rank.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the cluster.
+    fn world_size(&self) -> usize;
+
+    /// Whether communication time is simulated or measured.
+    fn clock(&self) -> Clock;
+
+    /// Delivers `payload` to `dst` under `tag`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the peer is gone or the wire write fails.
+    fn send(&self, dst: usize, tag: u64, payload: Payload) -> Result<(), TransportError>;
+
+    /// Blocks up to `timeout` for the next inbound message from any peer.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Timeout`] if nothing arrived; a backend-specific
+    /// error if a peer died or sent a corrupt frame.
+    fn recv_any(&self, timeout: Duration) -> Result<Message, TransportError>;
+
+    /// Returns the next inbound message if one is already queued.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific errors as for [`Transport::recv_any`]; a quiet
+    /// fabric returns `Ok(None)`.
+    fn try_recv_any(&self) -> Result<Option<Message>, TransportError>;
+
+    /// Blocks until every rank has entered the barrier.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a peer dies while the barrier is forming.
+    fn barrier(&self) -> Result<(), TransportError>;
+}
+
+// ----------------------------------------------------------------------
+// The in-process channel backend
+// ----------------------------------------------------------------------
+
+/// The in-process backend: unbounded channels between worker threads and a
+/// shared [`std::sync::Barrier`]. Communication time is *simulated* by the
+/// layer above ([`Clock::Simulated`]); bytes and messages are counted from
+/// [`Payload::wire_len`] exactly as the TCP backend counts them.
+pub struct ChannelTransport {
+    rank: usize,
+    world: usize,
+    senders: Vec<Sender<Message>>,
+    receiver: Receiver<Message>,
+    barrier: Arc<std::sync::Barrier>,
+}
+
+impl ChannelTransport {
+    /// Builds the fully connected channel fabric for `world` ranks,
+    /// returning one transport per rank (index = rank).
+    ///
+    /// Every transport holds a sender clone for every rank, so a worker
+    /// finishing (and dropping its transport) never invalidates a peer's
+    /// in-flight `send`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world == 0`.
+    pub fn mesh(world: usize) -> Vec<ChannelTransport> {
+        assert!(world > 0, "transport mesh needs at least one rank");
+        let mut senders = Vec::with_capacity(world);
+        let mut receivers = Vec::with_capacity(world);
+        for _ in 0..world {
+            let (tx, rx) = unbounded::<Message>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let barrier = Arc::new(std::sync::Barrier::new(world));
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, receiver)| ChannelTransport {
+                rank,
+                world,
+                senders: senders.clone(),
+                receiver,
+                barrier: Arc::clone(&barrier),
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for ChannelTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelTransport")
+            .field("rank", &self.rank)
+            .field("world", &self.world)
+            .finish()
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.world
+    }
+
+    fn clock(&self) -> Clock {
+        Clock::Simulated
+    }
+
+    fn send(&self, dst: usize, tag: u64, payload: Payload) -> Result<(), TransportError> {
+        self.senders[dst]
+            .send(Message {
+                src: self.rank as u32,
+                tag,
+                payload,
+            })
+            .map_err(|_| TransportError::Disconnected { peer: dst })
+    }
+
+    fn recv_any(&self, timeout: Duration) -> Result<Message, TransportError> {
+        self.receiver.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => TransportError::Timeout { waited: timeout },
+            RecvTimeoutError::Disconnected => TransportError::Disconnected { peer: self.rank },
+        })
+    }
+
+    fn try_recv_any(&self) -> Result<Option<Message>, TransportError> {
+        match self.receiver.try_recv() {
+            Ok(m) => Ok(Some(m)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => {
+                Err(TransportError::Disconnected { peer: self.rank })
+            }
+        }
+    }
+
+    fn barrier(&self) -> Result<(), TransportError> {
+        self.barrier.wait();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_routes_between_ranks() {
+        let mut mesh = ChannelTransport::mesh(3);
+        let t2 = mesh.pop().unwrap();
+        let t1 = mesh.pop().unwrap();
+        let t0 = mesh.pop().unwrap();
+        t0.send(2, 7, Payload::U32(vec![1])).unwrap();
+        t1.send(2, 8, Payload::U32(vec![2])).unwrap();
+        let a = t2.recv_any(Duration::from_secs(1)).unwrap();
+        let b = t2.recv_any(Duration::from_secs(1)).unwrap();
+        let mut got: Vec<(u32, u64)> = vec![(a.src, a.tag), (b.src, b.tag)];
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 7), (1, 8)]);
+        assert!(t2.try_recv_any().unwrap().is_none());
+    }
+
+    #[test]
+    fn recv_any_times_out() {
+        let mesh = ChannelTransport::mesh(2);
+        match mesh[0].recv_any(Duration::from_millis(10)) {
+            Err(TransportError::Timeout { .. }) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn per_peer_fifo_order_is_preserved() {
+        let mesh = ChannelTransport::mesh(2);
+        for i in 0..10u32 {
+            mesh[0].send(1, 5, Payload::U32(vec![i])).unwrap();
+        }
+        for i in 0..10u32 {
+            let m = mesh[1].recv_any(Duration::from_secs(1)).unwrap();
+            assert_eq!(m.payload, Payload::U32(vec![i]));
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! The framed wire format shared by every transport backend.
+//!
+//! A frame is a fixed 32-byte header followed by the raw payload bytes:
+//!
+//! ```text
+//!  offset  size  field
+//!  ------  ----  -----------------------------------------------------
+//!       0     4  magic  b"SAR1"
+//!       4     1  kind   (0 = data, 1 = barrier, 2 = shutdown)
+//!       5     1  dtype  (0 = empty, 1 = f32, 2 = u32, 3 = bytes)
+//!       6     2  reserved (zero)
+//!       8     4  src rank, u32 LE
+//!      12     8  tag, u64 LE
+//!      20     8  payload length in bytes, u64 LE
+//!      28     4  CRC-32 (IEEE) of header bytes 0..28 + payload, u32 LE
+//!      32     …  payload (little-endian scalars)
+//! ```
+//!
+//! The header overhead is charged to *every* message by [`Payload::wire_len`],
+//! so the simulated α–β cost model and the TCP byte ledgers agree exactly.
+//! Integrity is end-to-end: the checksum covers the header fields as well as
+//! the payload, so a corrupted tag or length is rejected, not misrouted.
+
+use std::io::{self, Read, Write};
+
+use crate::message::Payload;
+
+/// Magic bytes opening every frame.
+pub const WIRE_MAGIC: [u8; 4] = *b"SAR1";
+
+/// Size of the fixed frame header, in bytes. Included in
+/// [`Payload::wire_len`] so the cost model and the byte ledgers count
+/// framing overhead identically on every backend.
+pub const WIRE_HEADER_LEN: usize = 32;
+
+/// Largest payload a frame may carry (a defence against decoding garbage
+/// lengths after stream desynchronization): 1 GiB.
+pub const WIRE_MAX_PAYLOAD: u64 = 1 << 30;
+
+/// Frame kind: application data, or transport-internal control traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A tagged application message.
+    Data,
+    /// A barrier announcement (`tag` carries the barrier sequence number).
+    Barrier,
+    /// Clean-shutdown announcement: the peer will send nothing further.
+    Shutdown,
+}
+
+impl FrameKind {
+    fn code(self) -> u8 {
+        match self {
+            FrameKind::Data => 0,
+            FrameKind::Barrier => 1,
+            FrameKind::Shutdown => 2,
+        }
+    }
+
+    fn from_code(c: u8) -> Option<FrameKind> {
+        match c {
+            0 => Some(FrameKind::Data),
+            1 => Some(FrameKind::Barrier),
+            2 => Some(FrameKind::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Data or control.
+    pub kind: FrameKind,
+    /// Sender rank as claimed by the header (verified against the
+    /// connection's peer by the TCP backend).
+    pub src: u32,
+    /// Message tag (barrier sequence number for barrier frames).
+    pub tag: u64,
+    /// The payload.
+    pub payload: Payload,
+}
+
+/// Why a frame could not be decoded.
+#[derive(Debug)]
+pub enum WireError {
+    /// The stream ended cleanly on a frame boundary.
+    Eof,
+    /// The stream ended (or errored) mid-frame.
+    Io(io::Error),
+    /// The header did not start with [`WIRE_MAGIC`] or used an unknown
+    /// kind/dtype code — the stream is desynchronized or corrupt.
+    BadHeader(String),
+    /// The CRC-32 over header + payload did not match.
+    ChecksumMismatch {
+        /// Checksum carried by the frame.
+        expected: u32,
+        /// Checksum computed from the received bytes.
+        actual: u32,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Eof => write!(f, "end of stream"),
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::BadHeader(d) => write!(f, "bad frame header: {d}"),
+            WireError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checksum mismatch: frame claims {expected:#010x}, computed {actual:#010x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ----------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, the zlib polynomial), table-driven.
+// ----------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// Streaming CRC-32 (IEEE): feed byte slices, then [`Crc32::finish`].
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32(u32);
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32(0xffff_ffff)
+    }
+}
+
+impl Crc32 {
+    /// Fresh hasher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs `bytes`.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.0;
+        for &b in bytes {
+            c = CRC32_TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+        }
+        self.0 = c;
+    }
+
+    /// The final checksum.
+    pub fn finish(self) -> u32 {
+        self.0 ^ 0xffff_ffff
+    }
+}
+
+/// CRC-32 of one buffer.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+// ----------------------------------------------------------------------
+// Encoding
+// ----------------------------------------------------------------------
+
+fn dtype_code(p: &Payload) -> u8 {
+    match p {
+        Payload::Empty => 0,
+        Payload::F32(_) => 1,
+        Payload::U32(_) => 2,
+        Payload::Bytes(_) => 3,
+    }
+}
+
+fn payload_bytes(p: &Payload, out: &mut Vec<u8>) {
+    match p {
+        Payload::Empty => {}
+        Payload::F32(v) => {
+            out.reserve(v.len() * 4);
+            for x in v {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        Payload::U32(v) => {
+            out.reserve(v.len() * 4);
+            for x in v {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        Payload::Bytes(v) => out.extend_from_slice(v),
+    }
+}
+
+fn decode_payload(dtype: u8, bytes: Vec<u8>) -> Result<Payload, WireError> {
+    match dtype {
+        0 => {
+            if bytes.is_empty() {
+                Ok(Payload::Empty)
+            } else {
+                Err(WireError::BadHeader(format!(
+                    "empty dtype with {} payload bytes",
+                    bytes.len()
+                )))
+            }
+        }
+        1 | 2 => {
+            if !bytes.len().is_multiple_of(4) {
+                return Err(WireError::BadHeader(format!(
+                    "scalar payload length {} not a multiple of 4",
+                    bytes.len()
+                )));
+            }
+            if dtype == 1 {
+                let v = bytes
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                    .collect();
+                Ok(Payload::F32(v))
+            } else {
+                let v = bytes
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                    .collect();
+                Ok(Payload::U32(v))
+            }
+        }
+        3 => Ok(Payload::Bytes(bytes)),
+        other => Err(WireError::BadHeader(format!("unknown dtype code {other}"))),
+    }
+}
+
+/// Encodes one frame into a contiguous buffer (header + payload).
+pub fn encode_frame(kind: FrameKind, src: u32, tag: u64, payload: &Payload) -> Vec<u8> {
+    let mut body = Vec::new();
+    payload_bytes(payload, &mut body);
+    let mut buf = Vec::with_capacity(WIRE_HEADER_LEN + body.len());
+    buf.extend_from_slice(&WIRE_MAGIC);
+    buf.push(kind.code());
+    buf.push(dtype_code(payload));
+    buf.extend_from_slice(&[0u8; 2]);
+    buf.extend_from_slice(&src.to_le_bytes());
+    buf.extend_from_slice(&tag.to_le_bytes());
+    buf.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    let mut crc = Crc32::new();
+    crc.update(&buf[..28]);
+    crc.update(&body);
+    buf.extend_from_slice(&crc.finish().to_le_bytes());
+    buf.extend_from_slice(&body);
+    debug_assert_eq!(buf.len(), WIRE_HEADER_LEN + body.len());
+    buf
+}
+
+/// Writes one frame to `w` (a single `write_all`, so concurrent writers on
+/// distinct streams never interleave partial frames).
+pub fn write_frame(
+    w: &mut impl Write,
+    kind: FrameKind,
+    src: u32,
+    tag: u64,
+    payload: &Payload,
+) -> io::Result<()> {
+    w.write_all(&encode_frame(kind, src, tag, payload))
+}
+
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<(), WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if filled == 0 {
+                    WireError::Eof
+                } else {
+                    WireError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        format!("stream ended mid-frame ({filled} of {} bytes)", buf.len()),
+                    ))
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads and validates one frame from `r`.
+///
+/// # Errors
+///
+/// [`WireError::Eof`] on a clean end-of-stream between frames; the other
+/// variants on truncation, corruption, or checksum mismatch.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
+    let mut header = [0u8; WIRE_HEADER_LEN];
+    read_exact_or_eof(r, &mut header)?;
+    if header[..4] != WIRE_MAGIC {
+        return Err(WireError::BadHeader(format!(
+            "magic {:02x?} != {:02x?}",
+            &header[..4],
+            WIRE_MAGIC
+        )));
+    }
+    let kind = FrameKind::from_code(header[4])
+        .ok_or_else(|| WireError::BadHeader(format!("unknown frame kind {}", header[4])))?;
+    let dtype = header[5];
+    let src = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    let tag = u64::from_le_bytes(header[12..20].try_into().unwrap());
+    let len = u64::from_le_bytes(header[20..28].try_into().unwrap());
+    let expected = u32::from_le_bytes(header[28..32].try_into().unwrap());
+    if len > WIRE_MAX_PAYLOAD {
+        return Err(WireError::BadHeader(format!(
+            "payload length {len} exceeds the {WIRE_MAX_PAYLOAD}-byte frame limit"
+        )));
+    }
+    let mut body = vec![0u8; len as usize];
+    read_exact_or_eof(r, &mut body).map_err(|e| match e {
+        // EOF inside the payload is truncation, not a clean close.
+        WireError::Eof => WireError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "stream ended inside a frame payload",
+        )),
+        other => other,
+    })?;
+    let mut crc = Crc32::new();
+    crc.update(&header[..28]);
+    crc.update(&body);
+    let actual = crc.finish();
+    if actual != expected {
+        return Err(WireError::ChecksumMismatch { expected, actual });
+    }
+    let payload = decode_payload(dtype, body)?;
+    Ok(Frame {
+        kind,
+        src,
+        tag,
+        payload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    fn round_trip(payload: Payload) {
+        let buf = encode_frame(FrameKind::Data, 3, 42, &payload);
+        assert_eq!(buf.len(), payload.wire_len());
+        let frame = read_frame(&mut &buf[..]).expect("decode");
+        assert_eq!(frame.kind, FrameKind::Data);
+        assert_eq!(frame.src, 3);
+        assert_eq!(frame.tag, 42);
+        assert_eq!(frame.payload, payload);
+    }
+
+    #[test]
+    fn frames_round_trip_every_dtype() {
+        round_trip(Payload::Empty);
+        round_trip(Payload::F32(vec![1.5, -2.25, f32::MIN_POSITIVE]));
+        round_trip(Payload::U32(vec![0, 1, u32::MAX]));
+        round_trip(Payload::Bytes(vec![7u8; 13]));
+    }
+
+    #[test]
+    fn consecutive_frames_parse_from_one_stream() {
+        let mut buf = encode_frame(FrameKind::Data, 0, 1, &Payload::U32(vec![9]));
+        buf.extend(encode_frame(FrameKind::Barrier, 0, 7, &Payload::Empty));
+        let mut r = &buf[..];
+        let a = read_frame(&mut r).unwrap();
+        let b = read_frame(&mut r).unwrap();
+        assert_eq!(a.payload, Payload::U32(vec![9]));
+        assert_eq!(b.kind, FrameKind::Barrier);
+        assert_eq!(b.tag, 7);
+        assert!(matches!(read_frame(&mut r), Err(WireError::Eof)));
+    }
+
+    #[test]
+    fn corrupted_payload_is_rejected() {
+        let mut buf = encode_frame(FrameKind::Data, 1, 2, &Payload::F32(vec![1.0, 2.0]));
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        match read_frame(&mut &buf[..]) {
+            Err(WireError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_header_tag_is_rejected() {
+        // The checksum covers the header too: flipping a tag bit must fail.
+        let mut buf = encode_frame(FrameKind::Data, 1, 2, &Payload::U32(vec![5]));
+        buf[12] ^= 0x80;
+        assert!(matches!(
+            read_frame(&mut &buf[..]),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut buf = encode_frame(FrameKind::Data, 1, 2, &Payload::Empty);
+        buf[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut &buf[..]),
+            Err(WireError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_frame_is_io_error_not_eof() {
+        let buf = encode_frame(FrameKind::Data, 1, 2, &Payload::F32(vec![3.0; 8]));
+        let cut = &buf[..buf.len() - 5];
+        assert!(matches!(read_frame(&mut &cut[..]), Err(WireError::Io(_))));
+    }
+}

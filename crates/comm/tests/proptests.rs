@@ -3,7 +3,7 @@
 //! and traffic accounting must balance.
 
 use proptest::prelude::*;
-use sar_comm::{Cluster, CostModel, Payload};
+use sar_comm::{Cluster, CostModel, Payload, WIRE_HEADER_LEN};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -63,7 +63,11 @@ proptest! {
         let total_sent: u64 = out.iter().map(|o| o.comm.total_sent()).sum();
         let total_recv: u64 = out.iter().map(|o| o.comm.recv_bytes).sum();
         prop_assert_eq!(total_sent, total_recv);
-        prop_assert_eq!(total_sent as usize, world * (world - 1) * len * 4);
+        // Each message carries `len` floats plus the framed-wire header.
+        prop_assert_eq!(
+            total_sent as usize,
+            world * (world - 1) * (len * 4 + WIRE_HEADER_LEN)
+        );
     }
 
     #[test]

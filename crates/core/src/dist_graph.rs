@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 
+use sar_comm::WIRE_HEADER_LEN;
 use sar_graph::CsrGraph;
 use sar_partition::Partitioning;
 
@@ -222,19 +223,22 @@ impl DistGraph {
     }
 
     /// Bytes this worker *receives* during one Algorithm-1 rotation over a
-    /// `[n_local, cols]` feature tensor (4-byte floats). The observability
-    /// ledger's `ForwardFetch` (and, for attention layers, each
-    /// `BackwardRefetch`) received volume must match this exactly — the
-    /// cross-check wired into `crates/core/tests/observability.rs`.
+    /// `[n_local, cols]` feature tensor: 4-byte floats plus one framed
+    /// wire header per remote peer (the rotation exchanges exactly one
+    /// message per peer). The observability ledger's `ForwardFetch` (and,
+    /// for attention layers, each `BackwardRefetch`) received volume must
+    /// match this exactly, on *both* transport backends — the cross-check
+    /// wired into `crates/core/tests/observability.rs`.
     pub fn predicted_fetch_bytes(&self, cols: usize) -> u64 {
-        (self.remote_fetch_rows() * cols * 4) as u64
+        (self.remote_fetch_rows() * cols * 4 + (self.world - 1) * WIRE_HEADER_LEN) as u64
     }
 
     /// Bytes this worker *receives* while peers route error blocks back
     /// over a `[n_local, cols]` gradient (Algorithm 2's `E_p = Σ_q
-    /// E_{q→p}` step): one row per served node.
+    /// E_{q→p}` step): one row per served node, one message (and wire
+    /// header) per remote peer.
     pub fn predicted_grad_route_bytes(&self, cols: usize) -> u64 {
-        (self.remote_serve_rows() * cols * 4) as u64
+        (self.remote_serve_rows() * cols * 4 + (self.world - 1) * WIRE_HEADER_LEN) as u64
     }
 }
 

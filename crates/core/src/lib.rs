@@ -47,5 +47,5 @@ pub use dist_graph::DistGraph;
 pub use model::{Arch, DistModel, Mode, ModelConfig};
 pub use seq_agg::{gat_aggregate, sage_aggregate, FakMode};
 pub use shard::Shard;
-pub use trainer::{train, EpochRecord, RunReport, TrainConfig, WorkerReport};
+pub use trainer::{run_worker, train, EpochRecord, RunReport, TrainConfig, WorkerReport};
 pub use worker::Worker;

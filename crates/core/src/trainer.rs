@@ -7,6 +7,7 @@
 //! all running under any [`Mode`](crate::Mode) (domain-parallel, SAR,
 //! SAR+FAK) so the same harness regenerates every figure.
 
+use std::rc::Rc;
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
@@ -219,19 +220,18 @@ fn all_reduce_grads(w: &Worker, params: &[Var]) {
 
 /// The per-worker SPMD training program.
 ///
-/// Exposed so integration tests and benchmarks can compose it with a
-/// custom [`Cluster`]; most callers should use [`train`].
+/// Exposed so integration tests, benchmarks and the multi-process
+/// launcher can compose it with any [`Transport`](sar_comm::Transport)
+/// backend; most callers should use [`train`]. Takes the context as an
+/// `Rc` so the caller can keep a clone and read (or ship) the accumulated
+/// statistics after training.
 pub fn run_worker(
-    ctx: WorkerCtx,
+    ctx: Rc<WorkerCtx>,
     graph: Arc<DistGraph>,
     shard: &Shard,
     cfg: &TrainConfig,
 ) -> WorkerReport {
-    let w = if cfg.prefetch {
-        Worker::with_prefetch(ctx, graph)
-    } else {
-        Worker::new(ctx, graph)
-    };
+    let w = Worker::from_shared(ctx, graph, cfg.prefetch);
     let mut model_cfg = cfg.model.clone();
     model_cfg.in_dim = shard.feat_dim + if cfg.label_aug { shard.num_classes } else { 0 };
     let model = DistModel::new(&model_cfg);
@@ -289,7 +289,7 @@ pub fn run_worker(
         epochs.push(EpochRecord {
             loss: global_loss,
             compute_secs: thread_cpu_secs() - cpu0,
-            comm_secs: (comm1.sim_comm_us - comm0.sim_comm_us) / 1e6,
+            comm_secs: (comm1.comm_us - comm0.comm_us) / 1e6,
             sent_bytes: comm1.total_sent() - comm0.total_sent(),
         });
         steady_peak = steady_peak.max(MemoryTracker::stats().peak_bytes);
@@ -380,7 +380,12 @@ pub fn train(
 
     let outcomes = Cluster::new(world, cost).run(move |ctx| {
         let rank = ctx.rank();
-        run_worker(ctx, Arc::clone(&graphs[rank]), &shards[rank], &cfg_arc)
+        run_worker(
+            Rc::new(ctx),
+            Arc::clone(&graphs[rank]),
+            &shards[rank],
+            &cfg_arc,
+        )
     });
 
     // Aggregate.

@@ -35,20 +35,23 @@ pub struct Worker {
 impl Worker {
     /// Wraps a communication context and shard into a shared handle.
     pub fn new(ctx: WorkerCtx, graph: Arc<DistGraph>) -> Rc<Worker> {
-        Rc::new(Worker {
-            ctx: Rc::new(ctx),
-            graph,
-            prefetch: false,
-            tags: Cell::new(0),
-        })
+        Worker::from_shared(Rc::new(ctx), graph, false)
     }
 
     /// Like [`Worker::new`] with prefetching enabled.
     pub fn with_prefetch(ctx: WorkerCtx, graph: Arc<DistGraph>) -> Rc<Worker> {
+        Worker::from_shared(Rc::new(ctx), graph, true)
+    }
+
+    /// Builds a worker over an already-shared communication context. The
+    /// caller keeps its `Rc` clone, e.g. to read the context's statistics
+    /// (or gather them over the transport) after training consumed the
+    /// worker.
+    pub fn from_shared(ctx: Rc<WorkerCtx>, graph: Arc<DistGraph>, prefetch: bool) -> Rc<Worker> {
         Rc::new(Worker {
-            ctx: Rc::new(ctx),
+            ctx,
             graph,
-            prefetch: true,
+            prefetch,
             tags: Cell::new(0),
         })
     }

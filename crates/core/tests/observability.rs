@@ -195,7 +195,7 @@ fn ledger_attributes_traffic_to_the_recorded_layer() {
             "rank {rank}: backward refetch not attributed to layer {LAYER}"
         );
         assert!(
-            fetch.sim_comm_us > 0.0,
+            fetch.comm_us > 0.0,
             "rank {rank}: fetch must be charged simulated time"
         );
     }

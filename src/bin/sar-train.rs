@@ -3,10 +3,13 @@
 //! ```text
 //! sar-train [flags]
 //!
+//!   --transport sim|tcp           in-process simulated cluster, or one
+//!                                 OS process per rank over TCP loopback
+//!                                 (spawns the sar-worker binary)   (sim)
 //!   --dataset products|papers     synthetic stand-in to generate  (products)
 //!   --dataset-file PATH           or load a binary dataset (sar_graph::io)
 //!   --nodes N                     stand-in size                   (4000)
-//!   --workers N                   simulated cluster size          (4)
+//!   --workers N                   cluster size                    (4)
 //!   --arch sage|gat|gcn           model architecture              (sage)
 //!   --mode sar|sar-fak|dp         execution mode                  (sar-fak)
 //!   --layers N                    GNN depth                       (3)
@@ -29,7 +32,15 @@
 //!
 //! Exits with status 1 if training diverged (non-finite loss) — after
 //! writing the report, so CI can archive the evidence.
+//!
+//! Under `--transport tcp` the run is delegated to `sar-worker`
+//! processes, which rebuild the synthetic dataset deterministically from
+//! flags; `--dataset-file` and `--save-model` are therefore rejected
+//! there (the multi-process path gathers ledgers and metrics to rank 0,
+//! not trained parameters or logits).
 
+use sar::bench::distrun::Workload;
+use sar::bench::launcher;
 use sar::bench::report::RunReport;
 use sar::comm::CostModel;
 use sar::core::{checkpoint, train, Arch, Mode, ModelConfig, TrainConfig};
@@ -38,6 +49,7 @@ use sar::nn::{ConfusionMatrix, CsConfig, LrSchedule};
 use sar::partition::{partition, Method};
 
 struct Args {
+    transport: String,
     dataset: String,
     dataset_file: Option<String>,
     nodes: usize,
@@ -63,6 +75,7 @@ struct Args {
 impl Default for Args {
     fn default() -> Self {
         Args {
+            transport: "sim".into(),
             dataset: "products".into(),
             dataset_file: None,
             nodes: 4000,
@@ -105,6 +118,7 @@ fn parse_args() -> Args {
                 .unwrap_or_else(|| fail(&format!("missing value for {flag}")))
         };
         match flag {
+            "--transport" => args.transport = value(),
             "--dataset" => args.dataset = value(),
             "--dataset-file" => args.dataset_file = Some(value()),
             "--nodes" => args.nodes = value().parse().unwrap_or_else(|_| fail("--nodes")),
@@ -148,8 +162,70 @@ fn load_dataset(args: &Args) -> Dataset {
     }
 }
 
+/// `--transport tcp`: delegate the run to one `sar-worker` OS process
+/// per rank. The workload maps onto `sar-worker` flags one-to-one; the
+/// options that need shared memory or a full parameter/logit gather are
+/// rejected up front with an explanation instead of silently dropped.
+fn run_tcp(args: &Args) -> ! {
+    if args.dataset_file.is_some() {
+        fail(
+            "--dataset-file is not supported with --transport tcp: every rank rebuilds \
+             the dataset deterministically from flags (use --dataset/--nodes/--seed)",
+        );
+    }
+    if args.save_model.is_some() {
+        fail(
+            "--save-model is not supported with --transport tcp: the multi-process run \
+             gathers ledgers and metrics to rank 0, not trained parameters",
+        );
+    }
+    let workload = Workload {
+        dataset: args.dataset.clone(),
+        nodes: args.nodes,
+        arch: args.arch.clone(),
+        hidden: args.hidden,
+        heads: args.heads,
+        mode: args.mode.clone(),
+        layers: args.layers,
+        jk: args.jk,
+        epochs: args.epochs,
+        lr: args.lr,
+        dropout: args.dropout,
+        label_aug: args.label_aug,
+        aug_frac: 0.5,
+        cs: args.cs,
+        prefetch: args.prefetch,
+        partitioner: args.partitioner.clone(),
+        // Matches the simulated path's StepDecay{epochs/3, 0.5} recipe.
+        schedule: "step".into(),
+        seed: args.seed,
+    };
+    let exe = launcher::sibling_binary("sar-worker").unwrap_or_else(|e| fail(&e));
+    let mut worker_args = workload.to_args();
+    worker_args.extend([
+        "--experiment".to_string(),
+        format!("sar-train/{}", args.dataset),
+    ]);
+    if let Some(path) = &args.report_json {
+        worker_args.extend(["--out".to_string(), path.clone()]);
+    }
+    println!(
+        "training {} / {} for {} epochs on {} OS processes over TCP ...",
+        args.arch, args.mode, args.epochs, args.workers
+    );
+    match launcher::spawn_ranks(&exe, args.workers, &worker_args) {
+        Ok(()) => std::process::exit(0),
+        Err(e) => fail(&format!("tcp run failed: {e}")),
+    }
+}
+
 fn main() {
     let args = parse_args();
+    match args.transport.as_str() {
+        "sim" => {}
+        "tcp" => run_tcp(&args),
+        other => fail(&format!("unknown transport {other} (sim or tcp)")),
+    }
     let dataset = load_dataset(&args);
     let mode = match args.mode.as_str() {
         "sar" => Mode::Sar,
