@@ -31,6 +31,7 @@ fn cfg(arch: Arch, mode: Mode, classes: usize) -> TrainConfig {
         cs: None,
         prefetch: false,
         seed: 0,
+        threads: 1,
     }
 }
 

@@ -35,6 +35,13 @@
 //!   --mem-budget-papers-mib X    OOM budget, Figs. 5/6 (default 48)
 //!   --worlds A,B,C       worker counts override
 //!   --out DIR            RunReport JSON output directory (smoke only)
+//!   --model sage|gat|all smoke model selection (default all); validated
+//!                        against the supported model list at parse time
+//!   --threads A,B        smoke intra-worker thread counts (default 1).
+//!                        With more than one count, the same workload runs
+//!                        once per count and the gate fails unless every
+//!                        run's losses and byte ledgers are identical —
+//!                        the kernels' determinism contract (DESIGN.md §8)
 //!   --seed N             RNG seed               (default 0)
 //! ```
 
@@ -46,11 +53,24 @@ use sar_bench::report::RunReport;
 use sar_bench::{launcher, smoke};
 use sar_core::{train, Arch};
 
-fn parse_flags(args: &[String]) -> (ExpConfig, Option<Vec<usize>>, Option<String>, String) {
+struct Flags {
+    cfg: ExpConfig,
+    worlds: Option<Vec<usize>>,
+    out: Option<String>,
+    transport: String,
+    /// Intra-worker thread counts the smoke gate runs (and cross-checks).
+    threads: Vec<usize>,
+    /// Smoke model selection: `"all"` or one of [`smoke::MODELS`].
+    model: String,
+}
+
+fn parse_flags(args: &[String]) -> Flags {
     let mut cfg = ExpConfig::default();
     let mut worlds = None;
     let mut out = None;
     let mut transport = "sim".to_string();
+    let mut threads = vec![1usize];
+    let mut model = "all".to_string();
     let mut i = 0;
     while i < args.len() {
         let key = args[i].as_str();
@@ -90,6 +110,26 @@ fn parse_flags(args: &[String]) -> (ExpConfig, Option<Vec<usize>>, Option<String
                 std::process::exit(2);
             }
             transport = v;
+        } else if let Some(v) = take("--threads") {
+            threads = v
+                .split(',')
+                .map(|x| match x.parse::<usize>() {
+                    Ok(t) if t >= 1 => t,
+                    _ => {
+                        eprintln!("--threads takes a comma list of counts >= 1, e.g. 1,4");
+                        std::process::exit(2);
+                    }
+                })
+                .collect();
+        } else if let Some(v) = take("--model") {
+            if v != "all" && !smoke::MODELS.contains(&v.as_str()) {
+                eprintln!(
+                    "unknown --model {v}; supported models: {}, all",
+                    smoke::MODELS.join(", ")
+                );
+                std::process::exit(2);
+            }
+            model = v;
         } else if let Some(v) = take("--seed") {
             cfg.seed = v.parse().expect("--seed");
         } else {
@@ -98,7 +138,14 @@ fn parse_flags(args: &[String]) -> (ExpConfig, Option<Vec<usize>>, Option<String
         }
         i += 1;
     }
-    (cfg, worlds, out, transport)
+    Flags {
+        cfg,
+        worlds,
+        out,
+        transport,
+        threads,
+        model,
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -108,42 +155,77 @@ fn parse_flags(args: &[String]) -> (ExpConfig, Option<Vec<usize>>, Option<String
 /// Scaled-down 4-worker GraphSage and GAT training runs whose
 /// observability ledgers are checked against the paper's communication
 /// claims. The workloads and the invariants live in [`sar_bench::smoke`],
-/// shared verbatim with the TCP backend. Returns the violations found
+/// shared verbatim with the TCP backend. With more than one entry in
+/// `threads`, each workload runs once per thread count and the runs'
+/// [`RunReport::parity_digest`]s must match exactly — the parallel
+/// kernels' bitwise-determinism contract. Returns the violations found
 /// (empty = gate passes).
-fn smoke_sim(cfg: &ExpConfig, out_dir: Option<&str>) -> Vec<String> {
+fn smoke_sim(
+    cfg: &ExpConfig,
+    out_dir: Option<&str>,
+    models: &[&str],
+    threads: &[usize],
+) -> Vec<String> {
     let nodes = cfg.products_nodes.min(1500);
     let mut violations = Vec::new();
-    for arch_name in ["sage", "gat"] {
-        let wl = smoke::workload(arch_name, nodes, cfg.seed);
+    for arch_name in models {
         let exp = format!("smoke-{arch_name}");
-        let (dataset, part) = match wl.build_data(smoke::WORLD) {
-            Ok(dp) => dp,
+        let base = match smoke::workload(arch_name, nodes, cfg.seed) {
+            Ok(w) => w,
             Err(e) => {
                 violations.push(format!("{exp}: {e}"));
                 continue;
             }
         };
-        let tcfg = match wl.train_config(&dataset) {
-            Ok(t) => t,
-            Err(e) => {
-                violations.push(format!("{exp}: {e}"));
-                continue;
+        let mut first_digest: Option<String> = None;
+        for (k, &t) in threads.iter().enumerate() {
+            let mut wl = base.clone();
+            wl.threads = t;
+            let (dataset, part) = match wl.build_data(smoke::WORLD) {
+                Ok(dp) => dp,
+                Err(e) => {
+                    violations.push(format!("{exp}: {e}"));
+                    continue;
+                }
+            };
+            let tcfg = match wl.train_config(&dataset) {
+                Ok(t) => t,
+                Err(e) => {
+                    violations.push(format!("{exp}: {e}"));
+                    continue;
+                }
+            };
+            eprintln!(
+                "[repro] smoke: training {arch_name}/{} on {} workers (threads={t}) ...",
+                wl.mode,
+                smoke::WORLD
+            );
+            let run = train(&dataset, &part, cfg.cost_model(), &tcfg);
+            let report = RunReport::from_train(&exp, *arch_name, &wl.mode, &run);
+            smoke::ledger_table(&report).print();
+            violations.extend(smoke::violations(&report, wl.epochs));
+            match &first_digest {
+                None => first_digest = Some(report.parity_digest()),
+                Some(d0) => {
+                    if *d0 != report.parity_digest() {
+                        violations.push(format!(
+                            "{exp}: --threads {t} diverged from --threads {} \
+                             (losses or byte ledgers differ)",
+                            threads[0]
+                        ));
+                    }
+                }
             }
-        };
-        eprintln!(
-            "[repro] smoke: training {arch_name}/{} on {} workers ...",
-            wl.mode,
-            smoke::WORLD
-        );
-        let run = train(&dataset, &part, cfg.cost_model(), &tcfg);
-        let report = RunReport::from_train(&exp, arch_name, &wl.mode, &run);
-        smoke::ledger_table(&report).print();
-        violations.extend(smoke::violations(&report, wl.epochs));
-        if let Some(dir) = out_dir {
-            let path = format!("{dir}/{exp}.json");
-            match report.write_json(&path) {
-                Ok(()) => eprintln!("[repro] wrote {path}"),
-                Err(e) => violations.push(format!("{exp}: cannot write {path}: {e}")),
+            if let Some(dir) = out_dir {
+                let path = if k == 0 {
+                    format!("{dir}/{exp}.json")
+                } else {
+                    format!("{dir}/{exp}-t{t}.json")
+                };
+                match report.write_json(&path) {
+                    Ok(()) => eprintln!("[repro] wrote {path}"),
+                    Err(e) => violations.push(format!("{exp}: cannot write {path}: {e}")),
+                }
             }
         }
     }
@@ -154,49 +236,108 @@ fn smoke_sim(cfg: &ExpConfig, out_dir: Option<&str>) -> Vec<String> {
 /// process per rank over TCP loopback. Rank 0 of each run gathers the
 /// ledgers, applies the same invariants (`--check smoke`) and writes the
 /// same RunReport JSON; any rank failure or invariant violation surfaces
-/// here as a non-zero child exit.
-fn smoke_tcp(cfg: &ExpConfig, out_dir: Option<&str>) -> Vec<String> {
+/// here as a non-zero child exit. Cross-thread-count parity is checked
+/// through rank 0's `--digest-out` file, since the report itself lives in
+/// the child process.
+fn smoke_tcp(
+    cfg: &ExpConfig,
+    out_dir: Option<&str>,
+    models: &[&str],
+    threads: &[usize],
+) -> Vec<String> {
     let nodes = cfg.products_nodes.min(1500);
     let exe = match launcher::sibling_binary("sar-worker") {
         Ok(exe) => exe,
         Err(e) => return vec![format!("smoke-tcp: {e}")],
     };
     let mut violations = Vec::new();
-    for arch_name in ["sage", "gat"] {
-        let wl = smoke::workload(arch_name, nodes, cfg.seed);
+    for arch_name in models {
         let exp = format!("smoke-{arch_name}");
-        let mut args = wl.to_args();
-        args.extend([
-            "--check".to_string(),
-            "smoke".to_string(),
-            "--experiment".to_string(),
-            exp.clone(),
-        ]);
-        if let Some(dir) = out_dir {
-            args.extend(["--out".to_string(), format!("{dir}/{exp}.json")]);
-        }
-        eprintln!(
-            "[repro] smoke: training {arch_name}/{} on {} OS processes over TCP ...",
-            wl.mode,
-            smoke::WORLD
-        );
-        if let Err(e) = launcher::spawn_ranks(&exe, smoke::WORLD, &args) {
-            violations.push(format!("{exp}: {e}"));
+        let base = match smoke::workload(arch_name, nodes, cfg.seed) {
+            Ok(w) => w,
+            Err(e) => {
+                violations.push(format!("{exp}: {e}"));
+                continue;
+            }
+        };
+        let mut first_digest: Option<String> = None;
+        for (k, &t) in threads.iter().enumerate() {
+            let mut wl = base.clone();
+            wl.threads = t;
+            let mut args = wl.to_args();
+            args.extend([
+                "--check".to_string(),
+                "smoke".to_string(),
+                "--experiment".to_string(),
+                exp.clone(),
+            ]);
+            let digest_path =
+                std::env::temp_dir().join(format!("sar-{exp}-t{t}-{}.digest", std::process::id()));
+            args.extend([
+                "--digest-out".to_string(),
+                digest_path.display().to_string(),
+            ]);
+            if let Some(dir) = out_dir {
+                let path = if k == 0 {
+                    format!("{dir}/{exp}.json")
+                } else {
+                    format!("{dir}/{exp}-t{t}.json")
+                };
+                args.extend(["--out".to_string(), path]);
+            }
+            eprintln!(
+                "[repro] smoke: training {arch_name}/{} on {} OS processes over TCP \
+                 (threads={t}) ...",
+                wl.mode,
+                smoke::WORLD
+            );
+            if let Err(e) = launcher::spawn_ranks(&exe, smoke::WORLD, &args) {
+                violations.push(format!("{exp}: {e}"));
+                continue;
+            }
+            let digest = match std::fs::read_to_string(&digest_path) {
+                Ok(d) => d,
+                Err(e) => {
+                    violations.push(format!(
+                        "{exp}: rank 0 wrote no digest at {}: {e}",
+                        digest_path.display()
+                    ));
+                    continue;
+                }
+            };
+            let _ = std::fs::remove_file(&digest_path);
+            match &first_digest {
+                None => first_digest = Some(digest),
+                Some(d0) => {
+                    if *d0 != digest {
+                        violations.push(format!(
+                            "{exp}: --threads {t} diverged from --threads {} \
+                             (losses or byte ledgers differ)",
+                            threads[0]
+                        ));
+                    }
+                }
+            }
         }
     }
     violations
 }
 
-fn smoke(cfg: &ExpConfig, out_dir: Option<&str>, transport: &str) -> Vec<String> {
-    if let Some(dir) = out_dir {
+fn smoke(flags: &Flags) -> Vec<String> {
+    if let Some(dir) = flags.out.as_deref() {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("[repro] cannot create {dir}: {e}");
             std::process::exit(2);
         }
     }
-    match transport {
-        "tcp" => smoke_tcp(cfg, out_dir),
-        _ => smoke_sim(cfg, out_dir),
+    let models: Vec<&str> = if flags.model == "all" {
+        smoke::MODELS.to_vec()
+    } else {
+        vec![flags.model.as_str()]
+    };
+    match flags.transport.as_str() {
+        "tcp" => smoke_tcp(&flags.cfg, flags.out.as_deref(), &models, &flags.threads),
+        _ => smoke_sim(&flags.cfg, flags.out.as_deref(), &models, &flags.threads),
     }
 }
 
@@ -256,13 +397,14 @@ fn main() {
         eprintln!("usage: repro <experiment|all> [flags] — see crate docs");
         std::process::exit(2);
     }
-    let (cfg, worlds, out, transport) = parse_flags(&args[1..]);
+    let flags = parse_flags(&args[1..]);
+    let (cfg, worlds, transport) = (&flags.cfg, &flags.worlds, &flags.transport);
     eprintln!(
         "[repro] products-like n={}, papers-like n={}, epochs={}, timing-epochs={}, bw-scale={}",
         cfg.products_nodes, cfg.papers_nodes, cfg.epochs, cfg.timing_epochs, cfg.bandwidth_scale
     );
     if args[0] == "smoke" {
-        let violations = smoke(&cfg, out.as_deref(), &transport);
+        let violations = smoke(&flags);
         if violations.is_empty() {
             eprintln!("[repro] smoke ({transport}): all ledger invariants hold");
         } else {
@@ -287,9 +429,9 @@ fn main() {
             "exactness",
         ] {
             eprintln!("[repro] running {name} ...");
-            run(name, &cfg, worlds.as_deref());
+            run(name, cfg, worlds.as_deref());
         }
     } else {
-        run(&args[0], &cfg, worlds.as_deref());
+        run(&args[0], cfg, worlds.as_deref());
     }
 }

@@ -24,6 +24,9 @@
 //!   --partitioner ml|random|range|bfs               (ml)
 //!   --schedule constant|step     learning-rate schedule (constant)
 //!   --seed N                                        (0)
+//!   --threads N                  intra-worker kernel threads (1);
+//!                                results are bitwise identical
+//!                                across thread counts
 //!
 //! rank-0-only outputs:
 //!   --experiment NAME            report label       (<arch>-<mode>)
@@ -31,6 +34,9 @@
 //!   --check smoke                apply the smoke ledger invariants to
 //!                                the gathered report; exit 1 on any
 //!                                violation
+//!   --digest-out PATH            write the run's determinism digest
+//!                                (losses + per-worker byte ledgers) for
+//!                                cross-thread-count parity checks
 //!
 //! other:
 //!   --rendezvous-timeout-secs N  poll budget for the rendezvous file (60)
@@ -57,6 +63,7 @@ struct Cli {
     experiment: Option<String>,
     out: Option<String>,
     check: Option<String>,
+    digest_out: Option<String>,
     workload: Workload,
 }
 
@@ -75,6 +82,7 @@ fn parse_cli() -> Cli {
         experiment: None,
         out: None,
         check: None,
+        digest_out: None,
         workload: Workload::default(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -105,6 +113,7 @@ fn parse_cli() -> Cli {
             "--experiment" => cli.experiment = Some(value()),
             "--out" => cli.out = Some(value()),
             "--check" => cli.check = Some(value()),
+            "--digest-out" => cli.digest_out = Some(value()),
             "--dataset" => w.dataset = value(),
             "--nodes" => w.nodes = value().parse().unwrap_or_else(|_| fail("--nodes")),
             "--arch" => w.arch = value(),
@@ -123,6 +132,7 @@ fn parse_cli() -> Cli {
             "--partitioner" => w.partitioner = value(),
             "--schedule" => w.schedule = value(),
             "--seed" => w.seed = value().parse().unwrap_or_else(|_| fail("--seed")),
+            "--threads" => w.threads = value().parse().unwrap_or_else(|_| fail("--threads")),
             "--help" | "-h" => {
                 eprintln!("see the doc comment at the top of crates/bench/src/bin/sar-worker.rs");
                 std::process::exit(0);
@@ -159,6 +169,9 @@ fn spawn_local(n: usize, cli: &Cli) -> ! {
     }
     if let Some(check) = &cli.check {
         args.extend(["--check".to_string(), check.clone()]);
+    }
+    if let Some(digest) = &cli.digest_out {
+        args.extend(["--digest-out".to_string(), digest.clone()]);
     }
     eprintln!(
         "[sar-worker] spawning {n} local rank processes ({} / {} on {} nodes) ...",
@@ -227,6 +240,11 @@ fn main() {
                     .write_json(path)
                     .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
                 eprintln!("[sar-worker] wrote {path}");
+            }
+            if let Some(path) = &cli.digest_out {
+                std::fs::write(path, report.parity_digest())
+                    .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+                eprintln!("[sar-worker] wrote digest {path}");
             }
             if cli.check.as_deref() == Some("smoke") {
                 let violations = smoke::violations(&report, cli.workload.epochs);

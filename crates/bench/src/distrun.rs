@@ -81,6 +81,9 @@ pub struct Workload {
     pub schedule: String,
     /// RNG seed for the dataset, the partitioner and training.
     pub seed: u64,
+    /// Intra-worker kernel threads (`sar_tensor::pool`). Results are
+    /// bitwise identical across thread counts.
+    pub threads: usize,
 }
 
 impl Default for Workload {
@@ -104,6 +107,7 @@ impl Default for Workload {
             partitioner: "ml".into(),
             schedule: "constant".into(),
             seed: 0,
+            threads: 1,
         }
     }
 }
@@ -127,6 +131,7 @@ impl Workload {
             ("--partitioner", self.partitioner.clone()),
             ("--schedule", self.schedule.clone()),
             ("--seed", self.seed.to_string()),
+            ("--threads", self.threads.to_string()),
         ]
         .into_iter()
         .flat_map(|(k, v)| [k.to_string(), v])
@@ -222,6 +227,7 @@ impl Workload {
             cs: self.cs.then(CsConfig::default),
             prefetch: self.prefetch,
             seed: self.seed,
+            threads: self.threads,
         })
     }
 }
@@ -470,10 +476,18 @@ pub fn run_rank(opts: &RankOpts, workload: &Workload) -> Result<Option<RunReport
         comm: ctx.stats(),
     };
 
+    // The gather and the final barrier use the fallible context paths:
+    // a rank that died mid-protocol turns into an `Err` naming the
+    // failing rank, so the process exits nonzero with a diagnostic
+    // instead of panicking (or leaving the launcher to time out).
     let out = if rank == 0 {
         let mut summaries = vec![summary];
         for q in 1..opts.world {
-            let blob = ctx.recv(q, GATHER_TAG_BASE + q as u64).into_bytes();
+            let blob = ctx
+                .try_recv(q, GATHER_TAG_BASE + q as u64)
+                .map_err(|e| format!("rank 0: gathering summary from rank {q}: {e}"))?
+                .try_into_bytes()
+                .map_err(|e| format!("rank 0: summary from rank {q}: {e}"))?;
             summaries
                 .push(decode_summary(&blob).map_err(|e| format!("gather from rank {q}: {e}"))?);
         }
@@ -484,16 +498,18 @@ pub fn run_rank(opts: &RankOpts, workload: &Workload) -> Result<Option<RunReport
             &summaries,
         ))
     } else {
-        ctx.send(
+        ctx.try_send(
             0,
             GATHER_TAG_BASE + rank as u64,
             Payload::Bytes(encode_summary(&summary)),
-        );
+        )
+        .map_err(|e| format!("rank {rank}: sending summary to rank 0: {e}"))?;
         None
     };
     // Hold every rank until the gather lands, so no process tears down
     // its sockets while a peer is still reading.
-    ctx.barrier();
+    ctx.try_barrier()
+        .map_err(|e| format!("rank {rank}: final barrier: {e}"))?;
     Ok(out)
 }
 
@@ -589,6 +605,7 @@ mod tests {
             partitioner: "bfs".into(),
             schedule: "step".into(),
             seed: 9,
+            threads: 4,
         };
         let args = wl.to_args();
         // Spot-check the flags a child would parse back.
@@ -599,6 +616,7 @@ mod tests {
         };
         assert_eq!(find("--dataset").unwrap(), "papers");
         assert_eq!(find("--lr").unwrap().parse::<f32>().unwrap(), 0.025);
+        assert_eq!(find("--threads").unwrap(), "4");
         assert!(args.contains(&"--jk".to_string()));
         assert!(args.contains(&"--no-label-aug".to_string()));
         assert!(args.contains(&"--cs".to_string()));
@@ -607,15 +625,21 @@ mod tests {
 
     #[test]
     fn workload_rejects_unknown_names() {
-        let mut wl = Workload::default();
-        wl.arch = "transformer".into();
         let d = datasets::products_like(64, 0);
+        let wl = Workload {
+            arch: "transformer".into(),
+            ..Workload::default()
+        };
         assert!(wl.train_config(&d).is_err());
-        wl = Workload::default();
-        wl.dataset = "citeseer".into();
+        let wl = Workload {
+            dataset: "citeseer".into(),
+            ..Workload::default()
+        };
         assert!(wl.build_data(2).is_err());
-        wl = Workload::default();
-        wl.schedule = "cosine".into();
+        let wl = Workload {
+            schedule: "cosine".into(),
+            ..Workload::default()
+        };
         assert!(wl.train_config(&d).is_err());
     }
 }

@@ -81,6 +81,7 @@ fn paper_train_cfg(model: ModelConfig, epochs: usize, seed: u64) -> TrainConfig 
         cs: Some(CsConfig::default()),
         prefetch: false,
         seed,
+        threads: 1,
     }
 }
 

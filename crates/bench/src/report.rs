@@ -116,8 +116,12 @@ pub struct PhaseRow {
     pub recv_messages: u64,
     /// Simulated α–β communication time charged, microseconds.
     pub comm_us: f64,
-    /// Exclusive CPU time spent under this cell, microseconds.
+    /// Exclusive CPU time spent under this cell, microseconds (includes
+    /// pool helper threads — see DESIGN.md §8).
     pub cpu_us: f64,
+    /// Exclusive wall-clock time under this cell, microseconds.
+    /// `cpu_us / wall_us` reads as the cell's parallel speedup.
+    pub wall_us: f64,
     /// Peak live tensor bytes observed inside this cell's scopes.
     pub peak_tensor_bytes: u64,
 }
@@ -164,6 +168,7 @@ impl WorkerProfile {
                     recv_messages: e.recv_messages,
                     comm_us: e.comm_us,
                     cpu_us: e.cpu_us,
+                    wall_us: e.wall_us,
                     peak_tensor_bytes: e.peak_tensor_bytes,
                 })
                 .collect(),
@@ -275,7 +280,8 @@ impl RunReport {
     ///      "phases": [
     ///        {"phase": "forward_fetch", "layer": 0, "sent_bytes": 0,
     ///         "recv_bytes": 0, "sent_messages": 0, "recv_messages": 0,
-    ///         "comm_us": 0.0, "cpu_us": 0.0, "peak_tensor_bytes": 0}
+    ///         "comm_us": 0.0, "cpu_us": 0.0, "wall_us": 0.0,
+    ///         "peak_tensor_bytes": 0}
     ///      ]}
     ///   ]
     /// }
@@ -328,7 +334,8 @@ impl RunReport {
                     s,
                     "\n       {{\"phase\": {}, \"layer\": {}, \"sent_bytes\": {}, \
                      \"recv_bytes\": {}, \"sent_messages\": {}, \"recv_messages\": {}, \
-                     \"comm_us\": {}, \"cpu_us\": {}, \"peak_tensor_bytes\": {}}}",
+                     \"comm_us\": {}, \"cpu_us\": {}, \"wall_us\": {}, \
+                     \"peak_tensor_bytes\": {}}}",
                     json_str(r.phase),
                     r.layer.map_or("null".to_string(), |l| l.to_string()),
                     r.sent_bytes,
@@ -337,6 +344,7 @@ impl RunReport {
                     r.recv_messages,
                     json_f64(r.comm_us),
                     json_f64(r.cpu_us),
+                    json_f64(r.wall_us),
                     r.peak_tensor_bytes,
                 );
             }
@@ -358,6 +366,39 @@ impl RunReport {
     /// Propagates filesystem errors.
     pub fn write_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
         std::fs::write(path, self.to_json())
+    }
+
+    /// A determinism digest of everything that must be bitwise identical
+    /// across intra-worker thread counts: the per-epoch losses (as exact
+    /// f32 bit patterns) and every worker's per-`(phase, layer)` byte and
+    /// message counters. Timings and memory peaks are deliberately
+    /// excluded — they legitimately vary run to run — so two runs of the
+    /// same workload at different `--threads` must produce identical
+    /// digests (the CI thread-parity gate compares these strings).
+    pub fn parity_digest(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        let _ = writeln!(s, "world {}", self.world);
+        let _ = writeln!(
+            s,
+            "losses {}",
+            join(self.losses.iter().map(|l| format!("{:08x}", l.to_bits())))
+        );
+        for w in &self.workers {
+            for r in &w.phases {
+                let _ = writeln!(
+                    s,
+                    "w{} {}/{} sent={} recv={} smsg={} rmsg={}",
+                    w.rank,
+                    r.phase,
+                    r.layer.map_or("-".to_string(), |l| l.to_string()),
+                    r.sent_bytes,
+                    r.recv_bytes,
+                    r.sent_messages,
+                    r.recv_messages,
+                );
+            }
+        }
+        s
     }
 }
 
@@ -453,6 +494,7 @@ mod tests {
                     recv_messages: 1,
                     comm_us: 12.5,
                     cpu_us: 3.0,
+                    wall_us: 4.5,
                     peak_tensor_bytes: 512,
                 }],
             }],
@@ -482,6 +524,26 @@ mod tests {
         assert!(r.has_non_finite_loss());
         r.losses = vec![1.0, 0.5];
         assert!(!r.has_non_finite_loss());
+    }
+
+    #[test]
+    fn parity_digest_ignores_timings_but_pins_bytes_and_losses() {
+        let a = sample_report();
+        let mut b = sample_report();
+        // Timings and peaks vary run to run — the digest must not see them.
+        b.workers[0].phases[0].cpu_us = 999.0;
+        b.workers[0].phases[0].wall_us = 999.0;
+        b.workers[0].phases[0].comm_us = 999.0;
+        b.workers[0].phases[0].peak_tensor_bytes = 999;
+        b.epoch_times = vec![9.0];
+        assert_eq!(a.parity_digest(), b.parity_digest());
+        // A single flipped loss bit or ledger byte must break the digest.
+        let mut c = sample_report();
+        c.losses[0] = f32::from_bits(c.losses[0].to_bits() ^ 1);
+        assert_ne!(a.parity_digest(), c.parity_digest());
+        let mut d = sample_report();
+        d.workers[0].phases[0].recv_bytes += 1;
+        assert_ne!(a.parity_digest(), d.parity_digest());
     }
 
     #[test]

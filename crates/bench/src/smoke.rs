@@ -16,15 +16,18 @@ use crate::report::{mib, RunReport, Table};
 pub const WORLD: usize = 4;
 /// Epoch count for the smoke runs.
 pub const EPOCHS: usize = 3;
+/// Architectures the smoke gate defines workloads for.
+pub const MODELS: [&str; 2] = ["sage", "gat"];
 
 /// The smoke workload for `"sage"` or `"gat"`. `nodes` and `seed` come
 /// from the `repro` flags; everything else is pinned here.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on an architecture other than `"sage"` or `"gat"` — the smoke
-/// gate only defines those two.
-pub fn workload(arch: &str, nodes: usize, seed: u64) -> Workload {
+/// Rejects an architecture outside [`MODELS`] with a message listing the
+/// supported names — surfaced at CLI parse time by `repro smoke --model`
+/// instead of panicking mid-run.
+pub fn workload(arch: &str, nodes: usize, seed: u64) -> Result<Workload, String> {
     let base = Workload {
         dataset: "products".into(),
         nodes,
@@ -45,20 +48,23 @@ pub fn workload(arch: &str, nodes: usize, seed: u64) -> Workload {
         ..Workload::default()
     };
     match arch {
-        "sage" => Workload {
+        "sage" => Ok(Workload {
             arch: "sage".into(),
             hidden: 64,
             mode: "sar".into(),
             ..base
-        },
-        "gat" => Workload {
+        }),
+        "gat" => Ok(Workload {
             arch: "gat".into(),
             hidden: 16,
             heads: 4,
             mode: "sar-fak".into(),
             ..base
-        },
-        other => panic!("smoke workload is only defined for sage and gat, not {other}"),
+        }),
+        other => Err(format!(
+            "unknown smoke model {other:?}; supported models: {}",
+            MODELS.join(", ")
+        )),
     }
 }
 
@@ -154,6 +160,7 @@ mod tests {
             recv_messages: 0,
             comm_us: 0.0,
             cpu_us: 0.0,
+            wall_us: 0.0,
             peak_tensor_bytes: 0,
         };
         WorkerProfile {
@@ -217,10 +224,10 @@ mod tests {
 
     #[test]
     fn smoke_workloads_pin_the_paper_configs() {
-        let sage = workload("sage", 1500, 0);
+        let sage = workload("sage", 1500, 0).unwrap();
         assert_eq!((sage.arch.as_str(), sage.hidden), ("sage", 64));
         assert_eq!(sage.mode, "sar");
-        let gat = workload("gat", 1500, 0);
+        let gat = workload("gat", 1500, 0).unwrap();
         assert_eq!((gat.hidden, gat.heads), (16, 4));
         assert_eq!(gat.mode, "sar-fak");
         for wl in [sage, gat] {
@@ -228,5 +235,12 @@ mod tests {
             assert!(!wl.cs, "C&S would blur the volume comparison");
             assert_eq!(wl.schedule, "constant");
         }
+    }
+
+    #[test]
+    fn unknown_smoke_model_is_a_listed_error_not_a_panic() {
+        let err = workload("transformer", 1500, 0).unwrap_err();
+        assert!(err.contains("transformer"), "{err}");
+        assert!(err.contains("sage, gat"), "{err}");
     }
 }

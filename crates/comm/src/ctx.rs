@@ -11,7 +11,7 @@ use crate::message::Payload;
 use crate::net::{CommStats, CostModel};
 use crate::phase::Phase;
 use crate::time::thread_cpu_secs;
-use crate::transport::{Clock, Transport};
+use crate::transport::{Clock, Transport, TransportError};
 
 /// A worker's handle to the cluster.
 ///
@@ -43,6 +43,9 @@ pub struct WorkerCtx {
     // switch on the worker thread (the context is created on the spawning
     // thread, whose CPU clock is unrelated).
     cpu_mark: Cell<f64>,
+    // Wall clock at the last phase/layer switch; None until the first
+    // switch, mirroring `cpu_mark`'s warm-up.
+    wall_mark: Cell<Option<Instant>>,
 }
 
 /// Tags at or above this value are reserved for collectives.
@@ -65,6 +68,7 @@ impl WorkerCtx {
             phase: Cell::new(Phase::Other),
             layer: Cell::new(None),
             cpu_mark: Cell::new(f64::NAN),
+            wall_mark: Cell::new(None),
         }
     }
 
@@ -126,15 +130,26 @@ impl WorkerCtx {
     /// not lost.
     pub fn flush_phase_timing(&self) {
         let now = thread_cpu_secs();
+        let wall_now = Instant::now();
         let mark = self.cpu_mark.get();
-        if mark.is_finite() && now > mark {
-            self.stats
-                .borrow_mut()
-                .ledger
-                .entry_mut(self.phase.get(), self.layer.get())
-                .cpu_us += (now - mark) * 1e6;
+        // CPU burned by intra-worker pool helpers since the last flush.
+        // Drained unconditionally so a warm-up flush (non-finite mark)
+        // discards helper time from before attribution started, exactly as
+        // it discards the spawning thread's own CPU time.
+        let helper_us = sar_tensor::pool::take_helper_cpu_us();
+        if mark.is_finite() {
+            let mut s = self.stats.borrow_mut();
+            let entry = s.ledger.entry_mut(self.phase.get(), self.layer.get());
+            if now > mark {
+                entry.cpu_us += (now - mark) * 1e6;
+            }
+            entry.cpu_us += helper_us;
+            if let Some(w) = self.wall_mark.get() {
+                entry.wall_us += wall_now.duration_since(w).as_secs_f64() * 1e6;
+            }
         }
         self.cpu_mark.set(now);
+        self.wall_mark.set(Some(wall_now));
     }
 
     /// Enters `phase` until the returned guard drops (scopes nest; the
@@ -189,8 +204,36 @@ impl WorkerCtx {
     /// # Panics
     ///
     /// Panics if `dst` is out of range or the destination worker is gone
-    /// (its channel is disconnected / its connection dropped).
+    /// (its channel is disconnected / its connection dropped). Callers
+    /// that must survive a dead peer use [`WorkerCtx::try_send`].
     pub fn send(&self, dst: usize, tag: u64, payload: Payload) {
+        self.try_send(dst, tag, payload).unwrap_or_else(|e| {
+            panic!(
+                "worker {} sending to (dst={dst}, tag={tag}): {e} — \
+                 the destination worker hung up (panicked?)",
+                self.rank()
+            )
+        });
+    }
+
+    /// Fallible [`WorkerCtx::send`]: identical byte/message accounting,
+    /// but a transport failure comes back as an error instead of a panic,
+    /// so the caller can exit its rank cleanly with context.
+    ///
+    /// The send is ledgered before the transport is touched (mirroring the
+    /// panicking path, where the process dies before the ledger could be
+    /// read), so a failed send still appears in the sent counters.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the transport reports — typically
+    /// [`TransportError::Disconnected`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range (a programming error, not a
+    /// cluster-health condition).
+    pub fn try_send(&self, dst: usize, tag: u64, payload: Payload) -> Result<(), TransportError> {
         assert!(dst < self.world_size(), "destination {dst} out of range");
         let bytes = payload.wire_len() as u64;
         {
@@ -209,15 +252,9 @@ impl WorkerCtx {
                 .entry((self.rank() as u32, tag))
                 .or_default()
                 .push_back(payload);
-            return;
+            return Ok(());
         }
-        self.transport.send(dst, tag, payload).unwrap_or_else(|e| {
-            panic!(
-                "worker {} sending to (dst={dst}, tag={tag}): {e} — \
-                 the destination worker hung up (panicked?)",
-                self.rank()
-            )
-        });
+        self.transport.send(dst, tag, payload)
     }
 
     /// Receives the next payload from `src` under `tag`, blocking until it
@@ -233,8 +270,29 @@ impl WorkerCtx {
     ///
     /// Panics if nothing arrives within the receive timeout (a peer died
     /// or the protocol deadlocked) or the transport reports a peer
-    /// failure.
+    /// failure. Callers that must survive a dead peer use
+    /// [`WorkerCtx::try_recv`].
     pub fn recv(&self, src: usize, tag: u64) -> Payload {
+        self.try_recv(src, tag).unwrap_or_else(|e| {
+            panic!(
+                "worker {} waiting on (src={src}, tag={tag}): {e} — \
+                 a peer likely panicked, died, or the protocol deadlocked",
+                self.rank()
+            )
+        })
+    }
+
+    /// Fallible [`WorkerCtx::recv`]: identical matching, buffering and
+    /// ledger accounting, but a timeout or peer failure comes back as an
+    /// error instead of a panic, so the caller can exit its rank cleanly
+    /// naming what it was waiting for.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Timeout`] if nothing arrived within the receive
+    /// timeout; otherwise whatever the transport reports (disconnect,
+    /// corrupt frame, …). Nothing is charged to the ledger on failure.
+    pub fn try_recv(&self, src: usize, tag: u64) -> Result<Payload, TransportError> {
         let key = (src as u32, tag);
         let wall = self.transport.clock() == Clock::Wall;
         let mut blocked_us = 0.0f64;
@@ -248,16 +306,7 @@ impl WorkerCtx {
                 break p;
             }
             let start = wall.then(Instant::now);
-            let msg = self
-                .transport
-                .recv_any(self.recv_timeout)
-                .unwrap_or_else(|e| {
-                    panic!(
-                        "worker {} waiting on (src={src}, tag={tag}): {e} — \
-                         a peer likely panicked, died, or the protocol deadlocked",
-                        self.rank()
-                    )
-                });
+            let msg = self.transport.recv_any(self.recv_timeout)?;
             if let Some(start) = start {
                 blocked_us += start.elapsed().as_secs_f64() * 1e6;
             }
@@ -287,12 +336,32 @@ impl WorkerCtx {
             entry.recv_messages += 1;
             entry.comm_us += cost_us;
         }
-        payload
+        Ok(payload)
     }
 
     /// `true` if a message from `(src, tag)` is already available without
     /// blocking (it may sit in the pending buffer or the transport).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transport reports a peer failure while polling.
+    /// Callers that must survive a dead peer use [`WorkerCtx::poll_ready`].
     pub fn try_ready(&self, src: usize, tag: u64) -> bool {
+        self.poll_ready(src, tag).unwrap_or_else(|e| {
+            panic!(
+                "worker {} polling for (src={src}, tag={tag}): {e}",
+                self.rank()
+            )
+        })
+    }
+
+    /// Fallible [`WorkerCtx::try_ready`]: a transport failure while
+    /// polling comes back as an error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the transport reports (disconnect, corrupt frame, …).
+    pub fn poll_ready(&self, src: usize, tag: u64) -> Result<bool, TransportError> {
         let key = (src as u32, tag);
         if self
             .pending
@@ -300,16 +369,12 @@ impl WorkerCtx {
             .get(&key)
             .is_some_and(|q| !q.is_empty())
         {
-            return true;
+            return Ok(true);
         }
         loop {
-            let msg = match self.transport.try_recv_any() {
-                Ok(Some(m)) => m,
-                Ok(None) => return false,
-                Err(e) => panic!(
-                    "worker {} polling for (src={src}, tag={tag}): {e}",
-                    self.rank()
-                ),
+            let msg = match self.transport.try_recv_any()? {
+                Some(m) => m,
+                None => return Ok(false),
             };
             let k = (msg.src, msg.tag);
             self.pending
@@ -318,7 +383,7 @@ impl WorkerCtx {
                 .or_default()
                 .push_back(msg.payload);
             if k == key {
-                return true;
+                return Ok(true);
             }
         }
     }
@@ -328,11 +393,21 @@ impl WorkerCtx {
     ///
     /// # Panics
     ///
-    /// Panics if a peer dies while the barrier is forming.
+    /// Panics if a peer dies while the barrier is forming. Callers that
+    /// must survive a dead peer use [`WorkerCtx::try_barrier`].
     pub fn barrier(&self) {
-        self.transport
-            .barrier()
+        self.try_barrier()
             .unwrap_or_else(|e| panic!("worker {} barrier failed: {e}", self.rank()));
+    }
+
+    /// Fallible [`WorkerCtx::barrier`]: a peer dying while the barrier is
+    /// forming comes back as an error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the transport reports (disconnect, timeout, …).
+    pub fn try_barrier(&self) -> Result<(), TransportError> {
+        self.transport.barrier()
     }
 
     /// Charges extra communication time (used by collectives to model

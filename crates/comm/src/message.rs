@@ -1,5 +1,6 @@
 //! Message payloads exchanged between workers.
 
+use crate::transport::TransportError;
 use crate::wire::WIRE_HEADER_LEN;
 
 /// A typed message payload.
@@ -40,40 +41,96 @@ impl Payload {
         WIRE_HEADER_LEN + self.byte_len()
     }
 
+    /// The dtype tag of this payload, as used in wire frames and error
+    /// messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Payload::F32(_) => "F32",
+            Payload::U32(_) => "U32",
+            Payload::Bytes(_) => "Bytes",
+            Payload::Empty => "Empty",
+        }
+    }
+
+    /// Extracts an `f32` buffer, or reports the mismatch.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::UnexpectedDtype`] if the payload is not
+    /// [`Payload::F32`] — e.g. a misrouted TCP frame landed on a tag whose
+    /// receiver expected feature data. Callers on the distributed recv path
+    /// should propagate this so the rank exits cleanly instead of
+    /// panicking mid-protocol.
+    pub fn try_into_f32(self) -> Result<Vec<f32>, TransportError> {
+        match self {
+            Payload::F32(v) => Ok(v),
+            other => Err(TransportError::UnexpectedDtype {
+                expected: "F32",
+                got: other.kind(),
+            }),
+        }
+    }
+
+    /// Extracts a `u32` buffer, or reports the mismatch.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::UnexpectedDtype`] if the payload is not
+    /// [`Payload::U32`].
+    pub fn try_into_u32(self) -> Result<Vec<u32>, TransportError> {
+        match self {
+            Payload::U32(v) => Ok(v),
+            other => Err(TransportError::UnexpectedDtype {
+                expected: "U32",
+                got: other.kind(),
+            }),
+        }
+    }
+
+    /// Extracts a raw byte buffer, or reports the mismatch.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::UnexpectedDtype`] if the payload is not
+    /// [`Payload::Bytes`].
+    pub fn try_into_bytes(self) -> Result<Vec<u8>, TransportError> {
+        match self {
+            Payload::Bytes(v) => Ok(v),
+            other => Err(TransportError::UnexpectedDtype {
+                expected: "Bytes",
+                got: other.kind(),
+            }),
+        }
+    }
+
     /// Extracts an `f32` buffer.
     ///
     /// # Panics
     ///
-    /// Panics if the payload is not [`Payload::F32`].
+    /// Panics if the payload is not [`Payload::F32`]. Fallible callers
+    /// should use [`Payload::try_into_f32`].
     pub fn into_f32(self) -> Vec<f32> {
-        match self {
-            Payload::F32(v) => v,
-            other => panic!("expected F32 payload, got {other:?}"),
-        }
+        self.try_into_f32().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Extracts a `u32` buffer.
     ///
     /// # Panics
     ///
-    /// Panics if the payload is not [`Payload::U32`].
+    /// Panics if the payload is not [`Payload::U32`]. Fallible callers
+    /// should use [`Payload::try_into_u32`].
     pub fn into_u32(self) -> Vec<u32> {
-        match self {
-            Payload::U32(v) => v,
-            other => panic!("expected U32 payload, got {other:?}"),
-        }
+        self.try_into_u32().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Extracts a raw byte buffer.
     ///
     /// # Panics
     ///
-    /// Panics if the payload is not [`Payload::Bytes`].
+    /// Panics if the payload is not [`Payload::Bytes`]. Fallible callers
+    /// should use [`Payload::try_into_bytes`].
     pub fn into_bytes(self) -> Vec<u8> {
-        match self {
-            Payload::Bytes(v) => v,
-            other => panic!("expected Bytes payload, got {other:?}"),
-        }
+        self.try_into_bytes().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -117,5 +174,16 @@ mod tests {
     #[should_panic(expected = "expected F32")]
     fn into_f32_rejects_u32() {
         let _ = Payload::U32(vec![1]).into_f32();
+    }
+
+    #[test]
+    fn try_into_reports_the_mismatch_instead_of_panicking() {
+        let err = Payload::U32(vec![1]).try_into_f32().unwrap_err();
+        assert_eq!(err.to_string(), "expected F32 payload, got U32");
+        let err = Payload::Empty.try_into_u32().unwrap_err();
+        assert_eq!(err.to_string(), "expected U32 payload, got Empty");
+        let err = Payload::F32(vec![0.0]).try_into_bytes().unwrap_err();
+        assert_eq!(err.to_string(), "expected Bytes payload, got F32");
+        assert_eq!(Payload::Bytes(vec![7]).try_into_bytes().unwrap(), vec![7]);
     }
 }

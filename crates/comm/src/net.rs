@@ -129,6 +129,7 @@ impl CommStats {
             buf.extend_from_slice(&e.recv_messages.to_le_bytes());
             buf.extend_from_slice(&e.comm_us.to_le_bytes());
             buf.extend_from_slice(&e.cpu_us.to_le_bytes());
+            buf.extend_from_slice(&e.wall_us.to_le_bytes());
             buf.extend_from_slice(&e.peak_tensor_bytes.to_le_bytes());
         }
         buf
@@ -171,6 +172,7 @@ impl CommStats {
             entry.recv_messages = cur.u64()?;
             entry.comm_us = cur.f64()?;
             entry.cpu_us = cur.f64()?;
+            entry.wall_us = cur.f64()?;
             entry.peak_tensor_bytes = cur.u64()?;
         }
         if cur.pos != buf.len() {
@@ -259,6 +261,7 @@ mod tests {
         e.recv_messages = 4;
         e.comm_us = 1.25;
         e.cpu_us = 9.75;
+        e.wall_us = 3.5;
         e.peak_tensor_bytes = 4096;
         s.ledger.entry_mut(Phase::GradRouting, None).recv_bytes = 55;
 

@@ -91,8 +91,16 @@ pub struct PhaseEntry {
     /// [`Clock::Wall`](crate::Clock::Wall) backend.
     pub comm_us: f64,
     /// Thread CPU time spent while this phase was active, µs (exclusive:
-    /// a nested phase's time is charged to the nested phase only).
+    /// a nested phase's time is charged to the nested phase only). Includes
+    /// CPU burned by intra-worker pool helper threads
+    /// (`sar_tensor::pool`), so with `--threads N` this can exceed
+    /// [`PhaseEntry::wall_us`] — the ratio `cpu_us / wall_us` reads as the
+    /// phase's parallel speedup.
     pub cpu_us: f64,
+    /// Wall-clock time elapsed while this phase was active, µs (exclusive,
+    /// like [`PhaseEntry::cpu_us`]). Unlike CPU time this includes time
+    /// blocked on the network or on peers.
+    pub wall_us: f64,
     /// Highest live tensor bytes observed during any scope of this phase.
     pub peak_tensor_bytes: u64,
 }
@@ -106,6 +114,7 @@ impl PhaseEntry {
         self.recv_messages += other.recv_messages;
         self.comm_us += other.comm_us;
         self.cpu_us += other.cpu_us;
+        self.wall_us += other.wall_us;
         self.peak_tensor_bytes = self.peak_tensor_bytes.max(other.peak_tensor_bytes);
     }
 }

@@ -777,9 +777,9 @@ mod tests {
             let l = TcpListener::bind(("127.0.0.1", 0)).unwrap();
             l.local_addr().unwrap()
         };
-        let err = TcpTransport::join(addr, 1, 2, TcpOpts::impatient())
-            .err()
-            .expect("join must fail with no rendezvous");
+        let Err(err) = TcpTransport::join(addr, 1, 2, TcpOpts::impatient()) else {
+            panic!("join must fail with no rendezvous");
+        };
         let msg = err.to_string();
         assert!(
             msg.contains("rank 0") && msg.contains("attempts"),

@@ -77,6 +77,14 @@ pub enum TransportError {
         /// Decoder diagnostic.
         detail: String,
     },
+    /// A message arrived intact but its payload dtype is not what the
+    /// receiver expected — a misrouted or protocol-confused frame.
+    UnexpectedDtype {
+        /// Dtype the receiver required.
+        expected: &'static str,
+        /// Dtype actually carried by the payload.
+        got: &'static str,
+    },
     /// Any other I/O failure.
     Io(std::io::Error),
 }
@@ -101,6 +109,9 @@ impl std::fmt::Display for TransportError {
             }
             TransportError::Corrupt { peer, detail } => {
                 write!(f, "corrupt frame from rank {peer}: {detail}")
+            }
+            TransportError::UnexpectedDtype { expected, got } => {
+                write!(f, "expected {expected} payload, got {got}")
             }
             TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
         }

@@ -48,6 +48,10 @@ pub struct TrainConfig {
     pub prefetch: bool,
     /// Seed for label augmentation and dropout.
     pub seed: u64,
+    /// Intra-worker kernel threads (`sar_tensor::pool`). `0` and `1` both
+    /// mean single-threaded; results are bitwise identical across thread
+    /// counts (see DESIGN.md §8).
+    pub threads: usize,
 }
 
 impl TrainConfig {
@@ -67,6 +71,7 @@ impl TrainConfig {
             cs: Some(CsConfig::default()),
             prefetch: false,
             seed: 0,
+            threads: 1,
         }
     }
 }
@@ -231,6 +236,10 @@ pub fn run_worker(
     shard: &Shard,
     cfg: &TrainConfig,
 ) -> WorkerReport {
+    // Size this worker's kernel thread pool. `run_worker` executes on the
+    // worker's own thread under every backend (sim threads and TCP
+    // processes alike), so the pool lands where the kernels run.
+    sar_tensor::pool::set_threads(cfg.threads.max(1));
     let w = Worker::from_shared(ctx, graph, cfg.prefetch);
     let mut model_cfg = cfg.model.clone();
     model_cfg.in_dim = shard.feat_dim + if cfg.label_aug { shard.num_classes } else { 0 };

@@ -30,6 +30,7 @@ fn cfg(arch: Arch, mode: Mode, classes: usize, jk: bool) -> TrainConfig {
         cs: None,
         prefetch: false,
         seed: 0,
+        threads: 1,
     }
 }
 

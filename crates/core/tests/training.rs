@@ -42,6 +42,7 @@ fn quick_config(arch: Arch, mode: Mode) -> TrainConfig {
         cs: None,
         prefetch: false,
         seed: 3,
+        threads: 1,
     }
 }
 

@@ -43,6 +43,7 @@ fn config(arch: Arch, mode: Mode, d: &Dataset) -> TrainConfig {
         cs: None,
         prefetch: false,
         seed: 7,
+        threads: 1,
     }
 }
 

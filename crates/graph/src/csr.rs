@@ -249,6 +249,72 @@ impl CsrGraph {
     pub fn is_isolated_row(&self, i: usize) -> bool {
         self.in_degree(i) == 0
     }
+
+    /// Builds the source-major [`ReverseIndex`] of this graph, preserving
+    /// CSR edge ids. Unlike [`CsrGraph::reverse`] (which rebuilds a CSR
+    /// and forgets which original edge each entry came from), the reverse
+    /// index keeps, for every source column `j`, its edges **ascending by
+    /// CSR edge id** — the order the destination-major kernels visit
+    /// them. Scatter-style backward kernels parallelize over sources with
+    /// it while reproducing the sequential accumulation order bit for
+    /// bit.
+    pub fn reverse_index(&self) -> ReverseIndex {
+        let e_count = self.num_edges();
+        let mut indptr = vec![0usize; self.num_cols + 1];
+        for &j in &self.indices {
+            indptr[j as usize + 1] += 1;
+        }
+        for k in 1..indptr.len() {
+            indptr[k] += indptr[k - 1];
+        }
+        let mut cursor = indptr[..self.num_cols].to_vec();
+        let mut dst = vec![0u32; e_count];
+        let mut edge = vec![0u32; e_count];
+        // Global edge ids ascend here, so each source's slice is filled in
+        // ascending edge-id order.
+        for i in 0..self.num_rows {
+            for e in self.indptr[i]..self.indptr[i + 1] {
+                let j = self.indices[e] as usize;
+                let pos = cursor[j];
+                cursor[j] += 1;
+                dst[pos] = i as u32;
+                edge[pos] = e as u32;
+            }
+        }
+        ReverseIndex { indptr, dst, edge }
+    }
+}
+
+/// Source-major companion of a [`CsrGraph`]: for every source column `j`,
+/// the destinations and **original CSR edge ids** of its outgoing edges,
+/// ascending by edge id. See [`CsrGraph::reverse_index`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReverseIndex {
+    indptr: Vec<usize>,
+    dst: Vec<u32>,
+    edge: Vec<u32>,
+}
+
+impl ReverseIndex {
+    /// Number of source columns indexed.
+    pub fn num_sources(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Out-degree of source `j`.
+    pub fn out_degree(&self, j: usize) -> usize {
+        self.indptr[j + 1] - self.indptr[j]
+    }
+
+    /// Iterates source `j`'s edges as `(destination row, CSR edge id)`,
+    /// ascending by edge id.
+    pub fn entries(&self, j: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let (lo, hi) = (self.indptr[j], self.indptr[j + 1]);
+        self.dst[lo..hi]
+            .iter()
+            .zip(&self.edge[lo..hi])
+            .map(|(&i, &e)| (i as usize, e as usize))
+    }
 }
 
 #[cfg(test)]

@@ -18,7 +18,14 @@
 //! statistics — the recomputation SAR must do anyway during
 //! rematerialization, which is why FAK "synergizes" with SAR.
 
+//! Like `ops`, the kernels parallelize over destination rows (forward
+//! and `d_s_dst`) and over source rows via
+//! [`CsrGraph::reverse_index`] (the scatter-style `d_x_src` / `d_s_src`
+//! passes), preserving each row's sequential reduction order so results
+//! are bitwise identical across thread counts.
+
 use crate::CsrGraph;
+use sar_tensor::pool::{parallel_for, SharedSlice};
 use sar_tensor::Tensor;
 
 /// Running online-softmax state for attention aggregation over
@@ -128,50 +135,59 @@ pub fn gat_fused_block_forward(
     let x_data = x_src.data();
     let s_dst_data = s_dst.data();
     let s_src_data = s_src.data();
-    for i in 0..g.num_rows() {
-        let neighbors = g.neighbors(i);
-        if neighbors.is_empty() {
-            continue;
-        }
-        // Hoist this destination's accumulator rows out of the edge loop.
-        let max_row = &mut state.max.data_mut()[i * h..(i + 1) * h];
-        // Split borrows via raw ranges: den and num live in different
-        // tensors, so re-borrow per loop body below.
-        for &j in neighbors {
-            let j = j as usize;
-            let x_row = &x_data[j * hd..(j + 1) * hd];
-            let s_src_row = &s_src_data[j * h..(j + 1) * h];
-            for head in 0..h {
-                let u = s_dst_data[i * h + head] + s_src_row[head];
-                let e = if u > 0.0 { u } else { slope * u };
-                let m_old = max_row[head];
-                if e > m_old {
-                    // Rescale accumulated numerator/denominator by
-                    // exp(old_max - new_max) — the stable-softmax
-                    // correction of §3.4.
-                    let scale = if m_old == f32::NEG_INFINITY {
-                        0.0
-                    } else {
-                        (m_old - e).exp()
-                    };
-                    max_row[head] = e;
-                    state.den.data_mut()[i * h + head] *= scale;
-                    let num_row =
-                        &mut state.num.data_mut()[i * hd + head * d..i * hd + (head + 1) * d];
-                    for v in num_row.iter_mut() {
-                        *v *= scale;
+    let indptr = g.indptr();
+    let indices = g.indices();
+    // Destination-parallel: each destination's (max, den, num) rows have
+    // exactly one writer, and its edge stream keeps the sequential order,
+    // so the online-softmax recurrence is thread-count-invariant.
+    let num_s = SharedSlice::new(state.num.data_mut());
+    let den_s = SharedSlice::new(state.den.data_mut());
+    let max_s = SharedSlice::new(state.max.data_mut());
+    parallel_for(g.num_rows(), 1, |lo, hi| {
+        for i in lo..hi {
+            let (es, ee) = (indptr[i], indptr[i + 1]);
+            if es == ee {
+                continue;
+            }
+            // Hoist this destination's accumulator rows out of the edge loop.
+            let max_row = unsafe { max_s.range_mut(i * h, (i + 1) * h) };
+            let den_row = unsafe { den_s.range_mut(i * h, (i + 1) * h) };
+            let num_i = unsafe { num_s.range_mut(i * hd, (i + 1) * hd) };
+            for &j_src in &indices[es..ee] {
+                let j = j_src as usize;
+                let x_row = &x_data[j * hd..(j + 1) * hd];
+                let s_src_row = &s_src_data[j * h..(j + 1) * h];
+                for head in 0..h {
+                    let u = s_dst_data[i * h + head] + s_src_row[head];
+                    let e = if u > 0.0 { u } else { slope * u };
+                    let m_old = max_row[head];
+                    if e > m_old {
+                        // Rescale accumulated numerator/denominator by
+                        // exp(old_max - new_max) — the stable-softmax
+                        // correction of §3.4.
+                        let scale = if m_old == f32::NEG_INFINITY {
+                            0.0
+                        } else {
+                            (m_old - e).exp()
+                        };
+                        max_row[head] = e;
+                        den_row[head] *= scale;
+                        let num_row = &mut num_i[head * d..(head + 1) * d];
+                        for v in num_row.iter_mut() {
+                            *v *= scale;
+                        }
                     }
-                }
-                let w = (e - max_row[head]).exp();
-                state.den.data_mut()[i * h + head] += w;
-                let num_row = &mut state.num.data_mut()[i * hd + head * d..i * hd + (head + 1) * d];
-                let x_head = &x_row[head * d..(head + 1) * d];
-                for (v, &xv) in num_row.iter_mut().zip(x_head) {
-                    *v += w * xv;
+                    let w = (e - max_row[head]).exp();
+                    den_row[head] += w;
+                    let num_row = &mut num_i[head * d..(head + 1) * d];
+                    let x_head = &x_row[head * d..(head + 1) * d];
+                    for (v, &xv) in num_row.iter_mut().zip(x_head) {
+                        *v += w * xv;
+                    }
                 }
             }
         }
-    }
+    });
 }
 
 /// A *numerically naive* variant of [`gat_fused_block_forward`] that
@@ -225,40 +241,54 @@ pub fn gat_twostep_block_forward(
     state: &mut OnlineAttnState,
 ) {
     let (h, d) = (state.heads, state.head_dim);
+    let hd = h * d;
     // Step 1: write all raw scores to memory.
     let scores = crate::ops::gat_edge_scores(g, s_dst, s_src, slope);
-    // Step 2: read them back while aggregating.
-    let mut e_id = 0usize;
-    for i in 0..g.num_rows() {
-        for &j in g.neighbors(i) {
-            let j = j as usize;
-            let x_row = &x_src.data()[j * h * d..(j + 1) * h * d];
-            for head in 0..h {
-                let e = scores.at(&[e_id, head]);
-                let m_old = state.max.at(&[i, head]);
-                if e > m_old {
-                    let scale = if m_old == f32::NEG_INFINITY {
-                        0.0
-                    } else {
-                        (m_old - e).exp()
-                    };
-                    state.max.row_mut(i)[head] = e;
-                    state.den.row_mut(i)[head] *= scale;
-                    let num_row = state.num.row_mut(i);
+    // Step 2: read them back while aggregating, destination-parallel like
+    // the fused kernel.
+    let indptr = g.indptr();
+    let indices = g.indices();
+    let x_data = x_src.data();
+    let scores_data = scores.data();
+    let num_s = SharedSlice::new(state.num.data_mut());
+    let den_s = SharedSlice::new(state.den.data_mut());
+    let max_s = SharedSlice::new(state.max.data_mut());
+    parallel_for(g.num_rows(), 1, |lo, hi| {
+        for i in lo..hi {
+            let (es, ee) = (indptr[i], indptr[i + 1]);
+            if es == ee {
+                continue;
+            }
+            let max_row = unsafe { max_s.range_mut(i * h, (i + 1) * h) };
+            let den_row = unsafe { den_s.range_mut(i * h, (i + 1) * h) };
+            let num_i = unsafe { num_s.range_mut(i * hd, (i + 1) * hd) };
+            for e_id in es..ee {
+                let j = indices[e_id] as usize;
+                let x_row = &x_data[j * hd..(j + 1) * hd];
+                for head in 0..h {
+                    let e = scores_data[e_id * h + head];
+                    let m_old = max_row[head];
+                    if e > m_old {
+                        let scale = if m_old == f32::NEG_INFINITY {
+                            0.0
+                        } else {
+                            (m_old - e).exp()
+                        };
+                        max_row[head] = e;
+                        den_row[head] *= scale;
+                        for k in 0..d {
+                            num_i[head * d + k] *= scale;
+                        }
+                    }
+                    let w = (e - max_row[head]).exp();
+                    den_row[head] += w;
                     for k in 0..d {
-                        num_row[head * d + k] *= scale;
+                        num_i[head * d + k] += w * x_row[head * d + k];
                     }
                 }
-                let w = (e - state.max.at(&[i, head])).exp();
-                state.den.row_mut(i)[head] += w;
-                let num_row = state.num.row_mut(i);
-                for k in 0..d {
-                    num_row[head * d + k] += w * x_row[head * d + k];
-                }
             }
-            e_id += 1;
         }
-    }
+    });
 }
 
 /// Two-step variant of [`gat_fused_block_backward`]: re-materializes the
@@ -287,54 +317,111 @@ pub fn gat_twostep_block_backward(
     let mut d_x_src = Tensor::zeros(&[g.num_cols(), hd]);
     let mut d_s_src = Tensor::zeros(&[g.num_cols(), h]);
 
-    // Step 1: materialize raw scores and normalized coefficients.
+    // Step 1: materialize raw scores and normalized coefficients
+    // (destination-parallel: each edge row is owned by its destination).
     let scores = crate::ops::gat_edge_scores(g, s_dst, s_src, slope);
     let mut alpha = scores.clone();
+    let indptr = g.indptr();
+    let indices = g.indices();
+    let scores_data = scores.data();
+    let max_data = max.data();
+    let den_data = den.data();
     {
-        let mut e_id = 0usize;
-        for i in 0..g.num_rows() {
-            for _ in g.neighbors(i) {
-                for head in 0..h {
-                    let den_i = den.at(&[i, head]);
-                    let v = if den_i > 0.0 {
-                        (scores.at(&[e_id, head]) - max.at(&[i, head])).exp() / den_i
-                    } else {
-                        0.0
-                    };
-                    alpha.row_mut(e_id)[head] = v;
-                }
-                e_id += 1;
-            }
-        }
-    }
-
-    // Step 2: read coefficients back while pushing gradients.
-    let mut e_id = 0usize;
-    for i in 0..g.num_rows() {
-        let g_row = grad_out.row(i);
-        for &j in g.neighbors(i) {
-            let j = j as usize;
-            let x_row = &x_src.data()[j * hd..(j + 1) * hd];
-            for head in 0..h {
-                let a = alpha.at(&[e_id, head]);
-                if a == 0.0 {
+        let alpha_s = SharedSlice::new(alpha.data_mut());
+        parallel_for(g.num_rows(), 1, |lo, hi| {
+            for i in lo..hi {
+                let (es, ee) = (indptr[i], indptr[i + 1]);
+                if es == ee {
                     continue;
                 }
-                let dx_row = &mut d_x_src.data_mut()[j * hd..(j + 1) * hd];
-                let mut dot_gx = 0.0f32;
-                for k in 0..d {
-                    let c = head * d + k;
-                    dx_row[c] += a * g_row[c];
-                    dot_gx += g_row[c] * x_row[c];
+                let rows = unsafe { alpha_s.range_mut(es * h, ee * h) };
+                for e_id in es..ee {
+                    for head in 0..h {
+                        let den_i = den_data[i * h + head];
+                        let v = if den_i > 0.0 {
+                            (scores_data[e_id * h + head] - max_data[i * h + head]).exp() / den_i
+                        } else {
+                            0.0
+                        };
+                        rows[(e_id - es) * h + head] = v;
+                    }
                 }
-                let de = a * (dot_gx - grad_dot.at(&[i, head]));
-                let u = s_dst.at(&[i, head]) + s_src.at(&[j, head]);
-                let du = de * if u > 0.0 { 1.0 } else { slope };
-                d_s_src.row_mut(j)[head] += du;
-                d_s_dst.row_mut(i)[head] += du;
             }
-            e_id += 1;
-        }
+        });
+    }
+
+    // Step 2: read coefficients back while pushing gradients — split into
+    // a destination-parallel d_s_dst pass and a source-parallel
+    // d_x_src / d_s_src pass over the reverse index (ascending edge ids
+    // reproduce the sequential accumulation order).
+    let x_data = x_src.data();
+    let sd = s_dst.data();
+    let ss = s_src.data();
+    let alpha_data = alpha.data();
+    let grad_data = grad_out.data();
+    let grad_dot_data = grad_dot.data();
+    {
+        let dsd_s = SharedSlice::new(d_s_dst.data_mut());
+        parallel_for(g.num_rows(), 1, |lo, hi| {
+            for i in lo..hi {
+                let (es, ee) = (indptr[i], indptr[i + 1]);
+                if es == ee {
+                    continue;
+                }
+                let g_row = &grad_data[i * hd..(i + 1) * hd];
+                let dsd_row = unsafe { dsd_s.range_mut(i * h, (i + 1) * h) };
+                for e_id in es..ee {
+                    let j = indices[e_id] as usize;
+                    let x_row = &x_data[j * hd..(j + 1) * hd];
+                    for head in 0..h {
+                        let a = alpha_data[e_id * h + head];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let mut dot_gx = 0.0f32;
+                        for k in 0..d {
+                            let c = head * d + k;
+                            dot_gx += g_row[c] * x_row[c];
+                        }
+                        let de = a * (dot_gx - grad_dot_data[i * h + head]);
+                        let u = sd[i * h + head] + ss[j * h + head];
+                        let du = de * if u > 0.0 { 1.0 } else { slope };
+                        dsd_row[head] += du;
+                    }
+                }
+            }
+        });
+    }
+    let rev = g.reverse_index();
+    {
+        let dx_s = SharedSlice::new(d_x_src.data_mut());
+        let dss_s = SharedSlice::new(d_s_src.data_mut());
+        parallel_for(g.num_cols(), 1, |lo, hi| {
+            for j in lo..hi {
+                let dx_row = unsafe { dx_s.range_mut(j * hd, (j + 1) * hd) };
+                let dss_row = unsafe { dss_s.range_mut(j * h, (j + 1) * h) };
+                let x_row = &x_data[j * hd..(j + 1) * hd];
+                for (i, e_id) in rev.entries(j) {
+                    let g_row = &grad_data[i * hd..(i + 1) * hd];
+                    for head in 0..h {
+                        let a = alpha_data[e_id * h + head];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let mut dot_gx = 0.0f32;
+                        for k in 0..d {
+                            let c = head * d + k;
+                            dx_row[c] += a * g_row[c];
+                            dot_gx += g_row[c] * x_row[c];
+                        }
+                        let de = a * (dot_gx - grad_dot_data[i * h + head]);
+                        let u = sd[i * h + head] + ss[j * h + head];
+                        let du = de * if u > 0.0 { 1.0 } else { slope };
+                        dss_row[head] += du;
+                    }
+                }
+            }
+        });
     }
     FusedBlockGrads { d_x_src, d_s_src }
 }
@@ -347,16 +434,24 @@ pub fn attn_grad_dot(grad_out: &Tensor, out: &Tensor, heads: usize) -> Tensor {
     let hd = out.cols();
     let d = hd / heads;
     let mut dot = vec![0.0f32; rows * heads];
-    for i in 0..rows {
-        let g_row = grad_out.row(i);
-        let o_row = out.row(i);
-        for head in 0..heads {
-            let mut acc = 0.0f32;
-            for k in 0..d {
-                acc += g_row[head * d + k] * o_row[head * d + k];
+    let g_data = grad_out.data();
+    let o_data = out.data();
+    {
+        let dot_s = SharedSlice::new(&mut dot);
+        parallel_for(rows, 1, |lo, hi| {
+            let chunk = unsafe { dot_s.range_mut(lo * heads, hi * heads) };
+            for i in lo..hi {
+                let g_row = &g_data[i * hd..(i + 1) * hd];
+                let o_row = &o_data[i * hd..(i + 1) * hd];
+                for head in 0..heads {
+                    let mut acc = 0.0f32;
+                    for k in 0..d {
+                        acc += g_row[head * d + k] * o_row[head * d + k];
+                    }
+                    chunk[(i - lo) * heads + head] = acc;
+                }
             }
-            dot[i * heads + head] = acc;
-        }
+        });
     }
     Tensor::from_vec(&[rows, heads], dot)
 }
@@ -410,41 +505,88 @@ pub fn gat_fused_block_backward(
     let max_data = max.data();
     let den_data = den.data();
     let grad_dot_data = grad_dot.data();
-    for i in 0..g.num_rows() {
-        let neighbors = g.neighbors(i);
-        if neighbors.is_empty() {
-            continue;
-        }
-        let g_row = grad_out.row(i);
-        let dsd_row = &mut d_s_dst.data_mut()[i * h..(i + 1) * h];
-        for &j in neighbors {
-            let j = j as usize;
-            let x_row = &x_data[j * hd..(j + 1) * hd];
-            for head in 0..h {
-                let u = s_dst_data[i * h + head] + s_src_data[j * h + head];
-                let e = if u > 0.0 { u } else { slope * u };
-                let den_i = den_data[i * h + head];
-                if den_i <= 0.0 {
+    let indptr = g.indptr();
+    let indices = g.indices();
+    let grad_data = grad_out.data();
+    // Pass 1 — destination-parallel d_s_dst: recompute each edge's
+    // coefficient and softmax correction on the fly (the rematerialization
+    // SAR does anyway).
+    {
+        let dsd_s = SharedSlice::new(d_s_dst.data_mut());
+        parallel_for(g.num_rows(), 1, |lo, hi| {
+            for i in lo..hi {
+                let (es, ee) = (indptr[i], indptr[i + 1]);
+                if es == ee {
                     continue;
                 }
-                // Recompute the attention coefficient on the fly.
-                let alpha = (e - max_data[i * h + head]).exp() / den_i;
-                // Value path: d x_j += α g_i.
-                let dx_row = &mut d_x_src.data_mut()[j * hd + head * d..j * hd + (head + 1) * d];
-                let g_head = &g_row[head * d..(head + 1) * d];
-                let x_head = &x_row[head * d..(head + 1) * d];
-                let mut dot_gx = 0.0f32;
-                for ((dx, &gv), &xv) in dx_row.iter_mut().zip(g_head).zip(x_head) {
-                    *dx += alpha * gv;
-                    dot_gx += gv * xv;
+                let g_row = &grad_data[i * hd..(i + 1) * hd];
+                let dsd_row = unsafe { dsd_s.range_mut(i * h, (i + 1) * h) };
+                for &j_src in &indices[es..ee] {
+                    let j = j_src as usize;
+                    let x_row = &x_data[j * hd..(j + 1) * hd];
+                    for head in 0..h {
+                        let u = s_dst_data[i * h + head] + s_src_data[j * h + head];
+                        let e = if u > 0.0 { u } else { slope * u };
+                        let den_i = den_data[i * h + head];
+                        if den_i <= 0.0 {
+                            continue;
+                        }
+                        let alpha = (e - max_data[i * h + head]).exp() / den_i;
+                        let g_head = &g_row[head * d..(head + 1) * d];
+                        let x_head = &x_row[head * d..(head + 1) * d];
+                        let mut dot_gx = 0.0f32;
+                        for (&gv, &xv) in g_head.iter().zip(x_head) {
+                            dot_gx += gv * xv;
+                        }
+                        // Softmax path: de = α (⟨g, x_j⟩ − ⟨g, out_i⟩).
+                        let de = alpha * (dot_gx - grad_dot_data[i * h + head]);
+                        let du = de * if u > 0.0 { 1.0 } else { slope };
+                        dsd_row[head] += du;
+                    }
                 }
-                // Softmax path: de = α (⟨g, x_j⟩ − ⟨g, out_i⟩).
-                let de = alpha * (dot_gx - grad_dot_data[i * h + head]);
-                let du = de * if u > 0.0 { 1.0 } else { slope };
-                d_s_src.data_mut()[j * h + head] += du;
-                dsd_row[head] += du;
             }
-        }
+        });
+    }
+    // Pass 2 — source-parallel d_x_src / d_s_src via the reverse index;
+    // ascending edge ids per source keep the sequential accumulation
+    // order, and the recomputed per-edge quantities are bitwise the same
+    // expressions as pass 1's.
+    let rev = g.reverse_index();
+    {
+        let dx_s = SharedSlice::new(d_x_src.data_mut());
+        let dss_s = SharedSlice::new(d_s_src.data_mut());
+        parallel_for(g.num_cols(), 1, |lo, hi| {
+            for j in lo..hi {
+                let dx_j = unsafe { dx_s.range_mut(j * hd, (j + 1) * hd) };
+                let dss_row = unsafe { dss_s.range_mut(j * h, (j + 1) * h) };
+                let x_row = &x_data[j * hd..(j + 1) * hd];
+                for (i, _e) in rev.entries(j) {
+                    let g_row = &grad_data[i * hd..(i + 1) * hd];
+                    for head in 0..h {
+                        let u = s_dst_data[i * h + head] + s_src_data[j * h + head];
+                        let e = if u > 0.0 { u } else { slope * u };
+                        let den_i = den_data[i * h + head];
+                        if den_i <= 0.0 {
+                            continue;
+                        }
+                        // Recompute the attention coefficient on the fly.
+                        let alpha = (e - max_data[i * h + head]).exp() / den_i;
+                        // Value path: d x_j += α g_i.
+                        let dx_row = &mut dx_j[head * d..(head + 1) * d];
+                        let g_head = &g_row[head * d..(head + 1) * d];
+                        let x_head = &x_row[head * d..(head + 1) * d];
+                        let mut dot_gx = 0.0f32;
+                        for ((dx, &gv), &xv) in dx_row.iter_mut().zip(g_head).zip(x_head) {
+                            *dx += alpha * gv;
+                            dot_gx += gv * xv;
+                        }
+                        let de = alpha * (dot_gx - grad_dot_data[i * h + head]);
+                        let du = de * if u > 0.0 { 1.0 } else { slope };
+                        dss_row[head] += du;
+                    }
+                }
+            }
+        });
     }
     FusedBlockGrads { d_x_src, d_s_src }
 }

@@ -27,5 +27,5 @@ pub mod generators;
 pub mod io;
 pub mod ops;
 
-pub use csr::CsrGraph;
+pub use csr::{CsrGraph, ReverseIndex};
 pub use datasets::Dataset;

@@ -10,8 +10,23 @@
 //!   `[num_nodes, H * D]` with head `h` occupying columns `h*D .. (h+1)*D`.
 //! * Per-edge values are `[E, H]`, where edge `e` is the position in the
 //!   CSR `indices` array (row-major by destination).
+//!
+//! # Parallelism and determinism
+//!
+//! Every kernel here is row-parallel over the worker's thread pool
+//! ([`sar_tensor::pool`]): forward kernels chunk over *destination* rows
+//! (each output row — and each destination's contiguous edge range — is
+//! written by exactly one thread), while scatter-style backward kernels
+//! chunk over *source* rows through a
+//! [`ReverseIndex`](crate::ReverseIndex), whose per-source edge lists
+//! ascend by CSR edge id — the exact order a sequential
+//! destination-major sweep visits them. Per-row reductions therefore run
+//! the same floating-point operations in the same order for any thread
+//! count, so results are **bitwise identical** to the single-threaded
+//! path (asserted in `tests/parallel_parity.rs`).
 
 use crate::CsrGraph;
+use sar_tensor::pool::{parallel_for, SharedSlice};
 use sar_tensor::Tensor;
 
 // ----------------------------------------------------------------------
@@ -43,19 +58,23 @@ pub fn spmm_sum_into(g: &CsrGraph, x: &Tensor, out: &mut Tensor) {
     assert_eq!(out.rows(), g.num_rows(), "out rows must equal graph rows");
     assert_eq!(out.cols(), x.cols(), "feature width mismatch");
     let f = x.cols();
-    for i in 0..g.num_rows() {
-        let neighbors = g.neighbors(i);
-        if neighbors.is_empty() {
-            continue;
-        }
-        let out_row = out.row_mut(i);
-        for &j in neighbors {
-            let x_row = &x.data()[j as usize * f..(j as usize + 1) * f];
-            for (o, &v) in out_row.iter_mut().zip(x_row) {
-                *o += v;
+    let x_data = x.data();
+    let out_s = SharedSlice::new(out.data_mut());
+    parallel_for(g.num_rows(), 1, |lo, hi| {
+        for i in lo..hi {
+            let neighbors = g.neighbors(i);
+            if neighbors.is_empty() {
+                continue;
+            }
+            let out_row = unsafe { out_s.range_mut(i * f, (i + 1) * f) };
+            for &j in neighbors {
+                let x_row = &x_data[j as usize * f..(j as usize + 1) * f];
+                for (o, &v) in out_row.iter_mut().zip(x_row) {
+                    *o += v;
+                }
             }
         }
-    }
+    });
 }
 
 /// Backward of [`spmm_sum`] w.r.t. `x`: pushes each destination's gradient
@@ -84,15 +103,23 @@ pub fn spmm_sum_backward_into(g: &CsrGraph, grad_rows: &Tensor, out: &mut Tensor
     );
     assert_eq!(out.cols(), grad_rows.cols(), "feature width mismatch");
     let f = grad_rows.cols();
-    for i in 0..g.num_rows() {
-        let g_row = grad_rows.row(i);
-        for &j in g.neighbors(i) {
-            let dst = &mut out.data_mut()[j as usize * f..(j as usize + 1) * f];
-            for (d, &v) in dst.iter_mut().zip(g_row) {
-                *d += v;
+    // Scatter inverted: chunk over *source* rows so each gradient row has
+    // exactly one writer; the reverse index's ascending-edge-id order per
+    // source reproduces the sequential accumulation order bit for bit.
+    let rev = g.reverse_index();
+    let grad = grad_rows.data();
+    let out_s = SharedSlice::new(out.data_mut());
+    parallel_for(g.num_cols(), 1, |lo, hi| {
+        for j in lo..hi {
+            let dst = unsafe { out_s.range_mut(j * f, (j + 1) * f) };
+            for (i, _e) in rev.entries(j) {
+                let g_row = &grad[i * f..(i + 1) * f];
+                for (d, &v) in dst.iter_mut().zip(g_row) {
+                    *d += v;
+                }
             }
         }
-    }
+    });
 }
 
 // ----------------------------------------------------------------------
@@ -135,8 +162,23 @@ pub fn gather_dst(g: &CsrGraph, x: &Tensor) -> Tensor {
 /// Panics if `edge_vals` does not have one row per edge.
 pub fn scatter_edges_to_src(g: &CsrGraph, edge_vals: &Tensor) -> Tensor {
     assert_eq!(edge_vals.rows(), g.num_edges(), "one row per edge required");
-    let mut out = Tensor::zeros(&[g.num_cols(), edge_vals.cols()]);
-    out.scatter_add_rows(g.indices(), edge_vals);
+    let f = edge_vals.cols();
+    let mut out = Tensor::zeros(&[g.num_cols(), f]);
+    let rev = g.reverse_index();
+    let ev = edge_vals.data();
+    {
+        let out_s = SharedSlice::new(out.data_mut());
+        parallel_for(g.num_cols(), 1, |lo, hi| {
+            for j in lo..hi {
+                let dst = unsafe { out_s.range_mut(j * f, (j + 1) * f) };
+                for (_i, e) in rev.entries(j) {
+                    for (d, &v) in dst.iter_mut().zip(&ev[e * f..(e + 1) * f]) {
+                        *d += v;
+                    }
+                }
+            }
+        });
+    }
     out
 }
 
@@ -151,16 +193,20 @@ pub fn scatter_edges_to_dst(g: &CsrGraph, edge_vals: &Tensor) -> Tensor {
     assert_eq!(edge_vals.rows(), g.num_edges(), "one row per edge required");
     let f = edge_vals.cols();
     let mut out = Tensor::zeros(&[g.num_rows(), f]);
-    let mut e = 0usize;
-    for i in 0..g.num_rows() {
-        let deg = g.in_degree(i);
-        let out_row = out.row_mut(i);
-        for _ in 0..deg {
-            for (o, &v) in out_row.iter_mut().zip(edge_vals.row(e)) {
-                *o += v;
+    let indptr = g.indptr();
+    let ev = edge_vals.data();
+    {
+        let out_s = SharedSlice::new(out.data_mut());
+        parallel_for(g.num_rows(), 1, |lo, hi| {
+            for i in lo..hi {
+                let out_row = unsafe { out_s.range_mut(i * f, (i + 1) * f) };
+                for e in indptr[i]..indptr[i + 1] {
+                    for (o, &v) in out_row.iter_mut().zip(&ev[e * f..(e + 1) * f]) {
+                        *o += v;
+                    }
+                }
             }
-            e += 1;
-        }
+        });
     }
     out
 }
@@ -185,26 +231,35 @@ pub fn edge_softmax(g: &CsrGraph, scores: &Tensor) -> Tensor {
     );
     let h = scores.cols();
     let mut out = scores.clone();
-    for i in 0..g.num_rows() {
-        let (start, end) = (g.indptr()[i], g.indptr()[i + 1]);
-        if start == end {
-            continue;
-        }
-        for head in 0..h {
-            let mut max = f32::NEG_INFINITY;
-            for e in start..end {
-                max = max.max(out.data()[e * h + head]);
+    let indptr = g.indptr();
+    {
+        // A destination's in-edges are contiguous in CSR order, so every
+        // edge row belongs to exactly one destination's chunk.
+        let out_s = SharedSlice::new(out.data_mut());
+        parallel_for(g.num_rows(), 1, |lo, hi| {
+            for i in lo..hi {
+                let (start, end) = (indptr[i], indptr[i + 1]);
+                if start == end {
+                    continue;
+                }
+                let rows = unsafe { out_s.range_mut(start * h, end * h) };
+                for head in 0..h {
+                    let mut max = f32::NEG_INFINITY;
+                    for e in 0..end - start {
+                        max = max.max(rows[e * h + head]);
+                    }
+                    let mut denom = 0.0f32;
+                    for e in 0..end - start {
+                        let v = (rows[e * h + head] - max).exp();
+                        rows[e * h + head] = v;
+                        denom += v;
+                    }
+                    for e in 0..end - start {
+                        rows[e * h + head] /= denom;
+                    }
+                }
             }
-            let mut denom = 0.0f32;
-            for e in start..end {
-                let v = (out.data()[e * h + head] - max).exp();
-                out.data_mut()[e * h + head] = v;
-                denom += v;
-            }
-            for e in start..end {
-                out.data_mut()[e * h + head] /= denom;
-            }
-        }
+        });
     }
     out
 }
@@ -220,19 +275,31 @@ pub fn edge_softmax_backward(g: &CsrGraph, alpha: &Tensor, grad: &Tensor) -> Ten
     assert_eq!(alpha.rows(), g.num_edges(), "one row per edge required");
     let h = alpha.cols();
     let mut out = Tensor::zeros(&[g.num_edges(), h]);
-    for i in 0..g.num_rows() {
-        let (start, end) = (g.indptr()[i], g.indptr()[i + 1]);
-        for head in 0..h {
-            let mut dot = 0.0f32;
-            for e in start..end {
-                dot += alpha.data()[e * h + head] * grad.data()[e * h + head];
+    let indptr = g.indptr();
+    let a_data = alpha.data();
+    let g_data = grad.data();
+    {
+        let out_s = SharedSlice::new(out.data_mut());
+        parallel_for(g.num_rows(), 1, |lo, hi| {
+            for i in lo..hi {
+                let (start, end) = (indptr[i], indptr[i + 1]);
+                if start == end {
+                    continue;
+                }
+                let rows = unsafe { out_s.range_mut(start * h, end * h) };
+                for head in 0..h {
+                    let mut dot = 0.0f32;
+                    for e in start..end {
+                        dot += a_data[e * h + head] * g_data[e * h + head];
+                    }
+                    for e in start..end {
+                        let a = a_data[e * h + head];
+                        let gr = g_data[e * h + head];
+                        rows[(e - start) * h + head] = a * (gr - dot);
+                    }
+                }
             }
-            for e in start..end {
-                let a = alpha.data()[e * h + head];
-                let gr = grad.data()[e * h + head];
-                out.data_mut()[e * h + head] = a * (gr - dot);
-            }
-        }
+        });
     }
     out
 }
@@ -267,25 +334,35 @@ pub fn spmm_multihead(g: &CsrGraph, alpha: &Tensor, x: &Tensor) -> Tensor {
     );
     let d = hd / heads;
     let mut out = Tensor::zeros(&[g.num_rows(), hd]);
-    let mut e = 0usize;
-    for i in 0..g.num_rows() {
-        let deg = g.in_degree(i);
-        let out_row = out.row_mut(i);
-        for k in 0..deg {
-            let j = g.indices()[e + k] as usize;
-            let x_row = &x.data()[j * hd..(j + 1) * hd];
-            for head in 0..heads {
-                let a = alpha.data()[(e + k) * heads + head];
-                if a == 0.0 {
+    let indptr = g.indptr();
+    let indices = g.indices();
+    let x_data = x.data();
+    let a_data = alpha.data();
+    {
+        let out_s = SharedSlice::new(out.data_mut());
+        parallel_for(g.num_rows(), 1, |lo, hi| {
+            for i in lo..hi {
+                let (es, ee) = (indptr[i], indptr[i + 1]);
+                if es == ee {
                     continue;
                 }
-                let lo = head * d;
-                for c in lo..lo + d {
-                    out_row[c] += a * x_row[c];
+                let out_row = unsafe { out_s.range_mut(i * hd, (i + 1) * hd) };
+                for e in es..ee {
+                    let j = indices[e] as usize;
+                    let x_row = &x_data[j * hd..(j + 1) * hd];
+                    for head in 0..heads {
+                        let a = a_data[e * heads + head];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let lo_c = head * d;
+                        for c in lo_c..lo_c + d {
+                            out_row[c] += a * x_row[c];
+                        }
+                    }
                 }
             }
-        }
-        e += deg;
+        });
     }
     out
 }
@@ -308,30 +385,61 @@ pub fn spmm_multihead_backward(
     assert_eq!(grad_out.cols(), hd, "grad width mismatch");
     let mut d_alpha = Tensor::zeros(&[g.num_edges(), heads]);
     let mut d_x = Tensor::zeros(&[g.num_cols(), hd]);
-    let mut e = 0usize;
-    for i in 0..g.num_rows() {
-        let deg = g.in_degree(i);
-        let g_row = grad_out.row(i);
-        for k in 0..deg {
-            let j = g.indices()[e + k] as usize;
-            let x_row = &x.data()[j * hd..(j + 1) * hd];
-            for head in 0..heads {
-                let lo = head * d;
-                let a = alpha.data()[(e + k) * heads + head];
-                let mut dot = 0.0f32;
-                for c in lo..lo + d {
-                    dot += g_row[c] * x_row[c];
+    let indptr = g.indptr();
+    let indices = g.indices();
+    let x_data = x.data();
+    let a_data = alpha.data();
+    let grad_data = grad_out.data();
+    // Pass 1 — destination-parallel: each edge's d_alpha row is owned by
+    // its destination.
+    {
+        let da_s = SharedSlice::new(d_alpha.data_mut());
+        parallel_for(g.num_rows(), 1, |lo, hi| {
+            for i in lo..hi {
+                let (es, ee) = (indptr[i], indptr[i + 1]);
+                if es == ee {
+                    continue;
                 }
-                d_alpha.data_mut()[(e + k) * heads + head] = dot;
-                if a != 0.0 {
-                    let dx_row = &mut d_x.data_mut()[j * hd..(j + 1) * hd];
-                    for c in lo..lo + d {
-                        dx_row[c] += a * g_row[c];
+                let g_row = &grad_data[i * hd..(i + 1) * hd];
+                let da_rows = unsafe { da_s.range_mut(es * heads, ee * heads) };
+                for e in es..ee {
+                    let j = indices[e] as usize;
+                    let x_row = &x_data[j * hd..(j + 1) * hd];
+                    for head in 0..heads {
+                        let lo_c = head * d;
+                        let mut dot = 0.0f32;
+                        for c in lo_c..lo_c + d {
+                            dot += g_row[c] * x_row[c];
+                        }
+                        da_rows[(e - es) * heads + head] = dot;
                     }
                 }
             }
-        }
-        e += deg;
+        });
+    }
+    // Pass 2 — source-parallel: each d_x row is owned by its source;
+    // ascending edge ids reproduce the sequential accumulation order.
+    let rev = g.reverse_index();
+    {
+        let dx_s = SharedSlice::new(d_x.data_mut());
+        parallel_for(g.num_cols(), 1, |lo, hi| {
+            for j in lo..hi {
+                let dx_row = unsafe { dx_s.range_mut(j * hd, (j + 1) * hd) };
+                for (i, e) in rev.entries(j) {
+                    let g_row = &grad_data[i * hd..(i + 1) * hd];
+                    for head in 0..heads {
+                        let a = a_data[e * heads + head];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let lo_c = head * d;
+                        for c in lo_c..lo_c + d {
+                            dx_row[c] += a * g_row[c];
+                        }
+                    }
+                }
+            }
+        });
     }
     (d_alpha, d_x)
 }
@@ -355,15 +463,23 @@ pub fn head_project(x: &Tensor, a: &Tensor, heads: usize) -> Tensor {
     let d = hd / heads;
     let n = x.rows();
     let mut out = vec![0.0f32; n * heads];
-    for i in 0..n {
-        let x_row = x.row(i);
-        for h in 0..heads {
-            let mut acc = 0.0f32;
-            for k in 0..d {
-                acc += x_row[h * d + k] * a.data()[h * d + k];
+    let x_data = x.data();
+    let a_data = a.data();
+    {
+        let out_s = SharedSlice::new(&mut out);
+        parallel_for(n, 1, |lo, hi| {
+            let rows = unsafe { out_s.range_mut(lo * heads, hi * heads) };
+            for i in lo..hi {
+                let x_row = &x_data[i * hd..(i + 1) * hd];
+                for h in 0..heads {
+                    let mut acc = 0.0f32;
+                    for k in 0..d {
+                        acc += x_row[h * d + k] * a_data[h * d + k];
+                    }
+                    rows[(i - lo) * heads + h] = acc;
+                }
             }
-            out[i * heads + h] = acc;
-        }
+        });
     }
     Tensor::from_vec(&[n, heads], out)
 }
@@ -387,20 +503,48 @@ pub fn head_project_backward(
     assert_eq!(grad.cols(), heads, "grad heads mismatch");
     let mut d_x = Tensor::zeros(&[n, hd]);
     let mut d_a = Tensor::zeros(&[hd]);
-    for i in 0..n {
-        let x_row = x.row(i);
-        let g_row = grad.row(i);
-        let dx_row = &mut d_x.data_mut()[i * hd..(i + 1) * hd];
-        for h in 0..heads {
-            let g = g_row[h];
-            if g == 0.0 {
-                continue;
+    let x_data = x.data();
+    let a_data = a.data();
+    let g_data = grad.data();
+    // Pass 1 — row-parallel d_x: every output row has one writer.
+    {
+        let dx_s = SharedSlice::new(d_x.data_mut());
+        parallel_for(n, 1, |lo, hi| {
+            for i in lo..hi {
+                let g_row = &g_data[i * heads..(i + 1) * heads];
+                let dx_row = unsafe { dx_s.range_mut(i * hd, (i + 1) * hd) };
+                for h in 0..heads {
+                    let g = g_row[h];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    for k in 0..d {
+                        dx_row[h * d + k] += g * a_data[h * d + k];
+                    }
+                }
             }
-            for k in 0..d {
-                dx_row[h * d + k] += g * a.data()[h * d + k];
-                d_a.data_mut()[h * d + k] += g * x_row[h * d + k];
+        });
+    }
+    // Pass 2 — column-parallel d_a: each column accumulates over rows in
+    // ascending order with the same `g == 0` skips as the sequential
+    // sweep, so the reduction order is unchanged.
+    {
+        let da_s = SharedSlice::new(d_a.data_mut());
+        parallel_for(hd, 1, |lo, hi| {
+            let cols = unsafe { da_s.range_mut(lo, hi) };
+            for (c, slot) in (lo..hi).zip(cols.iter_mut()) {
+                let h = c / d;
+                let mut acc = 0.0f32;
+                for i in 0..n {
+                    let g = g_data[i * heads + h];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    acc += g * x_data[i * hd + c];
+                }
+                *slot = acc;
             }
-        }
+        });
     }
     (d_x, d_a)
 }
@@ -423,16 +567,28 @@ pub fn gat_edge_scores(g: &CsrGraph, s_dst: &Tensor, s_src: &Tensor, slope: f32)
     assert_eq!(s_dst.cols(), s_src.cols(), "head count mismatch");
     let h = s_dst.cols();
     let mut out = vec![0.0f32; g.num_edges() * h];
-    let mut e = 0usize;
-    for i in 0..g.num_rows() {
-        for &j in g.neighbors(i) {
-            let j = j as usize;
-            for head in 0..h {
-                let u = s_dst.data()[i * h + head] + s_src.data()[j * h + head];
-                out[e * h + head] = if u > 0.0 { u } else { slope * u };
+    let indptr = g.indptr();
+    let indices = g.indices();
+    let sd = s_dst.data();
+    let ss = s_src.data();
+    {
+        let out_s = SharedSlice::new(&mut out);
+        parallel_for(g.num_rows(), 1, |lo, hi| {
+            for i in lo..hi {
+                let (es, ee) = (indptr[i], indptr[i + 1]);
+                if es == ee {
+                    continue;
+                }
+                let rows = unsafe { out_s.range_mut(es * h, ee * h) };
+                for e in es..ee {
+                    let j = indices[e] as usize;
+                    for head in 0..h {
+                        let u = sd[i * h + head] + ss[j * h + head];
+                        rows[(e - es) * h + head] = if u > 0.0 { u } else { slope * u };
+                    }
+                }
             }
-            e += 1;
-        }
+        });
     }
     Tensor::from_vec(&[g.num_edges(), h], out)
 }
@@ -454,18 +610,49 @@ pub fn gat_edge_scores_backward(
     assert_eq!(grad.cols(), h, "grad heads mismatch");
     let mut d_dst = Tensor::zeros(&[g.num_rows(), h]);
     let mut d_src = Tensor::zeros(&[g.num_cols(), h]);
-    let mut e = 0usize;
-    for i in 0..g.num_rows() {
-        for &j in g.neighbors(i) {
-            let j = j as usize;
-            for head in 0..h {
-                let u = s_dst.data()[i * h + head] + s_src.data()[j * h + head];
-                let du = grad.data()[e * h + head] * if u > 0.0 { 1.0 } else { slope };
-                d_dst.data_mut()[i * h + head] += du;
-                d_src.data_mut()[j * h + head] += du;
+    let indptr = g.indptr();
+    let indices = g.indices();
+    let sd = s_dst.data();
+    let ss = s_src.data();
+    let g_data = grad.data();
+    // Pass 1 — destination-parallel d_dst.
+    {
+        let dd_s = SharedSlice::new(d_dst.data_mut());
+        parallel_for(g.num_rows(), 1, |lo, hi| {
+            for i in lo..hi {
+                let (es, ee) = (indptr[i], indptr[i + 1]);
+                if es == ee {
+                    continue;
+                }
+                let dd_row = unsafe { dd_s.range_mut(i * h, (i + 1) * h) };
+                for e in es..ee {
+                    let j = indices[e] as usize;
+                    for head in 0..h {
+                        let u = sd[i * h + head] + ss[j * h + head];
+                        let du = g_data[e * h + head] * if u > 0.0 { 1.0 } else { slope };
+                        dd_row[head] += du;
+                    }
+                }
             }
-            e += 1;
-        }
+        });
+    }
+    // Pass 2 — source-parallel d_src via the reverse index (ascending
+    // edge ids keep the sequential accumulation order).
+    let rev = g.reverse_index();
+    {
+        let ds_s = SharedSlice::new(d_src.data_mut());
+        parallel_for(g.num_cols(), 1, |lo, hi| {
+            for j in lo..hi {
+                let ds_row = unsafe { ds_s.range_mut(j * h, (j + 1) * h) };
+                for (i, e) in rev.entries(j) {
+                    for head in 0..h {
+                        let u = sd[i * h + head] + ss[j * h + head];
+                        let du = g_data[e * h + head] * if u > 0.0 { 1.0 } else { slope };
+                        ds_row[head] += du;
+                    }
+                }
+            }
+        });
     }
     (d_dst, d_src)
 }

@@ -1,0 +1,52 @@
+//! Bitwise 1-vs-N-thread parity for `Linear` forward and backward.
+//!
+//! `Linear` delegates to the row-parallel tensor matmuls; this pins the
+//! full autograd path (forward matmul + `matmul_tn`/`matmul_nt` in the
+//! backward) to be thread-count invariant end to end.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sar_nn::Linear;
+use sar_tensor::{init, pool, Tensor, Var};
+
+fn assert_bitwise_eq(a: &Tensor, b: &Tensor, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+    for (k, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: element {k} diverges across thread counts: {x} vs {y}"
+        );
+    }
+}
+
+#[test]
+fn linear_forward_backward_is_threadcount_invariant() {
+    let layer = Linear::new(19, 11, true, &mut StdRng::seed_from_u64(1));
+    let x = init::randn(&[53, 19], 1.0, &mut StdRng::seed_from_u64(2));
+    let run = || {
+        let input = Var::parameter(x.clone());
+        let out = layer.forward(&input);
+        out.sum().backward();
+        let params = layer.params();
+        let grads: Vec<Tensor> = std::iter::once(&input)
+            .chain(params.iter())
+            .map(|p| {
+                let g = p.grad().expect("gradient must exist");
+                p.zero_grad();
+                g
+            })
+            .collect();
+        (out.value_clone(), grads)
+    };
+    pool::set_threads(1);
+    let (out_seq, grads_seq) = run();
+    pool::set_threads(4);
+    let (out_par, grads_par) = run();
+    pool::set_threads(1);
+    assert_bitwise_eq(&out_seq, &out_par, "linear output");
+    assert_eq!(grads_seq.len(), grads_par.len());
+    for (k, (a, b)) in grads_seq.iter().zip(&grads_par).enumerate() {
+        assert_bitwise_eq(a, b, &format!("grad[{k}]"));
+    }
+}

@@ -79,15 +79,15 @@ proptest! {
             .collect();
         let g_p = sar_graph::CsrGraph::from_edges(n, &edges_p);
         let mut x_p = sar_tensor::Tensor::zeros(&[n, 5]);
-        for i in 0..n {
-            x_p.row_mut(perm[i] as usize).copy_from_slice(x.row(i));
+        for (i, &p) in perm.iter().enumerate() {
+            x_p.row_mut(p as usize).copy_from_slice(x.row(i));
         }
 
         let out = layer.forward(&Arc::new(g), &Var::constant(x));
         let out_p = layer.forward(&Arc::new(g_p), &Var::constant(x_p));
-        for i in 0..n {
+        for (i, &p) in perm.iter().enumerate() {
             let a = out.value().row(i).to_vec();
-            let b = out_p.value().row(perm[i] as usize).to_vec();
+            let b = out_p.value().row(p as usize).to_vec();
             for (va, vb) in a.iter().zip(&b) {
                 prop_assert!((va - vb).abs() < 1e-4, "row {i} not equivariant");
             }

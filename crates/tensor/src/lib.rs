@@ -40,6 +40,7 @@ pub mod autograd;
 pub mod gradcheck;
 pub mod init;
 pub mod memory;
+pub mod pool;
 mod tensor;
 
 pub use autograd::{grad_enabled, hstack, no_grad, Function, Var};

@@ -1,0 +1,467 @@
+//! A small scoped thread pool for intra-worker kernel parallelism.
+//!
+//! SAR's workers are single processes that should use every core of
+//! their socket (the paper's baselines lean on intra-socket parallelism).
+//! This pool parallelizes kernels over *output rows*: [`parallel_for`]
+//! splits `0..n` into contiguous chunks and each chunk — and therefore
+//! each output row — is processed by exactly one thread. Because every
+//! row's reduction runs the same code in the same order regardless of how
+//! rows are assigned to threads, results are **bitwise identical** across
+//! thread counts (asserted by the kernel parity tests in `sar-graph`).
+//!
+//! The pool is deliberately thread-local: each simulated worker thread
+//! (or each `sar-worker` process) owns its own helpers, sized by
+//! [`set_threads`], so workers never share a pool and the per-thread
+//! memory tracker in [`crate::memory`] stays coherent. Helper threads
+//! must never construct [`Tensor`](crate::Tensor)s — kernels hand them
+//! raw row ranges of pre-allocated buffers via [`SharedSlice`].
+//!
+//! Helper CPU time is metered with the per-thread CPU clock and
+//! accumulated on the dispatching thread; the observability layer drains
+//! it with [`take_helper_cpu_us`] and folds it into the phase ledger's
+//! `cpu_us`, while the separately recorded wall time exposes the
+//! parallel speedup (`cpu_us / wall_us`).
+
+use std::cell::{Cell, RefCell};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// Thread count configured for the calling thread (1 = sequential).
+    static CONFIGURED: Cell<usize> = const { Cell::new(1) };
+    /// The calling thread's helper pool, present when `CONFIGURED > 1`.
+    static POOL: RefCell<Option<Pool>> = const { RefCell::new(None) };
+    /// `true` while the calling thread is inside a `parallel_for` body;
+    /// nested calls then run inline (the helpers are already busy).
+    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+    /// Helper CPU nanoseconds accumulated on behalf of this thread since
+    /// the last [`take_helper_cpu_us`].
+    static HELPER_CPU_NS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Sets the number of threads (including the caller) that kernels
+/// dispatched **from the calling thread** may use. `1` (the default)
+/// tears the pool down and runs everything inline. Idempotent.
+pub fn set_threads(n: usize) {
+    let n = n.max(1);
+    CONFIGURED.with(|c| c.set(n));
+    POOL.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let have = slot.as_ref().map_or(1, |p| p.helpers.len() + 1);
+        if have != n {
+            *slot = if n == 1 { None } else { Some(Pool::new(n - 1)) };
+        }
+    });
+}
+
+/// The thread count configured for the calling thread.
+pub fn threads() -> usize {
+    CONFIGURED.with(Cell::get)
+}
+
+/// Drains the helper CPU microseconds accumulated on behalf of the
+/// calling thread since the previous call. The phase ledger adds this to
+/// its own thread-CPU delta so `cpu_us` counts *total* compute.
+pub fn take_helper_cpu_us() -> f64 {
+    HELPER_CPU_NS.with(|c| c.replace(0)) as f64 / 1e3
+}
+
+/// Runs `f(lo, hi)` over disjoint sub-ranges covering `0..n`, possibly
+/// concurrently on the calling thread plus its pool helpers.
+///
+/// Chunks are contiguous and at least `grain` items long, so with
+/// `n <= grain` (or a thread count of 1, or when called from inside
+/// another `parallel_for` body) the call degenerates to the inline
+/// `f(0, n)` — the exact sequential loop. Row-parallel kernels rely on
+/// this: any output row is written by exactly one invocation of `f`, and
+/// each invocation performs the same per-row work as the sequential
+/// path, so results do not depend on the thread count.
+///
+/// `f` must not construct tensors (helper threads have their own memory
+/// tracker) and must not panic-recover across rows; a panic in any chunk
+/// is re-raised on the calling thread after all helpers have quiesced.
+pub fn parallel_for<F>(n: usize, grain: usize, f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let inline = CONFIGURED.with(Cell::get) <= 1
+        || n <= grain.max(1)
+        || IN_PARALLEL.with(Cell::get)
+        || POOL.with(|slot| slot.borrow().is_none());
+    if inline {
+        f(0, n);
+        return;
+    }
+    POOL.with(|slot| {
+        let slot = slot.borrow();
+        // Checked non-None above; set_threads cannot run concurrently on
+        // this thread.
+        let pool = slot.as_ref().expect("pool torn down mid-dispatch");
+        let workers = pool.helpers.len() + 1;
+        // Up to 4 chunks per worker so stragglers (skewed row degrees)
+        // rebalance, but never chunks shorter than `grain`.
+        let chunk = n.div_ceil(workers * 4).max(grain.max(1));
+        // Lifetime erased: `WaitGuard` below guarantees every helper is
+        // done with `f` before `parallel_for` returns or unwinds.
+        let f_erased: &'static (dyn Fn(usize, usize) + Sync) = unsafe {
+            std::mem::transmute::<
+                &(dyn Fn(usize, usize) + Sync),
+                &'static (dyn Fn(usize, usize) + Sync),
+            >(&f)
+        };
+        let dispatch = Arc::new(Dispatch {
+            f: f_erased,
+            n,
+            chunk,
+            next: AtomicUsize::new(0),
+            remaining: Mutex::new(pool.helpers.len()),
+            done: Condvar::new(),
+            helper_cpu_ns: AtomicU64::new(0),
+            panicked: Mutex::new(None),
+        });
+        for _ in &pool.helpers {
+            let d = Arc::clone(&dispatch);
+            pool.submit(Box::new(move || d.run_as_helper()));
+        }
+        let guard = WaitGuard(&dispatch);
+        IN_PARALLEL.with(|c| c.set(true));
+        let caller = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dispatch.run_chunks();
+        }));
+        IN_PARALLEL.with(|c| c.set(false));
+        drop(guard); // blocks until every helper finished its chunks
+        HELPER_CPU_NS.with(|c| {
+            c.set(
+                c.get()
+                    .saturating_add(dispatch.helper_cpu_ns.load(Ordering::Acquire)),
+            )
+        });
+        if let Err(payload) = caller {
+            std::panic::resume_unwind(payload);
+        }
+        let helper_panic = lock_ignore_poison(&dispatch.panicked).take();
+        if let Some(payload) = helper_panic {
+            std::panic::resume_unwind(payload);
+        }
+    });
+}
+
+/// One `parallel_for` call's shared work-stealing state. The `'static`
+/// on `f` is a lie told by `parallel_for` and backed by its `WaitGuard`:
+/// no helper touches `f` after the dispatching frame unwinds.
+struct Dispatch {
+    f: &'static (dyn Fn(usize, usize) + Sync),
+    n: usize,
+    chunk: usize,
+    next: AtomicUsize,
+    remaining: Mutex<usize>,
+    done: Condvar,
+    helper_cpu_ns: AtomicU64,
+    panicked: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Dispatch {
+    fn run_chunks(&self) {
+        let f = self.f;
+        loop {
+            let c = self.next.fetch_add(1, Ordering::Relaxed);
+            let lo = c * self.chunk;
+            if lo >= self.n {
+                return;
+            }
+            f(lo, (lo + self.chunk).min(self.n));
+        }
+    }
+
+    fn run_as_helper(&self) {
+        let t0 = thread_cpu_ns();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_chunks()));
+        self.helper_cpu_ns
+            .fetch_add(thread_cpu_ns().saturating_sub(t0), Ordering::Release);
+        if let Err(payload) = outcome {
+            lock_ignore_poison(&self.panicked).get_or_insert(payload);
+        }
+        let mut rem = lock_ignore_poison(&self.remaining);
+        *rem -= 1;
+        if *rem == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Blocks until every helper has left `f`, *even if the caller's own
+/// chunk panicked* — otherwise unwinding would drop `f` while helpers
+/// still hold the lifetime-erased pointer to it.
+struct WaitGuard<'a>(&'a Dispatch);
+
+impl Drop for WaitGuard<'_> {
+    fn drop(&mut self) {
+        let mut rem = lock_ignore_poison(&self.0.remaining);
+        while *rem > 0 {
+            rem = self.0.done.wait(rem).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The calling thread's CPU clock in nanoseconds (monotonic fallback off
+/// Linux) — mirrors `sar_comm::time::thread_cpu_secs`, which lives above
+/// this crate in the dependency order.
+fn thread_cpu_ns() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        let mut ts = libc::timespec {
+            tv_sec: 0,
+            tv_nsec: 0,
+        };
+        let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+        if rc == 0 {
+            return (ts.tv_sec as u64) * 1_000_000_000 + ts.tv_nsec as u64;
+        }
+    }
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}
+
+/// Persistent helper threads fed through one shared queue.
+struct Pool {
+    sender: Option<Sender<Job>>,
+    helpers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    fn new(helpers: usize) -> Pool {
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let helpers = (0..helpers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("sar-pool-{i}"))
+                    .spawn(move || helper_main(&rx))
+                    .expect("spawning pool helper thread")
+            })
+            .collect();
+        Pool {
+            sender: Some(tx),
+            helpers,
+        }
+    }
+
+    fn submit(&self, job: Job) {
+        self.sender
+            .as_ref()
+            .expect("pool sender present until drop")
+            .send(job)
+            .expect("pool helper threads outlive the sender");
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.sender.take(); // closes the queue; helpers drain and exit
+        for h in self.helpers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn helper_main(rx: &Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        let job = {
+            let rx = lock_ignore_poison(rx);
+            rx.recv()
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => return, // pool dropped
+        }
+    }
+}
+
+/// A `Send + Sync` view of a mutable buffer whose **disjoint** ranges are
+/// written concurrently by `parallel_for` chunks.
+///
+/// Kernels create one on the dispatching thread over a pre-allocated
+/// output buffer (a `Vec<f32>` or `Tensor::data_mut`), then each chunk
+/// takes its own rows via [`SharedSlice::range_mut`]. Safety rests on the
+/// destination-row ownership invariant: chunks cover disjoint index
+/// ranges, so no element is aliased.
+pub struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _life: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wraps `data` for disjoint concurrent writes.
+    pub fn new(data: &'a mut [T]) -> SharedSlice<'a, T> {
+        SharedSlice {
+            ptr: data.as_mut_ptr(),
+            len: data.len(),
+            _life: PhantomData,
+        }
+    }
+
+    /// Length of the underlying buffer.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the underlying buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The mutable sub-slice `lo..hi`.
+    ///
+    /// # Safety
+    ///
+    /// Concurrent callers must request disjoint ranges; the borrow is
+    /// unchecked aliasing-wise (bounds are asserted).
+    #[allow(clippy::mut_from_ref)] // disjointness is the caller's contract
+    pub unsafe fn range_mut(&self, lo: usize, hi: usize) -> &mut [T] {
+        assert!(
+            lo <= hi && hi <= self.len,
+            "range {lo}..{hi} of {}",
+            self.len
+        );
+        std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_when_single_threaded() {
+        set_threads(1);
+        let mut out = vec![0u32; 16];
+        let shared = SharedSlice::new(&mut out);
+        parallel_for(16, 1, |lo, hi| {
+            let rows = unsafe { shared.range_mut(lo, hi) };
+            for (k, r) in rows.iter_mut().enumerate() {
+                *r = (lo + k) as u32;
+            }
+        });
+        assert_eq!(out, (0..16).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn pool_covers_every_index_exactly_once() {
+        set_threads(4);
+        let n = 10_007;
+        let mut out = vec![0u32; n];
+        let shared = SharedSlice::new(&mut out);
+        parallel_for(n, 1, |lo, hi| {
+            let rows = unsafe { shared.range_mut(lo, hi) };
+            for (k, r) in rows.iter_mut().enumerate() {
+                *r += (lo + k) as u32 + 1;
+            }
+        });
+        set_threads(1);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u32 + 1, "index {i} written wrongly");
+        }
+    }
+
+    #[test]
+    fn grain_forces_inline_for_small_inputs() {
+        set_threads(4);
+        let hits = AtomicUsize::new(0);
+        parallel_for(8, 64, |lo, hi| {
+            assert_eq!((lo, hi), (0, 8));
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        set_threads(1);
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn nested_calls_run_inline() {
+        set_threads(2);
+        let n = 256;
+        let mut out = vec![0.0f32; n];
+        let shared = SharedSlice::new(&mut out);
+        parallel_for(n, 1, |lo, hi| {
+            // A nested dispatch from inside a chunk must not deadlock and
+            // must still cover its range.
+            parallel_for(hi - lo, 1, |a, b| {
+                let rows = unsafe { shared.range_mut(lo + a, lo + b) };
+                for r in rows {
+                    *r += 1.0;
+                }
+            });
+        });
+        set_threads(1);
+        assert!(out.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn helper_cpu_is_accumulated_and_drained() {
+        set_threads(4);
+        let _ = take_helper_cpu_us();
+        let sink = AtomicU64::new(0);
+        parallel_for(4096, 1, |lo, hi| {
+            let mut acc = 0u64;
+            for i in lo as u64..hi as u64 {
+                for j in 0..2000 {
+                    acc = acc.wrapping_add(i * j);
+                }
+            }
+            sink.fetch_add(acc, Ordering::Relaxed);
+        });
+        let us = take_helper_cpu_us();
+        assert!(us > 0.0, "helpers should have burned CPU: {us}");
+        assert_eq!(take_helper_cpu_us(), 0.0, "drain must reset");
+        set_threads(1);
+    }
+
+    #[test]
+    fn chunk_panic_propagates_to_the_caller() {
+        set_threads(4);
+        let result = std::panic::catch_unwind(|| {
+            parallel_for(1024, 1, |lo, _hi| {
+                if lo > 0 {
+                    panic!("boom in chunk {lo}");
+                }
+            });
+        });
+        set_threads(1);
+        assert!(result.is_err(), "the chunk panic must surface");
+    }
+
+    #[test]
+    fn set_threads_is_idempotent_and_resizable() {
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        set_threads(3);
+        set_threads(2);
+        assert_eq!(threads(), 2);
+        let total = AtomicUsize::new(0);
+        parallel_for(100, 1, |lo, hi| {
+            total.fetch_add(hi - lo, Ordering::Relaxed);
+        });
+        set_threads(1);
+        assert_eq!(total.load(Ordering::Relaxed), 100);
+        assert_eq!(threads(), 1);
+    }
+}

@@ -1,6 +1,7 @@
 //! The dense tensor type and its raw (non-differentiable) operations.
 
 use crate::memory::MemoryTracker;
+use crate::pool;
 
 /// A dense, row-major `f32` tensor with 1 to 3 dimensions.
 ///
@@ -444,7 +445,10 @@ impl Tensor {
     /// Matrix product `self × other` of 2-D tensors.
     ///
     /// Uses an i-k-j loop order so the inner loop runs over contiguous rows
-    /// and auto-vectorizes.
+    /// and auto-vectorizes. Output rows are computed in parallel on the
+    /// worker's thread pool ([`crate::pool`]); each row's accumulation
+    /// order is thread-count-independent, so results are bitwise identical
+    /// to the single-threaded product.
     ///
     /// # Panics
     ///
@@ -454,23 +458,33 @@ impl Tensor {
         let (k2, n) = (other.rows(), other.cols());
         assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        {
+            let out_s = pool::SharedSlice::new(&mut out);
+            pool::parallel_for(m, 1, |lo, hi| {
+                let rows = unsafe { out_s.range_mut(lo * n, hi * n) };
+                for i in lo..hi {
+                    let a_row = &self.data[i * k..(i + 1) * k];
+                    let o_row = &mut rows[(i - lo) * n..(i - lo + 1) * n];
+                    for (kk, &a) in a_row.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let b_row = &other.data[kk * n..(kk + 1) * n];
+                        for (o, &b) in o_row.iter_mut().zip(b_row) {
+                            *o += a * b;
+                        }
+                    }
                 }
-                let b_row = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
+            });
         }
         Tensor::from_vec(&[m, n], out)
     }
 
     /// Matrix product `selfᵀ × other` without materializing the transpose.
+    ///
+    /// Parallel over output rows; per row the reduction still runs over
+    /// `kk` ascending with the same zero-skips as the sequential k-outer
+    /// sweep did, so each element sees the identical sequence of adds.
     ///
     /// # Panics
     ///
@@ -480,18 +494,24 @@ impl Tensor {
         let (k2, n) = (other.rows(), other.cols());
         assert_eq!(k, k2, "matmul_tn leading dimension mismatch: {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        for kk in 0..k {
-            let a_row = &self.data[kk * m..(kk + 1) * m];
-            let b_row = &other.data[kk * n..(kk + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        {
+            let out_s = pool::SharedSlice::new(&mut out);
+            pool::parallel_for(m, 1, |lo, hi| {
+                let rows = unsafe { out_s.range_mut(lo * n, hi * n) };
+                for i in lo..hi {
+                    let o_row = &mut rows[(i - lo) * n..(i - lo + 1) * n];
+                    for kk in 0..k {
+                        let a = self.data[kk * m + i];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let b_row = &other.data[kk * n..(kk + 1) * n];
+                        for (o, &b) in o_row.iter_mut().zip(b_row) {
+                            *o += a * b;
+                        }
+                    }
                 }
-                let o_row = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
+            });
         }
         Tensor::from_vec(&[m, n], out)
     }
@@ -506,16 +526,22 @@ impl Tensor {
         let (n, k2) = (other.rows(), other.cols());
         assert_eq!(k, k2, "matmul_nt inner dimension mismatch: {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
+        {
+            let out_s = pool::SharedSlice::new(&mut out);
+            pool::parallel_for(m, 1, |lo, hi| {
+                let rows = unsafe { out_s.range_mut(lo * n, hi * n) };
+                for i in lo..hi {
+                    let a_row = &self.data[i * k..(i + 1) * k];
+                    for j in 0..n {
+                        let b_row = &other.data[j * k..(j + 1) * k];
+                        let mut acc = 0.0f32;
+                        for (&a, &b) in a_row.iter().zip(b_row) {
+                            acc += a * b;
+                        }
+                        rows[(i - lo) * n + j] = acc;
+                    }
                 }
-                out[i * n + j] = acc;
-            }
+            });
         }
         Tensor::from_vec(&[m, n], out)
     }

@@ -1,0 +1,66 @@
+//! Bitwise 1-vs-N-thread parity for the three parallel matmul kernels.
+//!
+//! `matmul`, `matmul_tn`, and `matmul_nt` chunk over output rows with one
+//! writer per row and an unchanged per-element accumulation order, so
+//! their results must be identical bit for bit at any thread count (see
+//! DESIGN.md §8).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sar_tensor::{init, pool, Tensor};
+
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    pool::set_threads(n);
+    let out = f();
+    pool::set_threads(1);
+    out
+}
+
+fn assert_bitwise_eq(a: &Tensor, b: &Tensor, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+    for (k, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: element {k} diverges across thread counts: {x} vs {y}"
+        );
+    }
+}
+
+#[test]
+fn matmul_variants_are_threadcount_invariant() {
+    let mut rng = StdRng::seed_from_u64(7);
+    // Odd sizes on purpose: uneven chunk boundaries.
+    let (m, k, n) = (67, 33, 29);
+    let a = init::randn(&[m, k], 1.0, &mut rng);
+    let b = init::randn(&[k, n], 1.0, &mut rng);
+    let at = init::randn(&[k, m], 1.0, &mut rng); // for A^T · B
+    let bt = init::randn(&[n, k], 1.0, &mut rng); // for A · B^T
+    let run = || vec![a.matmul(&b), at.matmul_tn(&b), a.matmul_nt(&bt)];
+    let seq = with_threads(1, run);
+    let par = with_threads(4, run);
+    for (name, (s, p)) in ["matmul", "matmul_tn", "matmul_nt"]
+        .iter()
+        .zip(seq.iter().zip(&par))
+    {
+        assert_bitwise_eq(s, p, name);
+    }
+}
+
+#[test]
+fn zero_skip_path_is_threadcount_invariant() {
+    // The kernels skip zero entries of A; make sure the skip logic does
+    // not change the accumulation order across thread counts.
+    let mut rng = StdRng::seed_from_u64(8);
+    let (m, k, n) = (41, 17, 23);
+    let mut a = init::randn(&[m, k], 1.0, &mut rng);
+    for (i, v) in a.data_mut().iter_mut().enumerate() {
+        if i % 3 == 0 {
+            *v = 0.0;
+        }
+    }
+    let b = init::randn(&[k, n], 1.0, &mut rng);
+    let seq = with_threads(1, || a.matmul(&b));
+    let par = with_threads(4, || a.matmul(&b));
+    assert_bitwise_eq(&seq, &par, "matmul with zeros");
+}

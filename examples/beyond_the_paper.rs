@@ -41,6 +41,7 @@ fn main() {
         cs: None,
         prefetch: true, // 3/N memory, overlapped fetches
         seed: 11,
+        threads: 1,
     };
 
     println!("training 3-layer GCN + jumping knowledge with SAR on 4 workers...");

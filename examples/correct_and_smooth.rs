@@ -41,6 +41,7 @@ fn main() {
         cs: Some(CsConfig::default()),
         prefetch: false,
         seed: 7,
+        threads: 1,
     };
 
     println!(

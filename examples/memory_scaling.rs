@@ -48,6 +48,7 @@ fn main() {
                 cs: None,
                 prefetch: false,
                 seed: 1,
+                threads: 1,
             };
             let report = train(&dataset, &partitioning, CostModel::default(), &cfg);
             peaks.push(report.max_peak_bytes() as f64 / (1024.0 * 1024.0));

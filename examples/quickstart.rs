@@ -57,6 +57,7 @@ fn main() {
         cs: None,
         prefetch: false,
         seed: 0,
+        threads: 1,
     };
     let report = train(&dataset, &partitioning, CostModel::default(), &cfg);
 

@@ -23,6 +23,7 @@
 //!   --no-cs                       disable Correct & Smooth
 //!   --prefetch                    3/N prefetching fetches
 //!   --partitioner ml|random|range|bfs                             (ml)
+//!   --threads N                   intra-worker kernel threads     (1)
 //!   --save-model PATH             checkpoint final parameters
 //!   --report-json PATH            write the per-worker observability
 //!                                 RunReport (phase/layer comm ledger,
@@ -67,6 +68,7 @@ struct Args {
     cs: bool,
     prefetch: bool,
     partitioner: String,
+    threads: usize,
     save_model: Option<String>,
     report_json: Option<String>,
     seed: u64,
@@ -93,6 +95,7 @@ impl Default for Args {
             cs: true,
             prefetch: false,
             partitioner: "ml".into(),
+            threads: 1,
             save_model: None,
             report_json: None,
             seed: 0,
@@ -136,6 +139,7 @@ fn parse_args() -> Args {
             "--no-cs" => args.cs = false,
             "--prefetch" => args.prefetch = true,
             "--partitioner" => args.partitioner = value(),
+            "--threads" => args.threads = value().parse().unwrap_or_else(|_| fail("--threads")),
             "--save-model" => args.save_model = Some(value()),
             "--report-json" => args.report_json = Some(value()),
             "--seed" => args.seed = value().parse().unwrap_or_else(|_| fail("--seed")),
@@ -199,6 +203,7 @@ fn run_tcp(args: &Args) -> ! {
         // Matches the simulated path's StepDecay{epochs/3, 0.5} recipe.
         schedule: "step".into(),
         seed: args.seed,
+        threads: args.threads,
     };
     let exe = launcher::sibling_binary("sar-worker").unwrap_or_else(|e| fail(&e));
     let mut worker_args = workload.to_args();
@@ -292,6 +297,7 @@ fn main() {
         cs: args.cs.then(CsConfig::default),
         prefetch: args.prefetch,
         seed: args.seed,
+        threads: args.threads,
     };
     println!(
         "training {:?} / {:?} for {} epochs on {} workers ...",

@@ -28,6 +28,7 @@ fn tiny_cfg(arch: Arch, mode: Mode, num_classes: usize) -> TrainConfig {
         cs: None,
         prefetch: false,
         seed: 0,
+        threads: 1,
     }
 }
 
