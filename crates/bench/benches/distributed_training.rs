@@ -29,7 +29,7 @@ fn cfg(arch: Arch, mode: Mode, classes: usize) -> TrainConfig {
         label_aug: false,
         aug_frac: 0.0,
         cs: None,
-        prefetch: false,
+        prefetch_depth: 0,
         seed: 0,
         threads: 1,
     }

@@ -42,8 +42,19 @@
 //!                        once per count and the gate fails unless every
 //!                        run's losses and byte ledgers are identical —
 //!                        the kernels' determinism contract (DESIGN.md §8)
+//!   --prefetch-depth A,B smoke fetch-pipeline depths (default 0). With
+//!                        more than one depth, the same workload runs once
+//!                        per depth and the gate fails unless every run's
+//!                        losses and byte ledgers are identical — the
+//!                        pipelined exchange's deterministic-accumulation
+//!                        contract (DESIGN.md §9). Crosses with --threads.
 //!   --seed N             RNG seed               (default 0)
 //! ```
+//!
+//! With `--out DIR`, smoke also writes `DIR/BENCH_overlap.json`: one
+//! record per (model, threads, depth) run with the per-phase
+//! blocked-vs-wall overlap summary, so the realized comm/compute overlap
+//! is tracked as a CI artifact.
 
 use sar_bench::experiments::{
     ablation_partition, ablation_prefetch, ablation_softmax, exactness, fig2, scaling, table1,
@@ -60,6 +71,8 @@ struct Flags {
     transport: String,
     /// Intra-worker thread counts the smoke gate runs (and cross-checks).
     threads: Vec<usize>,
+    /// Fetch-pipeline depths the smoke gate runs (and cross-checks).
+    depths: Vec<usize>,
     /// Smoke model selection: `"all"` or one of [`smoke::MODELS`].
     model: String,
 }
@@ -70,6 +83,7 @@ fn parse_flags(args: &[String]) -> Flags {
     let mut out = None;
     let mut transport = "sim".to_string();
     let mut threads = vec![1usize];
+    let mut depths = vec![0usize];
     let mut model = "all".to_string();
     let mut i = 0;
     while i < args.len() {
@@ -121,6 +135,17 @@ fn parse_flags(args: &[String]) -> Flags {
                     }
                 })
                 .collect();
+        } else if let Some(v) = take("--prefetch-depth") {
+            depths = v
+                .split(',')
+                .map(|x| match x.parse::<usize>() {
+                    Ok(d) => d,
+                    _ => {
+                        eprintln!("--prefetch-depth takes a comma list of depths, e.g. 0,2");
+                        std::process::exit(2);
+                    }
+                })
+                .collect();
         } else if let Some(v) = take("--model") {
             if v != "all" && !smoke::MODELS.contains(&v.as_str()) {
                 eprintln!(
@@ -144,27 +169,82 @@ fn parse_flags(args: &[String]) -> Flags {
         out,
         transport,
         threads,
+        depths,
         model,
     }
+}
+
+/// One smoke run's overlap record, destined for `BENCH_overlap.json`.
+struct OverlapRun {
+    experiment: String,
+    transport: &'static str,
+    threads: usize,
+    depth: usize,
+    /// Verbatim [`RunReport::overlap_json`] fragment.
+    fragment: String,
+}
+
+/// Assembles `DIR/BENCH_overlap.json` from the collected per-run overlap
+/// fragments (each fragment is already a JSON object, embedded verbatim).
+fn write_overlap_artifact(dir: &str, runs: &[OverlapRun]) -> Result<String, String> {
+    let mut s = String::from("{\n  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"experiment\": \"{}\", \"transport\": \"{}\", \"threads\": {}, \
+             \"prefetch_depth\": {}, \"overlap\": {}}}{}\n",
+            r.experiment,
+            r.transport,
+            r.threads,
+            r.depth,
+            r.fragment.trim(),
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    let path = format!("{dir}/BENCH_overlap.json");
+    std::fs::write(&path, s).map_err(|e| format!("cannot write {path}: {e}"))?;
+    Ok(path)
 }
 
 // ----------------------------------------------------------------------
 // `smoke` — the CI gate
 // ----------------------------------------------------------------------
 
+/// The `(threads, prefetch_depth)` grid a smoke workload runs over, in a
+/// deterministic order with the baseline combination first.
+fn combos(threads: &[usize], depths: &[usize]) -> Vec<(usize, usize)> {
+    depths
+        .iter()
+        .flat_map(|&d| threads.iter().map(move |&t| (t, d)))
+        .collect()
+}
+
+/// Report-file name for one combination: the baseline keeps the bare
+/// `{exp}.json` name CI has always archived; variants get suffixes.
+fn report_path(dir: &str, exp: &str, k: usize, t: usize, d: usize) -> String {
+    if k == 0 {
+        format!("{dir}/{exp}.json")
+    } else {
+        format!("{dir}/{exp}-t{t}-d{d}.json")
+    }
+}
+
 /// Scaled-down 4-worker GraphSage and GAT training runs whose
 /// observability ledgers are checked against the paper's communication
 /// claims. The workloads and the invariants live in [`sar_bench::smoke`],
 /// shared verbatim with the TCP backend. With more than one entry in
-/// `threads`, each workload runs once per thread count and the runs'
-/// [`RunReport::parity_digest`]s must match exactly — the parallel
-/// kernels' bitwise-determinism contract. Returns the violations found
-/// (empty = gate passes).
+/// `threads` or `depths`, the same workload runs once per combination and
+/// the runs' [`RunReport::parity_digest`]s must match exactly — the
+/// parallel kernels' and the pipelined exchange's bitwise-determinism
+/// contracts. Returns the violations found (empty = gate passes) and
+/// appends each run's overlap record to `overlaps`.
 fn smoke_sim(
     cfg: &ExpConfig,
     out_dir: Option<&str>,
     models: &[&str],
     threads: &[usize],
+    depths: &[usize],
+    overlaps: &mut Vec<OverlapRun>,
 ) -> Vec<String> {
     let nodes = cfg.products_nodes.min(1500);
     let mut violations = Vec::new();
@@ -178,9 +258,10 @@ fn smoke_sim(
             }
         };
         let mut first_digest: Option<String> = None;
-        for (k, &t) in threads.iter().enumerate() {
+        for (k, &(t, d)) in combos(threads, depths).iter().enumerate() {
             let mut wl = base.clone();
             wl.threads = t;
+            wl.prefetch_depth = d;
             let (dataset, part) = match wl.build_data(smoke::WORLD) {
                 Ok(dp) => dp,
                 Err(e) => {
@@ -196,7 +277,8 @@ fn smoke_sim(
                 }
             };
             eprintln!(
-                "[repro] smoke: training {arch_name}/{} on {} workers (threads={t}) ...",
+                "[repro] smoke: training {arch_name}/{} on {} workers \
+                 (threads={t}, prefetch-depth={d}) ...",
                 wl.mode,
                 smoke::WORLD
             );
@@ -209,19 +291,21 @@ fn smoke_sim(
                 Some(d0) => {
                     if *d0 != report.parity_digest() {
                         violations.push(format!(
-                            "{exp}: --threads {t} diverged from --threads {} \
-                             (losses or byte ledgers differ)",
-                            threads[0]
+                            "{exp}: --threads {t} --prefetch-depth {d} diverged from the \
+                             baseline combination (losses or byte ledgers differ)"
                         ));
                     }
                 }
             }
+            overlaps.push(OverlapRun {
+                experiment: exp.clone(),
+                transport: "sim",
+                threads: t,
+                depth: d,
+                fragment: report.overlap_json(),
+            });
             if let Some(dir) = out_dir {
-                let path = if k == 0 {
-                    format!("{dir}/{exp}.json")
-                } else {
-                    format!("{dir}/{exp}-t{t}.json")
-                };
+                let path = report_path(dir, &exp, k, t, d);
                 match report.write_json(&path) {
                     Ok(()) => eprintln!("[repro] wrote {path}"),
                     Err(e) => violations.push(format!("{exp}: cannot write {path}: {e}")),
@@ -244,6 +328,8 @@ fn smoke_tcp(
     out_dir: Option<&str>,
     models: &[&str],
     threads: &[usize],
+    depths: &[usize],
+    overlaps: &mut Vec<OverlapRun>,
 ) -> Vec<String> {
     let nodes = cfg.products_nodes.min(1500);
     let exe = match launcher::sibling_binary("sar-worker") {
@@ -261,9 +347,10 @@ fn smoke_tcp(
             }
         };
         let mut first_digest: Option<String> = None;
-        for (k, &t) in threads.iter().enumerate() {
+        for (k, &(t, d)) in combos(threads, depths).iter().enumerate() {
             let mut wl = base.clone();
             wl.threads = t;
+            wl.prefetch_depth = d;
             let mut args = wl.to_args();
             args.extend([
                 "--check".to_string(),
@@ -271,23 +358,24 @@ fn smoke_tcp(
                 "--experiment".to_string(),
                 exp.clone(),
             ]);
-            let digest_path =
-                std::env::temp_dir().join(format!("sar-{exp}-t{t}-{}.digest", std::process::id()));
+            let digest_path = std::env::temp_dir()
+                .join(format!("sar-{exp}-t{t}-d{d}-{}.digest", std::process::id()));
+            let overlap_path = std::env::temp_dir().join(format!(
+                "sar-{exp}-t{t}-d{d}-{}.overlap",
+                std::process::id()
+            ));
             args.extend([
                 "--digest-out".to_string(),
                 digest_path.display().to_string(),
+                "--overlap-out".to_string(),
+                overlap_path.display().to_string(),
             ]);
             if let Some(dir) = out_dir {
-                let path = if k == 0 {
-                    format!("{dir}/{exp}.json")
-                } else {
-                    format!("{dir}/{exp}-t{t}.json")
-                };
-                args.extend(["--out".to_string(), path]);
+                args.extend(["--out".to_string(), report_path(dir, &exp, k, t, d)]);
             }
             eprintln!(
                 "[repro] smoke: training {arch_name}/{} on {} OS processes over TCP \
-                 (threads={t}) ...",
+                 (threads={t}, prefetch-depth={d}) ...",
                 wl.mode,
                 smoke::WORLD
             );
@@ -295,6 +383,16 @@ fn smoke_tcp(
                 violations.push(format!("{exp}: {e}"));
                 continue;
             }
+            if let Ok(fragment) = std::fs::read_to_string(&overlap_path) {
+                overlaps.push(OverlapRun {
+                    experiment: exp.clone(),
+                    transport: "tcp",
+                    threads: t,
+                    depth: d,
+                    fragment,
+                });
+            }
+            let _ = std::fs::remove_file(&overlap_path);
             let digest = match std::fs::read_to_string(&digest_path) {
                 Ok(d) => d,
                 Err(e) => {
@@ -311,9 +409,8 @@ fn smoke_tcp(
                 Some(d0) => {
                     if *d0 != digest {
                         violations.push(format!(
-                            "{exp}: --threads {t} diverged from --threads {} \
-                             (losses or byte ledgers differ)",
-                            threads[0]
+                            "{exp}: --threads {t} --prefetch-depth {d} diverged from the \
+                             baseline combination (losses or byte ledgers differ)"
                         ));
                     }
                 }
@@ -335,10 +432,32 @@ fn smoke(flags: &Flags) -> Vec<String> {
     } else {
         vec![flags.model.as_str()]
     };
-    match flags.transport.as_str() {
-        "tcp" => smoke_tcp(&flags.cfg, flags.out.as_deref(), &models, &flags.threads),
-        _ => smoke_sim(&flags.cfg, flags.out.as_deref(), &models, &flags.threads),
+    let mut overlaps = Vec::new();
+    let mut violations = match flags.transport.as_str() {
+        "tcp" => smoke_tcp(
+            &flags.cfg,
+            flags.out.as_deref(),
+            &models,
+            &flags.threads,
+            &flags.depths,
+            &mut overlaps,
+        ),
+        _ => smoke_sim(
+            &flags.cfg,
+            flags.out.as_deref(),
+            &models,
+            &flags.threads,
+            &flags.depths,
+            &mut overlaps,
+        ),
+    };
+    if let Some(dir) = flags.out.as_deref() {
+        match write_overlap_artifact(dir, &overlaps) {
+            Ok(path) => eprintln!("[repro] wrote {path}"),
+            Err(e) => violations.push(format!("smoke: {e}")),
+        }
     }
+    violations
 }
 
 fn run(name: &str, cfg: &ExpConfig, worlds: Option<&[usize]>) {

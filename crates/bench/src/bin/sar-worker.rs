@@ -20,7 +20,8 @@
 //!   --no-label-aug               disable masked label prediction
 //!   --aug-frac X                 label-augmentation fraction (0.5)
 //!   --cs                         Correct & Smooth post-processing
-//!   --prefetch                   3/N prefetching fetches
+//!   --prefetch-depth K           fetch pipeline depth: (K+2)/N memory,
+//!                                0 = sequential, 1 = paper's 3/N (0)
 //!   --partitioner ml|random|range|bfs               (ml)
 //!   --schedule constant|step     learning-rate schedule (constant)
 //!   --seed N                                        (0)
@@ -37,6 +38,9 @@
 //!   --digest-out PATH            write the run's determinism digest
 //!                                (losses + per-worker byte ledgers) for
 //!                                cross-thread-count parity checks
+//!   --overlap-out PATH           write the per-phase blocked-vs-wall
+//!                                overlap summary JSON (the fragment
+//!                                repro embeds into BENCH_overlap.json)
 //!
 //! other:
 //!   --rendezvous-timeout-secs N  poll budget for the rendezvous file (60)
@@ -64,6 +68,7 @@ struct Cli {
     out: Option<String>,
     check: Option<String>,
     digest_out: Option<String>,
+    overlap_out: Option<String>,
     workload: Workload,
 }
 
@@ -83,6 +88,7 @@ fn parse_cli() -> Cli {
         out: None,
         check: None,
         digest_out: None,
+        overlap_out: None,
         workload: Workload::default(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -114,6 +120,7 @@ fn parse_cli() -> Cli {
             "--out" => cli.out = Some(value()),
             "--check" => cli.check = Some(value()),
             "--digest-out" => cli.digest_out = Some(value()),
+            "--overlap-out" => cli.overlap_out = Some(value()),
             "--dataset" => w.dataset = value(),
             "--nodes" => w.nodes = value().parse().unwrap_or_else(|_| fail("--nodes")),
             "--arch" => w.arch = value(),
@@ -128,7 +135,9 @@ fn parse_cli() -> Cli {
             "--no-label-aug" => w.label_aug = false,
             "--aug-frac" => w.aug_frac = value().parse().unwrap_or_else(|_| fail("--aug-frac")),
             "--cs" => w.cs = true,
-            "--prefetch" => w.prefetch = true,
+            "--prefetch-depth" => {
+                w.prefetch_depth = value().parse().unwrap_or_else(|_| fail("--prefetch-depth"))
+            }
             "--partitioner" => w.partitioner = value(),
             "--schedule" => w.schedule = value(),
             "--seed" => w.seed = value().parse().unwrap_or_else(|_| fail("--seed")),
@@ -172,6 +181,9 @@ fn spawn_local(n: usize, cli: &Cli) -> ! {
     }
     if let Some(digest) = &cli.digest_out {
         args.extend(["--digest-out".to_string(), digest.clone()]);
+    }
+    if let Some(overlap) = &cli.overlap_out {
+        args.extend(["--overlap-out".to_string(), overlap.clone()]);
     }
     eprintln!(
         "[sar-worker] spawning {n} local rank processes ({} / {} on {} nodes) ...",
@@ -245,6 +257,11 @@ fn main() {
                 std::fs::write(path, report.parity_digest())
                     .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
                 eprintln!("[sar-worker] wrote digest {path}");
+            }
+            if let Some(path) = &cli.overlap_out {
+                std::fs::write(path, report.overlap_json())
+                    .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+                eprintln!("[sar-worker] wrote overlap summary {path}");
             }
             if cli.check.as_deref() == Some("smoke") {
                 let violations = smoke::violations(&report, cli.workload.epochs);

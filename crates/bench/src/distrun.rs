@@ -72,8 +72,9 @@ pub struct Workload {
     pub aug_frac: f64,
     /// Run Correct & Smooth after training.
     pub cs: bool,
-    /// 3/N prefetching in the sequential fetch.
-    pub prefetch: bool,
+    /// Pipeline depth of the sequential fetch (`(k+2)/N` memory; 0 =
+    /// strictly sequential, 1 = the paper's 3/N prefetch).
+    pub prefetch_depth: usize,
     /// Partitioner: `"ml"`, `"random"`, `"range"` or `"bfs"`.
     pub partitioner: String,
     /// Learning-rate schedule: `"constant"` or `"step"` (the paper's
@@ -103,7 +104,7 @@ impl Default for Workload {
             label_aug: true,
             aug_frac: 0.5,
             cs: false,
-            prefetch: false,
+            prefetch_depth: 0,
             partitioner: "ml".into(),
             schedule: "constant".into(),
             seed: 0,
@@ -132,6 +133,7 @@ impl Workload {
             ("--schedule", self.schedule.clone()),
             ("--seed", self.seed.to_string()),
             ("--threads", self.threads.to_string()),
+            ("--prefetch-depth", self.prefetch_depth.to_string()),
         ]
         .into_iter()
         .flat_map(|(k, v)| [k.to_string(), v])
@@ -144,9 +146,6 @@ impl Workload {
         }
         if self.cs {
             a.push("--cs".into());
-        }
-        if self.prefetch {
-            a.push("--prefetch".into());
         }
         a
     }
@@ -225,7 +224,7 @@ impl Workload {
             label_aug: self.label_aug,
             aug_frac: self.aug_frac,
             cs: self.cs.then(CsConfig::default),
-            prefetch: self.prefetch,
+            prefetch_depth: self.prefetch_depth,
             seed: self.seed,
             threads: self.threads,
         })
@@ -601,7 +600,7 @@ mod tests {
             label_aug: false,
             aug_frac: 0.25,
             cs: true,
-            prefetch: true,
+            prefetch_depth: 2,
             partitioner: "bfs".into(),
             schedule: "step".into(),
             seed: 9,
@@ -620,7 +619,7 @@ mod tests {
         assert!(args.contains(&"--jk".to_string()));
         assert!(args.contains(&"--no-label-aug".to_string()));
         assert!(args.contains(&"--cs".to_string()));
-        assert!(args.contains(&"--prefetch".to_string()));
+        assert_eq!(find("--prefetch-depth").unwrap(), "2");
     }
 
     #[test]

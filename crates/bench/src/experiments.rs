@@ -79,7 +79,7 @@ fn paper_train_cfg(model: ModelConfig, epochs: usize, seed: u64) -> TrainConfig 
         label_aug: true,
         aug_frac: 0.5,
         cs: Some(CsConfig::default()),
-        prefetch: false,
+        prefetch_depth: 0,
         seed,
         threads: 1,
     }
@@ -344,10 +344,10 @@ pub fn scaling(arch: Arch, workload: Workload, worlds: &[usize], cfg: &ExpConfig
 // ----------------------------------------------------------------------
 
 /// §3.4 prefetching ablation: peak memory of the aggregation phase itself
-/// with and without a prefetched partition — the paper's 2/N vs 3/N
-/// residency bound. Measured on a *random* partitioning (worst-case
-/// boundary: essentially every remote node is needed) so the fetched
-/// blocks dominate the phase's footprint.
+/// at pipeline depths 0, 1 and 2 — the paper's 2/N vs 3/N residency
+/// bound, extended to the general (k+2)/N staging law. Measured on a
+/// *random* partitioning (worst-case boundary: essentially every remote
+/// node is needed) so the fetched blocks dominate the phase's footprint.
 pub fn ablation_prefetch(cfg: &ExpConfig) -> Table {
     use sar_core::{sage_aggregate, DistGraph, Worker};
     use std::sync::Arc;
@@ -363,18 +363,18 @@ pub fn ablation_prefetch(cfg: &ExpConfig) -> Table {
     );
     let feat = 512usize;
     let mut t = Table::new(
-        "Ablation — prefetching (sequential aggregation phase, 8 workers, random partition)",
-        &["prefetch", "aggregation peak MiB/worker", "residency model"],
+        "Ablation — prefetch depth (sequential aggregation phase, 8 workers, random partition)",
+        &[
+            "prefetch depth",
+            "aggregation peak MiB/worker",
+            "residency model",
+        ],
     );
-    for prefetch in [false, true] {
+    for depth in [0usize, 1, 2] {
         let graphs = Arc::clone(&graphs);
         let outcomes = sar_comm::Cluster::new(world, cfg.cost_model()).run(move |ctx| {
             let rank = ctx.rank();
-            let w = if prefetch {
-                Worker::with_prefetch(ctx, Arc::clone(&graphs[rank]))
-            } else {
-                Worker::new(ctx, Arc::clone(&graphs[rank]))
-            };
+            let w = Worker::with_prefetch_depth(ctx, Arc::clone(&graphs[rank]), depth);
             let z = Var::constant(sar_tensor::Tensor::ones(&[w.graph.num_local(), feat]));
             // Measure only the aggregation loop.
             MemoryTracker::reset_peak();
@@ -386,14 +386,13 @@ pub fn ablation_prefetch(cfg: &ExpConfig) -> Table {
         });
         let peak = outcomes.iter().map(|o| o.result).max().unwrap_or(0);
         t.row(vec![
-            prefetch.to_string(),
+            depth.to_string(),
             mib(peak),
-            if prefetch {
-                "3/N (local + current + next)"
-            } else {
-                "2/N (local + current)"
-            }
-            .to_string(),
+            match depth {
+                0 => "2/N (local + current)".to_string(),
+                1 => "3/N (local + current + 1 staged)".to_string(),
+                k => format!("{}/N (local + current + {k} staged)", k + 2),
+            },
         ]);
     }
     t

@@ -122,6 +122,11 @@ pub struct PhaseRow {
     /// Exclusive wall-clock time under this cell, microseconds.
     /// `cpu_us / wall_us` reads as the cell's parallel speedup.
     pub wall_us: f64,
+    /// Wall-clock time spent *parked* in a blocking receive under this
+    /// cell, microseconds. `blocked_us / wall_us` is the cell's
+    /// un-overlapped communication fraction — the number the pipelined
+    /// rotation exchange drives down as `--prefetch-depth` grows.
+    pub blocked_us: f64,
     /// Peak live tensor bytes observed inside this cell's scopes.
     pub peak_tensor_bytes: u64,
 }
@@ -169,6 +174,7 @@ impl WorkerProfile {
                     comm_us: e.comm_us,
                     cpu_us: e.cpu_us,
                     wall_us: e.wall_us,
+                    blocked_us: e.blocked_us,
                     peak_tensor_bytes: e.peak_tensor_bytes,
                 })
                 .collect(),
@@ -281,7 +287,7 @@ impl RunReport {
     ///        {"phase": "forward_fetch", "layer": 0, "sent_bytes": 0,
     ///         "recv_bytes": 0, "sent_messages": 0, "recv_messages": 0,
     ///         "comm_us": 0.0, "cpu_us": 0.0, "wall_us": 0.0,
-    ///         "peak_tensor_bytes": 0}
+    ///         "blocked_us": 0.0, "peak_tensor_bytes": 0}
     ///      ]}
     ///   ]
     /// }
@@ -335,7 +341,7 @@ impl RunReport {
                     "\n       {{\"phase\": {}, \"layer\": {}, \"sent_bytes\": {}, \
                      \"recv_bytes\": {}, \"sent_messages\": {}, \"recv_messages\": {}, \
                      \"comm_us\": {}, \"cpu_us\": {}, \"wall_us\": {}, \
-                     \"peak_tensor_bytes\": {}}}",
+                     \"blocked_us\": {}, \"peak_tensor_bytes\": {}}}",
                     json_str(r.phase),
                     r.layer.map_or("null".to_string(), |l| l.to_string()),
                     r.sent_bytes,
@@ -345,6 +351,7 @@ impl RunReport {
                     json_f64(r.comm_us),
                     json_f64(r.cpu_us),
                     json_f64(r.wall_us),
+                    json_f64(r.blocked_us),
                     r.peak_tensor_bytes,
                 );
             }
@@ -398,6 +405,44 @@ impl RunReport {
                 );
             }
         }
+        s
+    }
+
+    /// The per-phase overlap scoreboard as a self-contained JSON object:
+    /// wall, blocked, comm and CPU microseconds summed across workers and
+    /// layers. `blocked_us / wall_us` is the fraction of the phase the
+    /// cluster spent parked in blocking receives — the pipelined rotation
+    /// exchange drives it down as `--prefetch-depth` grows. This is the
+    /// fragment `repro smoke` embeds into `BENCH_overlap.json`.
+    pub fn overlap_json(&self) -> String {
+        use std::collections::BTreeMap;
+        let mut agg: BTreeMap<&'static str, (f64, f64, f64, f64)> = BTreeMap::new();
+        for w in &self.workers {
+            for r in &w.phases {
+                let e = agg.entry(r.phase).or_insert((0.0, 0.0, 0.0, 0.0));
+                e.0 += r.wall_us;
+                e.1 += r.blocked_us;
+                e.2 += r.comm_us;
+                e.3 += r.cpu_us;
+            }
+        }
+        let mut s = String::from("{\"phases\": [");
+        for (i, (phase, (wall, blocked, comm, cpu))) in agg.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(
+                s,
+                "{{\"phase\": {}, \"wall_us\": {}, \"blocked_us\": {}, \
+                 \"comm_us\": {}, \"cpu_us\": {}}}",
+                json_str(phase),
+                json_f64(*wall),
+                json_f64(*blocked),
+                json_f64(*comm),
+                json_f64(*cpu)
+            );
+        }
+        s.push_str("]}");
         s
     }
 }
@@ -495,6 +540,7 @@ mod tests {
                     comm_us: 12.5,
                     cpu_us: 3.0,
                     wall_us: 4.5,
+                    blocked_us: 1.5,
                     peak_tensor_bytes: 512,
                 }],
             }],
@@ -511,6 +557,7 @@ mod tests {
         assert!(!json.contains("NaN"));
         assert!(json.contains("\"test_acc_cs\": null"));
         assert!(json.contains(r#""phase": "forward_fetch", "layer": 1"#));
+        assert!(json.contains(r#""blocked_us": 1.5"#));
         // Balanced braces/brackets — cheap structural sanity without a
         // JSON parser in the dependency set.
         let count = |c: char| json.chars().filter(|&x| x == c).count();
@@ -533,6 +580,7 @@ mod tests {
         // Timings and peaks vary run to run — the digest must not see them.
         b.workers[0].phases[0].cpu_us = 999.0;
         b.workers[0].phases[0].wall_us = 999.0;
+        b.workers[0].phases[0].blocked_us = 999.0;
         b.workers[0].phases[0].comm_us = 999.0;
         b.workers[0].phases[0].peak_tensor_bytes = 999;
         b.epoch_times = vec![9.0];
@@ -544,6 +592,18 @@ mod tests {
         let mut d = sample_report();
         d.workers[0].phases[0].recv_bytes += 1;
         assert_ne!(a.parity_digest(), d.parity_digest());
+    }
+
+    #[test]
+    fn overlap_json_aggregates_blocked_vs_wall() {
+        let r = sample_report();
+        let j = r.overlap_json();
+        assert!(j.contains(r#""phase": "forward_fetch""#));
+        assert!(j.contains(r#""wall_us": 4.5"#));
+        assert!(j.contains(r#""blocked_us": 1.5"#));
+        let count = |c: char| j.chars().filter(|&x| x == c).count();
+        assert_eq!(count('{'), count('}'));
+        assert_eq!(count('['), count(']'));
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub fn workload(arch: &str, nodes: usize, seed: u64) -> Result<Workload, String>
         // fetch traffic into the forward-fetch ledger and blur the
         // forward/backward volume comparison below.
         cs: false,
-        prefetch: false,
+        prefetch_depth: 0,
         partitioner: "ml".into(),
         schedule: "constant".into(),
         seed,
@@ -161,6 +161,7 @@ mod tests {
             comm_us: 0.0,
             cpu_us: 0.0,
             wall_us: 0.0,
+            blocked_us: 0.0,
             peak_tensor_bytes: 0,
         };
         WorkerProfile {

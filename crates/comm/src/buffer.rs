@@ -1,0 +1,100 @@
+//! A process-wide recycling pool for `f32` payload buffers.
+//!
+//! Every rotation round of Algorithm 1 ships one gathered feature block
+//! per peer; without reuse that is a fresh `Vec<f32>` allocation per
+//! round × layer × epoch on the send side. The pool closes the loop on
+//! the TCP backend: the serve path takes a buffer, fills it and sends it,
+//! and the per-peer writer thread returns the vector here after the frame
+//! hits the socket. On the in-process channel backend the vector moves to
+//! the receiver intact (zero-copy), so there is nothing to recycle and
+//! `take` simply allocates on a miss.
+//!
+//! The pool is deliberately dumb: a mutexed stack of vectors, capped so a
+//! burst cannot pin unbounded memory. Buffers are handed out fully
+//! zeroed-length-adjusted (`resize`), never carrying stale capacity
+//! contents into a payload.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Most vectors the pool retains; excess recycles are simply dropped.
+const MAX_POOLED: usize = 64;
+
+static POOL: Mutex<Vec<Vec<f32>>> = Mutex::new(Vec::new());
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Takes a zeroed buffer of exactly `len` elements, reusing a pooled
+/// allocation when one with sufficient capacity exists.
+pub fn take_f32(len: usize) -> Vec<f32> {
+    let reused = {
+        let mut pool = POOL.lock().unwrap_or_else(|e| e.into_inner());
+        // Prefer the last vector with enough capacity; fall back to any.
+        match pool.iter().rposition(|v| v.capacity() >= len) {
+            Some(i) => Some(pool.swap_remove(i)),
+            None => pool.pop(),
+        }
+    };
+    match reused {
+        Some(mut v) => {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            v.clear();
+            v.resize(len, 0.0);
+            v
+        }
+        None => {
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            vec![0.0; len]
+        }
+    }
+}
+
+/// Returns a buffer to the pool (dropped if the pool is full). Callable
+/// from any thread — the TCP writer threads recycle sent payloads here.
+pub fn recycle_f32(v: Vec<f32>) {
+    if v.capacity() == 0 {
+        return;
+    }
+    let mut pool = POOL.lock().unwrap_or_else(|e| e.into_inner());
+    if pool.len() < MAX_POOLED {
+        pool.push(v);
+    }
+}
+
+/// `(hits, misses)` counters since process start — observability for tests
+/// asserting that steady-state rounds stop allocating.
+pub fn pool_counters() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycled_buffers_are_reused() {
+        let v = take_f32(1000);
+        let cap = v.capacity();
+        recycle_f32(v);
+        let (h0, _) = pool_counters();
+        let v2 = take_f32(500);
+        assert!(v2.capacity() >= cap.min(1000));
+        assert_eq!(v2.len(), 500);
+        let (h1, _) = pool_counters();
+        assert!(h1 > h0, "second take must be a pool hit");
+        recycle_f32(v2);
+    }
+
+    #[test]
+    fn take_returns_exact_len_and_zeroed_contents() {
+        recycle_f32(vec![7.0; 64]);
+        let v = take_f32(16);
+        assert_eq!(v.len(), 16);
+        assert!(v.iter().all(|&x| x == 0.0), "pooled buffer not zeroed");
+        recycle_f32(v);
+        let v = take_f32(128);
+        assert_eq!(v.len(), 128);
+        assert!(v.iter().all(|&x| x == 0.0));
+        recycle_f32(v);
+    }
+}

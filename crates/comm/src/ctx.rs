@@ -257,6 +257,34 @@ impl WorkerCtx {
         self.transport.send(dst, tag, payload)
     }
 
+    /// Non-blocking [`WorkerCtx::send`] for pipeline call sites: hands the
+    /// payload to the transport's outgoing queue and returns without
+    /// waiting for the peer. Byte/message ledgers are charged exactly as in
+    /// the blocking path (the ledger is written before the transport is
+    /// touched on both), so switching a protocol between `send` and
+    /// `send_nowait` cannot change any byte ledger.
+    ///
+    /// On the channel backend every send is already an enqueue; on TCP the
+    /// frame goes to the destination's per-peer writer thread, so the
+    /// serve-side encode and socket write happen off the caller's critical
+    /// path. If the writer's bounded queue is full the call exerts
+    /// backpressure (it briefly blocks), which bounds in-flight memory but
+    /// never deadlocks a send-before-receive protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range or the destination worker is gone,
+    /// like [`WorkerCtx::send`].
+    pub fn send_nowait(&self, dst: usize, tag: u64, payload: Payload) {
+        self.try_send(dst, tag, payload).unwrap_or_else(|e| {
+            panic!(
+                "worker {} sending (nowait) to (dst={dst}, tag={tag}): {e} — \
+                 the destination worker hung up (panicked?)",
+                self.rank()
+            )
+        });
+    }
+
     /// Receives the next payload from `src` under `tag`, blocking until it
     /// arrives. Out-of-order messages for other `(src, tag)` pairs are
     /// buffered.
@@ -294,7 +322,6 @@ impl WorkerCtx {
     /// corrupt frame, …). Nothing is charged to the ledger on failure.
     pub fn try_recv(&self, src: usize, tag: u64) -> Result<Payload, TransportError> {
         let key = (src as u32, tag);
-        let wall = self.transport.clock() == Clock::Wall;
         let mut blocked_us = 0.0f64;
         let payload = loop {
             if let Some(p) = self
@@ -305,11 +332,9 @@ impl WorkerCtx {
             {
                 break p;
             }
-            let start = wall.then(Instant::now);
+            let start = Instant::now();
             let msg = self.transport.recv_any(self.recv_timeout)?;
-            if let Some(start) = start {
-                blocked_us += start.elapsed().as_secs_f64() * 1e6;
-            }
+            blocked_us += start.elapsed().as_secs_f64() * 1e6;
             if (msg.src, msg.tag) == key {
                 break msg.payload;
             }
@@ -319,24 +344,87 @@ impl WorkerCtx {
                 .or_default()
                 .push_back(msg.payload);
         };
-        if src != self.rank() {
-            let bytes = payload.wire_len() as u64;
-            let cost_us = if wall {
-                blocked_us
-            } else {
-                self.cost.message_cost_us(payload.wire_len())
-            };
-            let mut s = self.stats.borrow_mut();
-            s.recv_bytes += bytes;
-            s.comm_us += cost_us;
-            let entry = s
-                .ledger
-                .entry_mut(self.traffic_phase(tag), self.layer.get());
-            entry.recv_bytes += bytes;
-            entry.recv_messages += 1;
-            entry.comm_us += cost_us;
-        }
+        self.charge_recv(src, tag, &payload, blocked_us);
         Ok(payload)
+    }
+
+    /// Receives the next message carrying `tag` from *any* source, blocking
+    /// until one arrives. Messages on other tags are buffered exactly as in
+    /// [`WorkerCtx::try_recv`], and the byte/message ledger accounting is
+    /// identical, so mixing the two on one context is safe.
+    ///
+    /// When several sources already have a buffered message for `tag`, the
+    /// lowest-ranked source wins — a deterministic tie-break, so callers
+    /// that drain a known set of peers see a reproducible order whenever
+    /// arrivals outpace consumption. Use only where *processing* order may
+    /// follow arrival order (e.g. collecting per-rank results keyed by
+    /// source); protocols whose floating-point accumulation order matters
+    /// must receive in fixed rank order via [`WorkerCtx::try_recv`].
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Timeout`] if nothing arrived within the receive
+    /// timeout; otherwise whatever the transport reports.
+    pub fn recv_tagged_any(&self, tag: u64) -> Result<(usize, Payload), TransportError> {
+        let mut blocked_us = 0.0f64;
+        let (src, payload) = loop {
+            let buffered = {
+                let pending = self.pending.borrow();
+                pending
+                    .iter()
+                    .filter(|((_, t), q)| *t == tag && !q.is_empty())
+                    .map(|(&(s, _), _)| s)
+                    .min()
+            };
+            if let Some(s) = buffered {
+                let p = self
+                    .pending
+                    .borrow_mut()
+                    .get_mut(&(s, tag))
+                    .and_then(VecDeque::pop_front)
+                    .expect("non-empty pending queue");
+                break (s as usize, p);
+            }
+            let start = Instant::now();
+            let msg = self.transport.recv_any(self.recv_timeout)?;
+            blocked_us += start.elapsed().as_secs_f64() * 1e6;
+            if msg.tag == tag {
+                break (msg.src as usize, msg.payload);
+            }
+            self.pending
+                .borrow_mut()
+                .entry((msg.src, msg.tag))
+                .or_default()
+                .push_back(msg.payload);
+        };
+        self.charge_recv(src, tag, &payload, blocked_us);
+        Ok((src, payload))
+    }
+
+    /// Ledgers one received message: bytes and message count always,
+    /// communication time per the backend clock, and the measured parked
+    /// time as [`blocked_us`](crate::PhaseEntry::blocked_us). Self-sends
+    /// loop through the pending buffer and are never charged.
+    fn charge_recv(&self, src: usize, tag: u64, payload: &Payload, blocked_us: f64) {
+        if src == self.rank() {
+            return;
+        }
+        let bytes = payload.wire_len() as u64;
+        let cost_us = if self.transport.clock() == Clock::Wall {
+            blocked_us
+        } else {
+            self.cost.message_cost_us(payload.wire_len())
+        };
+        let mut s = self.stats.borrow_mut();
+        s.recv_bytes += bytes;
+        s.comm_us += cost_us;
+        let entry = s
+            .ledger
+            .entry_mut(self.traffic_phase(tag), self.layer.get());
+        entry.recv_bytes += bytes;
+        entry.recv_messages += 1;
+        entry.comm_us += cost_us;
+        entry.blocked_us += blocked_us;
     }
 
     /// `true` if a message from `(src, tag)` is already available without

@@ -38,6 +38,7 @@
 //! assert!(outcomes.iter().all(|o| o.result == 6)); // 0+1+2+3
 //! ```
 
+pub mod buffer;
 mod cluster;
 mod collectives;
 mod ctx;

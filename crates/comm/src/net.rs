@@ -130,6 +130,7 @@ impl CommStats {
             buf.extend_from_slice(&e.comm_us.to_le_bytes());
             buf.extend_from_slice(&e.cpu_us.to_le_bytes());
             buf.extend_from_slice(&e.wall_us.to_le_bytes());
+            buf.extend_from_slice(&e.blocked_us.to_le_bytes());
             buf.extend_from_slice(&e.peak_tensor_bytes.to_le_bytes());
         }
         buf
@@ -173,6 +174,7 @@ impl CommStats {
             entry.comm_us = cur.f64()?;
             entry.cpu_us = cur.f64()?;
             entry.wall_us = cur.f64()?;
+            entry.blocked_us = cur.f64()?;
             entry.peak_tensor_bytes = cur.u64()?;
         }
         if cur.pos != buf.len() {
@@ -262,6 +264,7 @@ mod tests {
         e.comm_us = 1.25;
         e.cpu_us = 9.75;
         e.wall_us = 3.5;
+        e.blocked_us = 0.75;
         e.peak_tensor_bytes = 4096;
         s.ledger.entry_mut(Phase::GradRouting, None).recv_bytes = 55;
 

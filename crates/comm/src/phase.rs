@@ -101,6 +101,13 @@ pub struct PhaseEntry {
     /// like [`PhaseEntry::cpu_us`]). Unlike CPU time this includes time
     /// blocked on the network or on peers.
     pub wall_us: f64,
+    /// Wall-clock time spent *parked* inside a blocking receive while this
+    /// phase was active, µs — the slice of [`PhaseEntry::wall_us`] during
+    /// which the worker had nothing to do but wait for the network. The
+    /// ratio `blocked_us / wall_us` is the phase's un-overlapped fraction:
+    /// a pipelined fetch that truly overlaps communication with
+    /// aggregation drives it toward zero.
+    pub blocked_us: f64,
     /// Highest live tensor bytes observed during any scope of this phase.
     pub peak_tensor_bytes: u64,
 }
@@ -115,6 +122,7 @@ impl PhaseEntry {
         self.comm_us += other.comm_us;
         self.cpu_us += other.cpu_us;
         self.wall_us += other.wall_us;
+        self.blocked_us += other.blocked_us;
         self.peak_tensor_bytes = self.peak_tensor_bytes.max(other.peak_tensor_bytes);
     }
 }

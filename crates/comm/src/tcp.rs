@@ -47,6 +47,12 @@ pub struct TcpOpts {
     /// Socket write timeout, and the deadline for handshake reads and
     /// barrier formation.
     pub io_timeout: Duration,
+    /// Depth of each per-peer writer queue: how many outgoing frames may
+    /// wait for the writer thread before `send` exerts backpressure
+    /// (briefly blocking the caller). Large enough for a full pipelined
+    /// rotation at any practical prefetch depth; small enough to bound
+    /// in-flight send memory.
+    pub writer_queue: usize,
 }
 
 impl Default for TcpOpts {
@@ -55,6 +61,7 @@ impl Default for TcpOpts {
             connect_attempts: 25,
             connect_backoff: Duration::from_millis(20),
             io_timeout: Duration::from_secs(120),
+            writer_queue: 64,
         }
     }
 }
@@ -66,6 +73,7 @@ impl TcpOpts {
             connect_attempts: 3,
             connect_backoff: Duration::from_millis(5),
             io_timeout: Duration::from_millis(500),
+            ..TcpOpts::default()
         }
     }
 }
@@ -73,15 +81,40 @@ impl TcpOpts {
 /// What a reader thread forwards to the consuming worker.
 type InboxItem = Result<Message, TransportError>;
 
+/// One outgoing unit of work for a per-peer writer thread.
+enum WriterMsg {
+    /// Encode and write one frame.
+    Frame {
+        kind: FrameKind,
+        tag: u64,
+        payload: Payload,
+    },
+    /// Write a shutdown frame, half-close the socket, and exit.
+    Close,
+}
+
+/// The sending side of one peer connection: a bounded queue feeding a
+/// dedicated writer thread, so frame encoding and the socket write happen
+/// off the worker's critical path. The worker's `send` is an enqueue — it
+/// only blocks when the queue is full (backpressure).
+struct WriterHandle {
+    tx: std::sync::mpsc::SyncSender<WriterMsg>,
+    /// Socket clone used solely by [`TcpTransport::abort`] to hard-close
+    /// the connection out from under a possibly mid-write writer thread.
+    sock: TcpStream,
+    /// The first error the writer thread hit, for a diagnostic richer than
+    /// "queue closed" on the next send.
+    err: Arc<Mutex<Option<TransportError>>>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
 /// A TCP-backed [`Transport`]: per-peer framed streams, wall-clock time
 /// accounting, clean shutdown on drop.
 pub struct TcpTransport {
     rank: usize,
     world: usize,
-    /// Write halves, indexed by peer rank (`None` at `rank`). A `Mutex`
-    /// keeps the type `Sync`; workers are single-threaded so it is
-    /// uncontended.
-    writers: Vec<Option<Mutex<TcpStream>>>,
+    /// Per-peer writer threads, indexed by peer rank (`None` at `rank`).
+    writers: Vec<Option<WriterHandle>>,
     inbox_rx: Receiver<InboxItem>,
     /// Kept alive so `inbox_rx` never reports a closed channel while the
     /// transport itself is alive.
@@ -389,25 +422,38 @@ impl TcpTransport {
             streams[q] = Some(s);
         }
 
-        // Demux plumbing + reader threads.
+        // Demux plumbing + reader and writer threads.
         let (inbox_tx, inbox_rx) = unbounded::<InboxItem>();
         let (barrier_tx, barrier_rx) = unbounded::<(usize, u64)>();
         let closing = Arc::new(AtomicBool::new(false));
-        let mut writers: Vec<Option<Mutex<TcpStream>>> = (0..world).map(|_| None).collect();
+        let mut writers: Vec<Option<WriterHandle>> = (0..world).map(|_| None).collect();
         for (q, slot) in streams.into_iter().enumerate() {
             let Some(stream) = slot else { continue };
             stream
                 .set_write_timeout(Some(opts.io_timeout))
                 .map_err(TransportError::Io)?;
             let read_half = stream.try_clone().map_err(TransportError::Io)?;
-            writers[q] = Some(Mutex::new(stream));
+            let abort_half = stream.try_clone().map_err(TransportError::Io)?;
             let tx = inbox_tx.clone();
             let btx = barrier_tx.clone();
-            let closing = Arc::clone(&closing);
+            let closing_r = Arc::clone(&closing);
             std::thread::Builder::new()
                 .name(format!("sar-tcp-r{rank}-p{q}"))
-                .spawn(move || reader_loop(read_half, q, tx, btx, closing))
+                .spawn(move || reader_loop(read_half, q, tx, btx, closing_r))
                 .map_err(TransportError::Io)?;
+            let (wtx, wrx) = std::sync::mpsc::sync_channel::<WriterMsg>(opts.writer_queue.max(1));
+            let err = Arc::new(Mutex::new(None));
+            let werr = Arc::clone(&err);
+            let join = std::thread::Builder::new()
+                .name(format!("sar-tcp-w{rank}-p{q}"))
+                .spawn(move || writer_loop(stream, rank as u32, q, wrx, werr))
+                .map_err(TransportError::Io)?;
+            writers[q] = Some(WriterHandle {
+                tx: wtx,
+                sock: abort_half,
+                err,
+                join: Some(join),
+            });
         }
         Ok(TcpTransport {
             rank,
@@ -424,12 +470,58 @@ impl TcpTransport {
 
     /// Simulates a crash for fault-injection tests: closes every peer
     /// socket immediately, without shutdown frames. Peers observe an
-    /// unexpected EOF and surface [`TransportError::Disconnected`].
+    /// unexpected EOF and surface [`TransportError::Disconnected`]; this
+    /// rank's writer threads fail their next write and exit.
     pub fn abort(&self) {
         self.closing.store(true, Ordering::SeqCst);
         for w in self.writers.iter().flatten() {
-            if let Ok(s) = w.lock() {
-                let _ = s.shutdown(Shutdown::Both);
+            let _ = w.sock.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Drains one peer's outgoing queue onto its socket. Exits on a `Close`
+/// message (clean shutdown), a write error (recorded in `err` for the next
+/// `send` to report), or all senders dropping. Sent `F32` payload buffers
+/// are recycled through [`crate::buffer`], closing the serve-side
+/// allocation loop.
+fn writer_loop(
+    mut stream: TcpStream,
+    src: u32,
+    peer: usize,
+    rx: std::sync::mpsc::Receiver<WriterMsg>,
+    err: Arc<Mutex<Option<TransportError>>>,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WriterMsg::Frame { kind, tag, payload } => {
+                let res = write_frame(&mut stream, kind, src, tag, &payload);
+                if let Payload::F32(v) = payload {
+                    crate::buffer::recycle_f32(v);
+                }
+                if let Err(e) = res {
+                    let mapped = if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::BrokenPipe
+                            | std::io::ErrorKind::ConnectionReset
+                            | std::io::ErrorKind::ConnectionAborted
+                    ) {
+                        TransportError::Disconnected { peer }
+                    } else {
+                        TransportError::Io(e)
+                    };
+                    if let Ok(mut slot) = err.lock() {
+                        *slot = Some(mapped);
+                    }
+                    // Dropping `rx` disconnects the queue; the next send
+                    // observes the failure.
+                    return;
+                }
+            }
+            WriterMsg::Close => {
+                let _ = write_frame(&mut stream, FrameKind::Shutdown, src, 0, &Payload::Empty);
+                let _ = stream.shutdown(Shutdown::Write);
+                return;
             }
         }
     }
@@ -526,28 +618,23 @@ impl Transport for TcpTransport {
         let writer = self.writers[dst]
             .as_ref()
             .ok_or(TransportError::Disconnected { peer: dst })?;
-        let mut stream = writer
-            .lock()
-            .map_err(|_| TransportError::Handshake("writer lock poisoned".into()))?;
-        write_frame(
-            &mut *stream,
-            FrameKind::Data,
-            self.rank as u32,
-            tag,
-            &payload,
-        )
-        .map_err(|e| {
-            if matches!(
-                e.kind(),
-                std::io::ErrorKind::BrokenPipe
-                    | std::io::ErrorKind::ConnectionReset
-                    | std::io::ErrorKind::ConnectionAborted
-            ) {
-                TransportError::Disconnected { peer: dst }
-            } else {
-                TransportError::Io(e)
-            }
-        })
+        writer
+            .tx
+            .send(WriterMsg::Frame {
+                kind: FrameKind::Data,
+                tag,
+                payload,
+            })
+            .map_err(|_| {
+                // The writer thread exited: report what killed it if it
+                // left a diagnostic, else a plain disconnect.
+                writer
+                    .err
+                    .lock()
+                    .ok()
+                    .and_then(|mut e| e.take())
+                    .unwrap_or(TransportError::Disconnected { peer: dst })
+            })
     }
 
     fn recv_any(&self, timeout: Duration) -> Result<Message, TransportError> {
@@ -582,16 +669,13 @@ impl Transport for TcpTransport {
         };
         for (q, w) in self.writers.iter().enumerate() {
             let Some(w) = w else { continue };
-            let mut stream = w
-                .lock()
-                .map_err(|_| TransportError::Handshake("writer lock poisoned".into()))?;
-            write_frame(
-                &mut *stream,
-                FrameKind::Barrier,
-                self.rank as u32,
-                seq,
-                &Payload::Empty,
-            )
+            // Barrier frames ride the same per-peer queue as data frames,
+            // so a barrier never overtakes an already-enqueued message.
+            w.tx.send(WriterMsg::Frame {
+                kind: FrameKind::Barrier,
+                tag: seq,
+                payload: Payload::Empty,
+            })
             .map_err(|_| TransportError::Disconnected { peer: q })?;
         }
         let deadline = Instant::now() + Duration::from_secs(600);
@@ -633,16 +717,15 @@ impl Transport for TcpTransport {
 impl Drop for TcpTransport {
     fn drop(&mut self) {
         self.closing.store(true, Ordering::SeqCst);
+        // Ask every writer thread to flush its queue, emit a shutdown
+        // frame, and half-close the socket. The send blocks only while the
+        // queue drains; a wedged socket is bounded by the write timeout.
         for w in self.writers.iter().flatten() {
-            if let Ok(mut s) = w.lock() {
-                let _ = write_frame(
-                    &mut *s,
-                    FrameKind::Shutdown,
-                    self.rank as u32,
-                    0,
-                    &Payload::Empty,
-                );
-                let _ = s.shutdown(Shutdown::Write);
+            let _ = w.tx.send(WriterMsg::Close);
+        }
+        for w in self.writers.iter_mut().flatten() {
+            if let Some(join) = w.join.take() {
+                let _ = join.join();
             }
         }
         // Reader threads exit on the peers' shutdown frames or EOFs; they

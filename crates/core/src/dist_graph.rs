@@ -27,6 +27,12 @@ pub struct DistGraph {
     blocks: Vec<CsrGraph>,
     needed_from: Vec<Vec<u32>>,
     serves_to: Vec<Vec<u32>>,
+    // Machine-word copies of `needed_from` / `serves_to`, widened once at
+    // build time. The rotation exchange gathers against these tables every
+    // layer × epoch × peer; caching the `usize` form keeps the per-round
+    // gather a straight indexed copy with no per-element conversion.
+    needed_tables: Vec<Arc<[usize]>>,
+    serve_tables: Vec<Arc<[usize]>>,
     global_in_degree: Vec<f32>,
     halo_graph: Arc<CsrGraph>,
     halo_offsets: Vec<usize>,
@@ -116,6 +122,10 @@ impl DistGraph {
                 ));
                 let serves_to: Vec<Vec<u32>> =
                     (0..world).map(|q| needed_from[q][p].clone()).collect();
+                let widen =
+                    |rows: &[u32]| -> Arc<[usize]> { rows.iter().map(|&r| r as usize).collect() };
+                let needed_tables = needed_from[p].iter().map(|r| widen(r)).collect();
+                let serve_tables = serves_to.iter().map(|r| widen(r)).collect();
                 let global_in_degree = members[p]
                     .iter()
                     .map(|&g| graph.in_degree(g as usize) as f32)
@@ -127,6 +137,8 @@ impl DistGraph {
                     blocks,
                     needed_from: needed_from[p].clone(),
                     serves_to,
+                    needed_tables,
+                    serve_tables,
                     global_in_degree,
                     halo_graph,
                     halo_offsets,
@@ -169,6 +181,20 @@ impl DistGraph {
     /// This worker's local indices that worker `q` fetches.
     pub fn serves_to(&self, q: usize) -> &[u32] {
         &self.serves_to[q]
+    }
+
+    /// Cached machine-word form of [`needed_from`](DistGraph::needed_from):
+    /// the row-index table driving the round-0 local gather, precomputed so
+    /// hot gather loops index directly instead of widening `u32` indices
+    /// every layer × epoch.
+    pub fn needed_table(&self, q: usize) -> &[usize] {
+        &self.needed_tables[q]
+    }
+
+    /// Cached machine-word form of [`serves_to`](DistGraph::serves_to):
+    /// the row-index table driving the serve-side gather to peer `q`.
+    pub fn serve_table(&self, q: usize) -> &[usize] {
+        &self.serve_tables[q]
     }
 
     /// In-degree of each local node in the *full* graph — the `|N(i)|`

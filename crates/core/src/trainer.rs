@@ -43,9 +43,10 @@ pub struct TrainConfig {
     pub aug_frac: f64,
     /// Run Correct & Smooth after training.
     pub cs: Option<CsConfig>,
-    /// Enable prefetching in the sequential fetch (3/N memory instead of
-    /// 2/N, §3.4).
-    pub prefetch: bool,
+    /// Pipeline depth of the sequential fetch (§3.4): `k` staged blocks ⇒
+    /// `(k+2)/N` memory. `0` is the strictly sequential 2/N path, `1` the
+    /// paper's 3/N prefetch. Results are bitwise identical at every depth.
+    pub prefetch_depth: usize,
     /// Seed for label augmentation and dropout.
     pub seed: u64,
     /// Intra-worker kernel threads (`sar_tensor::pool`). `0` and `1` both
@@ -69,7 +70,7 @@ impl TrainConfig {
             label_aug: true,
             aug_frac: 0.5,
             cs: Some(CsConfig::default()),
-            prefetch: false,
+            prefetch_depth: 0,
             seed: 0,
             threads: 1,
         }
@@ -240,7 +241,7 @@ pub fn run_worker(
     // worker's own thread under every backend (sim threads and TCP
     // processes alike), so the pool lands where the kernels run.
     sar_tensor::pool::set_threads(cfg.threads.max(1));
-    let w = Worker::from_shared(ctx, graph, cfg.prefetch);
+    let w = Worker::from_shared(ctx, graph, cfg.prefetch_depth);
     let mut model_cfg = cfg.model.clone();
     model_cfg.in_dim = shard.feat_dim + if cfg.label_aug { shard.num_classes } else { 0 };
     let model = DistModel::new(&model_cfg);

@@ -2,10 +2,11 @@
 //! shard, and the rotation-schedule feature exchange at the heart of SAR.
 
 use std::cell::Cell;
+use std::collections::VecDeque;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use sar_comm::{Payload, Phase, WorkerCtx};
+use sar_comm::{buffer, Payload, Phase, TransportError, WorkerCtx};
 use sar_tensor::Tensor;
 
 use crate::dist_graph::DistGraph;
@@ -25,33 +26,52 @@ pub struct Worker {
     pub ctx: Rc<WorkerCtx>,
     /// This worker's partition-local graph view.
     pub graph: Arc<DistGraph>,
-    /// Whether sequential fetches prefetch the next partition (§3.4):
-    /// memory scales as 3/N instead of 2/N but communication can overlap
-    /// computation.
-    pub prefetch: bool,
+    /// Pipeline depth `k` of the rotation exchange (§3.4 of the paper):
+    /// up to `k` fetched blocks are staged ahead of the one being
+    /// aggregated, so communication for later rounds overlaps the current
+    /// round's compute. Memory scales as `(k+2)/N` blocks (the local
+    /// partition plus the block being consumed plus `k` staged). Depth 0
+    /// is the strictly sequential `2/N` path; depth 1 is the paper's
+    /// single-block prefetch (`3/N`).
+    pub prefetch_depth: usize,
     tags: Cell<u64>,
 }
 
 impl Worker {
-    /// Wraps a communication context and shard into a shared handle.
+    /// Wraps a communication context and shard into a shared handle
+    /// (pipeline depth 0 — the strictly sequential exchange).
     pub fn new(ctx: WorkerCtx, graph: Arc<DistGraph>) -> Rc<Worker> {
-        Worker::from_shared(Rc::new(ctx), graph, false)
+        Worker::from_shared(Rc::new(ctx), graph, 0)
     }
 
-    /// Like [`Worker::new`] with prefetching enabled.
+    /// Like [`Worker::new`] with the paper's single-block prefetch
+    /// (pipeline depth 1).
     pub fn with_prefetch(ctx: WorkerCtx, graph: Arc<DistGraph>) -> Rc<Worker> {
-        Worker::from_shared(Rc::new(ctx), graph, true)
+        Worker::from_shared(Rc::new(ctx), graph, 1)
+    }
+
+    /// Like [`Worker::new`] with an arbitrary pipeline depth.
+    pub fn with_prefetch_depth(
+        ctx: WorkerCtx,
+        graph: Arc<DistGraph>,
+        prefetch_depth: usize,
+    ) -> Rc<Worker> {
+        Worker::from_shared(Rc::new(ctx), graph, prefetch_depth)
     }
 
     /// Builds a worker over an already-shared communication context. The
     /// caller keeps its `Rc` clone, e.g. to read the context's statistics
     /// (or gather them over the transport) after training consumed the
     /// worker.
-    pub fn from_shared(ctx: Rc<WorkerCtx>, graph: Arc<DistGraph>, prefetch: bool) -> Rc<Worker> {
+    pub fn from_shared(
+        ctx: Rc<WorkerCtx>,
+        graph: Arc<DistGraph>,
+        prefetch_depth: usize,
+    ) -> Rc<Worker> {
         Rc::new(Worker {
             ctx,
             graph,
-            prefetch,
+            prefetch_depth,
             tags: Cell::new(0),
         })
     }
@@ -71,7 +91,7 @@ impl Worker {
         Rc::new(Worker {
             ctx,
             graph,
-            prefetch: false,
+            prefetch_depth: 0,
             // Disjoint tag sub-spaces per view (2^20 tags each).
             tags: Cell::new(view_index << 20),
         })
@@ -95,47 +115,93 @@ impl Worker {
         P2P_TAG_BASE + t
     }
 
-    /// Serves rows of `data` to worker `dst` under `tag`: gathers the rows
-    /// `dst` needs from this worker and ships them as a raw payload
-    /// (detached from this thread's memory tracker).
-    fn serve(&self, data: &Tensor, dst: usize, tag: u64) {
-        let rows = self.graph.serves_to(dst);
-        let block = data.gather_rows(rows);
-        self.ctx.send(dst, tag, Payload::F32(block.into_data()));
+    /// Gathers `rows` of `data` into a pooled buffer — the shared gather
+    /// kernel of the serve path and the round-0 local block. The
+    /// destination comes from the process-wide buffer pool, so
+    /// steady-state rounds stop allocating once the pool is primed.
+    fn gather_pooled(data: &Tensor, rows: &[usize], cols: usize) -> Vec<f32> {
+        let src = data.data();
+        let mut buf = buffer::take_f32(rows.len() * cols);
+        for (out, &r) in buf.chunks_exact_mut(cols).zip(rows) {
+            out.copy_from_slice(&src[r * cols..(r + 1) * cols]);
+        }
+        buf
     }
 
-    /// Receives a feature block from worker `src`: `needed_from(src)` rows
-    /// of width `cols`. The received bytes are registered with *this*
+    /// Serves rows of `data` to worker `dst` under `tag`: gathers the rows
+    /// `dst` needs from this worker into a pooled buffer and hands it to
+    /// the transport's non-blocking send path (on TCP the frame encode and
+    /// socket write run on the destination's writer thread, which recycles
+    /// the buffer afterwards). The staging buffer is never registered with
+    /// this worker's memory tracker — egress in flight is not resident
+    /// state under the paper's accounting.
+    fn serve(&self, data: &Tensor, dst: usize, tag: u64) {
+        let buf = Worker::gather_pooled(data, self.graph.serve_table(dst), data.cols());
+        self.ctx.send_nowait(dst, tag, Payload::F32(buf));
+    }
+
+    /// Fallible block receive: `needed_from(src)` rows of width `cols`
+    /// from worker `src`. The received bytes are registered with *this*
     /// worker's memory tracker — fetched partitions count against this
     /// worker's peak, as in the paper's accounting.
-    fn receive_block(&self, src: usize, tag: u64, cols: usize) -> Tensor {
-        let data = self.ctx.recv(src, tag).into_f32();
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`WorkerCtx::try_recv`] reports (timeout, disconnect, …),
+    /// plus [`TransportError::Corrupt`] naming `src` if the block arrives
+    /// with the wrong dtype or element count — a malformed peer frame
+    /// becomes a clean nonzero exit instead of a process-poisoning panic.
+    pub fn try_receive_block(
+        &self,
+        src: usize,
+        tag: u64,
+        cols: usize,
+    ) -> Result<Tensor, TransportError> {
+        let data = self.ctx.try_recv(src, tag)?.try_into_f32()?;
         let rows = self.graph.needed_from(src).len();
-        assert_eq!(
-            data.len(),
-            rows * cols,
-            "fetched block from {src} has wrong size"
-        );
-        Tensor::from_vec(&[rows, cols], data)
+        if data.len() != rows * cols {
+            return Err(TransportError::Corrupt {
+                peer: src,
+                detail: format!(
+                    "fetched block has {} f32 elements, expected {rows} rows × {cols} cols = {}",
+                    data.len(),
+                    rows * cols
+                ),
+            });
+        }
+        Ok(Tensor::from_vec(&[rows, cols], data))
     }
 
-    /// The sequential rotation exchange of Algorithm 1: fetches each
-    /// partition's needed rows of `data` one at a time, invoking
-    /// `consume(q, fetched)` per partition, and frees each fetched block
-    /// before the next arrives (or one round later with prefetching).
+    /// Panicking wrapper over [`Worker::try_receive_block`], naming the
+    /// offending rank.
+    fn receive_block(&self, src: usize, tag: u64, cols: usize) -> Tensor {
+        self.try_receive_block(src, tag, cols).unwrap_or_else(|e| {
+            panic!("worker {} fetching block from rank {src}: {e}", self.rank())
+        })
+    }
+
+    /// The sequential rotation exchange of Algorithm 1, pipelined to depth
+    /// `k = prefetch_depth`: fetches each partition's needed rows of
+    /// `data`, invoking `consume(q, fetched)` per partition in the fixed
+    /// rank order `p, p+1, …` regardless of arrival order — out-of-order
+    /// frames are staged by the communication context and blocks are
+    /// accumulated deterministically, so results are bitwise identical at
+    /// every depth, thread count, and transport.
     ///
     /// Round `r`: this worker serves partition `(p − r) mod N` and fetches
     /// from partition `(p + r) mod N`; round 0 is the local block (gather,
-    /// no communication). With `prefetch`, round `r + 1` is received
-    /// before round `r` is consumed, so at most **two** remote blocks are
-    /// live (plus the local partition ⇒ the paper's 3/N bound); without
-    /// it, at most one (⇒ 2/N).
+    /// no communication). Serves are issued eagerly on the non-blocking
+    /// send path, and up to `k` fetched blocks are staged ahead of the one
+    /// being consumed, so at most `k + 1` remote blocks are live alongside
+    /// the local partition ⇒ the `(k+2)/N` memory bound (2/N at depth 0,
+    /// the paper's 3/N at depth 1).
     ///
     /// `data` must have one row per local node.
     ///
     /// # Panics
     ///
-    /// Panics if `data` has the wrong number of rows.
+    /// Panics if `data` has the wrong number of rows, or if a peer dies or
+    /// sends a malformed block mid-exchange.
     pub fn fetch_rounds(&self, data: &Tensor, mut consume: impl FnMut(usize, &Tensor)) {
         let n = self.world();
         let p = self.rank();
@@ -146,40 +212,51 @@ impl Worker {
         );
         let cols = data.cols();
         let tag = self.next_tag();
+        let k = self.prefetch_depth;
         // Ledger the rotation exchange as a forward fetch unless the
         // caller already declared a phase (the GAT backward pass runs this
         // same loop under BackwardRefetch).
         let _phase = (self.ctx.current_phase() == Phase::Other)
             .then(|| self.ctx.phase_scope(Phase::ForwardFetch));
 
-        // Round 0: local gather, no communication.
-        let local = data.gather_rows(self.graph.needed_from(p));
+        let serve_dst = |r: usize| (p + n - r) % n;
+        let fetch_src = |r: usize| (p + r) % n;
 
-        if !self.prefetch {
-            consume(p, &local);
-            drop(local);
-            for r in 1..n {
-                let serve_dst = (p + n - r) % n;
-                let fetch_src = (p + r) % n;
-                self.serve(data, serve_dst, tag);
-                let fetched = self.receive_block(fetch_src, tag, cols);
-                consume(fetch_src, &fetched);
-                // `fetched` dropped here: at most one remote partition
-                // resident at a time.
-            }
-        } else {
-            // Prefetch depth 1: issue round r+1's serve before consuming
-            // round r, and hold the next block while the current one is
-            // being aggregated.
-            let mut current: (usize, Tensor) = (p, local);
-            for r in 1..n {
-                let serve_dst = (p + n - r) % n;
-                self.serve(data, serve_dst, tag);
-                let next = ((p + r) % n, self.receive_block((p + r) % n, tag, cols));
-                consume(current.0, &current.1);
-                current = next;
-            }
-            consume(current.0, &current.1);
+        // Round 0: local gather, no communication. The gather lands in a
+        // pooled buffer and is recycled after consumption, so the
+        // allocation is reused across rounds, layers and epochs.
+        let local = {
+            let buf = Worker::gather_pooled(data, self.graph.needed_table(p), cols);
+            Tensor::from_vec(&[self.graph.needed_from(p).len(), cols], buf)
+        };
+
+        // Fill: issue the first `k` rounds' serves and stage their blocks
+        // before consuming anything.
+        let mut staged: VecDeque<(usize, Tensor)> = VecDeque::new();
+        let fill = k.min(n - 1);
+        for r in 1..=fill {
+            self.serve(data, serve_dst(r), tag);
+            staged.push_back((fetch_src(r), self.receive_block(fetch_src(r), tag, cols)));
+        }
+        consume(p, &local);
+        buffer::recycle_f32(local.into_data());
+
+        // Steady state: round `r`'s serve and receive are issued while
+        // round `r − k` is the oldest staged block; it is consumed (and
+        // its buffer recycled) immediately after, keeping exactly `k`
+        // blocks staged.
+        for r in (fill + 1)..n {
+            self.serve(data, serve_dst(r), tag);
+            staged.push_back((fetch_src(r), self.receive_block(fetch_src(r), tag, cols)));
+            let (q, block) = staged.pop_front().expect("pipeline holds r - k");
+            consume(q, &block);
+            buffer::recycle_f32(block.into_data());
+        }
+
+        // Drain the last `k` staged blocks.
+        while let Some((q, block)) = staged.pop_front() {
+            consume(q, &block);
+            buffer::recycle_f32(block.into_data());
         }
     }
 
@@ -189,6 +266,12 @@ impl Worker {
     /// `[num_local, cols]` tensor. This is the error-routing step of
     /// Algorithm 2 (`send error E_{p→q} to worker q`, then
     /// `E_p = Σ_q E_{q→p}`).
+    ///
+    /// All sends go out on the non-blocking path before any receive, so
+    /// peers' error blocks are in flight while this worker is still
+    /// scattering — but accumulation runs in the fixed rank order
+    /// `q = (p + n − r) mod N`, so the floating-point sum is bitwise
+    /// identical at every pipeline depth and transport.
     ///
     /// `make_block(q)` must return the gradient for the rows fetched from
     /// `q` during the forward pass.
@@ -206,23 +289,47 @@ impl Worker {
         // Local contribution first (no communication).
         let local_block = make_block(p);
         grad.scatter_add_rows(self.graph.needed_from(p), &local_block);
-        drop(local_block);
+        buffer::recycle_f32(local_block.into_data());
 
         // Send to every peer, then receive from every peer. Sends are
-        // non-blocking (unbounded channels), so this cannot deadlock.
+        // non-blocking on both backends, so this cannot deadlock.
         for r in 1..n {
             let q = (p + r) % n;
             let block = make_block(q);
             assert_eq!(block.rows(), self.graph.needed_from(q).len());
-            self.ctx.send(q, tag, Payload::F32(block.into_data()));
+            self.ctx
+                .send_nowait(q, tag, Payload::F32(block.into_data()));
         }
         for r in 1..n {
             let q = (p + n - r) % n;
             let rows = self.graph.serves_to(q);
-            let data = self.ctx.recv(q, tag).into_f32();
-            assert_eq!(data.len(), rows.len() * cols, "grad block size mismatch");
+            let data = self
+                .ctx
+                .try_recv(q, tag)
+                .and_then(Payload::try_into_f32)
+                .and_then(|data| {
+                    if data.len() == rows.len() * cols {
+                        Ok(data)
+                    } else {
+                        Err(TransportError::Corrupt {
+                            peer: q,
+                            detail: format!(
+                                "gradient block has {} f32 elements, expected {} rows × {cols} cols",
+                                data.len(),
+                                rows.len()
+                            ),
+                        })
+                    }
+                })
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "worker {} routing gradients from rank {q}: {e}",
+                        self.rank()
+                    )
+                });
             let block = Tensor::from_vec(&[rows.len(), cols], data);
             grad.scatter_add_rows(rows, &block);
+            buffer::recycle_f32(block.into_data());
         }
         grad
     }
@@ -233,7 +340,7 @@ impl std::fmt::Debug for Worker {
         f.debug_struct("Worker")
             .field("rank", &self.rank())
             .field("world", &self.world())
-            .field("prefetch", &self.prefetch)
+            .field("prefetch_depth", &self.prefetch_depth)
             .finish()
     }
 }

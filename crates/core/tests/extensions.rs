@@ -28,7 +28,7 @@ fn cfg(arch: Arch, mode: Mode, classes: usize, jk: bool) -> TrainConfig {
         label_aug: false,
         aug_frac: 0.0,
         cs: None,
-        prefetch: false,
+        prefetch_depth: 0,
         seed: 0,
         threads: 1,
     }

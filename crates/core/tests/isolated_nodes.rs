@@ -80,7 +80,7 @@ fn config(arch: Arch, mode: Mode, threads: usize) -> TrainConfig {
         label_aug: false,
         aug_frac: 0.0,
         cs: None,
-        prefetch: false,
+        prefetch_depth: 0,
         seed: 5,
         threads,
     }

@@ -202,23 +202,19 @@ fn ledger_attributes_traffic_to_the_recorded_layer() {
 }
 
 #[test]
-fn prefetch_raises_fetch_peak_from_two_to_three_blocks() {
-    // §3.4: without prefetching the rotation loop holds the local data
-    // tensor plus one transient block (the 2/N bound); with prefetch
-    // depth 1 it holds one more in-flight block (3/N). On a complete
-    // graph with equal partitions every block is exactly the same size,
-    // so the ledger's phase memory peaks hit the bounds exactly and
-    // their ratio is the paper's 3/2.
-    let run = |prefetch: bool| -> Vec<u64> {
+fn prefetch_depth_k_fetch_peak_is_exactly_k_plus_two_blocks() {
+    // §3.4, generalized: at pipeline depth k the rotation loop holds the
+    // local data tensor, the block being consumed, and k staged blocks —
+    // the (k+2)/N residency bound. Depth 0 is the paper's 2/N sequential
+    // path, depth 1 its 3/N prefetch. On a complete graph with equal
+    // partitions every block is exactly the same size, so the ledger's
+    // phase memory peaks hit the bounds *exactly*, not just within them.
+    let run = |depth: usize| -> Vec<u64> {
         let graphs = Arc::new(dist_graphs());
         let out = Cluster::new(WORLD, CostModel::default()).run(move |ctx| {
             let rank = ctx.rank();
             let graph = Arc::clone(&graphs[rank]);
-            let w = if prefetch {
-                Worker::with_prefetch(ctx, graph)
-            } else {
-                Worker::new(ctx, graph)
-            };
+            let w = Worker::with_prefetch_depth(ctx, graph, depth);
             let z = Tensor::full(&[w.graph.num_local(), COLS], 1.0);
             w.fetch_rounds(&z, |_q, _block| {});
         });
@@ -232,9 +228,31 @@ fn prefetch_raises_fetch_peak_from_two_to_three_blocks() {
             .collect()
     };
     let block = (PER_PART * COLS * std::mem::size_of::<f32>()) as u64;
-    for (rank, (np, pf)) in run(false).into_iter().zip(run(true)).enumerate() {
-        assert_eq!(np, 2 * block, "rank {rank}: non-prefetch peak != 2 blocks");
-        assert_eq!(pf, 3 * block, "rank {rank}: prefetch peak != 3 blocks");
-        assert_eq!(2 * pf, 3 * np, "rank {rank}: peak ratio != 3/2");
+    for depth in [0usize, 1, 2] {
+        for (rank, peak) in run(depth).into_iter().enumerate() {
+            assert_eq!(
+                peak,
+                (depth as u64 + 2) * block,
+                "rank {rank}: depth-{depth} fetch peak != {} blocks",
+                depth + 2
+            );
+        }
+    }
+    // The legacy constructor is the depth-1 pipeline: same 3/N peak.
+    let graphs = Arc::new(dist_graphs());
+    let out = Cluster::new(WORLD, CostModel::default()).run(move |ctx| {
+        let rank = ctx.rank();
+        let w = Worker::with_prefetch(ctx, Arc::clone(&graphs[rank]));
+        assert_eq!(w.prefetch_depth, 1);
+        let z = Tensor::full(&[w.graph.num_local(), COLS], 1.0);
+        w.fetch_rounds(&z, |_q, _block| {});
+    });
+    for (rank, o) in out.into_iter().enumerate() {
+        let peak = o
+            .comm
+            .ledger
+            .phase_total(Phase::ForwardFetch)
+            .peak_tensor_bytes;
+        assert_eq!(peak, 3 * block, "rank {rank}: with_prefetch peak != 3/N");
     }
 }

@@ -40,7 +40,7 @@ fn quick_config(arch: Arch, mode: Mode) -> TrainConfig {
         label_aug: false,
         aug_frac: 0.0,
         cs: None,
-        prefetch: false,
+        prefetch_depth: 0,
         seed: 3,
         threads: 1,
     }

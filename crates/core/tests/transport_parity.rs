@@ -41,7 +41,7 @@ fn config(arch: Arch, mode: Mode, d: &Dataset) -> TrainConfig {
         label_aug: true,
         aug_frac: 0.5,
         cs: None,
-        prefetch: false,
+        prefetch_depth: 0,
         seed: 7,
         threads: 1,
     }

@@ -39,7 +39,7 @@ fn main() {
         label_aug: true,
         aug_frac: 0.5,
         cs: None,
-        prefetch: true, // 3/N memory, overlapped fetches
+        prefetch_depth: 1, // 3/N memory, overlapped fetches
         seed: 11,
         threads: 1,
     };

@@ -39,7 +39,7 @@ fn main() {
         // Correct & Smooth runs distributedly after training, reusing
         // SAR's sequential per-partition propagation.
         cs: Some(CsConfig::default()),
-        prefetch: false,
+        prefetch_depth: 0,
         seed: 7,
         threads: 1,
     };

@@ -46,7 +46,7 @@ fn main() {
                 label_aug: false,
                 aug_frac: 0.0,
                 cs: None,
-                prefetch: false,
+                prefetch_depth: 0,
                 seed: 1,
                 threads: 1,
             };

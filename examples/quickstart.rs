@@ -55,7 +55,7 @@ fn main() {
         label_aug: true,
         aug_frac: 0.5,
         cs: None,
-        prefetch: false,
+        prefetch_depth: 0,
         seed: 0,
         threads: 1,
     };

@@ -21,7 +21,8 @@
 //!   --jk                          jumping-knowledge skip connections
 //!   --no-label-aug                disable masked label prediction
 //!   --no-cs                       disable Correct & Smooth
-//!   --prefetch                    3/N prefetching fetches
+//!   --prefetch-depth K            fetch pipeline depth: (K+2)/N memory,
+//!                                 0 = sequential, 1 = paper's 3/N   (0)
 //!   --partitioner ml|random|range|bfs                             (ml)
 //!   --threads N                   intra-worker kernel threads     (1)
 //!   --save-model PATH             checkpoint final parameters
@@ -66,7 +67,7 @@ struct Args {
     jk: bool,
     label_aug: bool,
     cs: bool,
-    prefetch: bool,
+    prefetch_depth: usize,
     partitioner: String,
     threads: usize,
     save_model: Option<String>,
@@ -93,7 +94,7 @@ impl Default for Args {
             jk: false,
             label_aug: true,
             cs: true,
-            prefetch: false,
+            prefetch_depth: 0,
             partitioner: "ml".into(),
             threads: 1,
             save_model: None,
@@ -137,7 +138,9 @@ fn parse_args() -> Args {
             "--jk" => args.jk = true,
             "--no-label-aug" => args.label_aug = false,
             "--no-cs" => args.cs = false,
-            "--prefetch" => args.prefetch = true,
+            "--prefetch-depth" => {
+                args.prefetch_depth = value().parse().unwrap_or_else(|_| fail("--prefetch-depth"))
+            }
             "--partitioner" => args.partitioner = value(),
             "--threads" => args.threads = value().parse().unwrap_or_else(|_| fail("--threads")),
             "--save-model" => args.save_model = Some(value()),
@@ -198,7 +201,7 @@ fn run_tcp(args: &Args) -> ! {
         label_aug: args.label_aug,
         aug_frac: 0.5,
         cs: args.cs,
-        prefetch: args.prefetch,
+        prefetch_depth: args.prefetch_depth,
         partitioner: args.partitioner.clone(),
         // Matches the simulated path's StepDecay{epochs/3, 0.5} recipe.
         schedule: "step".into(),
@@ -295,7 +298,7 @@ fn main() {
         label_aug: args.label_aug,
         aug_frac: 0.5,
         cs: args.cs.then(CsConfig::default),
-        prefetch: args.prefetch,
+        prefetch_depth: args.prefetch_depth,
         seed: args.seed,
         threads: args.threads,
     };

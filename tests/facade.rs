@@ -26,7 +26,7 @@ fn tiny_cfg(arch: Arch, mode: Mode, num_classes: usize) -> TrainConfig {
         label_aug: false,
         aug_frac: 0.0,
         cs: None,
-        prefetch: false,
+        prefetch_depth: 0,
         seed: 0,
         threads: 1,
     }
