@@ -289,10 +289,10 @@ fn smoke_sim(
             match &first_digest {
                 None => first_digest = Some(report.parity_digest()),
                 Some(d0) => {
-                    if *d0 != report.parity_digest() {
+                    if let Some(diff) = smoke::digest_diff(d0, &report.parity_digest()) {
                         violations.push(format!(
                             "{exp}: --threads {t} --prefetch-depth {d} diverged from the \
-                             baseline combination (losses or byte ledgers differ)"
+                             baseline combination — {diff}"
                         ));
                     }
                 }
@@ -407,10 +407,10 @@ fn smoke_tcp(
             match &first_digest {
                 None => first_digest = Some(digest),
                 Some(d0) => {
-                    if *d0 != digest {
+                    if let Some(diff) = smoke::digest_diff(d0, &digest) {
                         violations.push(format!(
                             "{exp}: --threads {t} --prefetch-depth {d} diverged from the \
-                             baseline combination (losses or byte ledgers differ)"
+                             baseline combination — {diff}"
                         ));
                     }
                 }

@@ -145,6 +145,30 @@ pub fn violations(report: &RunReport, epochs: usize) -> Vec<String> {
     violations
 }
 
+/// The first line on which two [`RunReport::parity_digest`] strings
+/// disagree, as a one-line `baseline vs run` diff — or `None` when they
+/// match. Digest lines are labeled (`losses …`, `w3 grad_routing/1 …`),
+/// so the diff names exactly which loss or which rank's ledger diverged.
+pub fn digest_diff(baseline: &str, run: &str) -> Option<String> {
+    let mut b = baseline.lines();
+    let mut r = run.lines();
+    let mut line = 0usize;
+    loop {
+        line += 1;
+        match (b.next(), r.next()) {
+            (None, None) => return None,
+            (lb, lr) if lb == lr => {}
+            (lb, lr) => {
+                return Some(format!(
+                    "digest line {line}: baseline `{}` vs run `{}`",
+                    lb.unwrap_or("<missing>"),
+                    lr.unwrap_or("<missing>")
+                ))
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,5 +267,24 @@ mod tests {
         let err = workload("transformer", 1500, 0).unwrap_err();
         assert!(err.contains("transformer"), "{err}");
         assert!(err.contains("sage, gat"), "{err}");
+    }
+
+    #[test]
+    fn digest_diff_names_the_first_divergent_line() {
+        let base = "world 4\nlosses 3f800000\nw0 forward_fetch/0 sent=10 recv=10\n";
+        assert_eq!(digest_diff(base, base), None);
+        let run = "world 4\nlosses 3f800001\nw0 forward_fetch/0 sent=10 recv=10\n";
+        let d = digest_diff(base, run).unwrap();
+        assert!(
+            d.contains("line 2") && d.contains("3f800000") && d.contains("3f800001"),
+            "{d}"
+        );
+        assert!(!d.contains('\n'), "the diff must be a single line: {d}");
+    }
+
+    #[test]
+    fn digest_diff_reports_truncated_digests() {
+        let d = digest_diff("world 4\nlosses 0\n", "world 4\n").unwrap();
+        assert!(d.contains("<missing>"), "{d}");
     }
 }

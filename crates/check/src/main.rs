@@ -1,0 +1,136 @@
+//! `sar-check` — the workspace's static-analysis gate.
+//!
+//! ```text
+//! sar-check [--all] [--protocol] [--sched] [--lint]
+//!           [--root DIR] [--report FILE.json]
+//! ```
+//!
+//! With no pass flag (or `--all`) every pass runs. Exit status is 0 only
+//! when every selected pass is clean — findings are hard failures, the
+//! `-D warnings` discipline. `--report` writes the machine-readable proof
+//! report (the CI artifact); `--root` points the linter at a workspace
+//! checkout (default: the current directory, falling back to the
+//! manifest's grandparent when run via `cargo run -p sar-check`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sar_check::{lint, protocol, sched, Report};
+
+/// The CI sweep: every world size and pipeline depth the paper's
+/// experiments cover, both communication models, a 2-layer step.
+const SWEEP_NS: &[usize] = &[2, 3, 4, 5, 6, 7, 8];
+const SWEEP_KS: &[usize] = &[0, 1, 2, 3];
+const SWEEP_LAYERS: usize = 2;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sar-check [--all] [--protocol] [--sched] [--lint] \
+         [--root DIR] [--report FILE.json]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut run_protocol = false;
+    let mut run_sched = false;
+    let mut run_lint = false;
+    let mut root: Option<PathBuf> = None;
+    let mut report_path: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--all" => {
+                run_protocol = true;
+                run_sched = true;
+                run_lint = true;
+            }
+            "--protocol" => run_protocol = true,
+            "--sched" => run_sched = true,
+            "--lint" => run_lint = true,
+            "--root" => root = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--report" => {
+                report_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("sar-check: unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    if !(run_protocol || run_sched || run_lint) {
+        run_protocol = true;
+        run_sched = true;
+        run_lint = true;
+    }
+
+    let root = root.unwrap_or_else(|| {
+        let cwd = PathBuf::from(".");
+        if cwd.join("crates").is_dir() {
+            cwd
+        } else {
+            // Running via `cargo run -p sar-check` from somewhere else:
+            // the workspace is two levels above this crate's manifest.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("..")
+                .join("..")
+        }
+    });
+
+    let mut report = Report { passes: Vec::new() };
+    if run_protocol {
+        println!(
+            "sar-check: protocol — sweeping N∈{SWEEP_NS:?} × K∈{SWEEP_KS:?}, \
+             case1+case2, {SWEEP_LAYERS} layers"
+        );
+        report
+            .passes
+            .push(protocol::sweep(SWEEP_NS, SWEEP_KS, SWEEP_LAYERS));
+    }
+    if run_sched {
+        println!("sar-check: sched — exploring all interleavings of 3 concurrency models");
+        report.passes.push(sched::check_all());
+    }
+    if run_lint {
+        println!("sar-check: lint — scanning {}", root.display());
+        report.passes.push(lint::run(&root));
+    }
+
+    for pass in &report.passes {
+        let stats: Vec<String> = pass
+            .stats
+            .iter()
+            .map(|(name, value)| format!("{name}={value}"))
+            .collect();
+        println!(
+            "sar-check: {} — {} finding(s) [{}]",
+            pass.pass,
+            pass.findings.len(),
+            stats.join(", ")
+        );
+        for finding in &pass.findings {
+            println!("  {finding}");
+        }
+    }
+
+    if let Some(path) = report_path {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("sar-check: cannot write report {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("sar-check: report written to {}", path.display());
+    }
+
+    if report.clean() {
+        println!("sar-check: all passes clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "sar-check: FAILED with {} finding(s)",
+            report.total_findings()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,451 @@
+//! Pass 1: the protocol verifier.
+//!
+//! Builds, for every rank at once, the full symbolic send/recv/barrier
+//! program of one training step — forward fetch rounds plus backward
+//! gradient routing, in both of the paper's communication models — from
+//! the *same* pure schedules ([`sar_core::plan`]) that
+//! [`Worker`](sar_core::Worker) executes, then proves three properties by
+//! exhaustive symbolic execution:
+//!
+//! * **Matching** — every send is consumed by exactly one receive with
+//!   the same `(src, dst, tag)`; nothing is left in flight at the end.
+//! * **Deadlock-freedom** — the program set runs to completion. Sends are
+//!   non-blocking (both transports queue them without waiting) and each
+//!   `(src, dst, tag)` triple is unique within an exchange, so the
+//!   simulation is confluent: one maximal run completing proves *every*
+//!   schedule completes, and a stall identifies a genuine wait-cycle,
+//!   which is reported rank by rank.
+//! * **Residency** — at most `min(K, N−1) + 1 ≤ K + 1` fetched blocks are
+//!   staged per worker at any step; with the local partition that is the
+//!   paper's `(K+2)/N` memory bound.
+
+use std::collections::HashMap;
+
+use sar_core::plan::{self, FetchStep, GradStep};
+
+use crate::{Finding, PassReport};
+
+/// Which of the paper's two communication models the backward pass uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseModel {
+    /// Case 1 (GraphSage): the backward pass routes gradients only — no
+    /// refetch of remote features.
+    Case1,
+    /// Case 2 (GAT): the backward pass refetches remote features (to
+    /// rematerialize attention) *and* routes gradients.
+    Case2,
+}
+
+impl CaseModel {
+    /// Stable name used in report locations.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CaseModel::Case1 => "case1",
+            CaseModel::Case2 => "case2",
+        }
+    }
+}
+
+/// One symbolic operation of a rank's communication program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Non-blocking send to `dst` under `tag`.
+    Send {
+        /// Destination rank.
+        dst: usize,
+        /// Message tag.
+        tag: u64,
+    },
+    /// Blocking receive from `src` under `tag`. Whether the received
+    /// payload counts against residency is expressed by a following
+    /// [`Op::Stage`] — fetched feature blocks are staged, routed gradient
+    /// blocks are accumulated immediately and are not.
+    Recv {
+        /// Source rank.
+        src: usize,
+        /// Message tag.
+        tag: u64,
+    },
+    /// Stage a block (the round-0 local gather, or a just-fetched remote
+    /// block) — residency +1.
+    Stage,
+    /// Consume the oldest staged block — residency −1.
+    Consume,
+    /// Synchronize with all ranks (epoch boundary).
+    Barrier {
+        /// Barrier sequence number; must agree across ranks.
+        id: u64,
+    },
+}
+
+/// One rank's complete program for a training step.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// The rank executing `ops`.
+    pub rank: usize,
+    /// Operations in program order.
+    pub ops: Vec<Op>,
+}
+
+/// Appends the ops of one pipelined fetch exchange (Algorithm 1) to
+/// `ops`, translating the pure plan one step at a time.
+fn push_fetch_exchange(ops: &mut Vec<Op>, n: usize, p: usize, k: usize, tag: u64) {
+    for step in plan::fetch_steps(n, p, k) {
+        match step {
+            FetchStep::GatherLocal => ops.push(Op::Stage),
+            FetchStep::Serve { dst, .. } => ops.push(Op::Send { dst, tag }),
+            FetchStep::Fetch { src, .. } => {
+                ops.push(Op::Recv { src, tag });
+                ops.push(Op::Stage);
+            }
+            FetchStep::Consume { .. } => ops.push(Op::Consume),
+        }
+    }
+}
+
+/// Appends the ops of one gradient-routing exchange (Algorithm 2).
+fn push_grad_exchange(ops: &mut Vec<Op>, n: usize, p: usize, tag: u64) {
+    for step in plan::grad_steps(n, p) {
+        match step {
+            GradStep::AccumulateLocal => {}
+            GradStep::Send { dst } => ops.push(Op::Send { dst, tag }),
+            GradStep::Recv { src } => ops.push(Op::Recv { src, tag }),
+        }
+    }
+}
+
+/// Builds every rank's program for one `layers`-layer training step in
+/// the given communication model, with pipeline depth `k`. Tags are
+/// allocated the way [`Worker`](sar_core::Worker) allocates them — one
+/// fresh tag per exchange, in SPMD order, so all ranks agree.
+#[must_use]
+pub fn build_programs(n: usize, k: usize, model: CaseModel, layers: usize) -> Vec<Program> {
+    (0..n)
+        .map(|p| {
+            let mut ops = Vec::new();
+            let mut tag = 0u64;
+            // Forward: one fetch exchange per layer.
+            for _ in 0..layers {
+                push_fetch_exchange(&mut ops, n, p, k, tag);
+                tag += 1;
+            }
+            // Backward, deepest layer first.
+            for _ in 0..layers {
+                if model == CaseModel::Case2 {
+                    // Rematerialization refetch (runs the same rotation
+                    // exchange under the BackwardRefetch phase).
+                    push_fetch_exchange(&mut ops, n, p, k, tag);
+                    tag += 1;
+                }
+                push_grad_exchange(&mut ops, n, p, tag);
+                tag += 1;
+            }
+            // Epoch boundary.
+            ops.push(Op::Barrier { id: 0 });
+            Program { rank: p, ops }
+        })
+        .collect()
+}
+
+/// What the symbolic execution measured on a clean run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProofStats {
+    /// Total sends executed across ranks.
+    pub sends: u64,
+    /// Total receives executed across ranks.
+    pub recvs: u64,
+    /// Maximum staged blocks resident on any rank at any step.
+    pub peak_staged: usize,
+    /// Total operations executed.
+    pub steps: u64,
+}
+
+/// Symbolically executes `programs` and checks matching, deadlock-freedom
+/// and the staged-block bound (`peak ≤ staged_bound`). Returns the run's
+/// measurements plus every violated property.
+///
+/// Accepts *arbitrary* programs — not just ones from [`build_programs`] —
+/// so seeding a violation (dropping a recv, say) demonstrably fails.
+#[must_use]
+pub fn verify(n: usize, programs: &[Program], staged_bound: usize) -> (ProofStats, Vec<Finding>) {
+    let mut findings = Vec::new();
+    let mut stats = ProofStats::default();
+    let mut pc = vec![0usize; programs.len()];
+    let mut staged = vec![0usize; programs.len()];
+    // In-flight (src, dst, tag) → multiplicity.
+    let mut inflight: HashMap<(usize, usize, u64), u64> = HashMap::new();
+
+    let location = |p: usize, i: usize| format!("rank {p} op {i}");
+
+    loop {
+        let mut progressed = false;
+        for (idx, prog) in programs.iter().enumerate() {
+            let p = prog.rank;
+            // Run this rank to its next blocking point.
+            while let Some(&op) = prog.ops.get(pc[idx]) {
+                match op {
+                    Op::Send { dst, tag } => {
+                        if dst >= n {
+                            findings.push(Finding {
+                                rule: "matched-send-recv".into(),
+                                location: location(p, pc[idx]),
+                                message: format!("send to rank {dst} outside world of {n}"),
+                            });
+                        }
+                        *inflight.entry((p, dst, tag)).or_insert(0) += 1;
+                        stats.sends += 1;
+                    }
+                    Op::Recv { src, tag } => {
+                        match inflight.get_mut(&(src, p, tag)) {
+                            Some(count) => {
+                                *count -= 1;
+                                if *count == 0 {
+                                    inflight.remove(&(src, p, tag));
+                                }
+                                stats.recvs += 1;
+                            }
+                            // Message not in flight yet: block here.
+                            None => break,
+                        }
+                    }
+                    Op::Stage => {
+                        staged[idx] += 1;
+                        stats.peak_staged = stats.peak_staged.max(staged[idx]);
+                    }
+                    Op::Consume => {
+                        if staged[idx] == 0 {
+                            findings.push(Finding {
+                                rule: "residency-bound".into(),
+                                location: location(p, pc[idx]),
+                                message: "consume with no staged block (pipeline underrun)".into(),
+                            });
+                        } else {
+                            staged[idx] -= 1;
+                        }
+                    }
+                    // Barriers are resolved globally below.
+                    Op::Barrier { .. } => break,
+                }
+                pc[idx] += 1;
+                stats.steps += 1;
+                progressed = true;
+                if staged[idx] > staged_bound {
+                    findings.push(Finding {
+                        rule: "residency-bound".into(),
+                        location: location(p, pc[idx]),
+                        message: format!(
+                            "{} staged blocks resident, bound is {staged_bound} \
+                             (min(K, N-1) + 1)",
+                            staged[idx]
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Barrier resolution: all ranks waiting at a barrier with one id
+        // advance together.
+        let at_barrier: Vec<Option<u64>> = programs
+            .iter()
+            .enumerate()
+            .map(|(idx, prog)| match prog.ops.get(pc[idx]) {
+                Some(Op::Barrier { id }) => Some(*id),
+                _ => None,
+            })
+            .collect();
+        if at_barrier.iter().all(Option::is_some) && !at_barrier.is_empty() {
+            let ids: Vec<u64> = at_barrier.iter().map(|id| id.expect("checked")).collect();
+            if ids.windows(2).all(|w| w[0] == w[1]) {
+                for (idx, _) in programs.iter().enumerate() {
+                    pc[idx] += 1;
+                    stats.steps += 1;
+                }
+                progressed = true;
+            } else {
+                findings.push(Finding {
+                    rule: "deadlock-free".into(),
+                    location: "barrier".into(),
+                    message: format!("ranks wait at different barriers: ids {ids:?}"),
+                });
+                return (stats, findings);
+            }
+        }
+
+        let done = programs
+            .iter()
+            .enumerate()
+            .all(|(idx, prog)| pc[idx] >= prog.ops.len());
+        if done {
+            break;
+        }
+        if !progressed {
+            // Global stall: reconstruct the wait graph for the report.
+            for (idx, prog) in programs.iter().enumerate() {
+                if let Some(&op) = prog.ops.get(pc[idx]) {
+                    let why = match op {
+                        Op::Recv { src, tag } => {
+                            let peer_state = programs
+                                .iter()
+                                .enumerate()
+                                .find(|(_, q)| q.rank == src)
+                                .map(|(qidx, q)| {
+                                    if pc[qidx] >= q.ops.len() {
+                                        format!("rank {src} already terminated")
+                                    } else {
+                                        format!("rank {src} is blocked at op {}", pc[qidx])
+                                    }
+                                })
+                                .unwrap_or_else(|| format!("rank {src} has no program"));
+                            format!(
+                                "blocked on recv(src={src}, tag={tag}) — never sent; {peer_state}"
+                            )
+                        }
+                        Op::Barrier { id } => {
+                            format!("blocked at barrier {id} while some rank never arrives")
+                        }
+                        other => format!("stuck before {other:?}"),
+                    };
+                    findings.push(Finding {
+                        rule: "deadlock-free".into(),
+                        location: location(prog.rank, pc[idx]),
+                        message: why,
+                    });
+                }
+            }
+            return (stats, findings);
+        }
+    }
+
+    // Completion with messages still in flight = unmatched sends.
+    let mut leftover: Vec<(&(usize, usize, u64), &u64)> = inflight.iter().collect();
+    leftover.sort();
+    for (&(src, dst, tag), &count) in leftover {
+        findings.push(Finding {
+            rule: "matched-send-recv".into(),
+            location: format!("rank {src} -> rank {dst}"),
+            message: format!(
+                "{count} message(s) with tag {tag} sent by rank {src} but never \
+                 received by rank {dst}"
+            ),
+        });
+    }
+
+    for (idx, prog) in programs.iter().enumerate() {
+        if staged[idx] != 0 {
+            findings.push(Finding {
+                rule: "residency-bound".into(),
+                location: format!("rank {}", prog.rank),
+                message: format!("{} staged block(s) never consumed", staged[idx]),
+            });
+        }
+    }
+
+    (stats, findings)
+}
+
+/// Runs the full CI sweep — every `(N, K)` in `ns × ks`, both
+/// communication models, `layers` layers — and folds the results into one
+/// [`PassReport`]. A clean report is a machine-checked proof that the
+/// schedule [`Worker`](sar_core::Worker) executes is matched,
+/// deadlock-free and within the `(K+2)/N` residency bound at every swept
+/// scale.
+#[must_use]
+pub fn sweep(ns: &[usize], ks: &[usize], layers: usize) -> PassReport {
+    let mut report = PassReport::new("protocol");
+    let mut peak_overall = 0usize;
+    for &n in ns {
+        for &k in ks {
+            for model in [CaseModel::Case1, CaseModel::Case2] {
+                let programs = build_programs(n, k, model, layers);
+                let staged_bound = k.min(n - 1) + 1;
+                let (stats, findings) = verify(n, &programs, staged_bound);
+                report.bump("configs_verified", 1);
+                report.bump("sends_matched", stats.sends);
+                report.bump("ops_executed", stats.steps);
+                peak_overall = peak_overall.max(stats.peak_staged);
+                let here = format!("N={n} K={k} model={}", model.name());
+                for mut finding in findings {
+                    finding.location = format!("{here} {}", finding.location);
+                    report.findings.push(finding);
+                }
+            }
+        }
+    }
+    report.bump("peak_staged_blocks", peak_overall as u64);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_sweep_is_clean() {
+        let report = sweep(&[2, 3, 4, 5, 6, 7, 8], &[0, 1, 2, 3], 2);
+        assert!(
+            report.clean(),
+            "protocol sweep found: {:#?}",
+            report.findings
+        );
+        // 7 world sizes × 4 depths × 2 models.
+        assert_eq!(report.stats[0], ("configs_verified".into(), 56));
+    }
+
+    #[test]
+    fn dropped_recv_is_reported_as_unmatched_send() {
+        let mut programs = build_programs(4, 1, CaseModel::Case1, 1);
+        // Seed the violation: rank 2 forgets one fetch receive (and its
+        // consume, to keep residency accounting separate).
+        let drop_at = programs[2]
+            .ops
+            .iter()
+            .position(|op| matches!(op, Op::Recv { .. }))
+            .expect("fetch plan has receives");
+        programs[2].ops.remove(drop_at);
+        let consume_at = programs[2]
+            .ops
+            .iter()
+            .rposition(|op| matches!(op, Op::Consume))
+            .expect("fetch plan has consumes");
+        programs[2].ops.remove(consume_at);
+        let (_, findings) = verify(4, &programs, 2);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.rule == "matched-send-recv" && f.message.contains("never received")),
+            "expected an unmatched-send finding, got {findings:#?}"
+        );
+    }
+
+    #[test]
+    fn dropped_send_is_reported_as_deadlock_naming_both_ranks() {
+        let mut programs = build_programs(3, 0, CaseModel::Case1, 1);
+        let drop_at = programs[1]
+            .ops
+            .iter()
+            .position(|op| matches!(op, Op::Send { .. }))
+            .expect("fetch plan has sends");
+        programs[1].ops.remove(drop_at);
+        let (_, findings) = verify(3, &programs, 1);
+        let deadlock = findings
+            .iter()
+            .find(|f| f.rule == "deadlock-free")
+            .expect("expected a deadlock finding");
+        assert!(
+            deadlock.message.contains("blocked on recv"),
+            "unexpected message: {}",
+            deadlock.message
+        );
+    }
+
+    #[test]
+    fn residency_peak_matches_depth() {
+        for k in 0..4usize {
+            let programs = build_programs(5, k, CaseModel::Case2, 2);
+            let (stats, findings) = verify(5, &programs, k.min(4) + 1);
+            assert!(findings.is_empty(), "k={k}: {findings:#?}");
+            assert_eq!(stats.peak_staged, k.min(4) + 1, "k={k}");
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! The gate, applied to this workspace itself: the protocol sweep, the
+//! interleaving checker, and the linter must all come back clean on the
+//! code as committed. `cargo test` therefore enforces the same bar CI's
+//! `sar-check --all` job does.
+
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // crates/check/../../ = the workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+#[test]
+fn protocol_sweep_proves_the_ci_configurations() {
+    let report = sar_check::protocol::sweep(&[2, 3, 4, 5, 6, 7, 8], &[0, 1, 2, 3], 2);
+    assert!(
+        report.findings.is_empty(),
+        "protocol violations: {:#?}",
+        report.findings
+    );
+    let configs = report
+        .stats
+        .iter()
+        .find(|(k, _)| k == "configs_verified")
+        .map(|(_, v)| *v);
+    assert_eq!(
+        configs,
+        Some(56),
+        "7 world sizes × 4 depths × 2 case models"
+    );
+}
+
+#[test]
+fn interleaving_models_are_clean() {
+    let report = sar_check::sched::check_all();
+    assert!(
+        report.findings.is_empty(),
+        "interleaving violations: {:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn the_workspace_lints_clean() {
+    let report = sar_check::lint::run(&workspace_root());
+    assert!(
+        report.findings.is_empty(),
+        "lint findings in the committed workspace:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    let scanned = report
+        .stats
+        .iter()
+        .find(|(k, _)| k == "files_scanned")
+        .map(|(_, v)| *v)
+        .unwrap_or(0);
+    assert!(
+        scanned >= 50,
+        "the walker found only {scanned} files — is the root wrong?"
+    );
+}

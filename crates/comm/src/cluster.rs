@@ -56,7 +56,9 @@ impl Cluster {
     ///
     /// Panics if `world == 0`.
     pub fn new(world: usize, cost: CostModel) -> Self {
-        assert!(world > 0, "cluster needs at least one worker");
+        if world == 0 {
+            panic!("cluster needs at least one worker");
+        }
         Cluster {
             world,
             cost,
@@ -123,7 +125,7 @@ impl Cluster {
                         peak_tensor_bytes: peak,
                     }
                 })
-                .expect("failed to spawn worker thread");
+                .unwrap_or_else(|e| panic!("failed to spawn worker thread for rank {rank}: {e}"));
             handles.push(handle);
         }
 

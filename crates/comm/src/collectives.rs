@@ -40,7 +40,15 @@ impl WorkerCtx {
             self.send(right, tag, Payload::F32(data[send_c].to_vec()));
             let recv_c = chunk(self.rank() + n - step - 1);
             let incoming = self.recv(left, tag).into_f32();
-            assert_eq!(incoming.len(), recv_c.len(), "ring chunk misalignment");
+            if incoming.len() != recv_c.len() {
+                panic!(
+                    "worker {}: ring chunk misalignment from rank {left}: got {} f32s, \
+                     expected {} (peers passed different buffer lengths?)",
+                    self.rank(),
+                    incoming.len(),
+                    recv_c.len()
+                );
+            }
             for (d, v) in data[recv_c].iter_mut().zip(incoming) {
                 *d += v;
             }
@@ -51,7 +59,15 @@ impl WorkerCtx {
             self.send(right, tag + (1 << 32), Payload::F32(data[send_c].to_vec()));
             let recv_c = chunk(self.rank() + n - step);
             let incoming = self.recv(left, tag + (1 << 32)).into_f32();
-            assert_eq!(incoming.len(), recv_c.len(), "ring chunk misalignment");
+            if incoming.len() != recv_c.len() {
+                panic!(
+                    "worker {}: ring chunk misalignment from rank {left}: got {} f32s, \
+                     expected {} (peers passed different buffer lengths?)",
+                    self.rank(),
+                    incoming.len(),
+                    recv_c.len()
+                );
+            }
             data[recv_c].copy_from_slice(&incoming);
         }
     }
@@ -132,7 +148,15 @@ impl WorkerCtx {
             }
         } else {
             let incoming = self.recv(root, tag).into_f32();
-            assert_eq!(incoming.len(), data.len(), "broadcast length mismatch");
+            if incoming.len() != data.len() {
+                panic!(
+                    "worker {}: broadcast from root {root} carried {} f32s, \
+                     expected {}",
+                    self.rank(),
+                    incoming.len(),
+                    data.len()
+                );
+            }
             data.copy_from_slice(&incoming);
         }
     }

@@ -234,7 +234,13 @@ impl WorkerCtx {
     /// Panics if `dst` is out of range (a programming error, not a
     /// cluster-health condition).
     pub fn try_send(&self, dst: usize, tag: u64, payload: Payload) -> Result<(), TransportError> {
-        assert!(dst < self.world_size(), "destination {dst} out of range");
+        if dst >= self.world_size() {
+            panic!(
+                "worker {}: send destination {dst} out of range for world {}",
+                self.rank(),
+                self.world_size()
+            );
+        }
         let bytes = payload.wire_len() as u64;
         {
             let mut s = self.stats.borrow_mut();
@@ -369,21 +375,23 @@ impl WorkerCtx {
         let mut blocked_us = 0.0f64;
         let (src, payload) = loop {
             let buffered = {
-                let pending = self.pending.borrow();
-                pending
+                let mut pending = self.pending.borrow_mut();
+                let lowest = pending
                     .iter()
                     .filter(|((_, t), q)| *t == tag && !q.is_empty())
                     .map(|(&(s, _), _)| s)
-                    .min()
+                    .min();
+                // Pop under the same borrow that found the queue, so the
+                // entry is non-empty by construction.
+                lowest.and_then(|s| {
+                    pending
+                        .get_mut(&(s, tag))
+                        .and_then(VecDeque::pop_front)
+                        .map(|p| (s as usize, p))
+                })
             };
-            if let Some(s) = buffered {
-                let p = self
-                    .pending
-                    .borrow_mut()
-                    .get_mut(&(s, tag))
-                    .and_then(VecDeque::pop_front)
-                    .expect("non-empty pending queue");
-                break (s as usize, p);
+            if let Some((s, p)) = buffered {
+                break (s, p);
             }
             let start = Instant::now();
             let msg = self.transport.recv_any(self.recv_timeout)?;

@@ -206,24 +206,33 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
+    /// Bounds-checked fixed-size read — the array conversion cannot fail
+    /// because `take` returned exactly `N` bytes, so no unwrap is needed.
+    fn take_arr<const N: usize>(&mut self) -> Result<[u8; N], String> {
+        let s = self.take(N)?;
+        let mut arr = [0u8; N];
+        arr.copy_from_slice(s);
+        Ok(arr)
+    }
+
     fn u8(&mut self) -> Result<u8, String> {
         Ok(self.take(1)?[0])
     }
 
     fn u16(&mut self) -> Result<u16, String> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.take_arr()?))
     }
 
     fn u32(&mut self) -> Result<u32, String> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_arr()?))
     }
 
     fn u64(&mut self) -> Result<u64, String> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_arr()?))
     }
 
     fn f64(&mut self) -> Result<f64, String> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(self.take_arr()?))
     }
 }
 

@@ -157,8 +157,8 @@ fn read_exact(stream: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<()> {
 fn recv_hello(stream: &mut TcpStream) -> Result<(usize, SocketAddr), TransportError> {
     let mut head = [0u8; 8];
     read_exact(stream, &mut head).map_err(TransportError::Io)?;
-    let rank = u32::from_le_bytes(head[..4].try_into().unwrap()) as usize;
-    let len = u32::from_le_bytes(head[4..8].try_into().unwrap()) as usize;
+    let rank = u32::from_le_bytes([head[0], head[1], head[2], head[3]]) as usize;
+    let len = u32::from_le_bytes([head[4], head[5], head[6], head[7]]) as usize;
     if len > 256 {
         return Err(TransportError::Handshake(format!(
             "rendezvous hello claims a {len}-byte address"
@@ -279,12 +279,18 @@ impl TcpTransport {
     ///
     /// Fails if fewer than `world - 1` peers join before the deadline, a
     /// rank joins twice, or the mesh cannot form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world == 0` (a caller bug, not a network failure).
     pub fn host(
         rendezvous: TcpListener,
         world: usize,
         opts: TcpOpts,
     ) -> Result<TcpTransport, TransportError> {
-        assert!(world > 0, "cluster needs at least one rank");
+        if world == 0 {
+            panic!("cluster needs at least one rank");
+        }
         let host_ip = rendezvous.local_addr().map_err(TransportError::Io)?.ip();
         let data_listener = TcpListener::bind((host_ip, 0)).map_err(TransportError::Io)?;
         let my_addr = data_listener.local_addr().map_err(TransportError::Io)?;
@@ -320,7 +326,13 @@ impl TcpTransport {
             roster[rank] = Some(addr);
             joined.push((rank, stream));
         }
-        let roster: Vec<SocketAddr> = roster.into_iter().map(|a| a.unwrap()).collect();
+        let roster: Vec<SocketAddr> = roster.into_iter().flatten().collect();
+        if roster.len() != world {
+            return Err(TransportError::Handshake(format!(
+                "rendezvous closed with only {} of {world} ranks known",
+                roster.len()
+            )));
+        }
         for (_, stream) in &mut joined {
             send_roster(stream, &roster).map_err(TransportError::Io)?;
         }
@@ -335,13 +347,19 @@ impl TcpTransport {
     ///
     /// [`TransportError::ConnectFailed`] (naming rank 0) if the rendezvous
     /// never answers; handshake or mesh errors otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is 0 or `>= world` (a caller bug — rank 0 hosts).
     pub fn join(
         addr: impl ToSocketAddrs,
         rank: usize,
         world: usize,
         opts: TcpOpts,
     ) -> Result<TcpTransport, TransportError> {
-        assert!(rank > 0 && rank < world, "join is for ranks 1..world");
+        if rank == 0 || rank >= world {
+            panic!("join is for ranks 1..world, got rank {rank} of world {world}");
+        }
         let addr = addr
             .to_socket_addrs()
             .map_err(TransportError::Io)?
@@ -423,7 +441,13 @@ impl TcpTransport {
         }
 
         // Demux plumbing + reader and writer threads.
+        // sar-check: allow(no-unbounded-channel) — reader threads must never
+        // block handing frames to the inbox, or a slow consumer would stall
+        // the socket and break the non-blocking-send model the protocol
+        // verifier assumes; depth is bounded by pipeline residency.
         let (inbox_tx, inbox_rx) = unbounded::<InboxItem>();
+        // sar-check: allow(no-unbounded-channel) — barrier notifications are
+        // at most one per peer per barrier sequence number.
         let (barrier_tx, barrier_rx) = unbounded::<(usize, u64)>();
         let closing = Arc::new(AtomicBool::new(false));
         let mut writers: Vec<Option<WriterHandle>> = (0..world).map(|_| None).collect();
@@ -662,7 +686,9 @@ impl Transport for TcpTransport {
             return Ok(());
         }
         let seq = {
-            let mut s = self.barrier_seq.lock().expect("barrier seq lock");
+            // Lock poisoning only means another barrier call panicked midway;
+            // the counter itself is still coherent, so keep going.
+            let mut s = self.barrier_seq.lock().unwrap_or_else(|e| e.into_inner());
             let v = *s;
             *s += 1;
             v
@@ -681,7 +707,10 @@ impl Transport for TcpTransport {
         let deadline = Instant::now() + Duration::from_secs(600);
         loop {
             {
-                let mut counts = self.barrier_counts.lock().expect("barrier counts lock");
+                let mut counts = self
+                    .barrier_counts
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
                 if counts.get(&seq).copied().unwrap_or(0) == self.world - 1 {
                     counts.remove(&seq);
                     return Ok(());
@@ -701,7 +730,7 @@ impl Transport for TcpTransport {
                     *self
                         .barrier_counts
                         .lock()
-                        .expect("barrier counts lock")
+                        .unwrap_or_else(|e| e.into_inner())
                         .entry(s)
                         .or_insert(0) += 1;
                 }
@@ -749,13 +778,20 @@ where
     T: Send + 'static,
     F: Fn(TcpTransport) -> T + Send + Sync + 'static,
 {
-    let rendezvous = TcpListener::bind(("127.0.0.1", 0)).expect("bind rendezvous");
-    let addr = rendezvous.local_addr().expect("rendezvous addr");
+    let rendezvous = TcpListener::bind(("127.0.0.1", 0))
+        .unwrap_or_else(|e| panic!("failed to bind the rendezvous listener: {e}"));
+    let addr = rendezvous
+        .local_addr()
+        .unwrap_or_else(|e| panic!("failed to read the rendezvous address: {e}"));
     let f = Arc::new(f);
     let mut handles = Vec::with_capacity(world);
     for rank in 0..world {
         let f = Arc::clone(&f);
-        let rendezvous = (rank == 0).then(|| rendezvous.try_clone().expect("clone listener"));
+        let rendezvous = (rank == 0).then(|| {
+            rendezvous
+                .try_clone()
+                .unwrap_or_else(|e| panic!("rank 0: failed to clone the rendezvous listener: {e}"))
+        });
         handles.push(
             std::thread::Builder::new()
                 .name(format!("sar-tcp-worker-{rank}"))
@@ -767,12 +803,12 @@ where
                     .unwrap_or_else(|e| panic!("rank {rank}: transport setup failed: {e}"));
                     f(transport)
                 })
-                .expect("spawn tcp worker"),
+                .unwrap_or_else(|e| panic!("failed to spawn tcp worker for rank {rank}: {e}")),
         );
     }
     handles
         .into_iter()
-        .map(|h| h.join().expect("tcp worker panicked"))
+        .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
         .collect()
 }
 

@@ -19,6 +19,9 @@ pub fn thread_cpu_secs() -> f64 {
             tv_sec: 0,
             tv_nsec: 0,
         };
+        // SAFETY: `ts` is a valid, initialized timespec on this frame and
+        // `clock_gettime` writes only into it; CLOCK_THREAD_CPUTIME_ID is
+        // always available on Linux, and the return code is checked.
         let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
         if rc == 0 {
             return ts.tv_sec as f64 + ts.tv_nsec as f64 / 1e9;

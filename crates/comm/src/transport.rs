@@ -206,10 +206,16 @@ impl ChannelTransport {
     ///
     /// Panics if `world == 0`.
     pub fn mesh(world: usize) -> Vec<ChannelTransport> {
-        assert!(world > 0, "transport mesh needs at least one rank");
+        if world == 0 {
+            panic!("transport mesh needs at least one rank");
+        }
         let mut senders = Vec::with_capacity(world);
         let mut receivers = Vec::with_capacity(world);
         for _ in 0..world {
+            // sar-check: allow(no-unbounded-channel) — unboundedness is what
+            // makes `send` non-blocking, which the deadlock-freedom proof in
+            // sar-check's protocol pass depends on; depth is bounded by the
+            // (K+2)-block pipeline residency, not by the channel.
             let (tx, rx) = unbounded::<Message>();
             senders.push(tx);
             receivers.push(rx);

@@ -305,6 +305,15 @@ fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<(), WireError>
     Ok(())
 }
 
+/// Copies a fixed-size little-endian field out of a frame header. The
+/// header is a fixed 32-byte array and every `at`/`N` pair is a compile-time
+/// constant within bounds, so no fallible conversion is needed.
+fn header_field<const N: usize>(header: &[u8; WIRE_HEADER_LEN], at: usize) -> [u8; N] {
+    let mut arr = [0u8; N];
+    arr.copy_from_slice(&header[at..at + N]);
+    arr
+}
+
 /// Reads and validates one frame from `r`.
 ///
 /// # Errors
@@ -324,10 +333,10 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
     let kind = FrameKind::from_code(header[4])
         .ok_or_else(|| WireError::BadHeader(format!("unknown frame kind {}", header[4])))?;
     let dtype = header[5];
-    let src = u32::from_le_bytes(header[8..12].try_into().unwrap());
-    let tag = u64::from_le_bytes(header[12..20].try_into().unwrap());
-    let len = u64::from_le_bytes(header[20..28].try_into().unwrap());
-    let expected = u32::from_le_bytes(header[28..32].try_into().unwrap());
+    let src = u32::from_le_bytes(header_field(&header, 8));
+    let tag = u64::from_le_bytes(header_field(&header, 12));
+    let len = u64::from_le_bytes(header_field(&header, 20));
+    let expected = u32::from_le_bytes(header_field(&header, 28));
     if len > WIRE_MAX_PAYLOAD {
         return Err(WireError::BadHeader(format!(
             "payload length {len} exceeds the {WIRE_MAX_PAYLOAD}-byte frame limit"

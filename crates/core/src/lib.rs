@@ -36,6 +36,7 @@ mod dist_graph;
 pub mod domain_parallel;
 pub mod inference;
 mod model;
+pub mod plan;
 pub mod seq_agg;
 mod shard;
 pub mod spatial;

@@ -10,6 +10,7 @@ use sar_comm::{buffer, Payload, Phase, TransportError, WorkerCtx};
 use sar_tensor::Tensor;
 
 use crate::dist_graph::DistGraph;
+use crate::plan::{self, FetchStep, GradStep};
 
 /// Tags below the collective range, reserved for SAR's point-to-point
 /// exchanges.
@@ -135,6 +136,9 @@ impl Worker {
     /// the buffer afterwards). The staging buffer is never registered with
     /// this worker's memory tracker — egress in flight is not resident
     /// state under the paper's accounting.
+    // Helper of fetch_rounds, which opens the ForwardFetch/BackwardRefetch
+    // scope before any serve.
+    // sar-check: allow(phase-scope)
     fn serve(&self, data: &Tensor, dst: usize, tag: u64) {
         let buf = Worker::gather_pooled(data, self.graph.serve_table(dst), data.cols());
         self.ctx.send_nowait(dst, tag, Payload::F32(buf));
@@ -151,6 +155,9 @@ impl Worker {
     /// plus [`TransportError::Corrupt`] naming `src` if the block arrives
     /// with the wrong dtype or element count — a malformed peer frame
     /// becomes a clean nonzero exit instead of a process-poisoning panic.
+    // Helper of fetch_rounds, which opens the ForwardFetch/BackwardRefetch
+    // scope before any receive.
+    // sar-check: allow(phase-scope)
     pub fn try_receive_block(
         &self,
         src: usize,
@@ -188,6 +195,13 @@ impl Worker {
     /// accumulated deterministically, so results are bitwise identical at
     /// every depth, thread count, and transport.
     ///
+    /// The step sequence — which round serves which peer, how far serves
+    /// and fetches run ahead of consumption, and the consumption order —
+    /// comes verbatim from [`plan::fetch_steps`], the pure schedule the
+    /// `sar-check` protocol verifier proves matched, deadlock-free, and
+    /// within the `(k+2)/N` residency bound for every `(N, k)` it sweeps.
+    /// This function only binds the plan to tensors and the transport.
+    ///
     /// Round `r`: this worker serves partition `(p − r) mod N` and fetches
     /// from partition `(p + r) mod N`; round 0 is the local block (gather,
     /// no communication). Serves are issued eagerly on the non-blocking
@@ -205,58 +219,46 @@ impl Worker {
     pub fn fetch_rounds(&self, data: &Tensor, mut consume: impl FnMut(usize, &Tensor)) {
         let n = self.world();
         let p = self.rank();
-        assert_eq!(
-            data.rows(),
-            self.graph.num_local(),
-            "data rows != local nodes"
-        );
+        if data.rows() != self.graph.num_local() {
+            panic!(
+                "worker {p}: fetch_rounds data has {} rows, expected {} local nodes",
+                data.rows(),
+                self.graph.num_local()
+            );
+        }
         let cols = data.cols();
         let tag = self.next_tag();
-        let k = self.prefetch_depth;
         // Ledger the rotation exchange as a forward fetch unless the
         // caller already declared a phase (the GAT backward pass runs this
         // same loop under BackwardRefetch).
         let _phase = (self.ctx.current_phase() == Phase::Other)
             .then(|| self.ctx.phase_scope(Phase::ForwardFetch));
 
-        let serve_dst = |r: usize| (p + n - r) % n;
-        let fetch_src = |r: usize| (p + r) % n;
-
-        // Round 0: local gather, no communication. The gather lands in a
-        // pooled buffer and is recycled after consumption, so the
-        // allocation is reused across rounds, layers and epochs.
-        let local = {
-            let buf = Worker::gather_pooled(data, self.graph.needed_table(p), cols);
-            Tensor::from_vec(&[self.graph.needed_from(p).len(), cols], buf)
-        };
-
-        // Fill: issue the first `k` rounds' serves and stage their blocks
-        // before consuming anything.
+        // Staged blocks, oldest first; the plan bounds the queue to
+        // `min(k, n-1) + 1` entries. Gathers land in pooled buffers and
+        // are recycled after consumption, so allocations are reused
+        // across rounds, layers and epochs.
         let mut staged: VecDeque<(usize, Tensor)> = VecDeque::new();
-        let fill = k.min(n - 1);
-        for r in 1..=fill {
-            self.serve(data, serve_dst(r), tag);
-            staged.push_back((fetch_src(r), self.receive_block(fetch_src(r), tag, cols)));
-        }
-        consume(p, &local);
-        buffer::recycle_f32(local.into_data());
-
-        // Steady state: round `r`'s serve and receive are issued while
-        // round `r − k` is the oldest staged block; it is consumed (and
-        // its buffer recycled) immediately after, keeping exactly `k`
-        // blocks staged.
-        for r in (fill + 1)..n {
-            self.serve(data, serve_dst(r), tag);
-            staged.push_back((fetch_src(r), self.receive_block(fetch_src(r), tag, cols)));
-            let (q, block) = staged.pop_front().expect("pipeline holds r - k");
-            consume(q, &block);
-            buffer::recycle_f32(block.into_data());
-        }
-
-        // Drain the last `k` staged blocks.
-        while let Some((q, block)) = staged.pop_front() {
-            consume(q, &block);
-            buffer::recycle_f32(block.into_data());
+        for step in plan::fetch_steps(n, p, self.prefetch_depth) {
+            match step {
+                FetchStep::GatherLocal => {
+                    let buf = Worker::gather_pooled(data, self.graph.needed_table(p), cols);
+                    let rows = self.graph.needed_from(p).len();
+                    staged.push_back((p, Tensor::from_vec(&[rows, cols], buf)));
+                }
+                FetchStep::Serve { dst, .. } => self.serve(data, dst, tag),
+                FetchStep::Fetch { src, .. } => {
+                    staged.push_back((src, self.receive_block(src, tag, cols)));
+                }
+                FetchStep::Consume { q } => {
+                    let (staged_q, block) = staged.pop_front().unwrap_or_else(|| {
+                        panic!("worker {p}: pipeline underrun consuming partition {q}")
+                    });
+                    debug_assert_eq!(staged_q, q, "plan consumption order diverged");
+                    consume(q, &block);
+                    buffer::recycle_f32(block.into_data());
+                }
+            }
         }
     }
 
@@ -267,9 +269,11 @@ impl Worker {
     /// Algorithm 2 (`send error E_{p→q} to worker q`, then
     /// `E_p = Σ_q E_{q→p}`).
     ///
-    /// All sends go out on the non-blocking path before any receive, so
-    /// peers' error blocks are in flight while this worker is still
-    /// scattering — but accumulation runs in the fixed rank order
+    /// The step sequence comes from [`plan::grad_steps`] — the same pure
+    /// schedule the `sar-check` protocol verifier proves matched and
+    /// deadlock-free: all sends go out on the non-blocking path before any
+    /// receive, so peers' error blocks are in flight while this worker is
+    /// still scattering — but accumulation runs in the fixed rank order
     /// `q = (p + n − r) mod N`, so the floating-point sum is bitwise
     /// identical at every pipeline depth and transport.
     ///
@@ -286,50 +290,56 @@ impl Worker {
         let _phase = self.ctx.phase_scope(Phase::GradRouting);
         let mut grad = Tensor::zeros(&[self.graph.num_local(), cols]);
 
-        // Local contribution first (no communication).
-        let local_block = make_block(p);
-        grad.scatter_add_rows(self.graph.needed_from(p), &local_block);
-        buffer::recycle_f32(local_block.into_data());
-
-        // Send to every peer, then receive from every peer. Sends are
-        // non-blocking on both backends, so this cannot deadlock.
-        for r in 1..n {
-            let q = (p + r) % n;
-            let block = make_block(q);
-            assert_eq!(block.rows(), self.graph.needed_from(q).len());
-            self.ctx
-                .send_nowait(q, tag, Payload::F32(block.into_data()));
-        }
-        for r in 1..n {
-            let q = (p + n - r) % n;
-            let rows = self.graph.serves_to(q);
-            let data = self
-                .ctx
-                .try_recv(q, tag)
-                .and_then(Payload::try_into_f32)
-                .and_then(|data| {
-                    if data.len() == rows.len() * cols {
-                        Ok(data)
-                    } else {
-                        Err(TransportError::Corrupt {
-                            peer: q,
-                            detail: format!(
-                                "gradient block has {} f32 elements, expected {} rows × {cols} cols",
-                                data.len(),
-                                rows.len()
-                            ),
-                        })
+        for step in plan::grad_steps(n, p) {
+            match step {
+                GradStep::AccumulateLocal => {
+                    // Local contribution (no communication).
+                    let block = make_block(p);
+                    grad.scatter_add_rows(self.graph.needed_from(p), &block);
+                    buffer::recycle_f32(block.into_data());
+                }
+                GradStep::Send { dst } => {
+                    let block = make_block(dst);
+                    if block.rows() != self.graph.needed_from(dst).len() {
+                        panic!(
+                            "worker {p}: gradient block for rank {dst} has {} rows, \
+                             expected {}",
+                            block.rows(),
+                            self.graph.needed_from(dst).len()
+                        );
                     }
-                })
-                .unwrap_or_else(|e| {
-                    panic!(
-                        "worker {} routing gradients from rank {q}: {e}",
-                        self.rank()
-                    )
-                });
-            let block = Tensor::from_vec(&[rows.len(), cols], data);
-            grad.scatter_add_rows(rows, &block);
-            buffer::recycle_f32(block.into_data());
+                    self.ctx
+                        .send_nowait(dst, tag, Payload::F32(block.into_data()));
+                }
+                GradStep::Recv { src } => {
+                    let rows = self.graph.serves_to(src);
+                    let data = self
+                        .ctx
+                        .try_recv(src, tag)
+                        .and_then(Payload::try_into_f32)
+                        .and_then(|data| {
+                            if data.len() == rows.len() * cols {
+                                Ok(data)
+                            } else {
+                                Err(TransportError::Corrupt {
+                                    peer: src,
+                                    detail: format!(
+                                        "gradient block has {} f32 elements, \
+                                         expected {} rows × {cols} cols",
+                                        data.len(),
+                                        rows.len()
+                                    ),
+                                })
+                            }
+                        })
+                        .unwrap_or_else(|e| {
+                            panic!("worker {p} routing gradients from rank {src}: {e}")
+                        });
+                    let block = Tensor::from_vec(&[rows.len(), cols], data);
+                    grad.scatter_add_rows(rows, &block);
+                    buffer::recycle_f32(block.into_data());
+                }
+            }
         }
         grad
     }

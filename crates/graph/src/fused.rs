@@ -150,6 +150,9 @@ pub fn gat_fused_block_forward(
                 continue;
             }
             // Hoist this destination's accumulator rows out of the edge loop.
+            // SAFETY: (all three) destination row `i` is in this chunk's
+            // exclusive `lo..hi` range, so the max/den/num rows have
+            // exactly one writer.
             let max_row = unsafe { max_s.range_mut(i * h, (i + 1) * h) };
             let den_row = unsafe { den_s.range_mut(i * h, (i + 1) * h) };
             let num_i = unsafe { num_s.range_mut(i * hd, (i + 1) * hd) };
@@ -259,6 +262,9 @@ pub fn gat_twostep_block_forward(
             if es == ee {
                 continue;
             }
+            // SAFETY: (all three) destination row `i` is in this chunk's
+            // exclusive `lo..hi` range, so the max/den/num rows have
+            // exactly one writer.
             let max_row = unsafe { max_s.range_mut(i * h, (i + 1) * h) };
             let den_row = unsafe { den_s.range_mut(i * h, (i + 1) * h) };
             let num_i = unsafe { num_s.range_mut(i * hd, (i + 1) * hd) };
@@ -334,6 +340,8 @@ pub fn gat_twostep_block_backward(
                 if es == ee {
                     continue;
                 }
+                // SAFETY: destination `i`'s in-edges `es..ee` are contiguous
+                // in CSR order and owned by this chunk alone.
                 let rows = unsafe { alpha_s.range_mut(es * h, ee * h) };
                 for e_id in es..ee {
                     for head in 0..h {
@@ -369,6 +377,8 @@ pub fn gat_twostep_block_backward(
                     continue;
                 }
                 let g_row = &grad_data[i * hd..(i + 1) * hd];
+                // SAFETY: destination row `i` is in this chunk's exclusive
+                // `lo..hi` range — one writer per d_s_dst row.
                 let dsd_row = unsafe { dsd_s.range_mut(i * h, (i + 1) * h) };
                 for e_id in es..ee {
                     let j = indices[e_id] as usize;
@@ -398,6 +408,8 @@ pub fn gat_twostep_block_backward(
         let dss_s = SharedSlice::new(d_s_src.data_mut());
         parallel_for(g.num_cols(), 1, |lo, hi| {
             for j in lo..hi {
+                // SAFETY: (both) source row `j` is in this chunk's exclusive
+                // `lo..hi` range — one writer per d_x / d_s_src row.
                 let dx_row = unsafe { dx_s.range_mut(j * hd, (j + 1) * hd) };
                 let dss_row = unsafe { dss_s.range_mut(j * h, (j + 1) * h) };
                 let x_row = &x_data[j * hd..(j + 1) * hd];
@@ -439,6 +451,8 @@ pub fn attn_grad_dot(grad_out: &Tensor, out: &Tensor, heads: usize) -> Tensor {
     {
         let dot_s = SharedSlice::new(&mut dot);
         parallel_for(rows, 1, |lo, hi| {
+            // SAFETY: chunks claim disjoint `lo..hi` row ranges, so element
+            // ranges never overlap across threads.
             let chunk = unsafe { dot_s.range_mut(lo * heads, hi * heads) };
             for i in lo..hi {
                 let g_row = &g_data[i * hd..(i + 1) * hd];
@@ -520,6 +534,8 @@ pub fn gat_fused_block_backward(
                     continue;
                 }
                 let g_row = &grad_data[i * hd..(i + 1) * hd];
+                // SAFETY: destination row `i` is in this chunk's exclusive
+                // `lo..hi` range — one writer per d_s_dst row.
                 let dsd_row = unsafe { dsd_s.range_mut(i * h, (i + 1) * h) };
                 for &j_src in &indices[es..ee] {
                     let j = j_src as usize;
@@ -557,6 +573,8 @@ pub fn gat_fused_block_backward(
         let dss_s = SharedSlice::new(d_s_src.data_mut());
         parallel_for(g.num_cols(), 1, |lo, hi| {
             for j in lo..hi {
+                // SAFETY: (both) source row `j` is in this chunk's exclusive
+                // `lo..hi` range — one writer per d_x / d_s_src row.
                 let dx_j = unsafe { dx_s.range_mut(j * hd, (j + 1) * hd) };
                 let dss_row = unsafe { dss_s.range_mut(j * h, (j + 1) * h) };
                 let x_row = &x_data[j * hd..(j + 1) * hd];

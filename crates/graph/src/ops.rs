@@ -66,6 +66,8 @@ pub fn spmm_sum_into(g: &CsrGraph, x: &Tensor, out: &mut Tensor) {
             if neighbors.is_empty() {
                 continue;
             }
+            // SAFETY: destination row `i` is in this chunk's exclusive
+            // `lo..hi` range, so element ranges are disjoint across threads.
             let out_row = unsafe { out_s.range_mut(i * f, (i + 1) * f) };
             for &j in neighbors {
                 let x_row = &x_data[j as usize * f..(j as usize + 1) * f];
@@ -111,6 +113,8 @@ pub fn spmm_sum_backward_into(g: &CsrGraph, grad_rows: &Tensor, out: &mut Tensor
     let out_s = SharedSlice::new(out.data_mut());
     parallel_for(g.num_cols(), 1, |lo, hi| {
         for j in lo..hi {
+            // SAFETY: source row `j` is in this chunk's exclusive `lo..hi`
+            // range — exactly one writer per gradient row.
             let dst = unsafe { out_s.range_mut(j * f, (j + 1) * f) };
             for (i, _e) in rev.entries(j) {
                 let g_row = &grad[i * f..(i + 1) * f];
@@ -170,6 +174,8 @@ pub fn scatter_edges_to_src(g: &CsrGraph, edge_vals: &Tensor) -> Tensor {
         let out_s = SharedSlice::new(out.data_mut());
         parallel_for(g.num_cols(), 1, |lo, hi| {
             for j in lo..hi {
+                // SAFETY: source row `j` is in this chunk's exclusive
+                // `lo..hi` range — one writer per output row.
                 let dst = unsafe { out_s.range_mut(j * f, (j + 1) * f) };
                 for (_i, e) in rev.entries(j) {
                     for (d, &v) in dst.iter_mut().zip(&ev[e * f..(e + 1) * f]) {
@@ -199,6 +205,8 @@ pub fn scatter_edges_to_dst(g: &CsrGraph, edge_vals: &Tensor) -> Tensor {
         let out_s = SharedSlice::new(out.data_mut());
         parallel_for(g.num_rows(), 1, |lo, hi| {
             for i in lo..hi {
+                // SAFETY: destination row `i` is in this chunk's exclusive
+                // `lo..hi` range — one writer per output row.
                 let out_row = unsafe { out_s.range_mut(i * f, (i + 1) * f) };
                 for e in indptr[i]..indptr[i + 1] {
                     for (o, &v) in out_row.iter_mut().zip(&ev[e * f..(e + 1) * f]) {
@@ -242,6 +250,8 @@ pub fn edge_softmax(g: &CsrGraph, scores: &Tensor) -> Tensor {
                 if start == end {
                     continue;
                 }
+                // SAFETY: destination `i`'s in-edges `start..end` are
+                // contiguous in CSR order and owned by this chunk alone.
                 let rows = unsafe { out_s.range_mut(start * h, end * h) };
                 for head in 0..h {
                     let mut max = f32::NEG_INFINITY;
@@ -286,6 +296,8 @@ pub fn edge_softmax_backward(g: &CsrGraph, alpha: &Tensor, grad: &Tensor) -> Ten
                 if start == end {
                     continue;
                 }
+                // SAFETY: destination `i`'s in-edges `start..end` are
+                // contiguous in CSR order and owned by this chunk alone.
                 let rows = unsafe { out_s.range_mut(start * h, end * h) };
                 for head in 0..h {
                     let mut dot = 0.0f32;
@@ -346,6 +358,8 @@ pub fn spmm_multihead(g: &CsrGraph, alpha: &Tensor, x: &Tensor) -> Tensor {
                 if es == ee {
                     continue;
                 }
+                // SAFETY: destination row `i` is in this chunk's exclusive
+                // `lo..hi` range — one writer per output row.
                 let out_row = unsafe { out_s.range_mut(i * hd, (i + 1) * hd) };
                 for e in es..ee {
                     let j = indices[e] as usize;
@@ -401,6 +415,8 @@ pub fn spmm_multihead_backward(
                     continue;
                 }
                 let g_row = &grad_data[i * hd..(i + 1) * hd];
+                // SAFETY: destination `i`'s in-edges `es..ee` are contiguous
+                // in CSR order and owned by this chunk alone.
                 let da_rows = unsafe { da_s.range_mut(es * heads, ee * heads) };
                 for e in es..ee {
                     let j = indices[e] as usize;
@@ -424,6 +440,8 @@ pub fn spmm_multihead_backward(
         let dx_s = SharedSlice::new(d_x.data_mut());
         parallel_for(g.num_cols(), 1, |lo, hi| {
             for j in lo..hi {
+                // SAFETY: source row `j` is in this chunk's exclusive
+                // `lo..hi` range — one writer per gradient row.
                 let dx_row = unsafe { dx_s.range_mut(j * hd, (j + 1) * hd) };
                 for (i, e) in rev.entries(j) {
                     let g_row = &grad_data[i * hd..(i + 1) * hd];
@@ -468,6 +486,8 @@ pub fn head_project(x: &Tensor, a: &Tensor, heads: usize) -> Tensor {
     {
         let out_s = SharedSlice::new(&mut out);
         parallel_for(n, 1, |lo, hi| {
+            // SAFETY: chunks claim disjoint `lo..hi` row ranges, so element
+            // ranges never overlap across threads.
             let rows = unsafe { out_s.range_mut(lo * heads, hi * heads) };
             for i in lo..hi {
                 let x_row = &x_data[i * hd..(i + 1) * hd];
@@ -512,6 +532,8 @@ pub fn head_project_backward(
         parallel_for(n, 1, |lo, hi| {
             for i in lo..hi {
                 let g_row = &g_data[i * heads..(i + 1) * heads];
+                // SAFETY: row `i` is in this chunk's exclusive `lo..hi`
+                // range — one writer per gradient row.
                 let dx_row = unsafe { dx_s.range_mut(i * hd, (i + 1) * hd) };
                 for h in 0..heads {
                     let g = g_row[h];
@@ -531,6 +553,8 @@ pub fn head_project_backward(
     {
         let da_s = SharedSlice::new(d_a.data_mut());
         parallel_for(hd, 1, |lo, hi| {
+            // SAFETY: chunks claim disjoint column ranges `lo..hi` of the
+            // flat `[H*D]` gradient — one writer per column.
             let cols = unsafe { da_s.range_mut(lo, hi) };
             for (c, slot) in (lo..hi).zip(cols.iter_mut()) {
                 let h = c / d;
@@ -579,6 +603,8 @@ pub fn gat_edge_scores(g: &CsrGraph, s_dst: &Tensor, s_src: &Tensor, slope: f32)
                 if es == ee {
                     continue;
                 }
+                // SAFETY: destination `i`'s in-edges `es..ee` are contiguous
+                // in CSR order and owned by this chunk alone.
                 let rows = unsafe { out_s.range_mut(es * h, ee * h) };
                 for e in es..ee {
                     let j = indices[e] as usize;
@@ -624,6 +650,8 @@ pub fn gat_edge_scores_backward(
                 if es == ee {
                     continue;
                 }
+                // SAFETY: destination row `i` is in this chunk's exclusive
+                // `lo..hi` range — one writer per output row.
                 let dd_row = unsafe { dd_s.range_mut(i * h, (i + 1) * h) };
                 for e in es..ee {
                     let j = indices[e] as usize;
@@ -643,6 +671,8 @@ pub fn gat_edge_scores_backward(
         let ds_s = SharedSlice::new(d_src.data_mut());
         parallel_for(g.num_cols(), 1, |lo, hi| {
             for j in lo..hi {
+                // SAFETY: source row `j` is in this chunk's exclusive
+                // `lo..hi` range — one writer per gradient row.
                 let ds_row = unsafe { ds_s.range_mut(j * h, (j + 1) * h) };
                 for (i, e) in rev.entries(j) {
                     for head in 0..h {

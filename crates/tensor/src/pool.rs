@@ -109,8 +109,9 @@ where
         // Up to 4 chunks per worker so stragglers (skewed row degrees)
         // rebalance, but never chunks shorter than `grain`.
         let chunk = n.div_ceil(workers * 4).max(grain.max(1));
-        // Lifetime erased: `WaitGuard` below guarantees every helper is
-        // done with `f` before `parallel_for` returns or unwinds.
+        // SAFETY: lifetime erasure only — the `WaitGuard` below blocks
+        // (even on unwind) until every helper has left `f`, so the
+        // `'static` reference never outlives the borrow it was cast from.
         let f_erased: &'static (dyn Fn(usize, usize) + Sync) = unsafe {
             std::mem::transmute::<
                 &(dyn Fn(usize, usize) + Sync),
@@ -225,6 +226,8 @@ fn thread_cpu_ns() -> u64 {
             tv_sec: 0,
             tv_nsec: 0,
         };
+        // SAFETY: `ts` is a valid, initialized timespec on this frame and
+        // `clock_gettime` writes only into it; the return code is checked.
         let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
         if rc == 0 {
             return (ts.tv_sec as u64) * 1_000_000_000 + ts.tv_nsec as u64;
@@ -245,6 +248,9 @@ struct Pool {
 
 impl Pool {
     fn new(helpers: usize) -> Pool {
+        // sar-check: allow(no-unbounded-channel) — the job queue holds at
+        // most one dispatch per helper (submit is called once per helper
+        // per parallel_for), so it is bounded by construction.
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let helpers = (0..helpers)
@@ -307,7 +313,13 @@ pub struct SharedSlice<'a, T> {
     _life: PhantomData<&'a mut [T]>,
 }
 
+// SAFETY: SharedSlice is a raw view of a `&mut [T]` whose concurrent
+// writers take disjoint ranges (the `range_mut` contract), so sending the
+// view or sharing it across parallel_for chunks never aliases an element;
+// T: Send bounds keep non-sendable element types out.
 unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+// SAFETY: as above — &SharedSlice only exposes `range_mut`, whose
+// disjointness contract is what makes cross-thread sharing sound.
 unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
 
 impl<'a, T> SharedSlice<'a, T> {

@@ -461,6 +461,8 @@ impl Tensor {
         {
             let out_s = pool::SharedSlice::new(&mut out);
             pool::parallel_for(m, 1, |lo, hi| {
+                // SAFETY: chunks claim disjoint `lo..hi` row ranges, so the
+                // element ranges `lo*n..hi*n` never overlap across threads.
                 let rows = unsafe { out_s.range_mut(lo * n, hi * n) };
                 for i in lo..hi {
                     let a_row = &self.data[i * k..(i + 1) * k];
@@ -497,6 +499,8 @@ impl Tensor {
         {
             let out_s = pool::SharedSlice::new(&mut out);
             pool::parallel_for(m, 1, |lo, hi| {
+                // SAFETY: chunks claim disjoint `lo..hi` row ranges, so the
+                // element ranges `lo*n..hi*n` never overlap across threads.
                 let rows = unsafe { out_s.range_mut(lo * n, hi * n) };
                 for i in lo..hi {
                     let o_row = &mut rows[(i - lo) * n..(i - lo + 1) * n];
@@ -529,6 +533,8 @@ impl Tensor {
         {
             let out_s = pool::SharedSlice::new(&mut out);
             pool::parallel_for(m, 1, |lo, hi| {
+                // SAFETY: chunks claim disjoint `lo..hi` row ranges, so the
+                // element ranges `lo*n..hi*n` never overlap across threads.
                 let rows = unsafe { out_s.range_mut(lo * n, hi * n) };
                 for i in lo..hi {
                     let a_row = &self.data[i * k..(i + 1) * k];
