@@ -21,7 +21,16 @@
 //!                       real OS processes over TCP loopback (spawned via
 //!                       the sar-worker binary) and are gated on the same
 //!                       invariants
-//!   all                 everything above except smoke
+//!   kernelbench         single-host SAR kernel micro-benchmarks over a
+//!                       fixed seeded workload matrix; writes/checks the
+//!                       schema-versioned BENCH_kernels.json perf
+//!                       trajectory (own flags: --out PATH, --check PATH,
+//!                       --simd auto|scalar, --threads N, --quick)
+//!   overlap-check       diff a freshly generated BENCH_overlap.json
+//!                       against the committed copy on run-set identity
+//!                       and ledger invariants (timings are not compared);
+//!                       flags: --current PATH --committed PATH
+//!   all                 everything above except smoke/kernelbench
 //!
 //! flags:
 //!   --transport sim|tcp  smoke backend: in-process simulated cluster or
@@ -48,6 +57,13 @@
 //!                        losses and byte ledgers are identical — the
 //!                        pipelined exchange's deterministic-accumulation
 //!                        contract (DESIGN.md §9). Crosses with --threads.
+//!   --simd A,B           smoke SIMD dispatch modes (default auto). With
+//!                        more than one mode (auto,scalar), the same
+//!                        workload runs once per mode and the gate fails
+//!                        unless every run's parity digest is identical —
+//!                        the SIMD paths' bitwise-determinism contract
+//!                        (DESIGN.md §11). Crosses with --threads and
+//!                        --prefetch-depth.
 //!   --seed N             RNG seed               (default 0)
 //! ```
 //!
@@ -61,7 +77,7 @@ use sar_bench::experiments::{
     ExpConfig, Workload,
 };
 use sar_bench::report::RunReport;
-use sar_bench::{launcher, smoke};
+use sar_bench::{kernelbench, launcher, smoke};
 use sar_core::{train, Arch};
 
 struct Flags {
@@ -73,6 +89,8 @@ struct Flags {
     threads: Vec<usize>,
     /// Fetch-pipeline depths the smoke gate runs (and cross-checks).
     depths: Vec<usize>,
+    /// SIMD dispatch modes the smoke gate runs (and cross-checks).
+    simds: Vec<String>,
     /// Smoke model selection: `"all"` or one of [`smoke::MODELS`].
     model: String,
 }
@@ -84,6 +102,7 @@ fn parse_flags(args: &[String]) -> Flags {
     let mut transport = "sim".to_string();
     let mut threads = vec![1usize];
     let mut depths = vec![0usize];
+    let mut simds = vec!["auto".to_string()];
     let mut model = "all".to_string();
     let mut i = 0;
     while i < args.len() {
@@ -146,6 +165,17 @@ fn parse_flags(args: &[String]) -> Flags {
                     }
                 })
                 .collect();
+        } else if let Some(v) = take("--simd") {
+            simds = v
+                .split(',')
+                .map(|x| {
+                    if sar_tensor::simd::parse_mode(x).is_none() {
+                        eprintln!("--simd takes a comma list of modes from: auto, scalar");
+                        std::process::exit(2);
+                    }
+                    x.to_string()
+                })
+                .collect();
         } else if let Some(v) = take("--model") {
             if v != "all" && !smoke::MODELS.contains(&v.as_str()) {
                 eprintln!(
@@ -170,6 +200,7 @@ fn parse_flags(args: &[String]) -> Flags {
         transport,
         threads,
         depths,
+        simds,
         model,
     }
 }
@@ -180,22 +211,27 @@ struct OverlapRun {
     transport: &'static str,
     threads: usize,
     depth: usize,
+    simd: String,
     /// Verbatim [`RunReport::overlap_json`] fragment.
     fragment: String,
 }
 
 /// Assembles `DIR/BENCH_overlap.json` from the collected per-run overlap
 /// fragments (each fragment is already a JSON object, embedded verbatim).
+/// The committed copy at the repository root is diffed against this
+/// output by `repro overlap-check` in CI (run-set identity and ledger
+/// invariants only — timings vary freely).
 fn write_overlap_artifact(dir: &str, runs: &[OverlapRun]) -> Result<String, String> {
     let mut s = String::from("{\n  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"experiment\": \"{}\", \"transport\": \"{}\", \"threads\": {}, \
-             \"prefetch_depth\": {}, \"overlap\": {}}}{}\n",
+             \"prefetch_depth\": {}, \"simd\": \"{}\", \"overlap\": {}}}{}\n",
             r.experiment,
             r.transport,
             r.threads,
             r.depth,
+            r.simd,
             r.fragment.trim(),
             if i + 1 < runs.len() { "," } else { "" }
         ));
@@ -210,22 +246,26 @@ fn write_overlap_artifact(dir: &str, runs: &[OverlapRun]) -> Result<String, Stri
 // `smoke` — the CI gate
 // ----------------------------------------------------------------------
 
-/// The `(threads, prefetch_depth)` grid a smoke workload runs over, in a
-/// deterministic order with the baseline combination first.
-fn combos(threads: &[usize], depths: &[usize]) -> Vec<(usize, usize)> {
-    depths
+/// The `(threads, prefetch_depth, simd)` grid a smoke workload runs
+/// over, in a deterministic order with the baseline combination first.
+fn combos(threads: &[usize], depths: &[usize], simds: &[String]) -> Vec<(usize, usize, String)> {
+    simds
         .iter()
-        .flat_map(|&d| threads.iter().map(move |&t| (t, d)))
+        .flat_map(|s| {
+            depths
+                .iter()
+                .flat_map(move |&d| threads.iter().map(move |&t| (t, d, s.clone())))
+        })
         .collect()
 }
 
 /// Report-file name for one combination: the baseline keeps the bare
 /// `{exp}.json` name CI has always archived; variants get suffixes.
-fn report_path(dir: &str, exp: &str, k: usize, t: usize, d: usize) -> String {
+fn report_path(dir: &str, exp: &str, k: usize, t: usize, d: usize, s: &str) -> String {
     if k == 0 {
         format!("{dir}/{exp}.json")
     } else {
-        format!("{dir}/{exp}-t{t}-d{d}.json")
+        format!("{dir}/{exp}-t{t}-d{d}-{s}.json")
     }
 }
 
@@ -244,6 +284,7 @@ fn smoke_sim(
     models: &[&str],
     threads: &[usize],
     depths: &[usize],
+    simds: &[String],
     overlaps: &mut Vec<OverlapRun>,
 ) -> Vec<String> {
     let nodes = cfg.products_nodes.min(1500);
@@ -258,10 +299,20 @@ fn smoke_sim(
             }
         };
         let mut first_digest: Option<String> = None;
-        for (k, &(t, d)) in combos(threads, depths).iter().enumerate() {
+        for (k, (t, d, s)) in combos(threads, depths, simds).into_iter().enumerate() {
             let mut wl = base.clone();
             wl.threads = t;
             wl.prefetch_depth = d;
+            wl.simd = s.clone();
+            // The combos run sequentially, so flipping the process-global
+            // dispatch mode per combination is race-free here.
+            match sar_tensor::simd::parse_mode(&wl.simd) {
+                Some(mode) => sar_tensor::simd::set_mode(mode),
+                None => {
+                    violations.push(format!("{exp}: unknown --simd {}", wl.simd));
+                    continue;
+                }
+            }
             let (dataset, part) = match wl.build_data(smoke::WORLD) {
                 Ok(dp) => dp,
                 Err(e) => {
@@ -278,7 +329,7 @@ fn smoke_sim(
             };
             eprintln!(
                 "[repro] smoke: training {arch_name}/{} on {} workers \
-                 (threads={t}, prefetch-depth={d}) ...",
+                 (threads={t}, prefetch-depth={d}, simd={s}) ...",
                 wl.mode,
                 smoke::WORLD
             );
@@ -291,8 +342,8 @@ fn smoke_sim(
                 Some(d0) => {
                     if let Some(diff) = smoke::digest_diff(d0, &report.parity_digest()) {
                         violations.push(format!(
-                            "{exp}: --threads {t} --prefetch-depth {d} diverged from the \
-                             baseline combination — {diff}"
+                            "{exp}: --threads {t} --prefetch-depth {d} --simd {s} diverged \
+                             from the baseline combination — {diff}"
                         ));
                     }
                 }
@@ -302,10 +353,11 @@ fn smoke_sim(
                 transport: "sim",
                 threads: t,
                 depth: d,
+                simd: s.clone(),
                 fragment: report.overlap_json(),
             });
             if let Some(dir) = out_dir {
-                let path = report_path(dir, &exp, k, t, d);
+                let path = report_path(dir, &exp, k, t, d, &s);
                 match report.write_json(&path) {
                     Ok(()) => eprintln!("[repro] wrote {path}"),
                     Err(e) => violations.push(format!("{exp}: cannot write {path}: {e}")),
@@ -313,6 +365,8 @@ fn smoke_sim(
             }
         }
     }
+    // Leave the process in the default dispatch mode for whatever runs next.
+    sar_tensor::simd::set_mode(sar_tensor::simd::SimdMode::Auto);
     violations
 }
 
@@ -329,6 +383,7 @@ fn smoke_tcp(
     models: &[&str],
     threads: &[usize],
     depths: &[usize],
+    simds: &[String],
     overlaps: &mut Vec<OverlapRun>,
 ) -> Vec<String> {
     let nodes = cfg.products_nodes.min(1500);
@@ -347,10 +402,11 @@ fn smoke_tcp(
             }
         };
         let mut first_digest: Option<String> = None;
-        for (k, &(t, d)) in combos(threads, depths).iter().enumerate() {
+        for (k, (t, d, s)) in combos(threads, depths, simds).into_iter().enumerate() {
             let mut wl = base.clone();
             wl.threads = t;
             wl.prefetch_depth = d;
+            wl.simd = s.clone();
             let mut args = wl.to_args();
             args.extend([
                 "--check".to_string(),
@@ -358,10 +414,12 @@ fn smoke_tcp(
                 "--experiment".to_string(),
                 exp.clone(),
             ]);
-            let digest_path = std::env::temp_dir()
-                .join(format!("sar-{exp}-t{t}-d{d}-{}.digest", std::process::id()));
+            let digest_path = std::env::temp_dir().join(format!(
+                "sar-{exp}-t{t}-d{d}-{s}-{}.digest",
+                std::process::id()
+            ));
             let overlap_path = std::env::temp_dir().join(format!(
-                "sar-{exp}-t{t}-d{d}-{}.overlap",
+                "sar-{exp}-t{t}-d{d}-{s}-{}.overlap",
                 std::process::id()
             ));
             args.extend([
@@ -371,11 +429,11 @@ fn smoke_tcp(
                 overlap_path.display().to_string(),
             ]);
             if let Some(dir) = out_dir {
-                args.extend(["--out".to_string(), report_path(dir, &exp, k, t, d)]);
+                args.extend(["--out".to_string(), report_path(dir, &exp, k, t, d, &s)]);
             }
             eprintln!(
                 "[repro] smoke: training {arch_name}/{} on {} OS processes over TCP \
-                 (threads={t}, prefetch-depth={d}) ...",
+                 (threads={t}, prefetch-depth={d}, simd={s}) ...",
                 wl.mode,
                 smoke::WORLD
             );
@@ -389,6 +447,7 @@ fn smoke_tcp(
                     transport: "tcp",
                     threads: t,
                     depth: d,
+                    simd: s.clone(),
                     fragment,
                 });
             }
@@ -409,8 +468,8 @@ fn smoke_tcp(
                 Some(d0) => {
                     if let Some(diff) = smoke::digest_diff(d0, &digest) {
                         violations.push(format!(
-                            "{exp}: --threads {t} --prefetch-depth {d} diverged from the \
-                             baseline combination — {diff}"
+                            "{exp}: --threads {t} --prefetch-depth {d} --simd {s} diverged \
+                             from the baseline combination — {diff}"
                         ));
                     }
                 }
@@ -440,6 +499,7 @@ fn smoke(flags: &Flags) -> Vec<String> {
             &models,
             &flags.threads,
             &flags.depths,
+            &flags.simds,
             &mut overlaps,
         ),
         _ => smoke_sim(
@@ -448,6 +508,7 @@ fn smoke(flags: &Flags) -> Vec<String> {
             &models,
             &flags.threads,
             &flags.depths,
+            &flags.simds,
             &mut overlaps,
         ),
     };
@@ -510,11 +571,162 @@ fn run(name: &str, cfg: &ExpConfig, worlds: Option<&[usize]>) {
     }
 }
 
+// ----------------------------------------------------------------------
+// `kernelbench` — the committed perf trajectory
+// ----------------------------------------------------------------------
+
+/// `repro kernelbench [--out PATH] [--check PATH] [--simd auto|scalar]
+/// [--threads N] [--quick]`: run the fixed kernel workload matrix, write
+/// the schema-versioned report, and/or gate against a committed baseline.
+fn kernelbench_cmd(args: &[String]) -> i32 {
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut threads = 1usize;
+    let mut quick = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" | "--check" | "--simd" | "--threads" => {
+                let key = args[i].clone();
+                i += 1;
+                let Some(v) = args.get(i).cloned() else {
+                    eprintln!("missing value for {key}");
+                    return 2;
+                };
+                match key.as_str() {
+                    "--out" => out = Some(v),
+                    "--check" => check = Some(v),
+                    "--simd" => match sar_tensor::simd::parse_mode(&v) {
+                        Some(mode) => sar_tensor::simd::set_mode(mode),
+                        None => {
+                            eprintln!("--simd must be auto or scalar, not {v}");
+                            return 2;
+                        }
+                    },
+                    _ => match v.parse::<usize>() {
+                        Ok(t) if t >= 1 => threads = t,
+                        _ => {
+                            eprintln!("--threads takes a count >= 1");
+                            return 2;
+                        }
+                    },
+                }
+            }
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown kernelbench flag: {other}");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+    sar_tensor::pool::set_threads(threads);
+    eprintln!(
+        "[repro] kernelbench: simd={}, threads={threads}{} ...",
+        sar_tensor::simd::dispatch_label(),
+        if quick { ", quick" } else { "" }
+    );
+    let report = kernelbench::run_bench(quick);
+    kernelbench::print_table(&report);
+    if let Some(path) = &out {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("[repro] cannot create {}: {e}", dir.display());
+                    return 2;
+                }
+            }
+        }
+        match report.write_json(path) {
+            Ok(()) => eprintln!("[repro] wrote {path}"),
+            Err(e) => {
+                eprintln!("[repro] {e}");
+                return 2;
+            }
+        }
+    }
+    if let Some(path) = &check {
+        let baseline = match std::fs::read_to_string(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!(
+                    "[repro] kernelbench FAIL: no baseline at {path}: {e} — \
+                     generate one with `repro kernelbench --out {path}`"
+                );
+                return 1;
+            }
+        };
+        let violations = kernelbench::check_against(&report, &baseline);
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("[repro] kernelbench REGRESSION: {v}");
+            }
+            return 1;
+        }
+        eprintln!("[repro] kernelbench: all kernels within tolerance of {path}");
+    }
+    0
+}
+
+/// `repro overlap-check --current PATH --committed PATH`: diff a fresh
+/// `BENCH_overlap.json` against the committed copy (run-set identity and
+/// ledger invariants; timings are not compared).
+fn overlap_check_cmd(args: &[String]) -> i32 {
+    let mut current: Option<String> = None;
+    let mut committed: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].clone();
+        i += 1;
+        let Some(v) = args.get(i).cloned() else {
+            eprintln!("missing value for {key}");
+            return 2;
+        };
+        match key.as_str() {
+            "--current" => current = Some(v),
+            "--committed" => committed = Some(v),
+            other => {
+                eprintln!("unknown overlap-check flag: {other}");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+    let (Some(current), Some(committed)) = (current, committed) else {
+        eprintln!("overlap-check needs --current PATH and --committed PATH");
+        return 2;
+    };
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let (cur, base) = match (read(&current), read(&committed)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("[repro] overlap-check: {e}");
+            return 1;
+        }
+    };
+    let violations = kernelbench::overlap_check(&cur, &base);
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("[repro] overlap-check VIOLATION: {v}");
+        }
+        return 1;
+    }
+    eprintln!("[repro] overlap-check: {current} is consistent with {committed}");
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!("usage: repro <experiment|all> [flags] — see crate docs");
         std::process::exit(2);
+    }
+    if args[0] == "kernelbench" {
+        std::process::exit(kernelbench_cmd(&args[1..]));
+    }
+    if args[0] == "overlap-check" {
+        std::process::exit(overlap_check_cmd(&args[1..]));
     }
     let flags = parse_flags(&args[1..]);
     let (cfg, worlds, transport) = (&flags.cfg, &flags.worlds, &flags.transport);

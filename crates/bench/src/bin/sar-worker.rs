@@ -28,6 +28,8 @@
 //!   --threads N                  intra-worker kernel threads (1);
 //!                                results are bitwise identical
 //!                                across thread counts
+//!   --simd auto|scalar           SIMD dispatch mode (auto); results
+//!                                are bitwise identical across modes
 //!
 //! rank-0-only outputs:
 //!   --experiment NAME            report label       (<arch>-<mode>)
@@ -142,6 +144,7 @@ fn parse_cli() -> Cli {
             "--schedule" => w.schedule = value(),
             "--seed" => w.seed = value().parse().unwrap_or_else(|_| fail("--seed")),
             "--threads" => w.threads = value().parse().unwrap_or_else(|_| fail("--threads")),
+            "--simd" => w.simd = value(),
             "--help" | "-h" => {
                 eprintln!("see the doc comment at the top of crates/bench/src/bin/sar-worker.rs");
                 std::process::exit(0);

@@ -85,6 +85,11 @@ pub struct Workload {
     /// Intra-worker kernel threads (`sar_tensor::pool`). Results are
     /// bitwise identical across thread counts.
     pub threads: usize,
+    /// SIMD dispatch mode (`sar_tensor::simd`): `"auto"` (use AVX2 when
+    /// the CPU has it) or `"scalar"`. Results are bitwise identical
+    /// across modes — the scalar fallback mirrors the vector paths'
+    /// accumulation order exactly.
+    pub simd: String,
 }
 
 impl Default for Workload {
@@ -109,6 +114,7 @@ impl Default for Workload {
             schedule: "constant".into(),
             seed: 0,
             threads: 1,
+            simd: "auto".into(),
         }
     }
 }
@@ -133,6 +139,7 @@ impl Workload {
             ("--schedule", self.schedule.clone()),
             ("--seed", self.seed.to_string()),
             ("--threads", self.threads.to_string()),
+            ("--simd", self.simd.clone()),
             ("--prefetch-depth", self.prefetch_depth.to_string()),
         ]
         .into_iter()
@@ -434,6 +441,9 @@ pub fn run_rank(opts: &RankOpts, workload: &Workload) -> Result<Option<RunReport
             opts.world
         ));
     }
+    let simd_mode = sar_tensor::simd::parse_mode(&workload.simd)
+        .ok_or_else(|| format!("unknown --simd {} (auto|scalar)", workload.simd))?;
+    sar_tensor::simd::set_mode(simd_mode);
     let (dataset, part) = workload.build_data(opts.world)?;
     let cfg = workload.train_config(&dataset)?;
     let graph = Arc::new(DistGraph::build_all(&dataset.graph, &part).swap_remove(rank));
@@ -605,6 +615,7 @@ mod tests {
             schedule: "step".into(),
             seed: 9,
             threads: 4,
+            simd: "scalar".into(),
         };
         let args = wl.to_args();
         // Spot-check the flags a child would parse back.
@@ -616,6 +627,7 @@ mod tests {
         assert_eq!(find("--dataset").unwrap(), "papers");
         assert_eq!(find("--lr").unwrap().parse::<f32>().unwrap(), 0.025);
         assert_eq!(find("--threads").unwrap(), "4");
+        assert_eq!(find("--simd").unwrap(), "scalar");
         assert!(args.contains(&"--jk".to_string()));
         assert!(args.contains(&"--no-label-aug".to_string()));
         assert!(args.contains(&"--cs".to_string()));

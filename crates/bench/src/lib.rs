@@ -26,6 +26,10 @@
 //! per-worker-thread live tensor high-water mark. Default sizes target a
 //! small CI machine; scale up with `--nodes`.
 //!
+//! Beyond the training experiments, [`kernelbench`] times the SAR
+//! kernel family over a fixed seeded workload matrix and gates CI on the
+//! committed `BENCH_kernels.json` perf trajectory (`repro kernelbench`).
+//!
 //! Besides the simulated in-process cluster, the harness can run real
 //! multi-process training over TCP loopback: [`launcher`] spawns one
 //! `sar-worker` OS process per rank, [`distrun`] is the per-rank
@@ -35,6 +39,7 @@
 
 pub mod distrun;
 pub mod experiments;
+pub mod kernelbench;
 pub mod launcher;
 pub mod report;
 pub mod smoke;

@@ -13,7 +13,11 @@
 //! * `safety-comment` — every `unsafe` occurrence (except `unsafe fn`
 //!   declarations, which document their contract in a `# Safety` doc
 //!   section) carries a `// SAFETY:` comment on the same line or just
-//!   above it.
+//!   above it. Blocks that touch `std::arch` SIMD intrinsics (an `_mm*`
+//!   call, an `arch::` path, or a dispatch into the `avx2::` module) are
+//!   held to a stricter standard: the SAFETY comment is mandatory and
+//!   the rule *cannot be waived* for them — a mis-stated target-feature
+//!   contract is undefined behaviour, not a style choice.
 //! * `phase-scope` — any function in `sar-core` that calls the
 //!   communication context (`ctx.send_nowait`, `ctx.try_recv`, …) must
 //!   open a `phase_scope` (or inspect `current_phase`), so every byte is
@@ -240,6 +244,40 @@ fn identifiers(src: &str) -> Vec<Token<'_>> {
     tokens
 }
 
+/// The full `{ … }` block starting at the first non-space byte at or
+/// after `from`, if that byte opens a block (brace-matched on blanked
+/// source).
+fn block_at(code: &str, from: usize) -> Option<&str> {
+    let (open, b) = next_nonspace(code, from)?;
+    if b != b'{' {
+        return None;
+    }
+    let bytes = code.as_bytes();
+    let mut depth = 0usize;
+    let mut k = open;
+    while k < bytes.len() {
+        match bytes[k] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&code[open..=k]);
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Whether an `unsafe` block body reaches `std::arch` SIMD territory:
+/// a raw `_mm*` intrinsic, an `arch::` path, or a call into the
+/// workspace's `avx2::` dispatch module.
+fn is_simd_unsafe(body: &str) -> bool {
+    body.contains("_mm") || body.contains("arch::") || body.contains("avx2::")
+}
+
 /// First non-whitespace byte at or after `from`.
 fn next_nonspace(src: &str, from: usize) -> Option<(usize, u8)> {
     src.as_bytes()[from..]
@@ -390,7 +428,21 @@ fn lint_file(file: &SourceFile, report: &mut PassReport) {
                 let covered = (line.saturating_sub(8)..=line).any(|l| {
                     l >= 1 && l <= raw_lines.len() && raw_lines[l - 1].contains("SAFETY:")
                 });
-                if !covered && !waived(&raw_lines, line, "safety-comment") {
+                let simd = block_at(&file.code, token.end).is_some_and(is_simd_unsafe);
+                if simd {
+                    // `std::arch` blocks assert a target-feature contract;
+                    // no waiver can substitute for stating it.
+                    if !covered {
+                        report.findings.push(Finding {
+                            rule: "safety-comment".into(),
+                            location: here(),
+                            message: "`unsafe` block with `std::arch` SIMD intrinsics \
+                                      without a `// SAFETY:` comment — state the CPU-feature \
+                                      contract; this rule cannot be waived for SIMD blocks"
+                                .into(),
+                        });
+                    }
+                } else if !covered && !waived(&raw_lines, line, "safety-comment") {
                     report.findings.push(Finding {
                         rule: "safety-comment".into(),
                         location: here(),
@@ -570,6 +622,55 @@ mod tests {
         let code = blank_test_items(&blank_comments_and_strings(src));
         assert!(code.contains("x.unwrap"));
         assert!(!code.contains("y.unwrap"));
+    }
+
+    fn mem_file(rel: &str, raw: &str) -> SourceFile {
+        let code = blank_test_items(&blank_comments_and_strings(raw));
+        let mut line_starts = vec![0usize];
+        for (i, b) in raw.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        SourceFile {
+            rel: rel.into(),
+            raw: raw.into(),
+            code,
+            line_starts,
+        }
+    }
+
+    fn lint_source(raw: &str) -> Vec<Finding> {
+        let mut report = PassReport::new("lint");
+        lint_file(&mem_file("crates/x/src/a.rs", raw), &mut report);
+        report.findings
+    }
+
+    #[test]
+    fn simd_unsafe_blocks_require_safety_and_ignore_waivers() {
+        // A waiver does NOT silence the rule for a std::arch block.
+        let waived = "fn f() {\n\
+                      // sar-check: allow(safety-comment) — trust me\n\
+                      unsafe { avx2::add_assign(dst, src) };\n}\n";
+        let findings = lint_source(waived);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("SIMD"));
+
+        // Raw intrinsics are also recognized.
+        let raw_intrinsic = "fn g() { unsafe { core::arch::x86_64::_mm256_setzero_ps() }; }\n";
+        assert_eq!(lint_source(raw_intrinsic).len(), 1);
+
+        // A SAFETY comment satisfies the rule.
+        let covered = "fn f() {\n\
+                       // SAFETY: dispatch guarded by detect_avx2().\n\
+                       unsafe { avx2::add_assign(dst, src) };\n}\n";
+        assert!(lint_source(covered).is_empty());
+
+        // Non-SIMD unsafe blocks can still be waived as before.
+        let generic = "fn f() {\n\
+                       // sar-check: allow(safety-comment) — audited\n\
+                       unsafe { ptr.read() };\n}\n";
+        assert!(lint_source(generic).is_empty());
     }
 
     #[test]

@@ -49,4 +49,4 @@ pub use model::{Arch, DistModel, Mode, ModelConfig};
 pub use seq_agg::{gat_aggregate, sage_aggregate, FakMode};
 pub use shard::Shard;
 pub use trainer::{run_worker, train, EpochRecord, RunReport, TrainConfig, WorkerReport};
-pub use worker::Worker;
+pub use worker::{FetchedBlock, Worker};

@@ -23,13 +23,15 @@ use std::rc::Rc;
 
 use sar_comm::Phase;
 use sar_graph::fused::{
-    attn_grad_dot, gat_fused_block_backward, gat_fused_block_forward, gat_twostep_block_backward,
-    gat_twostep_block_forward, OnlineAttnState,
+    attn_grad_dot, gat_fused_block_backward, gat_fused_block_backward_indexed,
+    gat_fused_block_forward, gat_fused_block_forward_indexed, gat_twostep_block_backward,
+    gat_twostep_block_backward_indexed, gat_twostep_block_forward,
+    gat_twostep_block_forward_indexed, OnlineAttnState,
 };
 use sar_graph::ops;
 use sar_tensor::{Function, Tensor, Var};
 
-use crate::worker::Worker;
+use crate::worker::{FetchedBlock, Worker};
 
 // ----------------------------------------------------------------------
 // Case 1: GraphSage (linear aggregation, no refetch)
@@ -82,8 +84,17 @@ pub fn sage_aggregate(w: &Rc<Worker>, z: &Var) -> Var {
     let mut acc = Tensor::zeros(&[w.graph.num_local(), cols]);
     {
         let _phase = w.ctx.phase_scope(Phase::ForwardFetch);
-        w.fetch_rounds(&z.value(), |q, fetched| {
-            ops::spmm_sum_into(w.graph.block(q), fetched, &mut acc);
+        // Round 0 aggregates straight out of the resident features through
+        // the row table (fused gather+aggregate); remote blocks aggregate
+        // from the wire buffer. Both paths are bitwise identical to
+        // gather-then-aggregate.
+        w.fetch_rounds(&z.value(), |q, fetched| match fetched {
+            FetchedBlock::Local { data, rows } => {
+                ops::spmm_sum_into_indexed(w.graph.block(q), data, rows, &mut acc);
+            }
+            FetchedBlock::Remote(block) => {
+                ops::spmm_sum_into(w.graph.block(q), block, &mut acc);
+            }
         });
     }
     Var::from_function(
@@ -155,39 +166,88 @@ impl Function for GatAggFn {
             let _refetch = w.ctx.phase_scope(Phase::BackwardRefetch);
             let s_dst_ref = s_dst.value();
             let z_ref = z.value();
+            // The local round re-materializes nothing: logits, attention
+            // gradients, and the s_src fold-back all read the resident
+            // features through the row table (fused gather+aggregate).
+            // Gradient outputs are block-shaped either way, so the
+            // routing below is identical for both paths.
             w.fetch_rounds(&z_ref, |q, z_block| {
-                let s_src_block = ops::head_project(z_block, &a_src_val, heads);
                 let block = w.graph.block(q);
-                let grads = match self.mode {
-                    FakMode::Fused => gat_fused_block_backward(
-                        block,
-                        &s_dst_ref,
-                        &s_src_block,
-                        z_block,
-                        self.slope,
-                        &self.max,
-                        &self.den,
-                        grad_output,
-                        &grad_dot,
-                        &mut d_s_dst,
-                    ),
-                    FakMode::TwoStep => gat_twostep_block_backward(
-                        block,
-                        &s_dst_ref,
-                        &s_src_block,
-                        z_block,
-                        self.slope,
-                        &self.max,
-                        &self.den,
-                        grad_output,
-                        &grad_dot,
-                        &mut d_s_dst,
-                    ),
+                let (grads, dz_from_s, da) = match z_block {
+                    FetchedBlock::Local { data, rows } => {
+                        let s_src_block = ops::head_project_indexed(data, rows, &a_src_val, heads);
+                        let grads = match self.mode {
+                            FakMode::Fused => gat_fused_block_backward_indexed(
+                                block,
+                                &s_dst_ref,
+                                &s_src_block,
+                                data,
+                                rows,
+                                self.slope,
+                                &self.max,
+                                &self.den,
+                                grad_output,
+                                &grad_dot,
+                                &mut d_s_dst,
+                            ),
+                            FakMode::TwoStep => gat_twostep_block_backward_indexed(
+                                block,
+                                &s_dst_ref,
+                                &s_src_block,
+                                data,
+                                rows,
+                                self.slope,
+                                &self.max,
+                                &self.den,
+                                grad_output,
+                                &grad_dot,
+                                &mut d_s_dst,
+                            ),
+                        };
+                        // Fold the s_src path back into z and a_src:
+                        // s_src = head_project(z, a_src).
+                        let (dz_from_s, da) = ops::head_project_backward_indexed(
+                            data,
+                            rows,
+                            &a_src_val,
+                            heads,
+                            &grads.d_s_src,
+                        );
+                        (grads, dz_from_s, da)
+                    }
+                    FetchedBlock::Remote(z_block) => {
+                        let s_src_block = ops::head_project(z_block, &a_src_val, heads);
+                        let grads = match self.mode {
+                            FakMode::Fused => gat_fused_block_backward(
+                                block,
+                                &s_dst_ref,
+                                &s_src_block,
+                                z_block,
+                                self.slope,
+                                &self.max,
+                                &self.den,
+                                grad_output,
+                                &grad_dot,
+                                &mut d_s_dst,
+                            ),
+                            FakMode::TwoStep => gat_twostep_block_backward(
+                                block,
+                                &s_dst_ref,
+                                &s_src_block,
+                                z_block,
+                                self.slope,
+                                &self.max,
+                                &self.den,
+                                grad_output,
+                                &grad_dot,
+                                &mut d_s_dst,
+                            ),
+                        };
+                        let (dz_from_s, da) =
+                            ops::head_project_backward(z_block, &a_src_val, heads, &grads.d_s_src);
+                        (grads, dz_from_s, da)
+                    }
                 };
-                // Fold the s_src path back into z and a_src:
-                // s_src = head_project(z, a_src).
-                let (dz_from_s, da) =
-                    ops::head_project_backward(z_block, &a_src_val, heads, &grads.d_s_src);
                 d_a_src.add_assign(&da);
                 let mut d_z_block = grads.d_x_src;
                 d_z_block.add_assign(&dz_from_s);
@@ -268,26 +328,57 @@ pub fn gat_aggregate(
     {
         let _phase = w.ctx.phase_scope(Phase::ForwardFetch);
         let s_dst_ref = s_dst.value();
+        // Round 0 computes source logits and aggregates straight out of
+        // the resident features through the row table (fused
+        // gather+aggregate); remote blocks use the materialized wire
+        // buffer. Both paths are bitwise identical.
         w.fetch_rounds(&z.value(), |q, z_block| {
-            let s_src_block = ops::head_project(z_block, &a_src_val, heads);
             let block = w.graph.block(q);
-            match mode {
-                FakMode::Fused => gat_fused_block_forward(
-                    block,
-                    &s_dst_ref,
-                    &s_src_block,
-                    z_block,
-                    slope,
-                    &mut state,
-                ),
-                FakMode::TwoStep => gat_twostep_block_forward(
-                    block,
-                    &s_dst_ref,
-                    &s_src_block,
-                    z_block,
-                    slope,
-                    &mut state,
-                ),
+            match z_block {
+                FetchedBlock::Local { data, rows } => {
+                    let s_src_block = ops::head_project_indexed(data, rows, &a_src_val, heads);
+                    match mode {
+                        FakMode::Fused => gat_fused_block_forward_indexed(
+                            block,
+                            &s_dst_ref,
+                            &s_src_block,
+                            data,
+                            rows,
+                            slope,
+                            &mut state,
+                        ),
+                        FakMode::TwoStep => gat_twostep_block_forward_indexed(
+                            block,
+                            &s_dst_ref,
+                            &s_src_block,
+                            data,
+                            rows,
+                            slope,
+                            &mut state,
+                        ),
+                    }
+                }
+                FetchedBlock::Remote(z_block) => {
+                    let s_src_block = ops::head_project(z_block, &a_src_val, heads);
+                    match mode {
+                        FakMode::Fused => gat_fused_block_forward(
+                            block,
+                            &s_dst_ref,
+                            &s_src_block,
+                            z_block,
+                            slope,
+                            &mut state,
+                        ),
+                        FakMode::TwoStep => gat_twostep_block_forward(
+                            block,
+                            &s_dst_ref,
+                            &s_src_block,
+                            z_block,
+                            slope,
+                            &mut state,
+                        ),
+                    }
+                }
             }
         });
     }

@@ -16,6 +16,58 @@ use crate::plan::{self, FetchStep, GradStep};
 /// exchanges.
 const P2P_TAG_BASE: u64 = 1 << 40;
 
+/// One partition block handed to the [`Worker::fetch_rounds`] consumer.
+///
+/// Remote rounds deliver the materialized block received from the wire.
+/// The round-0 local block is *not* materialized: the consumer gets the
+/// worker's resident feature tensor plus the row table selecting the
+/// block's compacted columns, and reads through it with the fused
+/// gather+aggregate kernels (`ops::spmm_sum_into_indexed`,
+/// `ops::head_project_indexed`, `fused::gat_fused_block_forward_indexed`,
+/// …) — the gathered copy earlier revisions staged through the buffer
+/// pool never exists, so round 0 contributes zero staged bytes to the
+/// fetch-phase watermark.
+pub enum FetchedBlock<'a> {
+    /// Round 0: the local features, viewed through `rows` (one entry per
+    /// block column, each an index into `data`).
+    Local {
+        /// The worker's resident `[n_local, F]` feature tensor.
+        data: &'a Tensor,
+        /// Row table selecting the block's compacted columns from `data`.
+        rows: &'a [u32],
+    },
+    /// A remote partition's rows, received and bounds-checked.
+    Remote(&'a Tensor),
+}
+
+impl FetchedBlock<'_> {
+    /// Number of rows in the block (its compacted column count).
+    pub fn rows(&self) -> usize {
+        match self {
+            FetchedBlock::Local { rows, .. } => rows.len(),
+            FetchedBlock::Remote(t) => t.rows(),
+        }
+    }
+
+    /// Feature width of the block.
+    pub fn cols(&self) -> usize {
+        match self {
+            FetchedBlock::Local { data, .. } => data.cols(),
+            FetchedBlock::Remote(t) => t.cols(),
+        }
+    }
+
+    /// Materializes the block as an owned tensor: gathers the local
+    /// round's rows, clones a remote block. For cold paths and tests —
+    /// hot paths consume `Local` in place via the `*_indexed` kernels.
+    pub fn to_tensor(&self) -> Tensor {
+        match self {
+            FetchedBlock::Local { data, rows } => data.gather_rows(rows),
+            FetchedBlock::Remote(t) => (*t).clone(),
+        }
+    }
+}
+
 /// A worker's handle during distributed training: the communication
 /// context, this worker's shard, and a tag allocator.
 ///
@@ -189,7 +241,7 @@ impl Worker {
 
     /// The sequential rotation exchange of Algorithm 1, pipelined to depth
     /// `k = prefetch_depth`: fetches each partition's needed rows of
-    /// `data`, invoking `consume(q, fetched)` per partition in the fixed
+    /// `data`, invoking `consume(q, block)` per partition in the fixed
     /// rank order `p, p+1, …` regardless of arrival order — out-of-order
     /// frames are staged by the communication context and blocks are
     /// accumulated deterministically, so results are bitwise identical at
@@ -203,12 +255,15 @@ impl Worker {
     /// This function only binds the plan to tensors and the transport.
     ///
     /// Round `r`: this worker serves partition `(p − r) mod N` and fetches
-    /// from partition `(p + r) mod N`; round 0 is the local block (gather,
-    /// no communication). Serves are issued eagerly on the non-blocking
-    /// send path, and up to `k` fetched blocks are staged ahead of the one
-    /// being consumed, so at most `k + 1` remote blocks are live alongside
-    /// the local partition ⇒ the `(k+2)/N` memory bound (2/N at depth 0,
-    /// the paper's 3/N at depth 1).
+    /// from partition `(p + r) mod N`; round 0 is the local block,
+    /// delivered as [`FetchedBlock::Local`] — no communication and no
+    /// gathered copy, the consumer reads the resident features through the
+    /// row table via the fused gather+aggregate kernels. Serves are issued
+    /// eagerly on the non-blocking send path, and up to `k` fetched blocks
+    /// are staged ahead of the one being consumed, so at most `k + 1`
+    /// remote blocks are live alongside the local partition ⇒ the
+    /// `(k+2)/N` memory bound (2/N at depth 0, the paper's 3/N at
+    /// depth 1).
     ///
     /// `data` must have one row per local node.
     ///
@@ -216,7 +271,7 @@ impl Worker {
     ///
     /// Panics if `data` has the wrong number of rows, or if a peer dies or
     /// sends a malformed block mid-exchange.
-    pub fn fetch_rounds(&self, data: &Tensor, mut consume: impl FnMut(usize, &Tensor)) {
+    pub fn fetch_rounds(&self, data: &Tensor, mut consume: impl FnMut(usize, FetchedBlock<'_>)) {
         let n = self.world();
         let p = self.rank();
         if data.rows() != self.graph.num_local() {
@@ -235,28 +290,37 @@ impl Worker {
             .then(|| self.ctx.phase_scope(Phase::ForwardFetch));
 
         // Staged blocks, oldest first; the plan bounds the queue to
-        // `min(k, n-1) + 1` entries. Gathers land in pooled buffers and
-        // are recycled after consumption, so allocations are reused
-        // across rounds, layers and epochs.
-        let mut staged: VecDeque<(usize, Tensor)> = VecDeque::new();
+        // `min(k, n-1) + 1` entries. The local round stages no tensor —
+        // `None` marks it and consumption reads `data` in place through
+        // the row table. Remote blocks land in pooled buffers and are
+        // recycled after consumption, so allocations are reused across
+        // rounds, layers and epochs.
+        let mut staged: VecDeque<(usize, Option<Tensor>)> = VecDeque::new();
         for step in plan::fetch_steps(n, p, self.prefetch_depth) {
             match step {
-                FetchStep::GatherLocal => {
-                    let buf = Worker::gather_pooled(data, self.graph.needed_table(p), cols);
-                    let rows = self.graph.needed_from(p).len();
-                    staged.push_back((p, Tensor::from_vec(&[rows, cols], buf)));
-                }
+                FetchStep::GatherLocal => staged.push_back((p, None)),
                 FetchStep::Serve { dst, .. } => self.serve(data, dst, tag),
                 FetchStep::Fetch { src, .. } => {
-                    staged.push_back((src, self.receive_block(src, tag, cols)));
+                    staged.push_back((src, Some(self.receive_block(src, tag, cols))));
                 }
                 FetchStep::Consume { q } => {
                     let (staged_q, block) = staged.pop_front().unwrap_or_else(|| {
                         panic!("worker {p}: pipeline underrun consuming partition {q}")
                     });
                     debug_assert_eq!(staged_q, q, "plan consumption order diverged");
-                    consume(q, &block);
-                    buffer::recycle_f32(block.into_data());
+                    match block {
+                        None => consume(
+                            q,
+                            FetchedBlock::Local {
+                                data,
+                                rows: self.graph.needed_from(p),
+                            },
+                        ),
+                        Some(block) => {
+                            consume(q, FetchedBlock::Remote(&block));
+                            buffer::recycle_f32(block.into_data());
+                        }
+                    }
                 }
             }
         }

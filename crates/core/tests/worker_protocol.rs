@@ -37,8 +37,9 @@ fn fetch_rounds_delivers_each_partition_once_in_rotation_order() {
         w.fetch_rounds(&data, |q, fetched| {
             seen.push(q);
             assert_eq!(fetched.rows(), w.graph.needed_from(q).len());
-            // Every row of a block fetched from q must carry q's value.
-            assert!(fetched.data().iter().all(|&v| v == q as f32));
+            // Every row of a block fetched from q must carry q's value
+            // (round 0 arrives unmaterialized; gather it for inspection).
+            assert!(fetched.to_tensor().data().iter().all(|&v| v == q as f32));
         });
         seen
     });
@@ -59,8 +60,9 @@ fn fetch_rounds_with_prefetch_same_payloads() {
         let data = Tensor::full(&[w.graph.num_local(), 1], rank as f32 + 1.0);
         let mut sums = 0.0f32;
         w.fetch_rounds(&data, |q, fetched| {
-            sums += fetched.sum();
-            assert!(fetched.data().iter().all(|&v| v == q as f32 + 1.0));
+            let block = fetched.to_tensor();
+            sums += block.sum();
+            assert!(block.data().iter().all(|&v| v == q as f32 + 1.0));
         });
         sums
     });
@@ -144,8 +146,12 @@ fn tags_stay_aligned_across_interleaved_protocols() {
         let a = Tensor::full(&[w.graph.num_local(), 1], 1.0);
         let b = Tensor::full(&[w.graph.num_local(), 1], 2.0);
         let mut ok = true;
-        w.fetch_rounds(&a, |_, f| ok &= f.data().iter().all(|&v| v == 1.0));
-        w.fetch_rounds(&b, |_, f| ok &= f.data().iter().all(|&v| v == 2.0));
+        w.fetch_rounds(&a, |_, f| {
+            ok &= f.to_tensor().data().iter().all(|&v| v == 1.0);
+        });
+        w.fetch_rounds(&b, |_, f| {
+            ok &= f.to_tensor().data().iter().all(|&v| v == 2.0);
+        });
         let g = w.exchange_grads(1, |q| Tensor::full(&[w.graph.needed_from(q).len(), 1], 3.0));
         ok && g.data().iter().all(|&v| v == 0.0 || v % 3.0 == 0.0)
     });

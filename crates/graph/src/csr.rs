@@ -28,6 +28,11 @@ pub struct CsrGraph {
     num_cols: usize,
     indptr: Vec<usize>,
     indices: Vec<u32>,
+    /// True when every row's neighbor list ascends — derived from the
+    /// data at construction, and the precondition for the cache-blocked
+    /// kernel traversals in `ops` (blocking by source range only
+    /// preserves per-row accumulation order on sorted rows).
+    rows_sorted: bool,
 }
 
 impl CsrGraph {
@@ -81,6 +86,7 @@ impl CsrGraph {
             num_cols,
             indptr,
             indices,
+            rows_sorted: true,
         }
     }
 
@@ -106,12 +112,26 @@ impl CsrGraph {
             indices.iter().all(|&j| (j as usize) < num_cols),
             "column index out of range"
         );
+        let rows_sorted = (0..num_rows).all(|i| {
+            indices[indptr[i]..indptr[i + 1]]
+                .windows(2)
+                .all(|w| w[0] <= w[1])
+        });
         Self {
             num_rows,
             num_cols,
             indptr,
             indices,
+            rows_sorted,
         }
+    }
+
+    /// True when every row's neighbor list is ascending. Always holds for
+    /// graphs built via [`CsrGraph::from_edges`] /
+    /// [`CsrGraph::from_edges_bipartite`]; checked once at construction
+    /// for [`CsrGraph::from_raw`].
+    pub fn rows_sorted(&self) -> bool {
+        self.rows_sorted
     }
 
     /// Number of destination (row) nodes.
@@ -304,6 +324,16 @@ impl ReverseIndex {
     /// Out-degree of source `j`.
     pub fn out_degree(&self, j: usize) -> usize {
         self.indptr[j + 1] - self.indptr[j]
+    }
+
+    /// Raw slices of source `j`'s entries — `(destinations, edge ids)`,
+    /// both ascending by edge id (and therefore by destination, since CSR
+    /// edge ids are destination-major). This is the random-access form of
+    /// [`ReverseIndex::entries`] used by the cache-blocked backward
+    /// traversals, which keep a cursor into these slices per source.
+    pub fn entry_slices(&self, j: usize) -> (&[u32], &[u32]) {
+        let (lo, hi) = (self.indptr[j], self.indptr[j + 1]);
+        (&self.dst[lo..hi], &self.edge[lo..hi])
     }
 
     /// Iterates source `j`'s edges as `(destination row, CSR edge id)`,

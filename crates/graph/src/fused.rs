@@ -24,9 +24,15 @@
 //! passes), preserving each row's sequential reduction order so results
 //! are bitwise identical across thread counts.
 
+//! Inner loops over each head's `d`-wide feature segment run through the
+//! bitwise-deterministic SIMD primitives of [`sar_tensor::simd`], and the
+//! `*_indexed` kernel variants read source features through a row map
+//! (`x[map[j]]`) so SAR's local round can aggregate straight out of the
+//! resident feature tensor without materializing a gathered block.
+
 use crate::CsrGraph;
 use sar_tensor::pool::{parallel_for, SharedSlice};
-use sar_tensor::Tensor;
+use sar_tensor::{simd, Tensor};
 
 /// Running online-softmax state for attention aggregation over
 /// `rows` destination nodes with `heads` heads of dimension `head_dim`.
@@ -123,15 +129,53 @@ pub fn gat_fused_block_forward(
     slope: f32,
     state: &mut OnlineAttnState,
 ) {
+    assert_eq!(x_src.rows(), g.num_cols(), "x_src rows mismatch");
+    gat_fused_block_forward_impl(g, s_dst, s_src, x_src, None, slope, state);
+}
+
+/// [`gat_fused_block_forward`] with source features read through a row
+/// map: block column `j` reads `x[map[j]]`. Used by SAR's fused local
+/// round; bitwise identical to gathering the block first.
+///
+/// # Panics
+///
+/// Panics if `map` does not have one entry per graph column or any entry
+/// is out of range for `x`.
+pub fn gat_fused_block_forward_indexed(
+    g: &CsrGraph,
+    s_dst: &Tensor,
+    s_src: &Tensor,
+    x: &Tensor,
+    map: &[u32],
+    slope: f32,
+    state: &mut OnlineAttnState,
+) {
+    assert_eq!(map.len(), g.num_cols(), "one map entry per column required");
+    assert!(
+        map.iter().all(|&r| (r as usize) < x.rows()),
+        "row map entry out of range"
+    );
+    gat_fused_block_forward_impl(g, s_dst, s_src, x, Some(map), slope, state);
+}
+
+fn gat_fused_block_forward_impl(
+    g: &CsrGraph,
+    s_dst: &Tensor,
+    s_src: &Tensor,
+    x_src: &Tensor,
+    map: Option<&[u32]>,
+    slope: f32,
+    state: &mut OnlineAttnState,
+) {
     let (h, d) = (state.heads, state.head_dim);
     assert_eq!(s_dst.rows(), g.num_rows(), "s_dst rows mismatch");
     assert_eq!(s_src.rows(), g.num_cols(), "s_src rows mismatch");
-    assert_eq!(x_src.rows(), g.num_cols(), "x_src rows mismatch");
     assert_eq!(s_dst.cols(), h, "s_dst heads mismatch");
     assert_eq!(x_src.cols(), h * d, "x_src width mismatch");
     assert_eq!(state.num.rows(), g.num_rows(), "state rows mismatch");
 
     let hd = h * d;
+    let row_of = |j: usize| map.map_or(j, |m| m[j] as usize);
     let x_data = x_src.data();
     let s_dst_data = s_dst.data();
     let s_src_data = s_src.data();
@@ -158,7 +202,8 @@ pub fn gat_fused_block_forward(
             let num_i = unsafe { num_s.range_mut(i * hd, (i + 1) * hd) };
             for &j_src in &indices[es..ee] {
                 let j = j_src as usize;
-                let x_row = &x_data[j * hd..(j + 1) * hd];
+                let r = row_of(j);
+                let x_row = &x_data[r * hd..(r + 1) * hd];
                 let s_src_row = &s_src_data[j * h..(j + 1) * h];
                 for head in 0..h {
                     let u = s_dst_data[i * h + head] + s_src_row[head];
@@ -175,18 +220,15 @@ pub fn gat_fused_block_forward(
                         };
                         max_row[head] = e;
                         den_row[head] *= scale;
-                        let num_row = &mut num_i[head * d..(head + 1) * d];
-                        for v in num_row.iter_mut() {
-                            *v *= scale;
-                        }
+                        simd::scale(&mut num_i[head * d..(head + 1) * d], scale);
                     }
                     let w = (e - max_row[head]).exp();
                     den_row[head] += w;
-                    let num_row = &mut num_i[head * d..(head + 1) * d];
-                    let x_head = &x_row[head * d..(head + 1) * d];
-                    for (v, &xv) in num_row.iter_mut().zip(x_head) {
-                        *v += w * xv;
-                    }
+                    simd::axpy(
+                        w,
+                        &x_row[head * d..(head + 1) * d],
+                        &mut num_i[head * d..(head + 1) * d],
+                    );
                 }
             }
         }
@@ -243,8 +285,46 @@ pub fn gat_twostep_block_forward(
     slope: f32,
     state: &mut OnlineAttnState,
 ) {
+    gat_twostep_block_forward_impl(g, s_dst, s_src, x_src, None, slope, state);
+}
+
+/// [`gat_twostep_block_forward`] with source features read through a row
+/// map (`x[map[j]]`) — the two-step counterpart of
+/// [`gat_fused_block_forward_indexed`].
+///
+/// # Panics
+///
+/// Panics if `map` does not have one entry per graph column or any entry
+/// is out of range for `x`.
+pub fn gat_twostep_block_forward_indexed(
+    g: &CsrGraph,
+    s_dst: &Tensor,
+    s_src: &Tensor,
+    x: &Tensor,
+    map: &[u32],
+    slope: f32,
+    state: &mut OnlineAttnState,
+) {
+    assert_eq!(map.len(), g.num_cols(), "one map entry per column required");
+    assert!(
+        map.iter().all(|&r| (r as usize) < x.rows()),
+        "row map entry out of range"
+    );
+    gat_twostep_block_forward_impl(g, s_dst, s_src, x, Some(map), slope, state);
+}
+
+fn gat_twostep_block_forward_impl(
+    g: &CsrGraph,
+    s_dst: &Tensor,
+    s_src: &Tensor,
+    x_src: &Tensor,
+    map: Option<&[u32]>,
+    slope: f32,
+    state: &mut OnlineAttnState,
+) {
     let (h, d) = (state.heads, state.head_dim);
     let hd = h * d;
+    let row_of = |j: usize| map.map_or(j, |m| m[j] as usize);
     // Step 1: write all raw scores to memory.
     let scores = crate::ops::gat_edge_scores(g, s_dst, s_src, slope);
     // Step 2: read them back while aggregating, destination-parallel like
@@ -269,8 +349,8 @@ pub fn gat_twostep_block_forward(
             let den_row = unsafe { den_s.range_mut(i * h, (i + 1) * h) };
             let num_i = unsafe { num_s.range_mut(i * hd, (i + 1) * hd) };
             for e_id in es..ee {
-                let j = indices[e_id] as usize;
-                let x_row = &x_data[j * hd..(j + 1) * hd];
+                let r = row_of(indices[e_id] as usize);
+                let x_row = &x_data[r * hd..(r + 1) * hd];
                 for head in 0..h {
                     let e = scores_data[e_id * h + head];
                     let m_old = max_row[head];
@@ -282,15 +362,15 @@ pub fn gat_twostep_block_forward(
                         };
                         max_row[head] = e;
                         den_row[head] *= scale;
-                        for k in 0..d {
-                            num_i[head * d + k] *= scale;
-                        }
+                        simd::scale(&mut num_i[head * d..(head + 1) * d], scale);
                     }
                     let w = (e - max_row[head]).exp();
                     den_row[head] += w;
-                    for k in 0..d {
-                        num_i[head * d + k] += w * x_row[head * d + k];
-                    }
+                    simd::axpy(
+                        w,
+                        &x_row[head * d..(head + 1) * d],
+                        &mut num_i[head * d..(head + 1) * d],
+                    );
                 }
             }
         }
@@ -317,9 +397,71 @@ pub fn gat_twostep_block_backward(
     grad_dot: &Tensor,
     d_s_dst: &mut Tensor,
 ) -> FusedBlockGrads {
+    assert_eq!(x_src.rows(), g.num_cols(), "x_src rows mismatch");
+    gat_twostep_block_backward_impl(
+        g, s_dst, s_src, x_src, None, slope, max, den, grad_out, grad_dot, d_s_dst,
+    )
+}
+
+/// [`gat_twostep_block_backward`] with source features read through a row
+/// map (`x[map[j]]`); gradients stay block-shaped.
+///
+/// # Panics
+///
+/// Panics if `map` does not have one entry per graph column or any entry
+/// is out of range for `x`.
+#[allow(clippy::too_many_arguments)]
+pub fn gat_twostep_block_backward_indexed(
+    g: &CsrGraph,
+    s_dst: &Tensor,
+    s_src: &Tensor,
+    x: &Tensor,
+    map: &[u32],
+    slope: f32,
+    max: &Tensor,
+    den: &Tensor,
+    grad_out: &Tensor,
+    grad_dot: &Tensor,
+    d_s_dst: &mut Tensor,
+) -> FusedBlockGrads {
+    assert_eq!(map.len(), g.num_cols(), "one map entry per column required");
+    assert!(
+        map.iter().all(|&r| (r as usize) < x.rows()),
+        "row map entry out of range"
+    );
+    gat_twostep_block_backward_impl(
+        g,
+        s_dst,
+        s_src,
+        x,
+        Some(map),
+        slope,
+        max,
+        den,
+        grad_out,
+        grad_dot,
+        d_s_dst,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gat_twostep_block_backward_impl(
+    g: &CsrGraph,
+    s_dst: &Tensor,
+    s_src: &Tensor,
+    x_src: &Tensor,
+    map: Option<&[u32]>,
+    slope: f32,
+    max: &Tensor,
+    den: &Tensor,
+    grad_out: &Tensor,
+    grad_dot: &Tensor,
+    d_s_dst: &mut Tensor,
+) -> FusedBlockGrads {
     let h = s_dst.cols();
     let hd = x_src.cols();
     let d = hd / h;
+    let row_of = |j: usize| map.map_or(j, |m| m[j] as usize);
     let mut d_x_src = Tensor::zeros(&[g.num_cols(), hd]);
     let mut d_s_src = Tensor::zeros(&[g.num_cols(), h]);
 
@@ -382,17 +524,17 @@ pub fn gat_twostep_block_backward(
                 let dsd_row = unsafe { dsd_s.range_mut(i * h, (i + 1) * h) };
                 for e_id in es..ee {
                     let j = indices[e_id] as usize;
-                    let x_row = &x_data[j * hd..(j + 1) * hd];
+                    let r = row_of(j);
+                    let x_row = &x_data[r * hd..(r + 1) * hd];
                     for head in 0..h {
                         let a = alpha_data[e_id * h + head];
                         if a == 0.0 {
                             continue;
                         }
-                        let mut dot_gx = 0.0f32;
-                        for k in 0..d {
-                            let c = head * d + k;
-                            dot_gx += g_row[c] * x_row[c];
-                        }
+                        let dot_gx = simd::dot(
+                            &g_row[head * d..(head + 1) * d],
+                            &x_row[head * d..(head + 1) * d],
+                        );
                         let de = a * (dot_gx - grad_dot_data[i * h + head]);
                         let u = sd[i * h + head] + ss[j * h + head];
                         let du = de * if u > 0.0 { 1.0 } else { slope };
@@ -412,7 +554,8 @@ pub fn gat_twostep_block_backward(
                 // `lo..hi` range — one writer per d_x / d_s_src row.
                 let dx_row = unsafe { dx_s.range_mut(j * hd, (j + 1) * hd) };
                 let dss_row = unsafe { dss_s.range_mut(j * h, (j + 1) * h) };
-                let x_row = &x_data[j * hd..(j + 1) * hd];
+                let r = row_of(j);
+                let x_row = &x_data[r * hd..(r + 1) * hd];
                 for (i, e_id) in rev.entries(j) {
                     let g_row = &grad_data[i * hd..(i + 1) * hd];
                     for head in 0..h {
@@ -420,12 +563,9 @@ pub fn gat_twostep_block_backward(
                         if a == 0.0 {
                             continue;
                         }
-                        let mut dot_gx = 0.0f32;
-                        for k in 0..d {
-                            let c = head * d + k;
-                            dx_row[c] += a * g_row[c];
-                            dot_gx += g_row[c] * x_row[c];
-                        }
+                        let g_head = &g_row[head * d..(head + 1) * d];
+                        simd::axpy(a, g_head, &mut dx_row[head * d..(head + 1) * d]);
+                        let dot_gx = simd::dot(g_head, &x_row[head * d..(head + 1) * d]);
                         let de = a * (dot_gx - grad_dot_data[i * h + head]);
                         let u = sd[i * h + head] + ss[j * h + head];
                         let du = de * if u > 0.0 { 1.0 } else { slope };
@@ -458,11 +598,10 @@ pub fn attn_grad_dot(grad_out: &Tensor, out: &Tensor, heads: usize) -> Tensor {
                 let g_row = &g_data[i * hd..(i + 1) * hd];
                 let o_row = &o_data[i * hd..(i + 1) * hd];
                 for head in 0..heads {
-                    let mut acc = 0.0f32;
-                    for k in 0..d {
-                        acc += g_row[head * d + k] * o_row[head * d + k];
-                    }
-                    chunk[(i - lo) * heads + head] = acc;
+                    chunk[(i - lo) * heads + head] = simd::dot(
+                        &g_row[head * d..(head + 1) * d],
+                        &o_row[head * d..(head + 1) * d],
+                    );
                 }
             }
         });
@@ -505,6 +644,68 @@ pub fn gat_fused_block_backward(
     grad_dot: &Tensor,
     d_s_dst: &mut Tensor,
 ) -> FusedBlockGrads {
+    assert_eq!(x_src.rows(), g.num_cols(), "x_src rows mismatch");
+    gat_fused_block_backward_impl(
+        g, s_dst, s_src, x_src, None, slope, max, den, grad_out, grad_dot, d_s_dst,
+    )
+}
+
+/// [`gat_fused_block_backward`] with source features read through a row
+/// map (`x[map[j]]`). The returned gradients are still block-shaped
+/// (`[cols, …]`) — only the *reads* are indirect.
+///
+/// # Panics
+///
+/// Panics if `map` does not have one entry per graph column or any entry
+/// is out of range for `x`.
+#[allow(clippy::too_many_arguments)]
+pub fn gat_fused_block_backward_indexed(
+    g: &CsrGraph,
+    s_dst: &Tensor,
+    s_src: &Tensor,
+    x: &Tensor,
+    map: &[u32],
+    slope: f32,
+    max: &Tensor,
+    den: &Tensor,
+    grad_out: &Tensor,
+    grad_dot: &Tensor,
+    d_s_dst: &mut Tensor,
+) -> FusedBlockGrads {
+    assert_eq!(map.len(), g.num_cols(), "one map entry per column required");
+    assert!(
+        map.iter().all(|&r| (r as usize) < x.rows()),
+        "row map entry out of range"
+    );
+    gat_fused_block_backward_impl(
+        g,
+        s_dst,
+        s_src,
+        x,
+        Some(map),
+        slope,
+        max,
+        den,
+        grad_out,
+        grad_dot,
+        d_s_dst,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gat_fused_block_backward_impl(
+    g: &CsrGraph,
+    s_dst: &Tensor,
+    s_src: &Tensor,
+    x_src: &Tensor,
+    map: Option<&[u32]>,
+    slope: f32,
+    max: &Tensor,
+    den: &Tensor,
+    grad_out: &Tensor,
+    grad_dot: &Tensor,
+    d_s_dst: &mut Tensor,
+) -> FusedBlockGrads {
     let h = s_dst.cols();
     let hd = x_src.cols();
     let d = hd / h;
@@ -513,6 +714,7 @@ pub fn gat_fused_block_backward(
     let mut d_x_src = Tensor::zeros(&[g.num_cols(), hd]);
     let mut d_s_src = Tensor::zeros(&[g.num_cols(), h]);
 
+    let row_of = |j: usize| map.map_or(j, |m| m[j] as usize);
     let x_data = x_src.data();
     let s_dst_data = s_dst.data();
     let s_src_data = s_src.data();
@@ -539,7 +741,8 @@ pub fn gat_fused_block_backward(
                 let dsd_row = unsafe { dsd_s.range_mut(i * h, (i + 1) * h) };
                 for &j_src in &indices[es..ee] {
                     let j = j_src as usize;
-                    let x_row = &x_data[j * hd..(j + 1) * hd];
+                    let r = row_of(j);
+                    let x_row = &x_data[r * hd..(r + 1) * hd];
                     for head in 0..h {
                         let u = s_dst_data[i * h + head] + s_src_data[j * h + head];
                         let e = if u > 0.0 { u } else { slope * u };
@@ -550,10 +753,7 @@ pub fn gat_fused_block_backward(
                         let alpha = (e - max_data[i * h + head]).exp() / den_i;
                         let g_head = &g_row[head * d..(head + 1) * d];
                         let x_head = &x_row[head * d..(head + 1) * d];
-                        let mut dot_gx = 0.0f32;
-                        for (&gv, &xv) in g_head.iter().zip(x_head) {
-                            dot_gx += gv * xv;
-                        }
+                        let dot_gx = simd::dot(g_head, x_head);
                         // Softmax path: de = α (⟨g, x_j⟩ − ⟨g, out_i⟩).
                         let de = alpha * (dot_gx - grad_dot_data[i * h + head]);
                         let du = de * if u > 0.0 { 1.0 } else { slope };
@@ -577,7 +777,8 @@ pub fn gat_fused_block_backward(
                 // `lo..hi` range — one writer per d_x / d_s_src row.
                 let dx_j = unsafe { dx_s.range_mut(j * hd, (j + 1) * hd) };
                 let dss_row = unsafe { dss_s.range_mut(j * h, (j + 1) * h) };
-                let x_row = &x_data[j * hd..(j + 1) * hd];
+                let r = row_of(j);
+                let x_row = &x_data[r * hd..(r + 1) * hd];
                 for (i, _e) in rev.entries(j) {
                     let g_row = &grad_data[i * hd..(i + 1) * hd];
                     for head in 0..h {
@@ -590,14 +791,10 @@ pub fn gat_fused_block_backward(
                         // Recompute the attention coefficient on the fly.
                         let alpha = (e - max_data[i * h + head]).exp() / den_i;
                         // Value path: d x_j += α g_i.
-                        let dx_row = &mut dx_j[head * d..(head + 1) * d];
                         let g_head = &g_row[head * d..(head + 1) * d];
                         let x_head = &x_row[head * d..(head + 1) * d];
-                        let mut dot_gx = 0.0f32;
-                        for ((dx, &gv), &xv) in dx_row.iter_mut().zip(g_head).zip(x_head) {
-                            *dx += alpha * gv;
-                            dot_gx += gv * xv;
-                        }
+                        simd::axpy(alpha, g_head, &mut dx_j[head * d..(head + 1) * d]);
+                        let dot_gx = simd::dot(g_head, x_head);
                         let de = alpha * (dot_gx - grad_dot_data[i * h + head]);
                         let du = de * if u > 0.0 { 1.0 } else { slope };
                         dss_row[head] += du;

@@ -24,10 +24,39 @@
 //! the same floating-point operations in the same order for any thread
 //! count, so results are **bitwise identical** to the single-threaded
 //! path (asserted in `tests/parallel_parity.rs`).
+//!
+//! # SIMD and cache blocking
+//!
+//! Inner contiguous-`f32` loops go through [`sar_tensor::simd`], whose
+//! AVX2 and portable paths are bitwise identical by construction, so
+//! vectorization never perturbs results. The SpMM traversals additionally
+//! block the *streamed* operand (source features forward, destination
+//! gradients backward) into cache-sized row panels: the outer loop walks
+//! panels in ascending order and each row keeps a cursor into its
+//! (ascending) edge list, so every row still accumulates its edges in
+//! exactly the unblocked order — blocking changes locality, never bits
+//! (asserted in `tests/simd_blocked_parity.rs`). Blocking is only taken
+//! when [`CsrGraph::rows_sorted`] holds (always true for `from_edges*`
+//! construction; verified once for `from_raw`).
+//!
+//! The `*_indexed` variants fuse SAR's local gather into the kernel: they
+//! read operand row `j` through a row map (`x[map[j]]`) instead of
+//! requiring the caller to materialize a gathered block first. They are
+//! bitwise identical to gather-then-kernel because they read exactly the
+//! same values in the same order.
 
 use crate::CsrGraph;
 use sar_tensor::pool::{parallel_for, SharedSlice};
-use sar_tensor::Tensor;
+use sar_tensor::{simd, Tensor};
+
+/// Bytes of the streamed operand a cache panel may span before the panel
+/// is cut; sized to sit comfortably inside a per-core L2 cache.
+const SRC_PANEL_BYTES: usize = 256 * 1024;
+
+/// Default panel height (in streamed-operand rows) for feature width `f`.
+fn panel_rows(f: usize) -> usize {
+    (SRC_PANEL_BYTES / (f.max(1) * std::mem::size_of::<f32>())).max(16)
+}
 
 // ----------------------------------------------------------------------
 // SpMM (GraphSage-style sum aggregation)
@@ -55,26 +84,103 @@ pub fn spmm_sum(g: &CsrGraph, x: &Tensor) -> Tensor {
 /// Panics if shapes are inconsistent with the graph.
 pub fn spmm_sum_into(g: &CsrGraph, x: &Tensor, out: &mut Tensor) {
     assert_eq!(x.rows(), g.num_cols(), "x rows must equal graph columns");
+    spmm_sum_into_impl(g, x, None, out, panel_rows(x.cols()));
+}
+
+/// Fused gather + sum aggregation: `out[i] += Σ_{j ∈ neighbors(i)}
+/// x[map[j]]`.
+///
+/// Block column `j` reads row `map[j]` of `x` directly, so SAR's local
+/// round consumes the resident feature tensor without materializing the
+/// gathered `[num_cols, F]` block first. Bitwise identical to
+/// `gather` + [`spmm_sum_into`]: the same values are read and accumulated
+/// in the same order.
+///
+/// # Panics
+///
+/// Panics if `map` does not have one entry per graph column or any entry
+/// is out of range for `x`.
+pub fn spmm_sum_into_indexed(g: &CsrGraph, x: &Tensor, map: &[u32], out: &mut Tensor) {
+    assert_eq!(map.len(), g.num_cols(), "one map entry per column required");
+    assert!(
+        map.iter().all(|&r| (r as usize) < x.rows()),
+        "row map entry out of range"
+    );
+    spmm_sum_into_impl(g, x, Some(map), out, panel_rows(x.cols()));
+}
+
+/// [`spmm_sum_into`] with an explicit streamed-operand panel height —
+/// exposed so parity tests can prove blocked == unblocked bitwise.
+#[doc(hidden)]
+pub fn spmm_sum_into_with_panel(g: &CsrGraph, x: &Tensor, out: &mut Tensor, panel: usize) {
+    assert_eq!(x.rows(), g.num_cols(), "x rows must equal graph columns");
+    spmm_sum_into_impl(g, x, None, out, panel);
+}
+
+fn spmm_sum_into_impl(
+    g: &CsrGraph,
+    x: &Tensor,
+    map: Option<&[u32]>,
+    out: &mut Tensor,
+    panel: usize,
+) {
     assert_eq!(out.rows(), g.num_rows(), "out rows must equal graph rows");
     assert_eq!(out.cols(), x.cols(), "feature width mismatch");
     let f = x.cols();
     let x_data = x.data();
+    let indptr = g.indptr();
+    let indices = g.indices();
+    // Resolve a block column to its row in `x` (identity without a map).
+    let row_of = |j: usize| map.map_or(j, |m| m[j] as usize);
+    // Panels only preserve per-row accumulation order on sorted rows.
+    let blocked = g.rows_sorted() && panel < g.num_cols();
     let out_s = SharedSlice::new(out.data_mut());
     parallel_for(g.num_rows(), 1, |lo, hi| {
-        for i in lo..hi {
-            let neighbors = g.neighbors(i);
-            if neighbors.is_empty() {
-                continue;
-            }
-            // SAFETY: destination row `i` is in this chunk's exclusive
-            // `lo..hi` range, so element ranges are disjoint across threads.
-            let out_row = unsafe { out_s.range_mut(i * f, (i + 1) * f) };
-            for &j in neighbors {
-                let x_row = &x_data[j as usize * f..(j as usize + 1) * f];
-                for (o, &v) in out_row.iter_mut().zip(x_row) {
-                    *o += v;
+        if !blocked {
+            for i in lo..hi {
+                let neighbors = g.neighbors(i);
+                if neighbors.is_empty() {
+                    continue;
+                }
+                // SAFETY: destination row `i` is in this chunk's exclusive
+                // `lo..hi` range, so element ranges are disjoint across
+                // threads.
+                let out_row = unsafe { out_s.range_mut(i * f, (i + 1) * f) };
+                for &j in neighbors {
+                    let r = row_of(j as usize);
+                    simd::add_assign(out_row, &x_data[r * f..(r + 1) * f]);
                 }
             }
+            return;
+        }
+        // Cache-blocked traversal: walk ascending source panels, each row
+        // advancing a cursor through its ascending neighbor list — the
+        // per-row edge visit order is exactly the unblocked one.
+        let mut cursor: Vec<usize> = indptr[lo..hi].to_vec();
+        let mut b0 = 0usize;
+        while b0 < g.num_cols() {
+            let b1 = (b0 + panel).min(g.num_cols());
+            for i in lo..hi {
+                let end = indptr[i + 1];
+                let c = &mut cursor[i - lo];
+                if *c >= end || (indices[*c] as usize) >= b1 {
+                    continue;
+                }
+                // SAFETY: destination row `i` is in this chunk's exclusive
+                // `lo..hi` range, so element ranges are disjoint across
+                // threads.
+                let out_row = unsafe { out_s.range_mut(i * f, (i + 1) * f) };
+                while *c < end {
+                    let j = indices[*c] as usize;
+                    if j >= b1 {
+                        break;
+                    }
+                    let r = row_of(j);
+                    simd::add_assign(out_row, &x_data[r * f..(r + 1) * f]);
+                    *c += 1;
+                }
+            }
+            b0 = b1;
         }
     });
 }
@@ -97,6 +203,22 @@ pub fn spmm_sum_backward(g: &CsrGraph, grad_rows: &Tensor) -> Tensor {
 ///
 /// Panics if shapes are inconsistent with the graph.
 pub fn spmm_sum_backward_into(g: &CsrGraph, grad_rows: &Tensor, out: &mut Tensor) {
+    spmm_sum_backward_into_impl(g, grad_rows, out, panel_rows(grad_rows.cols()));
+}
+
+/// [`spmm_sum_backward_into`] with an explicit destination panel height —
+/// exposed so parity tests can prove blocked == unblocked bitwise.
+#[doc(hidden)]
+pub fn spmm_sum_backward_into_with_panel(
+    g: &CsrGraph,
+    grad_rows: &Tensor,
+    out: &mut Tensor,
+    panel: usize,
+) {
+    spmm_sum_backward_into_impl(g, grad_rows, out, panel);
+}
+
+fn spmm_sum_backward_into_impl(g: &CsrGraph, grad_rows: &Tensor, out: &mut Tensor, panel: usize) {
     assert_eq!(grad_rows.rows(), g.num_rows(), "grad rows mismatch");
     assert_eq!(
         out.rows(),
@@ -108,20 +230,49 @@ pub fn spmm_sum_backward_into(g: &CsrGraph, grad_rows: &Tensor, out: &mut Tensor
     // Scatter inverted: chunk over *source* rows so each gradient row has
     // exactly one writer; the reverse index's ascending-edge-id order per
     // source reproduces the sequential accumulation order bit for bit.
+    // Edge ids are destination-major, so each source's destinations ascend
+    // too — destination-panel blocking keeps the same per-source order.
     let rev = g.reverse_index();
     let grad = grad_rows.data();
+    let blocked = panel < g.num_rows();
     let out_s = SharedSlice::new(out.data_mut());
     parallel_for(g.num_cols(), 1, |lo, hi| {
-        for j in lo..hi {
-            // SAFETY: source row `j` is in this chunk's exclusive `lo..hi`
-            // range — exactly one writer per gradient row.
-            let dst = unsafe { out_s.range_mut(j * f, (j + 1) * f) };
-            for (i, _e) in rev.entries(j) {
-                let g_row = &grad[i * f..(i + 1) * f];
-                for (d, &v) in dst.iter_mut().zip(g_row) {
-                    *d += v;
+        if !blocked {
+            for j in lo..hi {
+                // SAFETY: source row `j` is in this chunk's exclusive
+                // `lo..hi` range — exactly one writer per gradient row.
+                let dst = unsafe { out_s.range_mut(j * f, (j + 1) * f) };
+                for (i, _e) in rev.entries(j) {
+                    simd::add_assign(dst, &grad[i * f..(i + 1) * f]);
                 }
             }
+            return;
+        }
+        // Cache-blocked: stream ascending panels of `grad_rows`, each
+        // source advancing a cursor through its ascending entry list.
+        let mut cursor: Vec<usize> = vec![0; hi - lo];
+        let mut b0 = 0usize;
+        while b0 < g.num_rows() {
+            let b1 = (b0 + panel).min(g.num_rows());
+            for j in lo..hi {
+                let (dsts, _eids) = rev.entry_slices(j);
+                let c = &mut cursor[j - lo];
+                if *c >= dsts.len() || (dsts[*c] as usize) >= b1 {
+                    continue;
+                }
+                // SAFETY: source row `j` is in this chunk's exclusive
+                // `lo..hi` range — exactly one writer per gradient row.
+                let dst = unsafe { out_s.range_mut(j * f, (j + 1) * f) };
+                while *c < dsts.len() {
+                    let i = dsts[*c] as usize;
+                    if i >= b1 {
+                        break;
+                    }
+                    simd::add_assign(dst, &grad[i * f..(i + 1) * f]);
+                    *c += 1;
+                }
+            }
+            b0 = b1;
         }
     });
 }
@@ -178,9 +329,7 @@ pub fn scatter_edges_to_src(g: &CsrGraph, edge_vals: &Tensor) -> Tensor {
                 // `lo..hi` range — one writer per output row.
                 let dst = unsafe { out_s.range_mut(j * f, (j + 1) * f) };
                 for (_i, e) in rev.entries(j) {
-                    for (d, &v) in dst.iter_mut().zip(&ev[e * f..(e + 1) * f]) {
-                        *d += v;
-                    }
+                    simd::add_assign(dst, &ev[e * f..(e + 1) * f]);
                 }
             }
         });
@@ -209,9 +358,7 @@ pub fn scatter_edges_to_dst(g: &CsrGraph, edge_vals: &Tensor) -> Tensor {
                 // `lo..hi` range — one writer per output row.
                 let out_row = unsafe { out_s.range_mut(i * f, (i + 1) * f) };
                 for e in indptr[i]..indptr[i + 1] {
-                    for (o, &v) in out_row.iter_mut().zip(&ev[e * f..(e + 1) * f]) {
-                        *o += v;
-                    }
+                    simd::add_assign(out_row, &ev[e * f..(e + 1) * f]);
                 }
             }
         });
@@ -245,6 +392,8 @@ pub fn edge_softmax(g: &CsrGraph, scores: &Tensor) -> Tensor {
         // edge row belongs to exactly one destination's chunk.
         let out_s = SharedSlice::new(out.data_mut());
         parallel_for(g.num_rows(), 1, |lo, hi| {
+            let mut maxs = vec![0.0f32; h];
+            let mut denom = vec![0.0f32; h];
             for i in lo..hi {
                 let (start, end) = (indptr[i], indptr[i + 1]);
                 if start == end {
@@ -253,20 +402,28 @@ pub fn edge_softmax(g: &CsrGraph, scores: &Tensor) -> Tensor {
                 // SAFETY: destination `i`'s in-edges `start..end` are
                 // contiguous in CSR order and owned by this chunk alone.
                 let rows = unsafe { out_s.range_mut(start * h, end * h) };
-                for head in 0..h {
-                    let mut max = f32::NEG_INFINITY;
-                    for e in 0..end - start {
-                        max = max.max(rows[e * h + head]);
+                // Max and exp/denominator passes stay scalar (per-head
+                // reductions in ascending edge order); the normalize pass
+                // divides each contiguous [H] edge segment by the per-head
+                // denominators through the SIMD divide — IEEE division is
+                // correctly rounded, so vector and scalar divides agree
+                // bitwise.
+                maxs.fill(f32::NEG_INFINITY);
+                denom.fill(0.0);
+                for e in 0..end - start {
+                    for (head, m) in maxs.iter_mut().enumerate() {
+                        *m = m.max(rows[e * h + head]);
                     }
-                    let mut denom = 0.0f32;
-                    for e in 0..end - start {
-                        let v = (rows[e * h + head] - max).exp();
+                }
+                for e in 0..end - start {
+                    for head in 0..h {
+                        let v = (rows[e * h + head] - maxs[head]).exp();
                         rows[e * h + head] = v;
-                        denom += v;
+                        denom[head] += v;
                     }
-                    for e in 0..end - start {
-                        rows[e * h + head] /= denom;
-                    }
+                }
+                for e in 0..end - start {
+                    simd::div_assign(&mut rows[e * h..(e + 1) * h], &denom);
                 }
             }
         });
@@ -344,15 +501,51 @@ pub fn spmm_multihead(g: &CsrGraph, alpha: &Tensor, x: &Tensor) -> Tensor {
         0,
         "feature width {hd} not divisible by {heads} heads"
     );
-    let d = hd / heads;
     let mut out = Tensor::zeros(&[g.num_rows(), hd]);
+    spmm_multihead_into_panel(g, alpha, x, &mut out, panel_rows(hd));
+    out
+}
+
+/// [`spmm_multihead`] with an explicit source panel height — exposed so
+/// parity tests can prove blocked == unblocked bitwise.
+#[doc(hidden)]
+pub fn spmm_multihead_with_panel(g: &CsrGraph, alpha: &Tensor, x: &Tensor, panel: usize) -> Tensor {
+    let mut out = Tensor::zeros(&[g.num_rows(), x.cols()]);
+    spmm_multihead_into_panel(g, alpha, x, &mut out, panel);
+    out
+}
+
+fn spmm_multihead_into_panel(
+    g: &CsrGraph,
+    alpha: &Tensor,
+    x: &Tensor,
+    out: &mut Tensor,
+    panel: usize,
+) {
+    let heads = alpha.cols();
+    let hd = x.cols();
+    let d = hd / heads;
     let indptr = g.indptr();
     let indices = g.indices();
     let x_data = x.data();
     let a_data = alpha.data();
-    {
-        let out_s = SharedSlice::new(out.data_mut());
-        parallel_for(g.num_rows(), 1, |lo, hi| {
+    let blocked = g.rows_sorted() && panel < g.num_cols();
+    let out_s = SharedSlice::new(out.data_mut());
+    // The per-edge body: weight each head's d-segment of the source row
+    // into the destination row (SIMD axpy; mul + add, never fused).
+    let apply = |out_row: &mut [f32], e: usize, j: usize| {
+        let x_row = &x_data[j * hd..(j + 1) * hd];
+        for head in 0..heads {
+            let a = a_data[e * heads + head];
+            if a == 0.0 {
+                continue;
+            }
+            let lo_c = head * d;
+            simd::axpy(a, &x_row[lo_c..lo_c + d], &mut out_row[lo_c..lo_c + d]);
+        }
+    };
+    parallel_for(g.num_rows(), 1, |lo, hi| {
+        if !blocked {
             for i in lo..hi {
                 let (es, ee) = (indptr[i], indptr[i + 1]);
                 if es == ee {
@@ -361,24 +554,39 @@ pub fn spmm_multihead(g: &CsrGraph, alpha: &Tensor, x: &Tensor) -> Tensor {
                 // SAFETY: destination row `i` is in this chunk's exclusive
                 // `lo..hi` range — one writer per output row.
                 let out_row = unsafe { out_s.range_mut(i * hd, (i + 1) * hd) };
-                for e in es..ee {
-                    let j = indices[e] as usize;
-                    let x_row = &x_data[j * hd..(j + 1) * hd];
-                    for head in 0..heads {
-                        let a = a_data[e * heads + head];
-                        if a == 0.0 {
-                            continue;
-                        }
-                        let lo_c = head * d;
-                        for c in lo_c..lo_c + d {
-                            out_row[c] += a * x_row[c];
-                        }
-                    }
+                for (e, &src) in (es..ee).zip(&indices[es..ee]) {
+                    apply(out_row, e, src as usize);
                 }
             }
-        });
-    }
-    out
+            return;
+        }
+        // Cache-blocked traversal over ascending source panels; per-row
+        // cursors keep each destination's edge order unchanged.
+        let mut cursor: Vec<usize> = indptr[lo..hi].to_vec();
+        let mut b0 = 0usize;
+        while b0 < g.num_cols() {
+            let b1 = (b0 + panel).min(g.num_cols());
+            for i in lo..hi {
+                let end = indptr[i + 1];
+                let c = &mut cursor[i - lo];
+                if *c >= end || (indices[*c] as usize) >= b1 {
+                    continue;
+                }
+                // SAFETY: destination row `i` is in this chunk's exclusive
+                // `lo..hi` range — one writer per output row.
+                let out_row = unsafe { out_s.range_mut(i * hd, (i + 1) * hd) };
+                while *c < end {
+                    let j = indices[*c] as usize;
+                    if j >= b1 {
+                        break;
+                    }
+                    apply(out_row, *c, j);
+                    *c += 1;
+                }
+            }
+            b0 = b1;
+        }
+    });
 }
 
 /// Backward of [`spmm_multihead`]: returns `(d_alpha, d_x)`.
@@ -423,11 +631,8 @@ pub fn spmm_multihead_backward(
                     let x_row = &x_data[j * hd..(j + 1) * hd];
                     for head in 0..heads {
                         let lo_c = head * d;
-                        let mut dot = 0.0f32;
-                        for c in lo_c..lo_c + d {
-                            dot += g_row[c] * x_row[c];
-                        }
-                        da_rows[(e - es) * heads + head] = dot;
+                        da_rows[(e - es) * heads + head] =
+                            simd::dot(&g_row[lo_c..lo_c + d], &x_row[lo_c..lo_c + d]);
                     }
                 }
             }
@@ -451,9 +656,7 @@ pub fn spmm_multihead_backward(
                             continue;
                         }
                         let lo_c = head * d;
-                        for c in lo_c..lo_c + d {
-                            dx_row[c] += a * g_row[c];
-                        }
+                        simd::axpy(a, &g_row[lo_c..lo_c + d], &mut dx_row[lo_c..lo_c + d]);
                     }
                 }
             }
@@ -475,11 +678,35 @@ pub fn spmm_multihead_backward(
 ///
 /// Panics if `x.cols() != a.len()` or not divisible by `heads`.
 pub fn head_project(x: &Tensor, a: &Tensor, heads: usize) -> Tensor {
+    head_project_impl(x, None, a, heads)
+}
+
+/// Fused gather + per-head projection: row `i` of the output is the
+/// projection of `x[map[i]]`.
+///
+/// Lets SAR's local round compute a block's attention logits straight
+/// from the resident feature tensor, skipping the gathered `[rows, H*D]`
+/// copy. Bitwise identical to `gather` + [`head_project`].
+///
+/// # Panics
+///
+/// Panics if any map entry is out of range for `x`, or on the same shape
+/// mismatches as [`head_project`].
+pub fn head_project_indexed(x: &Tensor, map: &[u32], a: &Tensor, heads: usize) -> Tensor {
+    assert!(
+        map.iter().all(|&r| (r as usize) < x.rows()),
+        "row map entry out of range"
+    );
+    head_project_impl(x, Some(map), a, heads)
+}
+
+fn head_project_impl(x: &Tensor, map: Option<&[u32]>, a: &Tensor, heads: usize) -> Tensor {
     let hd = x.cols();
     assert_eq!(a.numel(), hd, "attention vector length mismatch");
     assert_eq!(hd % heads, 0, "width {hd} not divisible by {heads} heads");
     let d = hd / heads;
-    let n = x.rows();
+    let n = map.map_or(x.rows(), <[u32]>::len);
+    let row_of = |i: usize| map.map_or(i, |m| m[i] as usize);
     let mut out = vec![0.0f32; n * heads];
     let x_data = x.data();
     let a_data = a.data();
@@ -490,13 +717,11 @@ pub fn head_project(x: &Tensor, a: &Tensor, heads: usize) -> Tensor {
             // ranges never overlap across threads.
             let rows = unsafe { out_s.range_mut(lo * heads, hi * heads) };
             for i in lo..hi {
-                let x_row = &x_data[i * hd..(i + 1) * hd];
+                let r = row_of(i);
+                let x_row = &x_data[r * hd..(r + 1) * hd];
                 for h in 0..heads {
-                    let mut acc = 0.0f32;
-                    for k in 0..d {
-                        acc += x_row[h * d + k] * a_data[h * d + k];
-                    }
-                    rows[(i - lo) * heads + h] = acc;
+                    rows[(i - lo) * heads + h] =
+                        simd::dot(&x_row[h * d..(h + 1) * d], &a_data[h * d..(h + 1) * d]);
                 }
             }
         });
@@ -516,9 +741,43 @@ pub fn head_project_backward(
     heads: usize,
     grad: &Tensor,
 ) -> (Tensor, Tensor) {
+    head_project_backward_impl(x, None, a, heads, grad)
+}
+
+/// Backward of [`head_project_indexed`]: `grad` and the returned `d_x` are
+/// *block-shaped* (`[map.len(), H*D]`), while reads of `x` go through the
+/// row map — the gradient mirror of the fused local gather. Bitwise
+/// identical to `gather` + [`head_project_backward`].
+///
+/// # Panics
+///
+/// Panics if any map entry is out of range for `x`, or on the same shape
+/// mismatches as [`head_project_backward`].
+pub fn head_project_backward_indexed(
+    x: &Tensor,
+    map: &[u32],
+    a: &Tensor,
+    heads: usize,
+    grad: &Tensor,
+) -> (Tensor, Tensor) {
+    assert!(
+        map.iter().all(|&r| (r as usize) < x.rows()),
+        "row map entry out of range"
+    );
+    head_project_backward_impl(x, Some(map), a, heads, grad)
+}
+
+fn head_project_backward_impl(
+    x: &Tensor,
+    map: Option<&[u32]>,
+    a: &Tensor,
+    heads: usize,
+    grad: &Tensor,
+) -> (Tensor, Tensor) {
     let hd = x.cols();
     let d = hd / heads;
-    let n = x.rows();
+    let n = map.map_or(x.rows(), <[u32]>::len);
+    let row_of = |i: usize| map.map_or(i, |m| m[i] as usize);
     assert_eq!(grad.rows(), n, "grad rows mismatch");
     assert_eq!(grad.cols(), heads, "grad heads mismatch");
     let mut d_x = Tensor::zeros(&[n, hd]);
@@ -540,9 +799,11 @@ pub fn head_project_backward(
                     if g == 0.0 {
                         continue;
                     }
-                    for k in 0..d {
-                        dx_row[h * d + k] += g * a_data[h * d + k];
-                    }
+                    simd::axpy(
+                        g,
+                        &a_data[h * d..(h + 1) * d],
+                        &mut dx_row[h * d..(h + 1) * d],
+                    );
                 }
             }
         });
@@ -564,7 +825,7 @@ pub fn head_project_backward(
                     if g == 0.0 {
                         continue;
                     }
-                    acc += g * x_data[i * hd + c];
+                    acc += g * x_data[row_of(i) * hd + c];
                 }
                 *slot = acc;
             }
@@ -606,13 +867,21 @@ pub fn gat_edge_scores(g: &CsrGraph, s_dst: &Tensor, s_src: &Tensor, slope: f32)
                 // SAFETY: destination `i`'s in-edges `es..ee` are contiguous
                 // in CSR order and owned by this chunk alone.
                 let rows = unsafe { out_s.range_mut(es * h, ee * h) };
+                let sd_row = &sd[i * h..(i + 1) * h];
+                // Each edge's [H] segment is the elementwise sum of the
+                // destination and source logit rows; the LeakyReLU is then
+                // applied to the whole contiguous [run × H] slab. Both
+                // steps are elementwise SIMD maps, bitwise identical to
+                // the scalar expression per element.
                 for e in es..ee {
                     let j = indices[e] as usize;
-                    for head in 0..h {
-                        let u = sd[i * h + head] + ss[j * h + head];
-                        rows[(e - es) * h + head] = if u > 0.0 { u } else { slope * u };
-                    }
+                    simd::add_into(
+                        &mut rows[(e - es) * h..(e - es + 1) * h],
+                        sd_row,
+                        &ss[j * h..(j + 1) * h],
+                    );
                 }
+                simd::leaky_relu(rows, slope);
             }
         });
     }

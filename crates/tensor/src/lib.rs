@@ -41,6 +41,7 @@ pub mod gradcheck;
 pub mod init;
 pub mod memory;
 pub mod pool;
+pub mod simd;
 mod tensor;
 
 pub use autograd::{grad_enabled, hstack, no_grad, Function, Var};

@@ -1,0 +1,523 @@
+//! Runtime-dispatched `f32x8` SIMD primitives with a bitwise-identical
+//! portable fallback.
+//!
+//! Every kernel in the workspace funnels its innermost contiguous-`f32`
+//! loop through this module. Two implementations exist per primitive:
+//!
+//! * an AVX2 path using `std::arch` intrinsics (x86-64 only, selected at
+//!   runtime via `is_x86_feature_detected!`), and
+//! * a portable scalar path structured as the *same* computation: the
+//!   scalar code mirrors the vector lane layout exactly (eight independent
+//!   accumulator lanes for reductions, identical horizontal-reduction
+//!   tree, identical tail handling), so the two paths produce
+//!   bitwise-identical results for every input.
+//!
+//! The determinism argument, per primitive class:
+//!
+//! * **Elementwise maps** (`add_assign`, `add_into`, `axpy`, `scale`,
+//!   `div_assign`, `leaky_relu`): each output element is a fixed IEEE-754
+//!   expression of its inputs with no reassociation, so lane width is
+//!   irrelevant. The AVX2 paths use separate `_mm256_mul_ps` +
+//!   `_mm256_add_ps` (never `_mm256_fmadd_ps` — fused multiply-add rounds
+//!   once instead of twice and would change bits).
+//! * **Reductions** (`dot`): both paths accumulate into eight lanes —
+//!   lane `l` sums `a[8i+l] * b[8i+l]` over `i` — then reduce the lanes
+//!   with one fixed tree (`((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`) and
+//!   finally fold the ragged tail in sequentially. Same additions, same
+//!   order, on both paths.
+//!
+//! [`set_mode`] installs a process-global override (`ForceScalar`) used by
+//! the `--simd` flag of the repro binary to prove end-to-end digest parity
+//! with vectorization on vs. off. Because the two paths are bitwise
+//! identical, flipping the mode mid-run can never change a result — only
+//! throughput.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+// ---------------------------------------------------------------------
+// Dispatch mode
+// ---------------------------------------------------------------------
+
+/// Global SIMD dispatch policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdMode {
+    /// Use the vector path whenever the CPU supports it (default).
+    Auto,
+    /// Always take the portable scalar path, even on capable CPUs.
+    ForceScalar,
+}
+
+const MODE_AUTO: u8 = 0;
+const MODE_SCALAR: u8 = 1;
+static MODE: AtomicU8 = AtomicU8::new(MODE_AUTO);
+
+/// Detection cache: 0 = unknown, 1 = AVX2 available, 2 = not available.
+static DETECTED: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the process-global dispatch mode.
+///
+/// Safe to call at any time from any thread: both paths are bitwise
+/// identical, so a mode change can never alter numeric results.
+pub fn set_mode(mode: SimdMode) {
+    let v = match mode {
+        SimdMode::Auto => MODE_AUTO,
+        SimdMode::ForceScalar => MODE_SCALAR,
+    };
+    MODE.store(v, Ordering::Relaxed);
+}
+
+/// Returns the current dispatch mode.
+pub fn mode() -> SimdMode {
+    match MODE.load(Ordering::Relaxed) {
+        MODE_SCALAR => SimdMode::ForceScalar,
+        _ => SimdMode::Auto,
+    }
+}
+
+/// Parses a `--simd` flag value (`auto` or `scalar`).
+pub fn parse_mode(s: &str) -> Option<SimdMode> {
+    match s {
+        "auto" => Some(SimdMode::Auto),
+        "scalar" | "off" => Some(SimdMode::ForceScalar),
+        _ => None,
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect_avx2() -> bool {
+    match DETECTED.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let has = std::arch::is_x86_feature_detected!("avx2");
+            DETECTED.store(if has { 1 } else { 2 }, Ordering::Relaxed);
+            has
+        }
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect_avx2() -> bool {
+    false
+}
+
+/// True when calls will take the AVX2 path (CPU capable and not forced
+/// scalar). Reported by `repro kernelbench` so BENCH artifacts record
+/// which path was measured.
+pub fn active() -> bool {
+    MODE.load(Ordering::Relaxed) == MODE_AUTO && detect_avx2()
+}
+
+/// Human-readable dispatch description for reports ("avx2" / "scalar").
+pub fn dispatch_label() -> &'static str {
+    if active() {
+        "avx2"
+    } else {
+        "scalar"
+    }
+}
+
+// ---------------------------------------------------------------------
+// Portable scalar paths (also the reference semantics)
+// ---------------------------------------------------------------------
+
+/// Portable implementations, public so parity tests can compare the
+/// dispatching entry points against them directly.
+pub mod scalar {
+    /// `dst[i] += src[i]`.
+    pub fn add_assign(dst: &mut [f32], src: &[f32]) {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d += s;
+        }
+    }
+
+    /// `dst[i] = a[i] + b[i]`.
+    pub fn add_into(dst: &mut [f32], a: &[f32], b: &[f32]) {
+        for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+            *d = x + y;
+        }
+    }
+
+    /// `dst[i] += a * x[i]` (two roundings: mul then add — no FMA).
+    pub fn axpy(a: f32, x: &[f32], dst: &mut [f32]) {
+        for (d, &v) in dst.iter_mut().zip(x) {
+            *d += a * v;
+        }
+    }
+
+    /// `dst[i] *= a`.
+    pub fn scale(dst: &mut [f32], a: f32) {
+        for d in dst.iter_mut() {
+            *d *= a;
+        }
+    }
+
+    /// `dst[i] /= den[i]`.
+    pub fn div_assign(dst: &mut [f32], den: &[f32]) {
+        for (d, &s) in dst.iter_mut().zip(den) {
+            *d /= s;
+        }
+    }
+
+    /// In-place LeakyReLU: `x if x > 0 else slope * x`.
+    // `!(x > 0.0)` (not `x <= 0.0`) so NaN takes the slope branch, exactly
+    // matching the vector path's `_CMP_GT_OQ` + blend.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn leaky_relu(dst: &mut [f32], slope: f32) {
+        for d in dst.iter_mut() {
+            if !(*d > 0.0) {
+                *d *= slope;
+            }
+        }
+    }
+
+    /// Dot product with the fixed eight-lane accumulation tree.
+    ///
+    /// Lane `l` accumulates `a[8i+l] * b[8i+l]`; lanes reduce as
+    /// `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`; the tail (< 8 elements)
+    /// folds in sequentially afterwards. The AVX2 path performs exactly
+    /// these operations in exactly this order.
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let main = n - n % 8;
+        let mut lanes = [0.0f32; 8];
+        let mut i = 0;
+        while i < main {
+            for l in 0..8 {
+                lanes[l] += a[i + l] * b[i + l];
+            }
+            i += 8;
+        }
+        let mut acc = super::reduce_lanes(&lanes);
+        for j in main..n {
+            acc += a[j] * b[j];
+        }
+        acc
+    }
+}
+
+/// Fixed horizontal-reduction tree shared by both dot paths.
+#[inline]
+fn reduce_lanes(l: &[f32; 8]) -> f32 {
+    ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
+}
+
+// ---------------------------------------------------------------------
+// AVX2 paths
+// ---------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+#[deny(unsafe_op_in_unsafe_fn)]
+mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn add_assign(dst: &mut [f32], src: &[f32]) {
+        let n = dst.len().min(src.len());
+        let main = n - n % 8;
+        let (dp, sp) = (dst.as_mut_ptr(), src.as_ptr());
+        let mut i = 0;
+        while i < main {
+            // SAFETY: i + 8 <= main <= len of both slices; unaligned
+            // loads/stores are explicitly `_mm256_loadu/storeu_ps`.
+            unsafe {
+                let d = _mm256_loadu_ps(dp.add(i));
+                let s = _mm256_loadu_ps(sp.add(i));
+                _mm256_storeu_ps(dp.add(i), _mm256_add_ps(d, s));
+            }
+            i += 8;
+        }
+        for j in main..n {
+            dst[j] += src[j];
+        }
+    }
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn add_into(dst: &mut [f32], a: &[f32], b: &[f32]) {
+        let n = dst.len().min(a.len()).min(b.len());
+        let main = n - n % 8;
+        let (dp, ap, bp) = (dst.as_mut_ptr(), a.as_ptr(), b.as_ptr());
+        let mut i = 0;
+        while i < main {
+            // SAFETY: i + 8 <= main <= len of all three slices.
+            unsafe {
+                let x = _mm256_loadu_ps(ap.add(i));
+                let y = _mm256_loadu_ps(bp.add(i));
+                _mm256_storeu_ps(dp.add(i), _mm256_add_ps(x, y));
+            }
+            i += 8;
+        }
+        for j in main..n {
+            dst[j] = a[j] + b[j];
+        }
+    }
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy(a: f32, x: &[f32], dst: &mut [f32]) {
+        let n = dst.len().min(x.len());
+        let main = n - n % 8;
+        let (dp, xp) = (dst.as_mut_ptr(), x.as_ptr());
+        let av = _mm256_set1_ps(a);
+        let mut i = 0;
+        while i < main {
+            // SAFETY: i + 8 <= main <= len of both slices. mul + add kept
+            // separate (two roundings) to match the scalar `d += a * v`.
+            unsafe {
+                let d = _mm256_loadu_ps(dp.add(i));
+                let v = _mm256_loadu_ps(xp.add(i));
+                _mm256_storeu_ps(dp.add(i), _mm256_add_ps(d, _mm256_mul_ps(av, v)));
+            }
+            i += 8;
+        }
+        for j in main..n {
+            dst[j] += a * x[j];
+        }
+    }
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scale(dst: &mut [f32], a: f32) {
+        let n = dst.len();
+        let main = n - n % 8;
+        let dp = dst.as_mut_ptr();
+        let av = _mm256_set1_ps(a);
+        let mut i = 0;
+        while i < main {
+            // SAFETY: i + 8 <= main <= dst.len().
+            unsafe {
+                let d = _mm256_loadu_ps(dp.add(i));
+                _mm256_storeu_ps(dp.add(i), _mm256_mul_ps(d, av));
+            }
+            i += 8;
+        }
+        for d in &mut dst[main..n] {
+            *d *= a;
+        }
+    }
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn div_assign(dst: &mut [f32], den: &[f32]) {
+        let n = dst.len().min(den.len());
+        let main = n - n % 8;
+        let (dp, sp) = (dst.as_mut_ptr(), den.as_ptr());
+        let mut i = 0;
+        while i < main {
+            // SAFETY: i + 8 <= main <= len of both slices. IEEE division
+            // is correctly rounded, so vector divide == scalar divide.
+            unsafe {
+                let d = _mm256_loadu_ps(dp.add(i));
+                let s = _mm256_loadu_ps(sp.add(i));
+                _mm256_storeu_ps(dp.add(i), _mm256_div_ps(d, s));
+            }
+            i += 8;
+        }
+        for (d, s) in dst[main..n].iter_mut().zip(&den[main..n]) {
+            *d /= *s;
+        }
+    }
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2.
+    // Tail uses `!(x > 0.0)` (not `x <= 0.0`) so NaN takes the slope
+    // branch, exactly matching `_CMP_GT_OQ` + blend.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn leaky_relu(dst: &mut [f32], slope: f32) {
+        let n = dst.len();
+        let main = n - n % 8;
+        let dp = dst.as_mut_ptr();
+        let (sv, zero) = (_mm256_set1_ps(slope), _mm256_setzero_ps());
+        let mut i = 0;
+        while i < main {
+            // SAFETY: i + 8 <= main <= dst.len(). The blend keeps `v`
+            // where `v > 0` (ordered, non-signaling compare — false for
+            // NaN, matching the scalar `!(v > 0.0)` branch) and takes
+            // `slope * v` elsewhere; the multiply is the same single
+            // IEEE multiply the scalar path performs.
+            unsafe {
+                let v = _mm256_loadu_ps(dp.add(i));
+                let neg = _mm256_mul_ps(sv, v);
+                let gt = _mm256_cmp_ps::<_CMP_GT_OQ>(v, zero);
+                _mm256_storeu_ps(dp.add(i), _mm256_blendv_ps(neg, v, gt));
+            }
+            i += 8;
+        }
+        for d in &mut dst[main..n] {
+            if !(*d > 0.0) {
+                *d *= slope;
+            }
+        }
+    }
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let main = n - n % 8;
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        let mut acc = _mm256_setzero_ps();
+        let mut i = 0;
+        while i < main {
+            // SAFETY: i + 8 <= main <= len of both slices. mul + add kept
+            // separate (no FMA) so lane `l` accumulates exactly the
+            // scalar path's `lanes[l] += a[8i+l] * b[8i+l]` sequence.
+            unsafe {
+                let x = _mm256_loadu_ps(ap.add(i));
+                let y = _mm256_loadu_ps(bp.add(i));
+                acc = _mm256_add_ps(acc, _mm256_mul_ps(x, y));
+            }
+            i += 8;
+        }
+        let mut lanes = [0.0f32; 8];
+        // SAFETY: `lanes` is 8 f32s — exactly one __m256 of storage.
+        unsafe { _mm256_storeu_ps(lanes.as_mut_ptr(), acc) };
+        let mut out = super::reduce_lanes(&lanes);
+        for j in main..n {
+            out += a[j] * b[j];
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dispatching entry points
+// ---------------------------------------------------------------------
+
+macro_rules! dispatch {
+    ($name:ident, $($arg:expr),*) => {{
+        #[cfg(target_arch = "x86_64")]
+        {
+            if active() {
+                // SAFETY: `active()` verified AVX2 support at runtime.
+                return unsafe { avx2::$name($($arg),*) };
+            }
+        }
+        scalar::$name($($arg),*)
+    }};
+}
+
+/// `dst[i] += src[i]`, vectorized when available.
+#[inline]
+pub fn add_assign(dst: &mut [f32], src: &[f32]) {
+    dispatch!(add_assign, dst, src)
+}
+
+/// `dst[i] = a[i] + b[i]`, vectorized when available.
+#[inline]
+pub fn add_into(dst: &mut [f32], a: &[f32], b: &[f32]) {
+    dispatch!(add_into, dst, a, b)
+}
+
+/// `dst[i] += a * x[i]` (mul then add, never fused), vectorized when
+/// available.
+#[inline]
+pub fn axpy(a: f32, x: &[f32], dst: &mut [f32]) {
+    dispatch!(axpy, a, x, dst)
+}
+
+/// `dst[i] *= a`, vectorized when available.
+#[inline]
+pub fn scale(dst: &mut [f32], a: f32) {
+    dispatch!(scale, dst, a)
+}
+
+/// `dst[i] /= den[i]`, vectorized when available.
+#[inline]
+pub fn div_assign(dst: &mut [f32], den: &[f32]) {
+    dispatch!(div_assign, dst, den)
+}
+
+/// In-place LeakyReLU, vectorized when available.
+#[inline]
+pub fn leaky_relu(dst: &mut [f32], slope: f32) {
+    dispatch!(leaky_relu, dst, slope)
+}
+
+/// Fixed-tree dot product, vectorized when available. Bitwise identical
+/// to [`scalar::dot`] on every input.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    dispatch!(dot, a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(n: usize) -> (Vec<f32>, Vec<f32>) {
+        // Deterministic, poorly-conditioned values so reassociation
+        // differences would actually show up in the bits.
+        let a: Vec<f32> = (0..n)
+            .map(|i| ((i * 2654435761 % 1000) as f32 - 500.0) * 1.0e-3 * (1.0 + i as f32))
+            .collect();
+        let b: Vec<f32> = (0..n)
+            .map(|i| ((i * 40503 % 997) as f32 - 498.0) * 2.5e-4 * (1.0 + (i % 17) as f32))
+            .collect();
+        (a, b)
+    }
+
+    #[test]
+    fn dispatched_matches_scalar_bitwise_all_lengths() {
+        for n in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 31, 64, 100, 1023] {
+            let (a, b) = vecs(n);
+
+            let mut d1 = a.clone();
+            let mut d2 = a.clone();
+            add_assign(&mut d1, &b);
+            scalar::add_assign(&mut d2, &b);
+            assert_eq!(bits(&d1), bits(&d2), "add_assign n={n}");
+
+            let mut d1 = vec![0.0; n];
+            let mut d2 = vec![0.0; n];
+            add_into(&mut d1, &a, &b);
+            scalar::add_into(&mut d2, &a, &b);
+            assert_eq!(bits(&d1), bits(&d2), "add_into n={n}");
+
+            let mut d1 = a.clone();
+            let mut d2 = a.clone();
+            axpy(0.37, &b, &mut d1);
+            scalar::axpy(0.37, &b, &mut d2);
+            assert_eq!(bits(&d1), bits(&d2), "axpy n={n}");
+
+            let mut d1 = a.clone();
+            let mut d2 = a.clone();
+            scale(&mut d1, -1.7);
+            scalar::scale(&mut d2, -1.7);
+            assert_eq!(bits(&d1), bits(&d2), "scale n={n}");
+
+            let den: Vec<f32> = b.iter().map(|x| x.abs() + 0.5).collect();
+            let mut d1 = a.clone();
+            let mut d2 = a.clone();
+            div_assign(&mut d1, &den);
+            scalar::div_assign(&mut d2, &den);
+            assert_eq!(bits(&d1), bits(&d2), "div_assign n={n}");
+
+            let mut d1 = a.clone();
+            let mut d2 = a.clone();
+            leaky_relu(&mut d1, 0.2);
+            scalar::leaky_relu(&mut d2, 0.2);
+            assert_eq!(bits(&d1), bits(&d2), "leaky_relu n={n}");
+
+            assert_eq!(
+                dot(&a, &b).to_bits(),
+                scalar::dot(&a, &b).to_bits(),
+                "dot n={n}"
+            );
+        }
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+}

@@ -2,6 +2,20 @@
 
 use crate::memory::MemoryTracker;
 use crate::pool;
+use crate::simd;
+
+/// Bytes of the streamed `other` operand a k-panel may touch before the
+/// panel is cut: sized to sit comfortably inside a per-core L2 cache.
+const K_PANEL_BYTES: usize = 256 * 1024;
+
+/// Number of `kk` rows of the `[k, n]` operand that fit in one cache
+/// panel. Panels are visited in ascending order per output row, so the
+/// accumulation order (and therefore every output bit) is independent of
+/// the panel size.
+fn k_panel(k: usize, n: usize) -> usize {
+    let row_bytes = (n.max(1)) * std::mem::size_of::<f32>();
+    (K_PANEL_BYTES / row_bytes).clamp(8, k.max(8))
+}
 
 /// A dense, row-major `f32` tensor with 1 to 3 dimensions.
 ///
@@ -444,11 +458,15 @@ impl Tensor {
 
     /// Matrix product `self × other` of 2-D tensors.
     ///
-    /// Uses an i-k-j loop order so the inner loop runs over contiguous rows
-    /// and auto-vectorizes. Output rows are computed in parallel on the
-    /// worker's thread pool ([`crate::pool`]); each row's accumulation
-    /// order is thread-count-independent, so results are bitwise identical
-    /// to the single-threaded product.
+    /// Uses an i-k-j loop order with the inner j-loop running through the
+    /// SIMD [`crate::simd::axpy`] primitive, and blocks the k dimension
+    /// into cache-sized panels so the touched rows of `other` stay
+    /// resident while a chunk of output rows sweeps over them. Output
+    /// rows are computed in parallel on the worker's thread pool
+    /// ([`crate::pool`]); per output row the k panels are visited in
+    /// ascending order, so every element sees the same ascending-`kk`
+    /// sequence of adds as the unblocked scalar product — results are
+    /// bitwise identical at any thread count, panel size, or SIMD mode.
     ///
     /// # Panics
     ///
@@ -457,6 +475,7 @@ impl Tensor {
         let (m, k) = (self.rows(), self.cols());
         let (k2, n) = (other.rows(), other.cols());
         assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+        let panel = k_panel(k, n);
         let mut out = vec![0.0f32; m * n];
         {
             let out_s = pool::SharedSlice::new(&mut out);
@@ -464,18 +483,21 @@ impl Tensor {
                 // SAFETY: chunks claim disjoint `lo..hi` row ranges, so the
                 // element ranges `lo*n..hi*n` never overlap across threads.
                 let rows = unsafe { out_s.range_mut(lo * n, hi * n) };
-                for i in lo..hi {
-                    let a_row = &self.data[i * k..(i + 1) * k];
-                    let o_row = &mut rows[(i - lo) * n..(i - lo + 1) * n];
-                    for (kk, &a) in a_row.iter().enumerate() {
-                        if a == 0.0 {
-                            continue;
-                        }
-                        let b_row = &other.data[kk * n..(kk + 1) * n];
-                        for (o, &b) in o_row.iter_mut().zip(b_row) {
-                            *o += a * b;
+                let mut p0 = 0;
+                while p0 < k {
+                    let p1 = (p0 + panel).min(k);
+                    for i in lo..hi {
+                        let a_row = &self.data[i * k + p0..i * k + p1];
+                        let o_row = &mut rows[(i - lo) * n..(i - lo + 1) * n];
+                        for (dk, &a) in a_row.iter().enumerate() {
+                            if a == 0.0 {
+                                continue;
+                            }
+                            let kk = p0 + dk;
+                            simd::axpy(a, &other.data[kk * n..(kk + 1) * n], o_row);
                         }
                     }
+                    p0 = p1;
                 }
             });
         }
@@ -484,9 +506,11 @@ impl Tensor {
 
     /// Matrix product `selfᵀ × other` without materializing the transpose.
     ///
-    /// Parallel over output rows; per row the reduction still runs over
-    /// `kk` ascending with the same zero-skips as the sequential k-outer
-    /// sweep did, so each element sees the identical sequence of adds.
+    /// Parallel over output rows with the same k-panel blocking and SIMD
+    /// inner loop as [`Tensor::matmul`]; per row the reduction still runs
+    /// over `kk` ascending with the same zero-skips as the sequential
+    /// k-outer sweep did, so each element sees the identical sequence of
+    /// adds.
     ///
     /// # Panics
     ///
@@ -495,6 +519,7 @@ impl Tensor {
         let (k, m) = (self.rows(), self.cols());
         let (k2, n) = (other.rows(), other.cols());
         assert_eq!(k, k2, "matmul_tn leading dimension mismatch: {k} vs {k2}");
+        let panel = k_panel(k, n);
         let mut out = vec![0.0f32; m * n];
         {
             let out_s = pool::SharedSlice::new(&mut out);
@@ -502,18 +527,20 @@ impl Tensor {
                 // SAFETY: chunks claim disjoint `lo..hi` row ranges, so the
                 // element ranges `lo*n..hi*n` never overlap across threads.
                 let rows = unsafe { out_s.range_mut(lo * n, hi * n) };
-                for i in lo..hi {
-                    let o_row = &mut rows[(i - lo) * n..(i - lo + 1) * n];
-                    for kk in 0..k {
-                        let a = self.data[kk * m + i];
-                        if a == 0.0 {
-                            continue;
-                        }
-                        let b_row = &other.data[kk * n..(kk + 1) * n];
-                        for (o, &b) in o_row.iter_mut().zip(b_row) {
-                            *o += a * b;
+                let mut p0 = 0;
+                while p0 < k {
+                    let p1 = (p0 + panel).min(k);
+                    for i in lo..hi {
+                        let o_row = &mut rows[(i - lo) * n..(i - lo + 1) * n];
+                        for kk in p0..p1 {
+                            let a = self.data[kk * m + i];
+                            if a == 0.0 {
+                                continue;
+                            }
+                            simd::axpy(a, &other.data[kk * n..(kk + 1) * n], o_row);
                         }
                     }
+                    p0 = p1;
                 }
             });
         }
@@ -521,6 +548,12 @@ impl Tensor {
     }
 
     /// Matrix product `self × otherᵀ` without materializing the transpose.
+    ///
+    /// Each output element is an independent dot product computed through
+    /// the fixed-tree SIMD [`crate::simd::dot`], which is bitwise
+    /// identical between its vector and scalar paths; the k dimension is
+    /// not panelled here because splitting a dot's accumulator would
+    /// change its reduction tree.
     ///
     /// # Panics
     ///
@@ -540,11 +573,7 @@ impl Tensor {
                     let a_row = &self.data[i * k..(i + 1) * k];
                     for j in 0..n {
                         let b_row = &other.data[j * k..(j + 1) * k];
-                        let mut acc = 0.0f32;
-                        for (&a, &b) in a_row.iter().zip(b_row) {
-                            acc += a * b;
-                        }
-                        rows[(i - lo) * n + j] = acc;
+                        rows[(i - lo) * n + j] = simd::dot(a_row, b_row);
                     }
                 }
             });

@@ -25,6 +25,7 @@
 //!                                 0 = sequential, 1 = paper's 3/N   (0)
 //!   --partitioner ml|random|range|bfs                             (ml)
 //!   --threads N                   intra-worker kernel threads     (1)
+//!   --simd auto|scalar            SIMD dispatch mode              (auto)
 //!   --save-model PATH             checkpoint final parameters
 //!   --report-json PATH            write the per-worker observability
 //!                                 RunReport (phase/layer comm ledger,
@@ -70,6 +71,7 @@ struct Args {
     prefetch_depth: usize,
     partitioner: String,
     threads: usize,
+    simd: String,
     save_model: Option<String>,
     report_json: Option<String>,
     seed: u64,
@@ -97,6 +99,7 @@ impl Default for Args {
             prefetch_depth: 0,
             partitioner: "ml".into(),
             threads: 1,
+            simd: "auto".into(),
             save_model: None,
             report_json: None,
             seed: 0,
@@ -143,6 +146,7 @@ fn parse_args() -> Args {
             }
             "--partitioner" => args.partitioner = value(),
             "--threads" => args.threads = value().parse().unwrap_or_else(|_| fail("--threads")),
+            "--simd" => args.simd = value(),
             "--save-model" => args.save_model = Some(value()),
             "--report-json" => args.report_json = Some(value()),
             "--seed" => args.seed = value().parse().unwrap_or_else(|_| fail("--seed")),
@@ -207,6 +211,7 @@ fn run_tcp(args: &Args) -> ! {
         schedule: "step".into(),
         seed: args.seed,
         threads: args.threads,
+        simd: args.simd.clone(),
     };
     let exe = launcher::sibling_binary("sar-worker").unwrap_or_else(|e| fail(&e));
     let mut worker_args = workload.to_args();
@@ -229,6 +234,12 @@ fn run_tcp(args: &Args) -> ! {
 
 fn main() {
     let args = parse_args();
+    // The tcp path re-validates in each rank process; the sim path
+    // applies the dispatch mode here, before any kernels run.
+    match sar::tensor::simd::parse_mode(&args.simd) {
+        Some(mode) => sar::tensor::simd::set_mode(mode),
+        None => fail(&format!("unknown --simd {} (auto|scalar)", args.simd)),
+    }
     match args.transport.as_str() {
         "sim" => {}
         "tcp" => run_tcp(&args),
