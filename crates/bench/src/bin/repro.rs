@@ -30,6 +30,20 @@
 //!                       against the committed copy on run-set identity
 //!                       and ledger invariants (timings are not compared);
 //!                       flags: --current PATH --committed PATH
+//!   servebench          closed-loop serving benchmark: spawns a real
+//!                       4-process sar-serve cluster over TCP loopback,
+//!                       drives it with concurrent clients, reports
+//!                       p50/p99 latency + QPS, and writes/checks the
+//!                       schema-versioned BENCH_serve.json artifact
+//!                       (own flags: --out PATH, --check PATH, --world N,
+//!                       --nodes N, --archs a,b, --clients N,
+//!                       --requests N, --ids-per-request N,
+//!                       --max-batch N, --max-delay-us N, --cache-rows N,
+//!                       --threads N, --simd auto|scalar, --seed N).
+//!                       The gate never compares latency magnitudes —
+//!                       only schema/run-set identity and the serving
+//!                       invariants (all queries answered, MFG fetch
+//!                       strictly below the full-graph forward ceiling)
 //!   all                 everything above except smoke/kernelbench
 //!
 //! flags:
@@ -77,7 +91,7 @@ use sar_bench::experiments::{
     ExpConfig, Workload,
 };
 use sar_bench::report::RunReport;
-use sar_bench::{kernelbench, launcher, smoke};
+use sar_bench::{kernelbench, launcher, servebench, smoke};
 use sar_core::{train, Arch};
 
 struct Flags {
@@ -668,6 +682,117 @@ fn kernelbench_cmd(args: &[String]) -> i32 {
     0
 }
 
+/// `repro servebench [--out PATH] [--check PATH] [workload flags]`: spawn
+/// a real `sar-serve` cluster per architecture, drive it with the
+/// deterministic closed-loop client load, write the schema-versioned
+/// report, and/or gate against the committed `BENCH_serve.json`.
+fn servebench_cmd(args: &[String]) -> i32 {
+    let mut cfg = servebench::ServeBenchConfig::default();
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].clone();
+        i += 1;
+        let Some(v) = args.get(i).cloned() else {
+            eprintln!("missing value for {key}");
+            return 2;
+        };
+        let parse_usize = |v: &str, key: &str| -> Result<usize, i32> {
+            v.parse::<usize>().map_err(|_| {
+                eprintln!("{key} takes a non-negative integer, not {v}");
+                2
+            })
+        };
+        let r = (|| -> Result<(), i32> {
+            match key.as_str() {
+                "--out" => out = Some(v.clone()),
+                "--check" => check = Some(v.clone()),
+                "--world" => cfg.world = parse_usize(&v, &key)?.max(1),
+                "--nodes" => cfg.nodes = parse_usize(&v, &key)?,
+                "--archs" => cfg.archs = v.split(',').map(str::to_string).collect(),
+                "--clients" => cfg.clients = parse_usize(&v, &key)?.max(1),
+                "--requests" => cfg.requests = parse_usize(&v, &key)?.max(1),
+                "--ids-per-request" => cfg.ids_per_request = parse_usize(&v, &key)?.max(1),
+                "--max-batch" => cfg.max_batch = parse_usize(&v, &key)?.max(1),
+                "--max-delay-us" => cfg.max_delay_us = parse_usize(&v, &key)? as u64,
+                "--cache-rows" => cfg.cache_rows = parse_usize(&v, &key)?,
+                "--threads" => cfg.threads = parse_usize(&v, &key)?.max(1),
+                "--simd" => {
+                    if sar_tensor::simd::parse_mode(&v).is_none() {
+                        eprintln!("--simd must be auto or scalar, not {v}");
+                        return Err(2);
+                    }
+                    cfg.simd = v.clone();
+                }
+                "--seed" => cfg.seed = parse_usize(&v, &key)? as u64,
+                other => {
+                    eprintln!("unknown servebench flag: {other}");
+                    return Err(2);
+                }
+            }
+            Ok(())
+        })();
+        if let Err(code) = r {
+            return code;
+        }
+        i += 1;
+    }
+    let exe = match launcher::sibling_binary("sar-serve") {
+        Ok(exe) => exe,
+        Err(e) => {
+            eprintln!("[repro] servebench: {e}");
+            return 2;
+        }
+    };
+    let report = match servebench::run_servebench(&exe, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("[repro] servebench FAIL: {e}");
+            return 1;
+        }
+    };
+    servebench::print_table(&report);
+    if let Some(path) = &out {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("[repro] cannot create {}: {e}", dir.display());
+                    return 2;
+                }
+            }
+        }
+        match report.write_json(path) {
+            Ok(()) => eprintln!("[repro] wrote {path}"),
+            Err(e) => {
+                eprintln!("[repro] {e}");
+                return 2;
+            }
+        }
+    }
+    if let Some(path) = &check {
+        let committed = match std::fs::read_to_string(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!(
+                    "[repro] servebench FAIL: no committed artifact at {path}: {e} — \
+                     generate one with `repro servebench --out {path}`"
+                );
+                return 1;
+            }
+        };
+        let violations = servebench::check_against(&report, &committed);
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("[repro] servebench VIOLATION: {v}");
+            }
+            return 1;
+        }
+        eprintln!("[repro] servebench: structure and invariants consistent with {path}");
+    }
+    0
+}
+
 /// `repro overlap-check --current PATH --committed PATH`: diff a fresh
 /// `BENCH_overlap.json` against the committed copy (run-set identity and
 /// ledger invariants; timings are not compared).
@@ -727,6 +852,9 @@ fn main() {
     }
     if args[0] == "overlap-check" {
         std::process::exit(overlap_check_cmd(&args[1..]));
+    }
+    if args[0] == "servebench" {
+        std::process::exit(servebench_cmd(&args[1..]));
     }
     let flags = parse_flags(&args[1..]);
     let (cfg, worlds, transport) = (&flags.cfg, &flags.worlds, &flags.transport);

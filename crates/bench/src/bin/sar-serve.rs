@@ -1,0 +1,250 @@
+//! `sar-serve` — one OS process per rank for a resident serving cluster.
+//!
+//! ```text
+//! sar-serve --spawn-local N [flags]                # launcher mode
+//! sar-serve --rank R --world N --rendezvous-file PATH [flags]
+//!
+//! workload flags (identical on every rank — each process rebuilds the
+//! dataset, partitioning and model deterministically from them; the
+//! vocabulary is shared with sar-worker, and training-only flags are
+//! accepted and ignored so one flag list can drive both binaries):
+//!   --dataset products|papers    synthetic stand-in        (products)
+//!   --nodes N                    stand-in size             (1500)
+//!   --arch sage|gcn|gat          model architecture        (sage)
+//!   --hidden N                   hidden size / GAT head dim (64)
+//!   --heads N                    GAT attention heads       (4)
+//!   --mode sar|sar-fak           execution mode            (sar)
+//!   --layers N                   GNN depth                 (3)
+//!   --no-label-aug               disable masked label prediction
+//!   --partitioner ml|random|range|bfs               (ml)
+//!   --seed N                                        (0)
+//!   --threads N                  intra-rank kernel threads (1)
+//!   --simd auto|scalar           SIMD dispatch mode (auto)
+//!
+//! serving flags:
+//!   --checkpoint PATH            parameter checkpoint every rank loads
+//!                                (also the engine's reload source);
+//!                                without it, the seeded deterministic
+//!                                initialization is served
+//!   --client-addr-file PATH      rank 0 publishes its client listener
+//!                                address here (atomic rename)
+//!   --max-batch N                front-end query coalescing bound (32)
+//!   --max-delay-us N             coalescing delay, microseconds (2000)
+//!   --queue-cap N                bounded job-queue depth        (256)
+//!   --cache-rows N               per-rank embedding-cache rows  (4096)
+//!
+//! other:
+//!   --rendezvous-timeout-secs N  poll budget for the rendezvous file (60)
+//! ```
+//!
+//! Serving always runs with dropout 0 and batch normalization off (see
+//! `sar_bench::serverun`); `--jk` is rejected by the engine because
+//! jumping knowledge needs every layer over every node, defeating the
+//! MFG restriction. Rank 0 prints the front-end summary on exit; the
+//! cluster leaves when a client sends the Shutdown opcode.
+
+use std::time::Duration;
+
+use sar_bench::distrun::Workload;
+use sar_bench::launcher;
+use sar_bench::serverun::{run_serve_rank, ServeRankOpts};
+use sar_serve::ServerConfig;
+
+struct Cli {
+    spawn_local: Option<usize>,
+    rank: Option<usize>,
+    world: Option<usize>,
+    rendezvous_file: Option<std::path::PathBuf>,
+    rendezvous_timeout: Duration,
+    checkpoint: Option<std::path::PathBuf>,
+    client_addr_file: Option<std::path::PathBuf>,
+    server: ServerConfig,
+    cache_rows: usize,
+    workload: Workload,
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("sar-serve: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        spawn_local: None,
+        rank: None,
+        world: None,
+        rendezvous_file: None,
+        rendezvous_timeout: Duration::from_secs(60),
+        checkpoint: None,
+        client_addr_file: None,
+        server: ServerConfig::default(),
+        cache_rows: 4096,
+        workload: Workload::default(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let mut value = || -> String {
+            i += 1;
+            argv.get(i)
+                .cloned()
+                .unwrap_or_else(|| fail(&format!("missing value for {flag}")))
+        };
+        let w = &mut cli.workload;
+        match flag {
+            "--spawn-local" => {
+                cli.spawn_local = Some(value().parse().unwrap_or_else(|_| fail("--spawn-local")))
+            }
+            "--rank" => cli.rank = Some(value().parse().unwrap_or_else(|_| fail("--rank"))),
+            "--world" => cli.world = Some(value().parse().unwrap_or_else(|_| fail("--world"))),
+            "--rendezvous-file" => cli.rendezvous_file = Some(value().into()),
+            "--rendezvous-timeout-secs" => {
+                cli.rendezvous_timeout = Duration::from_secs(
+                    value()
+                        .parse()
+                        .unwrap_or_else(|_| fail("--rendezvous-timeout-secs")),
+                )
+            }
+            "--checkpoint" => cli.checkpoint = Some(value().into()),
+            "--client-addr-file" => cli.client_addr_file = Some(value().into()),
+            "--max-batch" => {
+                cli.server.max_batch = value().parse().unwrap_or_else(|_| fail("--max-batch"))
+            }
+            "--max-delay-us" => {
+                cli.server.max_delay = Duration::from_micros(
+                    value().parse().unwrap_or_else(|_| fail("--max-delay-us")),
+                )
+            }
+            "--queue-cap" => {
+                cli.server.queue_cap = value().parse().unwrap_or_else(|_| fail("--queue-cap"))
+            }
+            "--cache-rows" => {
+                cli.cache_rows = value().parse().unwrap_or_else(|_| fail("--cache-rows"))
+            }
+            "--dataset" => w.dataset = value(),
+            "--nodes" => w.nodes = value().parse().unwrap_or_else(|_| fail("--nodes")),
+            "--arch" => w.arch = value(),
+            "--hidden" => w.hidden = value().parse().unwrap_or_else(|_| fail("--hidden")),
+            "--heads" => w.heads = value().parse().unwrap_or_else(|_| fail("--heads")),
+            "--mode" => w.mode = value(),
+            "--layers" => w.layers = value().parse().unwrap_or_else(|_| fail("--layers")),
+            "--jk" => w.jk = true,
+            "--no-label-aug" => w.label_aug = false,
+            "--partitioner" => w.partitioner = value(),
+            "--seed" => w.seed = value().parse().unwrap_or_else(|_| fail("--seed")),
+            "--threads" => w.threads = value().parse().unwrap_or_else(|_| fail("--threads")),
+            "--simd" => w.simd = value(),
+            // Training-only workload flags, accepted for vocabulary
+            // parity with sar-worker and ignored by serving.
+            "--epochs" | "--lr" | "--dropout" | "--aug-frac" | "--schedule"
+            | "--prefetch-depth" => {
+                let _ = value();
+            }
+            "--cs" => {}
+            "--help" | "-h" => {
+                eprintln!("see the doc comment at the top of crates/bench/src/bin/sar-serve.rs");
+                std::process::exit(0);
+            }
+            other => fail(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    cli
+}
+
+/// `--spawn-local N`: re-exec this binary once per rank and wait. The
+/// cluster then serves until a client requests shutdown, so this mode is
+/// only useful together with `--client-addr-file` and an external client.
+fn spawn_local(n: usize, cli: &Cli) -> ! {
+    if n == 0 {
+        fail("--spawn-local needs at least one rank");
+    }
+    let exe = std::env::current_exe()
+        .unwrap_or_else(|e| fail(&format!("cannot locate own executable: {e}")));
+    let mut args = cli.workload.to_args();
+    args.extend([
+        "--rendezvous-timeout-secs".to_string(),
+        cli.rendezvous_timeout.as_secs().to_string(),
+        "--max-batch".to_string(),
+        cli.server.max_batch.to_string(),
+        "--max-delay-us".to_string(),
+        cli.server.max_delay.as_micros().to_string(),
+        "--queue-cap".to_string(),
+        cli.server.queue_cap.to_string(),
+        "--cache-rows".to_string(),
+        cli.cache_rows.to_string(),
+    ]);
+    if let Some(path) = &cli.checkpoint {
+        args.extend(["--checkpoint".to_string(), path.display().to_string()]);
+    }
+    if let Some(path) = &cli.client_addr_file {
+        args.extend(["--client-addr-file".to_string(), path.display().to_string()]);
+    }
+    eprintln!(
+        "[sar-serve] spawning {n} local rank processes ({} / {} on {} nodes) ...",
+        cli.workload.arch, cli.workload.mode, cli.workload.nodes
+    );
+    match launcher::spawn_ranks(&exe, n, &args) {
+        Ok(()) => {
+            eprintln!("[sar-serve] all {n} ranks completed");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("[sar-serve] launch failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let cli = parse_cli();
+    if let Some(n) = cli.spawn_local {
+        if cli.rank.is_some() || cli.rendezvous_file.is_some() {
+            fail("--spawn-local is exclusive with --rank/--rendezvous-file");
+        }
+        spawn_local(n, &cli);
+    }
+
+    let rank = cli
+        .rank
+        .unwrap_or_else(|| fail("--rank is required (or use --spawn-local N)"));
+    let world = cli.world.unwrap_or_else(|| fail("--world is required"));
+    let rendezvous_file = cli
+        .rendezvous_file
+        .clone()
+        .unwrap_or_else(|| fail("--rendezvous-file is required"));
+    let opts = ServeRankOpts {
+        rank,
+        world,
+        rendezvous_file,
+        rendezvous_timeout: cli.rendezvous_timeout,
+        checkpoint: cli.checkpoint.clone(),
+        client_addr_file: cli.client_addr_file.clone(),
+        server: cli.server.clone(),
+        cache_rows: cli.cache_rows,
+    };
+
+    match run_serve_rank(&opts, &cli.workload) {
+        Ok(None) => {} // ranks 1..N: quiesced after the shutdown barrier
+        Ok(Some(summary)) => {
+            let s = &summary.stats;
+            println!(
+                "connections {} | requests {} | batches {} | queries {} | \
+                 fetch {} B (full-forward ceiling {} B/batch) | cache {}h/{}m",
+                summary.connections,
+                summary.requests,
+                s.batches,
+                s.queries,
+                s.fetch_bytes,
+                s.full_forward_bytes,
+                s.cache_hits,
+                s.cache_misses
+            );
+        }
+        Err(e) => {
+            eprintln!("sar-serve: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -36,10 +36,19 @@
 //! lifecycle (rebuild state from flags → rendezvous → train → gather),
 //! and [`smoke`] holds the CI gate's workloads and ledger invariants,
 //! shared verbatim between both backends.
+//!
+//! The serving tier gets the same treatment: [`serverun`] is the
+//! per-rank lifecycle of a resident `sar-serve` cluster (rebuild state →
+//! load checkpoint → rendezvous → front-end/worker loop), and
+//! [`servebench`] drives it with a closed-loop client load, writing the
+//! committed, CI-gated `BENCH_serve.json` latency/throughput artifact
+//! (`repro servebench`).
 
 pub mod distrun;
 pub mod experiments;
 pub mod kernelbench;
 pub mod launcher;
 pub mod report;
+pub mod servebench;
+pub mod serverun;
 pub mod smoke;

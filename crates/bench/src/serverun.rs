@@ -1,0 +1,254 @@
+//! Per-rank driver for real multi-process *serving* over the TCP
+//! transport.
+//!
+//! The training driver ([`crate::distrun`]) establishes the contract:
+//! nothing is shared between OS processes, so every rank rebuilds the
+//! dataset, the partitioning and the model deterministically from the
+//! shared workload flags. Serving reuses that contract verbatim — the
+//! same [`Workload`] flags rebuild the same [`DistGraph`]/[`Shard`]
+//! pair in every `sar-serve` process — and adds two serving-specific
+//! pieces:
+//!
+//! * **parameters** come from a checkpoint file when `--checkpoint` is
+//!   given (each rank reads the same file through a throwaway
+//!   [`DistModel`], which validates count and shapes, so all ranks hold
+//!   bit-identical parameters) or from the seeded deterministic
+//!   initialization otherwise;
+//! * **rank 0** binds a second listener for *clients*, publishes its
+//!   address through the same atomic-rename file mechanism the
+//!   rendezvous uses, and runs the batching front-end
+//!   ([`sar_serve::serve`]) until a client requests shutdown, while the
+//!   other ranks sit in [`sar_serve::worker_loop`].
+//!
+//! Inference-time restrictions are resolved here, not left to the
+//! caller: serving always runs with dropout 0 and batch normalization
+//! off ([`sar_serve`] rejects batch norm because `DistBatchNorm` keeps
+//! no eval-mode statistics), so a workload's training-oriented defaults
+//! cannot produce an unservable configuration.
+
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sar_comm::{CostModel, TcpOpts, TcpTransport, WorkerCtx};
+use sar_core::{checkpoint, DistGraph, DistModel, ModelConfig, Shard};
+use sar_graph::Dataset;
+use sar_serve::{
+    serve, worker_loop, EngineSetup, RawParams, ServeEngine, ServeSummary, ServerConfig,
+};
+
+use crate::distrun::Workload;
+
+/// How long a serving rank waits on a mesh message before declaring the
+/// cluster dead. Serving ranks legitimately idle between requests, so
+/// the engine's idle poll (which is *not* an error) uses a much shorter
+/// internal timeout; this bound only fences genuinely lost peers during
+/// an active batch.
+const RECV_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Per-process serving options that are *not* part of the shared
+/// workload.
+#[derive(Debug, Clone)]
+pub struct ServeRankOpts {
+    /// This process's rank.
+    pub rank: usize,
+    /// Total rank count.
+    pub world: usize,
+    /// File through which rank 0 publishes its mesh rendezvous address.
+    pub rendezvous_file: PathBuf,
+    /// How long non-zero ranks poll for the rendezvous file.
+    pub rendezvous_timeout: Duration,
+    /// Checkpoint to load parameters from (`None` = seeded init). Also
+    /// becomes the engine's reload source.
+    pub checkpoint: Option<PathBuf>,
+    /// File through which rank 0 publishes its *client* listener
+    /// address (atomic rename, same as the rendezvous file).
+    pub client_addr_file: Option<PathBuf>,
+    /// Front-end batching knobs (rank 0 only).
+    pub server: ServerConfig,
+    /// Embedding-cache row budget per rank (0 disables caching).
+    pub cache_rows: usize,
+}
+
+/// Resolves the serving [`ModelConfig`] from workload flags: identical
+/// to the training configuration except that inference runs with
+/// dropout 0 and batch normalization off.
+///
+/// # Errors
+///
+/// Rejects unknown architecture/mode names (via
+/// [`Workload::train_config`]).
+pub fn serve_model_config(workload: &Workload, dataset: &Dataset) -> Result<ModelConfig, String> {
+    let mut cfg = workload.train_config(dataset)?.model;
+    cfg.dropout = 0.0;
+    cfg.batch_norm = false;
+    Ok(cfg)
+}
+
+/// Builds the raw `(shape, values)` parameter list every rank serves
+/// from: the seeded deterministic initialization for `cfg`, overwritten
+/// from `checkpoint` when one is given. Loading goes through a
+/// throwaway [`DistModel`] so count and shapes are validated against
+/// the configuration before any rank commits to serving them.
+///
+/// # Errors
+///
+/// Names the checkpoint file on any read or format failure.
+pub fn load_or_init_params(
+    cfg: &ModelConfig,
+    dataset: &Dataset,
+    label_aug: bool,
+    checkpoint: Option<&Path>,
+) -> Result<RawParams, String> {
+    let mut resolved = cfg.clone();
+    resolved.in_dim = dataset.feat_dim() + if label_aug { dataset.num_classes } else { 0 };
+    let model = DistModel::new(&resolved);
+    let params = model.params();
+    if let Some(path) = checkpoint {
+        let file = std::fs::File::open(path)
+            .map_err(|e| format!("cannot open checkpoint {}: {e}", path.display()))?;
+        checkpoint::load_params(&params, file)
+            .map_err(|e| format!("cannot load checkpoint {}: {e}", path.display()))?;
+    }
+    Ok(params
+        .iter()
+        .map(|p| (p.shape(), p.value().data().to_vec()))
+        .collect())
+}
+
+/// The whole per-process serving lifecycle: rebuild state from the
+/// workload flags, load or initialize parameters, form the TCP mesh,
+/// then serve — rank 0 as the client front-end, the rest as resident
+/// workers — until a client requests shutdown. Returns the front-end
+/// summary on rank 0, `None` elsewhere.
+///
+/// # Errors
+///
+/// Flag, checkpoint, rendezvous and transport errors, each naming this
+/// rank.
+pub fn run_serve_rank(
+    opts: &ServeRankOpts,
+    workload: &Workload,
+) -> Result<Option<ServeSummary>, String> {
+    let rank = opts.rank;
+    if rank >= opts.world {
+        return Err(format!(
+            "--rank {rank} out of range for --world {}",
+            opts.world
+        ));
+    }
+    let simd_mode = sar_tensor::simd::parse_mode(&workload.simd)
+        .ok_or_else(|| format!("unknown --simd {} (auto|scalar)", workload.simd))?;
+    sar_tensor::simd::set_mode(simd_mode);
+    sar_tensor::pool::set_threads(workload.threads);
+
+    let (dataset, part) = workload.build_data(opts.world)?;
+    let cfg = serve_model_config(workload, &dataset)?;
+    let params = load_or_init_params(
+        &cfg,
+        &dataset,
+        workload.label_aug,
+        opts.checkpoint.as_deref(),
+    )
+    .map_err(|e| format!("rank {rank}: {e}"))?;
+    let graph = Arc::new(DistGraph::build_all(&dataset.graph, &part).swap_remove(rank));
+    let shard = Shard::build_all(&dataset, &part).swap_remove(rank);
+
+    let transport = if rank == 0 {
+        let listener = TcpListener::bind(("127.0.0.1", 0))
+            .map_err(|e| format!("rank 0: cannot bind rendezvous listener: {e}"))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("rank 0: cannot read listener address: {e}"))?;
+        crate::launcher::write_rendezvous_addr(&opts.rendezvous_file, &addr)
+            .map_err(|e| format!("rank 0: cannot write rendezvous file: {e}"))?;
+        TcpTransport::host(listener, opts.world, TcpOpts::default())
+            .map_err(|e| format!("rank 0: {e}"))?
+    } else {
+        let addr =
+            crate::launcher::read_rendezvous_addr(&opts.rendezvous_file, opts.rendezvous_timeout)
+                .map_err(|e| format!("rank {rank}: {e}"))?;
+        TcpTransport::join(addr.as_str(), rank, opts.world, TcpOpts::default())
+            .map_err(|e| format!("rank {rank}: {e}"))?
+    };
+    let ctx = WorkerCtx::new(Box::new(transport), CostModel::default(), RECV_TIMEOUT);
+
+    let setup = EngineSetup {
+        model_cfg: cfg,
+        label_aug: workload.label_aug,
+        cache_rows: opts.cache_rows,
+        checkpoint: opts.checkpoint.clone(),
+    };
+    let mut engine = ServeEngine::new(ctx, graph, &shard, dataset.num_nodes(), &setup, &params)
+        .map_err(|e| format!("rank {rank}: cannot build serving engine: {e}"))?;
+
+    if rank == 0 {
+        let listener = TcpListener::bind(("127.0.0.1", 0))
+            .map_err(|e| format!("rank 0: cannot bind client listener: {e}"))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("rank 0: cannot read client listener address: {e}"))?;
+        if let Some(path) = &opts.client_addr_file {
+            crate::launcher::write_rendezvous_addr(path, &addr)
+                .map_err(|e| format!("rank 0: cannot write client address file: {e}"))?;
+        }
+        eprintln!("[sar-serve] rank 0 front-end listening on {addr}");
+        let summary = serve(&mut engine, listener, &opts.server)
+            .map_err(|e| format!("rank 0: front-end failed: {e}"))?;
+        Ok(Some(summary))
+    } else {
+        worker_loop(&mut engine).map_err(|e| format!("rank {rank}: worker loop failed: {e}"))?;
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sar_graph::datasets;
+
+    fn workload() -> Workload {
+        Workload {
+            nodes: 120,
+            layers: 2,
+            ..Workload::default()
+        }
+    }
+
+    #[test]
+    fn serve_config_strips_training_only_pieces() {
+        let d = datasets::products_like(120, 0);
+        let cfg = serve_model_config(&workload(), &d).unwrap();
+        assert_eq!(cfg.dropout, 0.0);
+        assert!(!cfg.batch_norm);
+        assert_eq!(cfg.layers, 2);
+    }
+
+    #[test]
+    fn params_round_trip_through_a_checkpoint_file() {
+        let d = datasets::products_like(120, 0);
+        let cfg = serve_model_config(&workload(), &d).unwrap();
+        let init = load_or_init_params(&cfg, &d, true, None).unwrap();
+        let path = std::env::temp_dir().join(format!("sar-serverun-{}.ckpt", std::process::id()));
+        let f = std::fs::File::create(&path).unwrap();
+        checkpoint::save_raw_params(&init, std::io::BufWriter::new(f)).unwrap();
+        let loaded = load_or_init_params(&cfg, &d, true, Some(&path)).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(init.len(), loaded.len());
+        for ((s0, v0), (s1, v1)) in init.iter().zip(&loaded) {
+            assert_eq!(s0, s1);
+            assert_eq!(v0.len(), v1.len());
+            assert!(v0.iter().zip(v1).all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+    }
+
+    #[test]
+    fn missing_checkpoint_is_a_named_error() {
+        let d = datasets::products_like(120, 0);
+        let cfg = serve_model_config(&workload(), &d).unwrap();
+        let err = load_or_init_params(&cfg, &d, true, Some(Path::new("/nonexistent/x.ckpt")))
+            .unwrap_err();
+        assert!(err.contains("/nonexistent/x.ckpt"), "{err}");
+    }
+}

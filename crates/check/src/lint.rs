@@ -374,14 +374,22 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
 }
 
 /// Whether the `no-panic-path` rule applies to this file: all of
-/// `sar-comm`'s sources plus the worker hot path in `sar-core`.
+/// `sar-comm`'s sources, the worker hot path in `sar-core`, and the
+/// resident serving tier (a panicking rank strands every peer of the
+/// rotation mid-protocol, and a serving cluster must outlive bad
+/// requests by construction).
 fn panic_rule_applies(rel: &str) -> bool {
-    rel.starts_with("crates/comm/src/") || rel == "crates/core/src/worker.rs"
+    rel.starts_with("crates/comm/src/")
+        || rel == "crates/core/src/worker.rs"
+        || rel.starts_with("crates/serve/src/")
 }
 
-/// Whether the `phase-scope` rule applies: `sar-core` sources.
+/// Whether the `phase-scope` rule applies: `sar-core` and `sar-serve`
+/// sources (the serving engine's MFG exchange is ledger-audited the
+/// same way training is — unattributed traffic would corrupt the
+/// fetch-byte acceptance bound).
 fn phase_rule_applies(rel: &str) -> bool {
-    rel.starts_with("crates/core/src/")
+    rel.starts_with("crates/core/src/") || rel.starts_with("crates/serve/src/")
 }
 
 /// The comm-context methods that must run under a phase scope.

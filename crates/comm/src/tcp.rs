@@ -596,6 +596,15 @@ fn reader_loop(
                 kind: FrameKind::Shutdown,
                 ..
             }) => return,
+            Ok(Frame { kind, .. }) => {
+                // Serving-tier frames (Request/Response) belong on a
+                // client connection, never inside the worker mesh.
+                let _ = inbox.send(Err(TransportError::Corrupt {
+                    peer,
+                    detail: format!("unexpected {kind:?} frame on the worker mesh"),
+                }));
+                return;
+            }
             Err(WireError::Eof) => {
                 if !closing.load(Ordering::SeqCst) {
                     let _ = inbox.send(Err(TransportError::Disconnected { peer }));

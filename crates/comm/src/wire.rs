@@ -6,7 +6,8 @@
 //!  offset  size  field
 //!  ------  ----  -----------------------------------------------------
 //!       0     4  magic  b"SAR1"
-//!       4     1  kind   (0 = data, 1 = barrier, 2 = shutdown)
+//!       4     1  kind   (0 = data, 1 = barrier, 2 = shutdown,
+//!                        3 = request, 4 = response)
 //!       5     1  dtype  (0 = empty, 1 = f32, 2 = u32, 3 = bytes)
 //!       6     2  reserved (zero)
 //!       8     4  src rank, u32 LE
@@ -37,7 +38,8 @@ pub const WIRE_HEADER_LEN: usize = 32;
 /// lengths after stream desynchronization): 1 GiB.
 pub const WIRE_MAX_PAYLOAD: u64 = 1 << 30;
 
-/// Frame kind: application data, or transport-internal control traffic.
+/// Frame kind: application data, transport-internal control traffic, or
+/// client-facing serving traffic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FrameKind {
     /// A tagged application message.
@@ -46,6 +48,12 @@ pub enum FrameKind {
     Barrier,
     /// Clean-shutdown announcement: the peer will send nothing further.
     Shutdown,
+    /// A serving-tier request from a client to a front-end (`tag` carries
+    /// the client-chosen request id, echoed back in the response).
+    Request,
+    /// A serving-tier response from a front-end to a client (`tag` echoes
+    /// the request id).
+    Response,
 }
 
 impl FrameKind {
@@ -54,6 +62,8 @@ impl FrameKind {
             FrameKind::Data => 0,
             FrameKind::Barrier => 1,
             FrameKind::Shutdown => 2,
+            FrameKind::Request => 3,
+            FrameKind::Response => 4,
         }
     }
 
@@ -62,6 +72,8 @@ impl FrameKind {
             0 => Some(FrameKind::Data),
             1 => Some(FrameKind::Barrier),
             2 => Some(FrameKind::Shutdown),
+            3 => Some(FrameKind::Request),
+            4 => Some(FrameKind::Response),
             _ => None,
         }
     }
@@ -394,6 +406,34 @@ mod tests {
         round_trip(Payload::F32(vec![1.5, -2.25, f32::MIN_POSITIVE]));
         round_trip(Payload::U32(vec![0, 1, u32::MAX]));
         round_trip(Payload::Bytes(vec![7u8; 13]));
+    }
+
+    #[test]
+    fn serving_frame_kinds_round_trip() {
+        for kind in [FrameKind::Request, FrameKind::Response] {
+            let buf = encode_frame(kind, 0, 17, &Payload::Bytes(vec![1, 2, 3]));
+            let frame = read_frame(&mut &buf[..]).expect("decode");
+            assert_eq!(frame.kind, kind);
+            assert_eq!(frame.tag, 17);
+            assert_eq!(frame.payload, Payload::Bytes(vec![1, 2, 3]));
+        }
+    }
+
+    #[test]
+    fn unknown_frame_kind_is_rejected() {
+        let mut buf = encode_frame(FrameKind::Data, 0, 0, &Payload::Empty);
+        buf[4] = 9;
+        // Re-seal the checksum so only the kind byte is at fault.
+        let crc = {
+            let mut c = Crc32::new();
+            c.update(&buf[..28]);
+            c.finish()
+        };
+        buf[28..32].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &buf[..]),
+            Err(WireError::BadHeader(_))
+        ));
     }
 
     #[test]

@@ -176,6 +176,71 @@ mod tests {
         assert!(load_params(&other.params(), &buf[..]).is_err());
     }
 
+    fn raw(m: &DistModel) -> Vec<(Vec<usize>, Vec<f32>)> {
+        m.params()
+            .iter()
+            .map(|p| (p.shape(), p.value().data().to_vec()))
+            .collect()
+    }
+
+    #[test]
+    fn raw_params_round_trip_is_bitwise() {
+        let a = model(5);
+        let mut buf = Vec::new();
+        save_raw_params(&raw(&a), &mut buf).unwrap();
+        let b = model(6);
+        load_params(&b.params(), &buf[..]).unwrap();
+        for (pa, pb) in a.params().iter().zip(b.params()) {
+            let (va, vb) = (pa.value(), pb.value());
+            assert_eq!(va.shape(), vb.shape());
+            for (x, y) in va.data().iter().zip(vb.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_an_error_not_a_panic() {
+        let a = model(7);
+        let mut buf = Vec::new();
+        save_params(&a.params(), &mut buf).unwrap();
+        // Cut the stream at several depths: inside the header, inside a
+        // shape, and inside a parameter's data.
+        for cut in [2, 10, 40, buf.len() - 3] {
+            let b = model(8);
+            let err =
+                load_params(&b.params(), &buf[..cut]).expect_err("truncated checkpoint must fail");
+            assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_named_invalid_data() {
+        let a = model(9);
+        let mut buf = Vec::new();
+        save_params(&a.params(), &mut buf).unwrap();
+        buf[0] = b'X';
+        let err = load_params(&a.params(), &buf[..]).expect_err("bad magic must fail");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("not a SAR model checkpoint"),
+            "error should name the format: {err}"
+        );
+    }
+
+    #[test]
+    fn wrong_parameter_count_is_named_invalid_data() {
+        let a = model(10);
+        let mut buf = Vec::new();
+        save_params(&a.params()[..3], &mut buf).unwrap();
+        let err = load_params(&a.params(), &buf[..]).expect_err("count mismatch must fail");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("checkpoint has 3 parameters"),
+            "error should name both counts: {err}"
+        );
+    }
+
     #[test]
     fn file_round_trip() {
         let a = model(3);

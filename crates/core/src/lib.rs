@@ -35,6 +35,7 @@ pub mod dist_cs;
 mod dist_graph;
 pub mod domain_parallel;
 pub mod inference;
+pub mod mfg;
 mod model;
 pub mod plan;
 pub mod seq_agg;
@@ -45,6 +46,7 @@ mod worker;
 
 pub use dist_bn::DistBatchNorm;
 pub use dist_graph::DistGraph;
+pub use inference::{infer, try_infer, validate_params, InferError};
 pub use model::{Arch, DistModel, Mode, ModelConfig};
 pub use seq_agg::{gat_aggregate, sage_aggregate, FakMode};
 pub use shard::Shard;

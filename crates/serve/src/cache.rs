@@ -1,0 +1,174 @@
+//! The per-rank L1 embedding cache.
+//!
+//! Serving recomputes a query's K-hop MFG from the input features every
+//! time; hidden activations deep in that cone are shared across queries
+//! that land in the same neighborhood. The cache keeps recently computed
+//! hidden rows keyed by `(layer level, local node)` so a later query can
+//! prune its MFG at the cached frontier — fewer destination rows at that
+//! level means fewer fetched source rows below it.
+//!
+//! Correctness contract: a cached row is exactly the value the forward
+//! pass produced (bitwise), so substituting it for recomputation cannot
+//! change any logit. Anything that could change activations — a feature
+//! update, a checkpoint reload — must call [`EmbedCache::invalidate`]
+//! *before* the next batch executes; the engine does this explicitly.
+//!
+//! Capacity is bounded (a row budget across all levels). Insertion past
+//! capacity is a no-op rather than an eviction: serving workloads skew
+//! heavily toward hub nodes, which are also the rows computed first, so
+//! fill-and-hold captures most of the benefit without an eviction policy
+//! on the hot path.
+
+use std::collections::HashMap;
+
+/// Cumulative cache counters, for observability and the bench report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Rows answered from the cache.
+    pub hits: u64,
+    /// Rows that had to be computed.
+    pub misses: u64,
+    /// Rows inserted.
+    pub inserts: u64,
+    /// Explicit whole-cache invalidations.
+    pub invalidations: u64,
+}
+
+/// A bounded per-level map from local node id to its hidden activation
+/// row at that level.
+#[derive(Debug)]
+pub struct EmbedCache {
+    /// `levels[k]` caches activations entering level `k`; slots 0 and `L`
+    /// exist but stay empty (inputs are resident, logits are per-query).
+    levels: Vec<HashMap<u32, Vec<f32>>>,
+    capacity_rows: usize,
+    rows: usize,
+    stats: CacheStats,
+}
+
+impl EmbedCache {
+    /// A cache spanning levels `0..=levels` with a total row budget.
+    /// `capacity_rows == 0` disables caching entirely.
+    #[must_use]
+    pub fn new(levels: usize, capacity_rows: usize) -> Self {
+        EmbedCache {
+            levels: vec![HashMap::new(); levels + 1],
+            capacity_rows,
+            rows: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Splits an ascending row set into `(cached, missing)` — both
+    /// ascending — counting one hit or miss per row.
+    pub fn split(&mut self, level: usize, rows: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        let map = &self.levels[level];
+        let mut cached = Vec::new();
+        let mut missing = Vec::with_capacity(rows.len());
+        for &r in rows {
+            if map.contains_key(&r) {
+                cached.push(r);
+            } else {
+                missing.push(r);
+            }
+        }
+        self.stats.hits += cached.len() as u64;
+        self.stats.misses += missing.len() as u64;
+        (cached, missing)
+    }
+
+    /// The cached row, if present. Does not touch the hit/miss counters —
+    /// [`EmbedCache::split`] already classified the row set.
+    #[must_use]
+    pub fn get(&self, level: usize, row: u32) -> Option<&[f32]> {
+        self.levels[level].get(&row).map(Vec::as_slice)
+    }
+
+    /// Inserts a computed row, unless the budget is exhausted or the row
+    /// is already present.
+    pub fn insert(&mut self, level: usize, row: u32, value: Vec<f32>) {
+        if self.rows >= self.capacity_rows || self.levels[level].contains_key(&row) {
+            return;
+        }
+        self.levels[level].insert(row, value);
+        self.rows += 1;
+        self.stats.inserts += 1;
+    }
+
+    /// Drops every cached row. Must run before the next batch whenever
+    /// features or parameters change.
+    pub fn invalidate(&mut self) {
+        for map in &mut self.levels {
+            map.clear();
+        }
+        self.rows = 0;
+        self.stats.invalidations += 1;
+    }
+
+    /// Rows currently cached, across all levels.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Cumulative counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_classifies_and_counts() {
+        let mut c = EmbedCache::new(2, 8);
+        c.insert(1, 3, vec![1.0]);
+        c.insert(1, 7, vec![2.0]);
+        let (hit, miss) = c.split(1, &[1, 3, 5, 7]);
+        assert_eq!(hit, vec![3, 7]);
+        assert_eq!(miss, vec![1, 5]);
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+        assert_eq!(c.get(1, 3), Some(&[1.0][..]));
+        assert_eq!(c.get(2, 3), None);
+    }
+
+    #[test]
+    fn capacity_bounds_insertion() {
+        let mut c = EmbedCache::new(1, 2);
+        c.insert(1, 0, vec![0.0]);
+        c.insert(1, 1, vec![1.0]);
+        c.insert(1, 2, vec![2.0]); // over budget: dropped
+        assert_eq!(c.rows(), 2);
+        assert!(c.get(1, 2).is_none());
+        assert_eq!(c.stats().inserts, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = EmbedCache::new(1, 0);
+        c.insert(1, 0, vec![0.0]);
+        assert_eq!(c.rows(), 0);
+        let (hit, miss) = c.split(1, &[0]);
+        assert!(hit.is_empty());
+        assert_eq!(miss, vec![0]);
+    }
+
+    #[test]
+    fn invalidate_clears_everything() {
+        let mut c = EmbedCache::new(2, 8);
+        c.insert(1, 3, vec![1.0]);
+        c.insert(2, 4, vec![2.0]);
+        c.invalidate();
+        assert_eq!(c.rows(), 0);
+        assert!(c.get(1, 3).is_none());
+        assert!(c.get(2, 4).is_none());
+        assert_eq!(c.stats().invalidations, 1);
+        // Reinsertion after invalidation works (budget was released).
+        c.insert(1, 3, vec![1.0]);
+        assert_eq!(c.rows(), 1);
+    }
+}

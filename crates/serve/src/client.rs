@@ -1,0 +1,164 @@
+//! A blocking client for the `sar-serve` front-end.
+//!
+//! Speaks the framed serving protocol over one TCP connection: each call
+//! writes a `Request` frame with a monotonically increasing request id
+//! and blocks until the matching `Response` frame comes back (ids are
+//! verified, so a desynchronized stream is a typed error, not a wrong
+//! answer).
+
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use sar_comm::wire::{self, FrameKind};
+use sar_comm::Payload;
+use sar_tensor::Tensor;
+
+use crate::engine::StatsSnapshot;
+use crate::error::ServeError;
+use crate::proto::{self, Request, Response};
+
+/// A connected serving client.
+pub struct ServeClient {
+    stream: TcpStream,
+    next_tag: u64,
+}
+
+impl ServeClient {
+    /// Connects to a front-end.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<ServeClient, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(ServeClient {
+            stream,
+            next_tag: 1,
+        })
+    }
+
+    /// Sets (or clears) the per-call receive timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the socket rejects the option.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ServeError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ServeError> {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        wire::write_frame(
+            &mut self.stream,
+            FrameKind::Request,
+            0,
+            tag,
+            &Payload::Bytes(proto::encode_request(req)),
+        )?;
+        self.stream.flush()?;
+        let frame = wire::read_frame(&mut self.stream)
+            .map_err(|e| ServeError::Protocol(format!("reading response: {e}")))?;
+        if frame.kind != FrameKind::Response {
+            return Err(ServeError::Protocol(format!(
+                "expected a response frame, got {:?}",
+                frame.kind
+            )));
+        }
+        if frame.tag != tag {
+            return Err(ServeError::Protocol(format!(
+                "response id {} does not match request id {tag}",
+                frame.tag
+            )));
+        }
+        let body = frame.payload.try_into_bytes()?;
+        proto::decode_response(&body)
+    }
+
+    /// Queries logits for a batch of global node ids; returns a
+    /// `[ids.len(), num_classes]` tensor in request order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] carrying the server's message on a
+    /// rejected query, or on a malformed reply.
+    pub fn query(&mut self, ids: &[u32]) -> Result<Tensor, ServeError> {
+        match self.call(&Request::Query(ids.to_vec()))? {
+            Response::Logits { rows, cols, values } => {
+                if rows != ids.len() || values.len() != rows * cols {
+                    return Err(ServeError::Protocol(format!(
+                        "logits shape [{rows}, {cols}] with {} values does not cover {} queries",
+                        values.len(),
+                        ids.len()
+                    )));
+                }
+                Ok(Tensor::from_vec(&[rows, cols], values))
+            }
+            Response::Error(msg) => Err(ServeError::Protocol(msg)),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected reply to a query: {other:?}"
+            ))),
+        }
+    }
+
+    /// Overwrites one node's input feature row cluster-wide.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] carrying the server's message on
+    /// rejection.
+    pub fn update_feature(&mut self, node: u32, values: &[f32]) -> Result<(), ServeError> {
+        self.expect_ack(&Request::Update {
+            node,
+            values: values.to_vec(),
+        })
+    }
+
+    /// Asks the cluster to reload parameters from its checkpoint path.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] carrying the server's message on
+    /// rejection (missing path, unreadable or mismatched file).
+    pub fn reload(&mut self) -> Result<(), ServeError> {
+        self.expect_ack(&Request::Reload)
+    }
+
+    /// Fetches the front-end's cumulative serving counters.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] on a malformed stats block.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ServeError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(counters) => StatsSnapshot::from_counters(&counters),
+            Response::Error(msg) => Err(ServeError::Protocol(msg)),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected reply to a stats request: {other:?}"
+            ))),
+        }
+    }
+
+    /// Requests a graceful cluster shutdown; returns once every in-flight
+    /// request has been answered and the rotation has quiesced.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] if the server rejects the request.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        self.expect_ack(&Request::Shutdown)
+    }
+
+    fn expect_ack(&mut self, req: &Request) -> Result<(), ServeError> {
+        match self.call(req)? {
+            Response::Ack => Ok(()),
+            Response::Error(msg) => Err(ServeError::Protocol(msg)),
+            other => Err(ServeError::Protocol(format!(
+                "expected an acknowledgement, got {other:?}"
+            ))),
+        }
+    }
+}

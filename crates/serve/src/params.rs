@@ -1,0 +1,269 @@
+//! Raw-tensor model parameters for the serving forward pass.
+//!
+//! Training wraps parameters in autograd `Var`s; serving only ever runs
+//! forward, so the engine keeps plain [`Tensor`]s parsed out of a
+//! checkpoint's raw `(shape, values)` list in
+//! [`DistModel::params`](sar_core::DistModel::params) order. The parse
+//! replicates [`DistModel::new`](sar_core::DistModel)'s layer layout
+//! exactly — per layer: GraphSage `[w_neigh, w_res, b_res]`, GCN `[w]`,
+//! GAT `[w, a_dst, a_src]` — after the same
+//! [`validate_params`](sar_core::validate_params) check the fallible
+//! inference path performs, so a mismatched checkpoint is a typed error
+//! before any resident state changes.
+//!
+//! Serving restricts the supported configurations: batch normalization
+//! (no eval-mode statistics in [`DistBatchNorm`](sar_core::DistBatchNorm)),
+//! jumping knowledge (needs every layer over every node — the opposite of
+//! an MFG), and domain-parallel mode (serving exists to exercise the SAR
+//! rotation) are rejected with [`ServeError::Unsupported`].
+
+use sar_core::{validate_params, Arch, Mode, ModelConfig};
+use sar_tensor::Tensor;
+
+use crate::error::ServeError;
+
+/// One layer's parameters, as raw tensors.
+#[derive(Debug, Clone)]
+pub enum LayerParams {
+    /// GraphSage: `out = agg(h W_neigh) / deg + h W_res + b_res`.
+    Sage {
+        /// Neighbor projection `[in, out]`.
+        w_neigh: Tensor,
+        /// Residual projection `[in, out]`.
+        w_res: Tensor,
+        /// Residual bias `[out]`.
+        b_res: Tensor,
+    },
+    /// GCN: `out = D^{-1/2} A D^{-1/2} h W`.
+    Gcn {
+        /// Projection `[in, out]`.
+        w: Tensor,
+    },
+    /// GAT: attention aggregation over `z = h W`.
+    Gat {
+        /// Projection `[in, heads*d]`.
+        w: Tensor,
+        /// Destination attention vector `[heads*d]`.
+        a_dst: Tensor,
+        /// Source attention vector `[heads*d]`.
+        a_src: Tensor,
+    },
+}
+
+/// Static per-layer facts the engine needs every batch.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerSpec {
+    /// Width of the projected features `z` exchanged by the rotation.
+    pub z_width: usize,
+    /// Width of the layer's output rows.
+    pub out_width: usize,
+    /// Whether a ReLU follows (every layer but the last).
+    pub activation: bool,
+    /// Attention heads (GAT only; 1 otherwise).
+    pub heads: usize,
+    /// Whether head outputs stay concatenated (GAT hidden layers) or are
+    /// averaged (GAT output layer).
+    pub concat: bool,
+}
+
+/// A servable model: per-layer raw parameters plus their specs.
+#[derive(Debug, Clone)]
+pub struct ServeModel {
+    /// Per-layer parameters, input to output.
+    pub layers: Vec<LayerParams>,
+    /// Per-layer specs, aligned with `layers`.
+    pub specs: Vec<LayerSpec>,
+}
+
+/// Rejects configurations the serving tier cannot run.
+///
+/// # Errors
+///
+/// [`ServeError::Unsupported`] naming the offending option.
+pub fn check_servable(cfg: &ModelConfig) -> Result<(), ServeError> {
+    if cfg.mode == Mode::DomainParallel {
+        return Err(ServeError::Unsupported(
+            "domain-parallel mode (serving runs the SAR rotation)".into(),
+        ));
+    }
+    if cfg.batch_norm {
+        return Err(ServeError::Unsupported(
+            "batch normalization (DistBatchNorm has no eval-mode statistics)".into(),
+        ));
+    }
+    if cfg.jumping_knowledge {
+        return Err(ServeError::Unsupported(
+            "jumping knowledge (needs all layers over all nodes, defeating the MFG)".into(),
+        ));
+    }
+    if cfg.layers == 0 {
+        return Err(ServeError::Unsupported("a zero-layer model".into()));
+    }
+    Ok(())
+}
+
+impl ServeModel {
+    /// Parses a raw checkpoint parameter list against a *resolved*
+    /// configuration (`cfg.in_dim` already includes label-augmentation
+    /// channels).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Unsupported`] for unservable configurations,
+    /// [`ServeError::BadCheckpoint`] when the list does not match the
+    /// model the configuration describes.
+    pub fn from_raw(
+        cfg: &ModelConfig,
+        params: &[(Vec<usize>, Vec<f32>)],
+    ) -> Result<ServeModel, ServeError> {
+        check_servable(cfg)?;
+        validate_params(cfg, params)?;
+        let tensor = |(shape, data): &(Vec<usize>, Vec<f32>)| Tensor::from_vec(shape, data.clone());
+        let mut layers = Vec::with_capacity(cfg.layers);
+        let mut specs = Vec::with_capacity(cfg.layers);
+        let mut next = params.iter();
+        // Shapes were validated above; the iterator yields exactly the
+        // parameters DistModel::new declares, in order.
+        let mut pull = || {
+            next.next()
+                .map(tensor)
+                .ok_or_else(|| ServeError::Protocol("validated parameter list ran dry".into()))
+        };
+        for l in 0..cfg.layers {
+            let last = l == cfg.layers - 1;
+            match cfg.arch {
+                Arch::GraphSage { hidden } => {
+                    let out = if last { cfg.num_classes } else { hidden };
+                    layers.push(LayerParams::Sage {
+                        w_neigh: pull()?,
+                        w_res: pull()?,
+                        b_res: pull()?,
+                    });
+                    specs.push(LayerSpec {
+                        z_width: out,
+                        out_width: out,
+                        activation: !last,
+                        heads: 1,
+                        concat: true,
+                    });
+                }
+                Arch::Gcn { hidden } => {
+                    let out = if last { cfg.num_classes } else { hidden };
+                    layers.push(LayerParams::Gcn { w: pull()? });
+                    specs.push(LayerSpec {
+                        z_width: out,
+                        out_width: out,
+                        activation: !last,
+                        heads: 1,
+                        concat: true,
+                    });
+                }
+                Arch::Gat { head_dim, heads } => {
+                    let d = if last { cfg.num_classes } else { head_dim };
+                    let width = heads * d;
+                    layers.push(LayerParams::Gat {
+                        w: pull()?,
+                        a_dst: pull()?,
+                        a_src: pull()?,
+                    });
+                    specs.push(LayerSpec {
+                        z_width: width,
+                        out_width: if last { cfg.num_classes } else { width },
+                        activation: !last,
+                        heads,
+                        concat: !last,
+                    });
+                }
+            }
+        }
+        Ok(ServeModel { layers, specs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sar_core::DistModel;
+
+    fn cfg(arch: Arch) -> ModelConfig {
+        ModelConfig {
+            arch,
+            mode: Mode::Sar,
+            layers: 2,
+            in_dim: 6,
+            num_classes: 3,
+            dropout: 0.0,
+            batch_norm: false,
+            jumping_knowledge: false,
+            seed: 0,
+        }
+    }
+
+    fn raw(cfg: &ModelConfig) -> Vec<(Vec<usize>, Vec<f32>)> {
+        DistModel::new(cfg)
+            .params()
+            .iter()
+            .map(|p| (p.shape(), p.value().data().to_vec()))
+            .collect()
+    }
+
+    #[test]
+    fn parses_each_arch_with_matching_widths() {
+        let c = cfg(Arch::GraphSage { hidden: 8 });
+        let m = ServeModel::from_raw(&c, &raw(&c)).unwrap();
+        assert_eq!(m.layers.len(), 2);
+        assert_eq!(m.specs[0].z_width, 8);
+        assert_eq!(m.specs[1].out_width, 3);
+        assert!(m.specs[0].activation && !m.specs[1].activation);
+
+        let c = cfg(Arch::Gcn { hidden: 5 });
+        let m = ServeModel::from_raw(&c, &raw(&c)).unwrap();
+        assert!(matches!(m.layers[0], LayerParams::Gcn { .. }));
+
+        let c = cfg(Arch::Gat {
+            head_dim: 4,
+            heads: 2,
+        });
+        let m = ServeModel::from_raw(&c, &raw(&c)).unwrap();
+        assert_eq!(m.specs[0].z_width, 8);
+        assert!(m.specs[0].concat);
+        // Output layer: heads averaged down to num_classes.
+        assert_eq!(m.specs[1].z_width, 6);
+        assert_eq!(m.specs[1].out_width, 3);
+        assert!(!m.specs[1].concat);
+    }
+
+    #[test]
+    fn unsupported_configs_are_rejected() {
+        let mut c = cfg(Arch::GraphSage { hidden: 8 });
+        c.batch_norm = true;
+        assert!(matches!(
+            ServeModel::from_raw(&c, &raw(&c)),
+            Err(ServeError::Unsupported(_))
+        ));
+        let mut c = cfg(Arch::GraphSage { hidden: 8 });
+        c.jumping_knowledge = true;
+        let raw_p = raw(&c);
+        assert!(matches!(
+            ServeModel::from_raw(&c, &raw_p),
+            Err(ServeError::Unsupported(_))
+        ));
+        let mut c = cfg(Arch::GraphSage { hidden: 8 });
+        c.mode = Mode::DomainParallel;
+        assert!(matches!(
+            ServeModel::from_raw(&c, &raw(&c)),
+            Err(ServeError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn mismatched_checkpoints_are_typed_errors() {
+        let c = cfg(Arch::GraphSage { hidden: 8 });
+        let mut p = raw(&c);
+        p.pop();
+        assert!(matches!(
+            ServeModel::from_raw(&c, &p),
+            Err(ServeError::BadCheckpoint(_))
+        ));
+    }
+}
