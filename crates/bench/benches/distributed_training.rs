@@ -32,6 +32,8 @@ fn cfg(arch: Arch, mode: Mode, classes: usize) -> TrainConfig {
         prefetch_depth: 0,
         seed: 0,
         threads: 1,
+        protocol: Default::default(),
+        codec: Default::default(),
     }
 }
 

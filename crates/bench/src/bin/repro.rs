@@ -44,6 +44,20 @@
 //!                       only schema/run-set identity and the serving
 //!                       invariants (all queries answered, MFG fetch
 //!                       strictly below the full-graph forward ceiling)
+//!   compressbench       codec/protocol ablation: trains the smoke
+//!                       workloads across the {codec × protocol} grid
+//!                       (sim in-process, plus a TCP subset as real OS
+//!                       processes) and writes/checks the
+//!                       schema-versioned BENCH_compress.json artifact
+//!                       (own flags: --out PATH, --check PATH,
+//!                       --transport sim,tcp, --world N, --nodes N,
+//!                       --epochs N, --seed N, --quick). The gate never
+//!                       compares epoch-time magnitudes — only the run
+//!                       set, the logical-vs-wire ledger invariants
+//!                       (raw moves wire == logical, lossy codecs clear
+//!                       the 2x payload bar, gradonly/stale skip what
+//!                       they claim to skip), cross-transport raw/exact
+//!                       digest equality, and the accuracy floor
 //!   all                 everything above except smoke/kernelbench
 //!
 //! flags:
@@ -91,7 +105,7 @@ use sar_bench::experiments::{
     ExpConfig, Workload,
 };
 use sar_bench::report::RunReport;
-use sar_bench::{kernelbench, launcher, servebench, smoke};
+use sar_bench::{compressbench, kernelbench, launcher, servebench, smoke};
 use sar_core::{train, Arch};
 
 struct Flags {
@@ -793,6 +807,109 @@ fn servebench_cmd(args: &[String]) -> i32 {
     0
 }
 
+/// `repro compressbench [--out PATH] [--check PATH] [--transport sim,tcp]
+/// [--world N] [--nodes N] [--epochs N] [--seed N] [--quick]`: run the
+/// codec/protocol grid, write the schema-versioned report, and/or gate
+/// against the committed `BENCH_compress.json`.
+fn compressbench_cmd(args: &[String]) -> i32 {
+    let mut cfg = compressbench::CompressBenchConfig::default();
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].clone();
+        if key == "--quick" {
+            cfg.quick = true;
+            i += 1;
+            continue;
+        }
+        i += 1;
+        let Some(v) = args.get(i).cloned() else {
+            eprintln!("missing value for {key}");
+            return 2;
+        };
+        let parse_usize = |v: &str, key: &str| -> Result<usize, i32> {
+            v.parse::<usize>().map_err(|_| {
+                eprintln!("{key} takes a non-negative integer, not {v}");
+                2
+            })
+        };
+        let r = (|| -> Result<(), i32> {
+            match key.as_str() {
+                "--out" => out = Some(v.clone()),
+                "--check" => check = Some(v.clone()),
+                "--world" => cfg.world = parse_usize(&v, &key)?.max(1),
+                "--nodes" => cfg.nodes = parse_usize(&v, &key)?,
+                "--epochs" => cfg.epochs = parse_usize(&v, &key)?.max(1),
+                "--seed" => cfg.seed = parse_usize(&v, &key)? as u64,
+                "--transport" => {
+                    let ts: Vec<String> = v.split(',').map(str::to_string).collect();
+                    if ts.iter().any(|t| t != "sim" && t != "tcp") {
+                        eprintln!("--transport takes a comma list from: sim, tcp");
+                        return Err(2);
+                    }
+                    cfg.transports = ts;
+                }
+                other => {
+                    eprintln!("unknown compressbench flag: {other}");
+                    return Err(2);
+                }
+            }
+            Ok(())
+        })();
+        if let Err(code) = r {
+            return code;
+        }
+        i += 1;
+    }
+    let report = match compressbench::run_compressbench(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("[repro] compressbench FAIL: {e}");
+            return 1;
+        }
+    };
+    compressbench::print_table(&report);
+    if let Some(path) = &out {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("[repro] cannot create {}: {e}", dir.display());
+                    return 2;
+                }
+            }
+        }
+        match report.write_json(path) {
+            Ok(()) => eprintln!("[repro] wrote {path}"),
+            Err(e) => {
+                eprintln!("[repro] {e}");
+                return 2;
+            }
+        }
+    }
+    if let Some(path) = &check {
+        let committed = match std::fs::read_to_string(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!(
+                    "[repro] compressbench FAIL: no committed artifact at {path}: {e} — \
+                     generate one with `repro compressbench --out {path}`"
+                );
+                return 1;
+            }
+        };
+        let violations = compressbench::check_against(&report, &committed);
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("[repro] compressbench VIOLATION: {v}");
+            }
+            return 1;
+        }
+        eprintln!("[repro] compressbench: structure and invariants consistent with {path}");
+    }
+    0
+}
+
 /// `repro overlap-check --current PATH --committed PATH`: diff a fresh
 /// `BENCH_overlap.json` against the committed copy (run-set identity and
 /// ledger invariants; timings are not compared).
@@ -855,6 +972,9 @@ fn main() {
     }
     if args[0] == "servebench" {
         std::process::exit(servebench_cmd(&args[1..]));
+    }
+    if args[0] == "compressbench" {
+        std::process::exit(compressbench_cmd(&args[1..]));
     }
     let flags = parse_flags(&args[1..]);
     let (cfg, worlds, transport) = (&flags.cfg, &flags.worlds, &flags.transport);

@@ -30,6 +30,14 @@
 //!                                across thread counts
 //!   --simd auto|scalar           SIMD dispatch mode (auto); results
 //!                                are bitwise identical across modes
+//!   --codec raw|f16|bf16|int8|delta
+//!                                wire codec for compressible payloads
+//!                                (raw); negotiated at the rendezvous,
+//!                                so every rank must agree
+//!   --protocol exact|gradonly|stale:<r>
+//!                                exchange protocol (exact); approximate
+//!                                protocols trade accuracy for wire
+//!                                volume, evaluation always runs exact
 //!
 //! rank-0-only outputs:
 //!   --experiment NAME            report label       (<arch>-<mode>)
@@ -145,6 +153,8 @@ fn parse_cli() -> Cli {
             "--seed" => w.seed = value().parse().unwrap_or_else(|_| fail("--seed")),
             "--threads" => w.threads = value().parse().unwrap_or_else(|_| fail("--threads")),
             "--simd" => w.simd = value(),
+            "--codec" => w.codec = value(),
+            "--protocol" => w.protocol = value(),
             "--help" | "-h" => {
                 eprintln!("see the doc comment at the top of crates/bench/src/bin/sar-worker.rs");
                 std::process::exit(0);

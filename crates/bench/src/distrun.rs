@@ -24,8 +24,10 @@ use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Duration;
 
-use sar_comm::{CommStats, CostModel, Payload, TcpOpts, TcpTransport, WorkerCtx};
-use sar_core::{run_worker, Arch, DistGraph, EpochRecord, Mode, ModelConfig, Shard, TrainConfig};
+use sar_comm::{Codec, CommStats, CostModel, Payload, TcpOpts, TcpTransport, WorkerCtx};
+use sar_core::{
+    run_worker, Arch, DistGraph, EpochRecord, Mode, ModelConfig, Protocol, Shard, TrainConfig,
+};
 use sar_graph::{datasets, Dataset};
 use sar_nn::{CsConfig, LrSchedule};
 use sar_partition::{partition, Method, Partitioning};
@@ -90,6 +92,12 @@ pub struct Workload {
     /// across modes — the scalar fallback mirrors the vector paths'
     /// accumulation order exactly.
     pub simd: String,
+    /// Wire codec for compressible payloads: `"raw"`, `"f16"`, `"bf16"`,
+    /// `"int8"` or `"delta"`. Negotiated at the TCP rendezvous — every
+    /// rank must run the same codec.
+    pub codec: String,
+    /// Exchange protocol: `"exact"`, `"gradonly"` or `"stale:<r>"`.
+    pub protocol: String,
 }
 
 impl Default for Workload {
@@ -115,6 +123,8 @@ impl Default for Workload {
             seed: 0,
             threads: 1,
             simd: "auto".into(),
+            codec: "raw".into(),
+            protocol: "exact".into(),
         }
     }
 }
@@ -122,6 +132,10 @@ impl Default for Workload {
 impl Workload {
     /// Serializes the workload back into `sar-worker` flags, every field
     /// explicit so child processes never depend on defaults drifting.
+    ///
+    /// `sar-serve` parses this same vocabulary (ignoring training-only
+    /// flags) — when adding a field here, teach its parser the new flag
+    /// too or servebench's cluster spawn fails with "unknown flag".
     pub fn to_args(&self) -> Vec<String> {
         let mut a: Vec<String> = [
             ("--dataset", self.dataset.clone()),
@@ -141,6 +155,8 @@ impl Workload {
             ("--threads", self.threads.to_string()),
             ("--simd", self.simd.clone()),
             ("--prefetch-depth", self.prefetch_depth.to_string()),
+            ("--codec", self.codec.clone()),
+            ("--protocol", self.protocol.clone()),
         ]
         .into_iter()
         .flat_map(|(k, v)| [k.to_string(), v])
@@ -213,6 +229,9 @@ impl Workload {
             },
             other => return Err(format!("unknown schedule {other}")),
         };
+        let codec = Codec::parse(&self.codec)
+            .ok_or_else(|| format!("unknown codec {} (raw|f16|bf16|int8|delta)", self.codec))?;
+        let protocol = Protocol::parse(&self.protocol)?;
         Ok(TrainConfig {
             model: ModelConfig {
                 arch,
@@ -234,6 +253,8 @@ impl Workload {
             prefetch_depth: self.prefetch_depth,
             seed: self.seed,
             threads: self.threads,
+            protocol,
+            codec,
         })
     }
 }
@@ -449,6 +470,14 @@ pub fn run_rank(opts: &RankOpts, workload: &Workload) -> Result<Option<RunReport
     let graph = Arc::new(DistGraph::build_all(&dataset.graph, &part).swap_remove(rank));
     let shard = Shard::build_all(&dataset, &part).swap_remove(rank);
 
+    // The wire codec is negotiated at the rendezvous: every rank
+    // advertises it in its hello and rank 0 rejects mismatches, so a
+    // heterogeneous launch fails fast with a named diagnostic instead of
+    // decoding garbage mid-epoch.
+    let tcp_opts = TcpOpts {
+        codec: cfg.codec,
+        ..TcpOpts::default()
+    };
     let transport = if rank == 0 {
         let listener = std::net::TcpListener::bind(("127.0.0.1", 0))
             .map_err(|e| format!("rank 0: cannot bind rendezvous listener: {e}"))?;
@@ -457,13 +486,12 @@ pub fn run_rank(opts: &RankOpts, workload: &Workload) -> Result<Option<RunReport
             .map_err(|e| format!("rank 0: cannot read listener address: {e}"))?;
         crate::launcher::write_rendezvous_addr(&opts.rendezvous_file, &addr)
             .map_err(|e| format!("rank 0: cannot write rendezvous file: {e}"))?;
-        TcpTransport::host(listener, opts.world, TcpOpts::default())
-            .map_err(|e| format!("rank 0: {e}"))?
+        TcpTransport::host(listener, opts.world, tcp_opts).map_err(|e| format!("rank 0: {e}"))?
     } else {
         let addr =
             crate::launcher::read_rendezvous_addr(&opts.rendezvous_file, opts.rendezvous_timeout)
                 .map_err(|e| format!("rank {rank}: {e}"))?;
-        TcpTransport::join(addr.as_str(), rank, opts.world, TcpOpts::default())
+        TcpTransport::join(addr.as_str(), rank, opts.world, tcp_opts)
             .map_err(|e| format!("rank {rank}: {e}"))?
     };
 
@@ -616,6 +644,8 @@ mod tests {
             seed: 9,
             threads: 4,
             simd: "scalar".into(),
+            codec: "int8".into(),
+            protocol: "stale:4".into(),
         };
         let args = wl.to_args();
         // Spot-check the flags a child would parse back.
@@ -632,6 +662,23 @@ mod tests {
         assert!(args.contains(&"--no-label-aug".to_string()));
         assert!(args.contains(&"--cs".to_string()));
         assert_eq!(find("--prefetch-depth").unwrap(), "2");
+        assert_eq!(find("--codec").unwrap(), "int8");
+        assert_eq!(find("--protocol").unwrap(), "stale:4");
+    }
+
+    #[test]
+    fn workload_rejects_unknown_codec_and_protocol() {
+        let d = datasets::products_like(64, 0);
+        let wl = Workload {
+            codec: "zstd".into(),
+            ..Workload::default()
+        };
+        assert!(wl.train_config(&d).unwrap_err().contains("codec"));
+        let wl = Workload {
+            protocol: "stale:0".into(),
+            ..Workload::default()
+        };
+        assert!(wl.train_config(&d).is_err());
     }
 
     #[test]

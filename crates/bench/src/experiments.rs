@@ -82,6 +82,8 @@ fn paper_train_cfg(model: ModelConfig, epochs: usize, seed: u64) -> TrainConfig 
         prefetch_depth: 0,
         seed,
         threads: 1,
+        protocol: Default::default(),
+        codec: Default::default(),
     }
 }
 

@@ -44,6 +44,7 @@
 //! committed, CI-gated `BENCH_serve.json` latency/throughput artifact
 //! (`repro servebench`).
 
+pub mod compressbench;
 pub mod distrun;
 pub mod experiments;
 pub mod kernelbench;

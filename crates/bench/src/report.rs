@@ -107,9 +107,16 @@ pub struct PhaseRow {
     /// GNN layer the traffic was attributed to, if any.
     pub layer: Option<u16>,
     /// Bytes sent while this cell was active (self-sends included).
+    /// *Logical* volume: raw-f32 payload + frame header, independent of
+    /// the negotiated wire codec (the parity digest pins these).
     pub sent_bytes: u64,
-    /// Bytes received from remote peers.
+    /// Bytes received from remote peers (logical volume, as above).
     pub recv_bytes: u64,
+    /// Bytes that actually crossed the transport while sending — the
+    /// post-codec wire volume. Equals `sent_bytes` under the `raw` codec.
+    pub wire_sent_bytes: u64,
+    /// Bytes that actually arrived off the transport (post-codec).
+    pub wire_recv_bytes: u64,
     /// Messages sent.
     pub sent_messages: u64,
     /// Messages received from remote peers.
@@ -169,6 +176,8 @@ impl WorkerProfile {
                     layer,
                     sent_bytes: e.sent_bytes,
                     recv_bytes: e.recv_bytes,
+                    wire_sent_bytes: e.wire_sent_bytes,
+                    wire_recv_bytes: e.wire_recv_bytes,
                     sent_messages: e.sent_messages,
                     recv_messages: e.recv_messages,
                     comm_us: e.comm_us,
@@ -285,9 +294,10 @@ impl RunReport {
     ///      "total_recv_bytes": 0, "comm_us": 0.0,
     ///      "phases": [
     ///        {"phase": "forward_fetch", "layer": 0, "sent_bytes": 0,
-    ///         "recv_bytes": 0, "sent_messages": 0, "recv_messages": 0,
-    ///         "comm_us": 0.0, "cpu_us": 0.0, "wall_us": 0.0,
-    ///         "blocked_us": 0.0, "peak_tensor_bytes": 0}
+    ///         "recv_bytes": 0, "wire_sent_bytes": 0,
+    ///         "wire_recv_bytes": 0, "sent_messages": 0,
+    ///         "recv_messages": 0, "comm_us": 0.0, "cpu_us": 0.0,
+    ///         "wall_us": 0.0, "blocked_us": 0.0, "peak_tensor_bytes": 0}
     ///      ]}
     ///   ]
     /// }
@@ -339,13 +349,17 @@ impl RunReport {
                 let _ = write!(
                     s,
                     "\n       {{\"phase\": {}, \"layer\": {}, \"sent_bytes\": {}, \
-                     \"recv_bytes\": {}, \"sent_messages\": {}, \"recv_messages\": {}, \
+                     \"recv_bytes\": {}, \"wire_sent_bytes\": {}, \
+                     \"wire_recv_bytes\": {}, \"sent_messages\": {}, \
+                     \"recv_messages\": {}, \
                      \"comm_us\": {}, \"cpu_us\": {}, \"wall_us\": {}, \
                      \"blocked_us\": {}, \"peak_tensor_bytes\": {}}}",
                     json_str(r.phase),
                     r.layer.map_or("null".to_string(), |l| l.to_string()),
                     r.sent_bytes,
                     r.recv_bytes,
+                    r.wire_sent_bytes,
+                    r.wire_recv_bytes,
                     r.sent_messages,
                     r.recv_messages,
                     json_f64(r.comm_us),
@@ -535,6 +549,8 @@ mod tests {
                     layer: Some(1),
                     sent_bytes: 64,
                     recv_bytes: 32,
+                    wire_sent_bytes: 40,
+                    wire_recv_bytes: 24,
                     sent_messages: 2,
                     recv_messages: 1,
                     comm_us: 12.5,

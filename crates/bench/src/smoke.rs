@@ -180,6 +180,8 @@ mod tests {
             layer: None,
             sent_bytes: sent,
             recv_bytes: recv,
+            wire_sent_bytes: sent,
+            wire_recv_bytes: recv,
             sent_messages: 0,
             recv_messages: 0,
             comm_us: 0.0,

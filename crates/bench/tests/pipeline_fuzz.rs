@@ -153,6 +153,8 @@ fn config(depth: usize, d: &Dataset) -> TrainConfig {
         prefetch_depth: depth,
         seed: 7,
         threads: 1,
+        protocol: Default::default(),
+        codec: Default::default(),
     }
 }
 

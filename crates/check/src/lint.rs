@@ -607,6 +607,17 @@ mod tests {
     use super::*;
 
     #[test]
+    fn codec_module_is_on_the_no_panic_path() {
+        // The wire codec runs inside every encoded send/recv; a panic
+        // there strands the peer mid-rotation exactly like a transport
+        // panic would. Pin it (and the rest of sar-comm) to the rule so
+        // a future module move cannot silently drop the coverage.
+        assert!(panic_rule_applies("crates/comm/src/codec.rs"));
+        assert!(panic_rule_applies("crates/comm/src/transport.rs"));
+        assert!(!panic_rule_applies("crates/bench/src/compressbench.rs"));
+    }
+
+    #[test]
     fn blanking_preserves_line_structure() {
         let src = "let a = \"un//wrap()\"; // unwrap()\nlet b = 1;\n";
         let blanked = blank_comments_and_strings(src);

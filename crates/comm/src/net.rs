@@ -125,6 +125,8 @@ impl CommStats {
             }
             buf.extend_from_slice(&e.sent_bytes.to_le_bytes());
             buf.extend_from_slice(&e.recv_bytes.to_le_bytes());
+            buf.extend_from_slice(&e.wire_sent_bytes.to_le_bytes());
+            buf.extend_from_slice(&e.wire_recv_bytes.to_le_bytes());
             buf.extend_from_slice(&e.sent_messages.to_le_bytes());
             buf.extend_from_slice(&e.recv_messages.to_le_bytes());
             buf.extend_from_slice(&e.comm_us.to_le_bytes());
@@ -169,6 +171,8 @@ impl CommStats {
             let entry = stats.ledger.entry_mut(phase, layer);
             entry.sent_bytes = cur.u64()?;
             entry.recv_bytes = cur.u64()?;
+            entry.wire_sent_bytes = cur.u64()?;
+            entry.wire_recv_bytes = cur.u64()?;
             entry.sent_messages = cur.u64()?;
             entry.recv_messages = cur.u64()?;
             entry.comm_us = cur.f64()?;
@@ -268,6 +272,8 @@ mod tests {
         let e = s.ledger.entry_mut(Phase::ForwardFetch, Some(2));
         e.sent_bytes = 100;
         e.recv_bytes = 200;
+        e.wire_sent_bytes = 60;
+        e.wire_recv_bytes = 110;
         e.sent_messages = 3;
         e.recv_messages = 4;
         e.comm_us = 1.25;

@@ -81,6 +81,15 @@ pub struct PhaseEntry {
     pub sent_bytes: u64,
     /// Bytes received from *remote* peers while in this phase.
     pub recv_bytes: u64,
+    /// Bytes sent *as encoded for the wire* — frame header plus the
+    /// codec-compressed payload. Equal to [`PhaseEntry::sent_bytes`]
+    /// under the `raw` codec (and for self-sends, which never hit the
+    /// network); smaller under any compressing codec. The logical
+    /// counters above are the protocol-semantics ledger the parity
+    /// digest pins; this pair is what actually crossed the network.
+    pub wire_sent_bytes: u64,
+    /// Bytes received from remote peers as encoded for the wire.
+    pub wire_recv_bytes: u64,
     /// Messages sent.
     pub sent_messages: u64,
     /// Messages received from remote peers.
@@ -117,6 +126,8 @@ impl PhaseEntry {
     pub fn absorb(&mut self, other: &PhaseEntry) {
         self.sent_bytes += other.sent_bytes;
         self.recv_bytes += other.recv_bytes;
+        self.wire_sent_bytes += other.wire_sent_bytes;
+        self.wire_recv_bytes += other.wire_recv_bytes;
         self.sent_messages += other.sent_messages;
         self.recv_messages += other.recv_messages;
         self.comm_us += other.comm_us;

@@ -23,7 +23,7 @@
 //! *through the inbox* as a typed [`TransportError`], so a blocked
 //! receiver learns about a dead peer immediately instead of hanging.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -32,6 +32,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 
+use crate::codec::Codec;
 use crate::message::{Message, Payload};
 use crate::transport::{Clock, Transport, TransportError};
 use crate::wire::{read_frame, write_frame, Frame, FrameKind, WireError};
@@ -42,7 +43,9 @@ pub struct TcpOpts {
     /// Connection attempts per peer before giving up.
     pub connect_attempts: u32,
     /// Backoff before the second attempt; doubles per attempt, capped at
-    /// one second.
+    /// one second, with deterministic rank-seeded jitter of up to half the
+    /// current backoff so a world of ranks retrying a slow rendezvous does
+    /// not hammer it in lock-step.
     pub connect_backoff: Duration,
     /// Socket write timeout, and the deadline for handshake reads and
     /// barrier formation.
@@ -53,6 +56,11 @@ pub struct TcpOpts {
     /// rotation at any practical prefetch depth; small enough to bound
     /// in-flight send memory.
     pub writer_queue: usize,
+    /// The wire codec this rank will run (see [`crate::codec`]). Carried
+    /// in the rendezvous hello; rank 0 rejects the cluster unless every
+    /// rank negotiated the same codec, and reader threads reject encoded
+    /// frames carrying any other codec id.
+    pub codec: Codec,
 }
 
 impl Default for TcpOpts {
@@ -62,6 +70,7 @@ impl Default for TcpOpts {
             connect_backoff: Duration::from_millis(20),
             io_timeout: Duration::from_secs(120),
             writer_queue: 64,
+            codec: Codec::Raw,
         }
     }
 }
@@ -121,9 +130,13 @@ pub struct TcpTransport {
     _inbox_tx: Sender<InboxItem>,
     barrier_rx: Receiver<(usize, u64)>,
     barrier_seq: Mutex<u64>,
-    /// Early barrier announcements: peers that already reached a barrier
-    /// sequence number this rank has not entered yet.
-    barrier_counts: Mutex<HashMap<u64, usize>>,
+    /// Barrier arrivals per sequence number: which peers have announced
+    /// reaching a barrier this rank may not have entered yet. Tracking the
+    /// rank *set* (not a count) lets a timed-out barrier name exactly who
+    /// never showed up.
+    barrier_ranks: Mutex<HashMap<u64, HashSet<usize>>>,
+    /// Deadline for barrier formation, from [`TcpOpts::io_timeout`].
+    io_timeout: Duration,
     closing: Arc<AtomicBool>,
 }
 
@@ -140,11 +153,18 @@ impl std::fmt::Debug for TcpTransport {
 // Rendezvous
 // ----------------------------------------------------------------------
 
-/// Rendezvous hello: `rank` announces its data listener address.
-fn send_hello(stream: &mut TcpStream, rank: usize, data_addr: SocketAddr) -> std::io::Result<()> {
+/// Rendezvous hello: `rank` announces its data listener address and the
+/// wire codec it intends to run.
+fn send_hello(
+    stream: &mut TcpStream,
+    rank: usize,
+    codec: Codec,
+    data_addr: SocketAddr,
+) -> std::io::Result<()> {
     let addr = data_addr.to_string().into_bytes();
-    let mut buf = Vec::with_capacity(8 + addr.len());
+    let mut buf = Vec::with_capacity(9 + addr.len());
     buf.extend_from_slice(&(rank as u32).to_le_bytes());
+    buf.push(codec.code());
     buf.extend_from_slice(&(addr.len() as u32).to_le_bytes());
     buf.extend_from_slice(&addr);
     stream.write_all(&buf)
@@ -154,11 +174,17 @@ fn read_exact(stream: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<()> {
     stream.read_exact(buf)
 }
 
-fn recv_hello(stream: &mut TcpStream) -> Result<(usize, SocketAddr), TransportError> {
-    let mut head = [0u8; 8];
+fn recv_hello(stream: &mut TcpStream) -> Result<(usize, Codec, SocketAddr), TransportError> {
+    let mut head = [0u8; 9];
     read_exact(stream, &mut head).map_err(TransportError::Io)?;
     let rank = u32::from_le_bytes([head[0], head[1], head[2], head[3]]) as usize;
-    let len = u32::from_le_bytes([head[4], head[5], head[6], head[7]]) as usize;
+    let codec = Codec::from_code(head[4]).ok_or_else(|| {
+        TransportError::Handshake(format!(
+            "rendezvous hello from rank {rank} names unknown codec id {}",
+            head[4]
+        ))
+    })?;
+    let len = u32::from_le_bytes([head[5], head[6], head[7], head[8]]) as usize;
     if len > 256 {
         return Err(TransportError::Handshake(format!(
             "rendezvous hello claims a {len}-byte address"
@@ -171,7 +197,7 @@ fn recv_hello(stream: &mut TcpStream) -> Result<(usize, SocketAddr), TransportEr
     let addr: SocketAddr = addr
         .parse()
         .map_err(|e| TransportError::Handshake(format!("bad address {addr:?}: {e}")))?;
-    Ok((rank, addr))
+    Ok((rank, codec, addr))
 }
 
 fn send_roster(stream: &mut TcpStream, roster: &[SocketAddr]) -> std::io::Result<()> {
@@ -216,14 +242,29 @@ fn recv_roster(stream: &mut TcpStream, world: usize) -> Result<Vec<SocketAddr>, 
     Ok(roster)
 }
 
-/// Connects to `addr` with retry + exponential backoff. `peer` only labels
-/// the error.
+/// SplitMix64 — the deterministic jitter generator for connection
+/// backoff. Seeded from `(rank, attempt)` so retries are reproducible per
+/// rank but decorrelated across ranks.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Connects to `addr` with retry + jittered exponential backoff. `peer`
+/// only labels the error; `rank` seeds the jitter, so every rank sleeps a
+/// deterministic but distinct schedule instead of the whole world
+/// retrying in lock-step. The final error reports how many attempts were
+/// made and the total time spent backing off.
 fn connect_with_retry(
     addr: SocketAddr,
     peer: usize,
+    rank: usize,
     opts: &TcpOpts,
 ) -> Result<TcpStream, TransportError> {
     let mut backoff = opts.connect_backoff;
+    let mut waited = Duration::ZERO;
     let mut last = None;
     for attempt in 0..opts.connect_attempts {
         match TcpStream::connect_timeout(&addr, opts.io_timeout.max(Duration::from_millis(250))) {
@@ -231,13 +272,21 @@ fn connect_with_retry(
             Err(e) => last = Some(e),
         }
         if attempt + 1 < opts.connect_attempts {
-            std::thread::sleep(backoff);
+            // Up to +50% of the current backoff, drawn deterministically
+            // from (rank, attempt).
+            let r = splitmix64((rank as u64) << 32 | u64::from(attempt));
+            let half = backoff.as_nanos() as u64 / 2;
+            let jitter_ns = if half == 0 { 0 } else { r % half };
+            let sleep = backoff + Duration::from_nanos(jitter_ns);
+            std::thread::sleep(sleep);
+            waited += sleep;
             backoff = (backoff * 2).min(Duration::from_secs(1));
         }
     }
     Err(TransportError::ConnectFailed {
         peer,
         attempts: opts.connect_attempts,
+        waited,
         last: last.unwrap_or_else(|| std::io::Error::other("no attempt made")),
     })
 }
@@ -262,6 +311,7 @@ fn accept_with_deadline(
                 if Instant::now() >= deadline {
                     return Err(TransportError::Timeout {
                         waited: Duration::from_secs(0),
+                        detail: None,
                     });
                 }
                 std::thread::sleep(Duration::from_millis(2));
@@ -312,10 +362,17 @@ impl TcpTransport {
             stream
                 .set_read_timeout(Some(opts.io_timeout))
                 .map_err(TransportError::Io)?;
-            let (rank, addr) = recv_hello(&mut stream)?;
+            let (rank, codec, addr) = recv_hello(&mut stream)?;
             if rank == 0 || rank >= world {
                 return Err(TransportError::Handshake(format!(
                     "rendezvous hello from out-of-range rank {rank} (world {world})"
+                )));
+            }
+            if codec != opts.codec {
+                return Err(TransportError::Handshake(format!(
+                    "codec negotiation failed: rank {rank} runs codec {}, rank 0 runs {}",
+                    codec.name(),
+                    opts.codec.name()
                 )));
             }
             if roster[rank].is_some() {
@@ -370,11 +427,11 @@ impl TcpTransport {
         let data_listener = TcpListener::bind((addr.ip(), 0)).map_err(TransportError::Io)?;
         let my_addr = data_listener.local_addr().map_err(TransportError::Io)?;
 
-        let mut stream = connect_with_retry(addr, 0, &opts)?;
+        let mut stream = connect_with_retry(addr, 0, rank, &opts)?;
         stream
             .set_read_timeout(Some(opts.io_timeout))
             .map_err(TransportError::Io)?;
-        send_hello(&mut stream, rank, my_addr).map_err(TransportError::Io)?;
+        send_hello(&mut stream, rank, opts.codec, my_addr).map_err(TransportError::Io)?;
         let roster = recv_roster(&mut stream, world)?;
         drop(stream);
         Self::mesh(rank, world, data_listener, &roster, opts)
@@ -393,7 +450,7 @@ impl TcpTransport {
 
         // Outbound: to every higher rank. A one-frame hello identifies us.
         for (q, &peer_addr) in roster.iter().enumerate().skip(rank + 1) {
-            let mut s = connect_with_retry(peer_addr, q, &opts)?;
+            let mut s = connect_with_retry(peer_addr, q, rank, &opts)?;
             s.set_nodelay(true).ok();
             write_frame(
                 &mut s,
@@ -461,9 +518,10 @@ impl TcpTransport {
             let tx = inbox_tx.clone();
             let btx = barrier_tx.clone();
             let closing_r = Arc::clone(&closing);
+            let negotiated = opts.codec;
             std::thread::Builder::new()
                 .name(format!("sar-tcp-r{rank}-p{q}"))
-                .spawn(move || reader_loop(read_half, q, tx, btx, closing_r))
+                .spawn(move || reader_loop(read_half, q, negotiated, tx, btx, closing_r))
                 .map_err(TransportError::Io)?;
             let (wtx, wrx) = std::sync::mpsc::sync_channel::<WriterMsg>(opts.writer_queue.max(1));
             let err = Arc::new(Mutex::new(None));
@@ -487,9 +545,33 @@ impl TcpTransport {
             _inbox_tx: inbox_tx,
             barrier_rx,
             barrier_seq: Mutex::new(0),
-            barrier_counts: Mutex::new(HashMap::new()),
+            barrier_ranks: Mutex::new(HashMap::new()),
+            io_timeout: opts.io_timeout,
             closing,
         })
+    }
+
+    /// The typed error for a barrier that never formed: names the barrier
+    /// sequence number and the ranks not yet heard from, so one worker's
+    /// log line identifies the wedged peers.
+    fn barrier_timeout(&self, seq: u64) -> TransportError {
+        let heard = self
+            .barrier_ranks
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&seq)
+            .cloned()
+            .unwrap_or_default();
+        let mut missing: Vec<usize> = (0..self.world)
+            .filter(|&q| q != self.rank && !heard.contains(&q))
+            .collect();
+        missing.sort_unstable();
+        TransportError::Timeout {
+            waited: self.io_timeout,
+            detail: Some(format!(
+                "barrier seq {seq} never formed; still waiting on ranks {missing:?}"
+            )),
+        }
     }
 
     /// Simulates a crash for fault-injection tests: closes every peer
@@ -558,6 +640,7 @@ const HELLO_TAG: u64 = u64::MAX;
 fn reader_loop(
     mut stream: TcpStream,
     peer: usize,
+    negotiated: Codec,
     inbox: Sender<InboxItem>,
     barriers: Sender<(usize, u64)>,
     closing: Arc<AtomicBool>,
@@ -570,13 +653,27 @@ fn reader_loop(
                 tag,
                 payload,
             }) => {
-                let item = if src as usize == peer {
-                    Ok(Message { src, tag, payload })
-                } else {
+                let item = if src as usize != peer {
                     Err(TransportError::Corrupt {
                         peer,
                         detail: format!("frame claims src rank {src}"),
                     })
+                } else if let Payload::Encoded { codec, .. } = &payload {
+                    if *codec == negotiated {
+                        Ok(Message { src, tag, payload })
+                    } else {
+                        Err(TransportError::Corrupt {
+                            peer,
+                            detail: format!(
+                                "{}-coded frame from rank {src}, but this cluster \
+                                 negotiated codec {}",
+                                codec.name(),
+                                negotiated.name()
+                            ),
+                        })
+                    }
+                } else {
+                    Ok(Message { src, tag, payload })
                 };
                 let failed = item.is_err();
                 if inbox.send(item).is_err() || failed {
@@ -611,11 +708,18 @@ fn reader_loop(
                 }
                 return;
             }
-            Err(WireError::ChecksumMismatch { expected, actual }) => {
+            Err(WireError::ChecksumMismatch {
+                expected,
+                actual,
+                codec,
+            }) => {
+                let coded = codec
+                    .map(|c| format!(" on a {}-coded frame", c.name()))
+                    .unwrap_or_default();
                 let _ = inbox.send(Err(TransportError::Corrupt {
                     peer,
                     detail: format!(
-                        "checksum mismatch (frame {expected:#010x}, computed {actual:#010x})"
+                        "checksum mismatch{coded} (frame {expected:#010x}, computed {actual:#010x})"
                     ),
                 }));
                 return;
@@ -673,7 +777,10 @@ impl Transport for TcpTransport {
     fn recv_any(&self, timeout: Duration) -> Result<Message, TransportError> {
         match self.inbox_rx.recv_timeout(timeout) {
             Ok(item) => item,
-            Err(RecvTimeoutError::Timeout) => Err(TransportError::Timeout { waited: timeout }),
+            Err(RecvTimeoutError::Timeout) => Err(TransportError::Timeout {
+                waited: timeout,
+                detail: None,
+            }),
             Err(RecvTimeoutError::Disconnected) => {
                 Err(TransportError::Disconnected { peer: self.rank })
             }
@@ -713,35 +820,33 @@ impl Transport for TcpTransport {
             })
             .map_err(|_| TransportError::Disconnected { peer: q })?;
         }
-        let deadline = Instant::now() + Duration::from_secs(600);
+        // Barrier formation shares the configured I/O deadline — a barrier
+        // that outlives `io_timeout` means a peer is dead or wedged, and
+        // waiting a hardcoded ten minutes on top would only delay the
+        // diagnosis.
+        let deadline = Instant::now() + self.io_timeout;
         loop {
             {
-                let mut counts = self
-                    .barrier_counts
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner());
-                if counts.get(&seq).copied().unwrap_or(0) == self.world - 1 {
-                    counts.remove(&seq);
+                let mut ranks = self.barrier_ranks.lock().unwrap_or_else(|e| e.into_inner());
+                if ranks.get(&seq).is_some_and(|r| r.len() == self.world - 1) {
+                    ranks.remove(&seq);
                     return Ok(());
                 }
             }
-            let left =
-                deadline
-                    .checked_duration_since(Instant::now())
-                    .ok_or(TransportError::Timeout {
-                        waited: Duration::from_secs(600),
-                    })?;
+            let left = deadline
+                .checked_duration_since(Instant::now())
+                .ok_or_else(|| self.barrier_timeout(seq))?;
             match self
                 .barrier_rx
                 .recv_timeout(left.min(Duration::from_millis(200)))
             {
-                Ok((_, s)) => {
-                    *self
-                        .barrier_counts
+                Ok((peer, s)) => {
+                    self.barrier_ranks
                         .lock()
                         .unwrap_or_else(|e| e.into_inner())
                         .entry(s)
-                        .or_insert(0) += 1;
+                        .or_default()
+                        .insert(peer);
                 }
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => {
@@ -941,7 +1046,7 @@ mod tests {
             let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
             let my_addr = listener.local_addr().unwrap();
             let mut s = TcpStream::connect(rdv_addr).unwrap();
-            send_hello(&mut s, 1, my_addr).unwrap();
+            send_hello(&mut s, 1, Codec::Raw, my_addr).unwrap();
             let _roster = recv_roster(&mut s, 2).unwrap();
             // Rank 0 connects to us (lower rank dials higher).
             let (mut data, _) = listener.accept().unwrap();
@@ -960,6 +1065,235 @@ mod tests {
         match t.recv_any(Duration::from_secs(5)) {
             Err(TransportError::Corrupt { peer: 1, detail }) => {
                 assert!(detail.contains("checksum"), "detail: {detail}");
+            }
+            other => panic!("expected checksum rejection, got {other:?}"),
+        }
+        evil.join().unwrap();
+    }
+
+    #[test]
+    fn connect_failure_reports_total_backoff_time() {
+        let addr = {
+            let l = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+            l.local_addr().unwrap()
+        };
+        let err = connect_with_retry(addr, 3, 1, &TcpOpts::impatient())
+            .expect_err("nothing listens there");
+        let TransportError::ConnectFailed {
+            peer,
+            attempts,
+            waited,
+            ..
+        } = &err
+        else {
+            panic!("expected ConnectFailed, got {err:?}");
+        };
+        assert_eq!(*peer, 3);
+        assert_eq!(*attempts, 3);
+        // Two backoff sleeps happened (5ms + jitter, 10ms + jitter).
+        assert!(*waited >= Duration::from_millis(15), "waited {waited:?}");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("backing off") && msg.contains("attempts"),
+            "error must surface the retry budget: {msg}"
+        );
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_per_rank_and_distinct_across_ranks() {
+        // The jitter draw for (rank, attempt) is a pure function.
+        assert_eq!(splitmix64(42), splitmix64(42));
+        let draws: Vec<u64> = (0..8u64).map(|rank| splitmix64(rank << 32)).collect();
+        let mut unique = draws.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(
+            unique.len(),
+            draws.len(),
+            "ranks must not retry in lock-step"
+        );
+    }
+
+    #[test]
+    fn barrier_timeout_names_the_seq_and_missing_ranks() {
+        let opts = TcpOpts {
+            io_timeout: Duration::from_millis(400),
+            ..TcpOpts::default()
+        };
+        let out = run_tcp_threads(2, opts, |t| {
+            if t.rank() == 1 {
+                // Never enter the barrier; stay alive long enough that
+                // rank 0 times out rather than observing a disconnect.
+                std::thread::sleep(Duration::from_millis(1500));
+                return "slept".to_string();
+            }
+            match t.barrier() {
+                Err(TransportError::Timeout { waited, detail }) => {
+                    let d = detail.unwrap_or_default();
+                    assert!(
+                        d.contains("barrier seq 0") && d.contains("[1]"),
+                        "diagnostic must name the seq and the absent ranks: {d}"
+                    );
+                    // The deadline came from io_timeout, not a hardcoded
+                    // 600 s.
+                    assert!(waited <= Duration::from_secs(1));
+                    "timed-out".to_string()
+                }
+                other => format!("unexpected: {other:?}"),
+            }
+        });
+        assert_eq!(out[0], "timed-out");
+    }
+
+    #[test]
+    fn codec_negotiation_rejects_a_mismatched_rank() {
+        let rendezvous = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let rdv_addr = rendezvous.local_addr().unwrap();
+        let joiner = std::thread::spawn(move || {
+            let opts = TcpOpts {
+                codec: Codec::Int8,
+                ..TcpOpts::impatient()
+            };
+            TcpTransport::join(rdv_addr, 1, 2, opts).err()
+        });
+        let host_opts = TcpOpts {
+            codec: Codec::F16,
+            ..TcpOpts::impatient()
+        };
+        let err = TcpTransport::host(rendezvous, 2, host_opts)
+            .expect_err("host must reject a codec mismatch");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("codec negotiation failed")
+                && msg.contains("int8")
+                && msg.contains("f16")
+                && msg.contains("rank 1"),
+            "diagnostic must name both codecs and the rank: {msg}"
+        );
+        // The joiner fails too (the roster never arrives).
+        assert!(joiner.join().unwrap().is_some());
+    }
+
+    #[test]
+    fn negotiated_codec_frames_cross_the_mesh() {
+        let opts = TcpOpts {
+            codec: Codec::Delta,
+            ..TcpOpts::default()
+        };
+        let out = run_tcp_threads(2, opts, |t| {
+            let peer = 1 - t.rank();
+            let bytes = Codec::Delta.encode_block(
+                crate::phase::Phase::ForwardFetch,
+                Some(0),
+                &[1.0, 2.0, 3.0],
+                None,
+            );
+            t.send(
+                peer,
+                5,
+                Payload::Encoded {
+                    codec: Codec::Delta,
+                    bytes,
+                },
+            )
+            .unwrap();
+            let m = t.recv_any(Duration::from_secs(10)).unwrap();
+            matches!(
+                m.payload,
+                Payload::Encoded {
+                    codec: Codec::Delta,
+                    ..
+                }
+            )
+        });
+        assert!(out[0] && out[1]);
+    }
+
+    #[test]
+    fn unnegotiated_codec_frame_is_rejected_by_the_reader() {
+        // Cluster negotiated raw; a peer ships an int8-coded frame anyway.
+        let out = run_tcp_threads(2, TcpOpts::default(), |t| {
+            if t.rank() == 1 {
+                let bytes = Codec::Int8.encode_block(
+                    crate::phase::Phase::ForwardFetch,
+                    None,
+                    &[1.0; 64],
+                    None,
+                );
+                t.send(
+                    0,
+                    4,
+                    Payload::Encoded {
+                        codec: Codec::Int8,
+                        bytes,
+                    },
+                )
+                .unwrap();
+                std::thread::sleep(Duration::from_millis(300));
+                return "sent".to_string();
+            }
+            match t.recv_any(Duration::from_secs(5)) {
+                Err(TransportError::Corrupt { peer: 1, detail }) => {
+                    assert!(
+                        detail.contains("int8") && detail.contains("raw"),
+                        "detail must name both codecs: {detail}"
+                    );
+                    "rejected".to_string()
+                }
+                other => format!("unexpected: {other:?}"),
+            }
+        });
+        assert_eq!(out[0], "rejected");
+    }
+
+    #[test]
+    fn corrupted_encoded_frame_names_the_codec_on_tcp() {
+        // Like corrupted_frame_is_rejected_with_checksum_error, but the
+        // bit-flipped frame is codec-encoded: the checksum diagnostic must
+        // say which codec the frame claimed.
+        let rendezvous = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let rdv_addr = rendezvous.local_addr().unwrap();
+        let evil = std::thread::spawn(move || {
+            let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+            let my_addr = listener.local_addr().unwrap();
+            let mut s = TcpStream::connect(rdv_addr).unwrap();
+            send_hello(&mut s, 1, Codec::Delta, my_addr).unwrap();
+            let _roster = recv_roster(&mut s, 2).unwrap();
+            let (mut data, _) = listener.accept().unwrap();
+            let hello = read_frame(&mut data).unwrap();
+            assert_eq!(hello.src, 0);
+            let bytes = Codec::Delta.encode_block(
+                crate::phase::Phase::GradRouting,
+                None,
+                &[4.0, 5.0],
+                None,
+            );
+            let mut frame = crate::wire::encode_frame(
+                FrameKind::Data,
+                1,
+                9,
+                &Payload::Encoded {
+                    codec: Codec::Delta,
+                    bytes,
+                },
+            );
+            let last = frame.len() - 1;
+            frame[last] ^= 0x40;
+            data.write_all(&frame).unwrap();
+            data.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(300));
+        });
+        let opts = TcpOpts {
+            codec: Codec::Delta,
+            ..TcpOpts::default()
+        };
+        let t = TcpTransport::host(rendezvous, 2, opts).unwrap();
+        match t.recv_any(Duration::from_secs(5)) {
+            Err(TransportError::Corrupt { peer: 1, detail }) => {
+                assert!(
+                    detail.contains("checksum") && detail.contains("delta"),
+                    "detail: {detail}"
+                );
             }
             other => panic!("expected checksum rejection, got {other:?}"),
         }

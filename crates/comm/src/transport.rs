@@ -47,13 +47,15 @@ pub enum Clock {
 /// dead cluster from one worker's log line.
 #[derive(Debug)]
 pub enum TransportError {
-    /// Could not connect to `peer` after `attempts` tries with exponential
-    /// backoff.
+    /// Could not connect to `peer` after `attempts` tries with jittered
+    /// exponential backoff.
     ConnectFailed {
         /// Rank that never answered.
         peer: usize,
         /// Connection attempts made.
         attempts: u32,
+        /// Total time spent backing off between attempts.
+        waited: Duration,
         /// The last I/O error observed.
         last: std::io::Error,
     },
@@ -68,6 +70,10 @@ pub enum TransportError {
     Timeout {
         /// How long the receiver waited.
         waited: Duration,
+        /// What the wait was for, when the backend knows more than "a
+        /// message" — e.g. a barrier names its sequence number and the
+        /// ranks not yet heard from.
+        detail: Option<String>,
     },
     /// A frame failed integrity checks (checksum mismatch, bad magic,
     /// impossible length) — the stream from `peer` is unusable.
@@ -95,16 +101,24 @@ impl std::fmt::Display for TransportError {
             TransportError::ConnectFailed {
                 peer,
                 attempts,
+                waited,
                 last,
             } => write!(
                 f,
-                "could not connect to rank {peer} after {attempts} attempts: {last}"
+                "could not connect to rank {peer} after {attempts} attempts \
+                 ({waited:?} spent backing off): {last}"
             ),
             TransportError::Handshake(d) => write!(f, "handshake failed: {d}"),
             TransportError::Disconnected { peer } => {
                 write!(f, "connection to rank {peer} closed unexpectedly")
             }
-            TransportError::Timeout { waited } => {
+            TransportError::Timeout {
+                waited,
+                detail: Some(d),
+            } => {
+                write!(f, "timed out after {waited:?}: {d}")
+            }
+            TransportError::Timeout { waited, .. } => {
                 write!(f, "no message within {waited:?}")
             }
             TransportError::Corrupt { peer, detail } => {
@@ -269,7 +283,10 @@ impl Transport for ChannelTransport {
 
     fn recv_any(&self, timeout: Duration) -> Result<Message, TransportError> {
         self.receiver.recv_timeout(timeout).map_err(|e| match e {
-            RecvTimeoutError::Timeout => TransportError::Timeout { waited: timeout },
+            RecvTimeoutError::Timeout => TransportError::Timeout {
+                waited: timeout,
+                detail: None,
+            },
             RecvTimeoutError::Disconnected => TransportError::Disconnected { peer: self.rank },
         })
     }

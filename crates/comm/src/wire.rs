@@ -8,8 +8,11 @@
 //!       0     4  magic  b"SAR1"
 //!       4     1  kind   (0 = data, 1 = barrier, 2 = shutdown,
 //!                        3 = request, 4 = response)
-//!       5     1  dtype  (0 = empty, 1 = f32, 2 = u32, 3 = bytes)
-//!       6     2  reserved (zero)
+//!       5     1  dtype  (0 = empty, 1 = f32, 2 = u32, 3 = bytes,
+//!                        4 = codec-encoded f32 block)
+//!       6     1  codec  (for dtype 4: the wire codec id, see
+//!                        [`Codec::code`]; zero otherwise)
+//!       7     1  reserved (zero)
 //!       8     4  src rank, u32 LE
 //!      12     8  tag, u64 LE
 //!      20     8  payload length in bytes, u64 LE
@@ -24,6 +27,7 @@
 
 use std::io::{self, Read, Write};
 
+use crate::codec::Codec;
 use crate::message::Payload;
 
 /// Magic bytes opening every frame.
@@ -109,6 +113,10 @@ pub enum WireError {
         expected: u32,
         /// Checksum computed from the received bytes.
         actual: u32,
+        /// The wire codec the (untrusted) header claimed, if the frame
+        /// was codec-encoded — so a corrupt compressed frame names the
+        /// codec in its diagnostic.
+        codec: Option<Codec>,
     },
 }
 
@@ -118,10 +126,20 @@ impl std::fmt::Display for WireError {
             WireError::Eof => write!(f, "end of stream"),
             WireError::Io(e) => write!(f, "i/o error: {e}"),
             WireError::BadHeader(d) => write!(f, "bad frame header: {d}"),
-            WireError::ChecksumMismatch { expected, actual } => write!(
-                f,
-                "checksum mismatch: frame claims {expected:#010x}, computed {actual:#010x}"
-            ),
+            WireError::ChecksumMismatch {
+                expected,
+                actual,
+                codec,
+            } => {
+                write!(
+                    f,
+                    "checksum mismatch: frame claims {expected:#010x}, computed {actual:#010x}"
+                )?;
+                if let Some(c) = codec {
+                    write!(f, " ({}-coded frame)", c.name())?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -202,6 +220,16 @@ fn dtype_code(p: &Payload) -> u8 {
         Payload::F32(_) => 1,
         Payload::U32(_) => 2,
         Payload::Bytes(_) => 3,
+        Payload::Encoded { .. } => 4,
+    }
+}
+
+/// The codec byte (header offset 6): the codec id for encoded frames,
+/// zero for every plain dtype.
+fn codec_byte(p: &Payload) -> u8 {
+    match p {
+        Payload::Encoded { codec, .. } => codec.code(),
+        _ => 0,
     }
 }
 
@@ -221,10 +249,16 @@ fn payload_bytes(p: &Payload, out: &mut Vec<u8>) {
             }
         }
         Payload::Bytes(v) => out.extend_from_slice(v),
+        Payload::Encoded { bytes, .. } => out.extend_from_slice(bytes),
     }
 }
 
-fn decode_payload(dtype: u8, bytes: Vec<u8>) -> Result<Payload, WireError> {
+fn decode_payload(dtype: u8, codec_id: u8, bytes: Vec<u8>) -> Result<Payload, WireError> {
+    if dtype != 4 && codec_id != 0 {
+        return Err(WireError::BadHeader(format!(
+            "codec byte {codec_id} set on a non-encoded frame (dtype {dtype})"
+        )));
+    }
     match dtype {
         0 => {
             if bytes.is_empty() {
@@ -258,6 +292,17 @@ fn decode_payload(dtype: u8, bytes: Vec<u8>) -> Result<Payload, WireError> {
             }
         }
         3 => Ok(Payload::Bytes(bytes)),
+        4 => {
+            let codec = Codec::from_code(codec_id).ok_or_else(|| {
+                WireError::BadHeader(format!("encoded frame carries unknown codec id {codec_id}"))
+            })?;
+            if codec == Codec::Raw {
+                return Err(WireError::BadHeader(
+                    "encoded frame claims the raw codec (raw payloads use dtype 1)".into(),
+                ));
+            }
+            Ok(Payload::Encoded { codec, bytes })
+        }
         other => Err(WireError::BadHeader(format!("unknown dtype code {other}"))),
     }
 }
@@ -270,7 +315,8 @@ pub fn encode_frame(kind: FrameKind, src: u32, tag: u64, payload: &Payload) -> V
     buf.extend_from_slice(&WIRE_MAGIC);
     buf.push(kind.code());
     buf.push(dtype_code(payload));
-    buf.extend_from_slice(&[0u8; 2]);
+    buf.push(codec_byte(payload));
+    buf.push(0);
     buf.extend_from_slice(&src.to_le_bytes());
     buf.extend_from_slice(&tag.to_le_bytes());
     buf.extend_from_slice(&(body.len() as u64).to_le_bytes());
@@ -345,6 +391,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
     let kind = FrameKind::from_code(header[4])
         .ok_or_else(|| WireError::BadHeader(format!("unknown frame kind {}", header[4])))?;
     let dtype = header[5];
+    let codec_id = header[6];
     let src = u32::from_le_bytes(header_field(&header, 8));
     let tag = u64::from_le_bytes(header_field(&header, 12));
     let len = u64::from_le_bytes(header_field(&header, 20));
@@ -368,9 +415,13 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
     crc.update(&body);
     let actual = crc.finish();
     if actual != expected {
-        return Err(WireError::ChecksumMismatch { expected, actual });
+        return Err(WireError::ChecksumMismatch {
+            expected,
+            actual,
+            codec: (dtype == 4).then(|| Codec::from_code(codec_id)).flatten(),
+        });
     }
-    let payload = decode_payload(dtype, body)?;
+    let payload = decode_payload(dtype, codec_id, body)?;
     Ok(Frame {
         kind,
         src,
@@ -406,6 +457,75 @@ mod tests {
         round_trip(Payload::F32(vec![1.5, -2.25, f32::MIN_POSITIVE]));
         round_trip(Payload::U32(vec![0, 1, u32::MAX]));
         round_trip(Payload::Bytes(vec![7u8; 13]));
+        for codec in [Codec::F16, Codec::Bf16, Codec::Int8, Codec::Delta] {
+            round_trip(Payload::Encoded {
+                codec,
+                bytes: vec![9u8; 21],
+            });
+        }
+    }
+
+    #[test]
+    fn encoded_frames_carry_the_codec_id_in_header_byte_6() {
+        let p = Payload::Encoded {
+            codec: Codec::Int8,
+            bytes: vec![1, 2, 3],
+        };
+        let buf = encode_frame(FrameKind::Data, 0, 5, &p);
+        assert_eq!(buf[5], 4); // dtype: encoded block
+        assert_eq!(buf[6], Codec::Int8.code());
+        // Plain frames keep the byte zero (the seed wire format).
+        let raw = encode_frame(FrameKind::Data, 0, 5, &Payload::F32(vec![1.0]));
+        assert_eq!(raw[6], 0);
+        assert_eq!(raw[7], 0);
+    }
+
+    #[test]
+    fn unknown_or_raw_codec_id_is_a_bad_header_naming_the_codec_space() {
+        let reseal = |buf: &mut Vec<u8>| {
+            let mut c = Crc32::new();
+            c.update(&buf[..28]);
+            c.update(&buf[WIRE_HEADER_LEN..]);
+            let crc = c.finish();
+            buf[28..32].copy_from_slice(&crc.to_le_bytes());
+        };
+        let p = Payload::Encoded {
+            codec: Codec::F16,
+            bytes: vec![0u8; 4],
+        };
+        // Unknown codec id.
+        let mut buf = encode_frame(FrameKind::Data, 0, 5, &p);
+        buf[6] = 200;
+        reseal(&mut buf);
+        match read_frame(&mut &buf[..]) {
+            Err(WireError::BadHeader(d)) => assert!(d.contains("codec id 200"), "{d}"),
+            other => panic!("expected BadHeader, got {other:?}"),
+        }
+        // Codec byte set on a plain frame.
+        let mut buf = encode_frame(FrameKind::Data, 0, 5, &Payload::F32(vec![1.0]));
+        buf[6] = Codec::F16.code();
+        reseal(&mut buf);
+        assert!(matches!(
+            read_frame(&mut &buf[..]),
+            Err(WireError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn corrupted_encoded_frame_names_the_codec() {
+        let p = Payload::Encoded {
+            codec: Codec::Delta,
+            bytes: vec![5u8; 16],
+        };
+        let mut buf = encode_frame(FrameKind::Data, 2, 9, &p);
+        let last = buf.len() - 1;
+        buf[last] ^= 0x40;
+        match read_frame(&mut &buf[..]) {
+            Err(e @ WireError::ChecksumMismatch { .. }) => {
+                assert!(e.to_string().contains("delta"), "{e}");
+            }
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
     }
 
     #[test]

@@ -73,9 +73,10 @@ fn evil_rank_1(
         let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
         let my_addr = listener.local_addr().unwrap().to_string().into_bytes();
         let mut s = TcpStream::connect(rdv_addr).unwrap();
-        // Hello: rank, address length, address.
+        // Hello: rank, codec (raw), address length, address.
         let mut hello = Vec::new();
         hello.extend_from_slice(&1u32.to_le_bytes());
+        hello.push(0u8);
         hello.extend_from_slice(&(my_addr.len() as u32).to_le_bytes());
         hello.extend_from_slice(&my_addr);
         s.write_all(&hello).unwrap();

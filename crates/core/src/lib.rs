@@ -38,6 +38,7 @@ pub mod inference;
 pub mod mfg;
 mod model;
 pub mod plan;
+mod protocol;
 pub mod seq_agg;
 mod shard;
 pub mod spatial;
@@ -48,6 +49,7 @@ pub use dist_bn::DistBatchNorm;
 pub use dist_graph::DistGraph;
 pub use inference::{infer, try_infer, validate_params, InferError};
 pub use model::{Arch, DistModel, Mode, ModelConfig};
+pub use protocol::Protocol;
 pub use seq_agg::{gat_aggregate, sage_aggregate, FakMode};
 pub use shard::Shard;
 pub use trainer::{run_worker, train, EpochRecord, RunReport, TrainConfig, WorkerReport};

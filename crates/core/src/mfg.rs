@@ -195,16 +195,16 @@ mod tests {
             let _ = n_needed;
             // Full aggregation over every local row.
             let mut full = Tensor::zeros(&[s.num_local(), f]);
-            for q in 0..s.world() {
-                ops::spmm_sum_into(s.block(q), &feats[q], &mut full);
+            for (q, fq) in feats.iter().enumerate() {
+                ops::spmm_sum_into(s.block(q), fq, &mut full);
             }
             // Sliced aggregation over a scattered subset.
             let dst: Vec<u32> = (0..s.num_local() as u32).step_by(3).collect();
             let slice = slice_layer(s, &dst);
             let mut sub = Tensor::zeros(&[dst.len(), f]);
-            for q in 0..s.world() {
+            for (q, fq) in feats.iter().enumerate() {
                 let cols: &[u32] = &slice.req_cols[q];
-                let gathered = feats[q].gather_rows(cols);
+                let gathered = fq.gather_rows(cols);
                 ops::spmm_sum_into(&slice.blocks[q], &gathered, &mut sub);
             }
             for (i, &d) in dst.iter().enumerate() {

@@ -1,0 +1,115 @@
+//! Training-protocol selection: exact SAR vs approximate exchanges.
+//!
+//! The paper's central claim is *exactness* — SAR computes bitwise the
+//! same full-batch gradients as single-machine training. The approximate
+//! protocols here deliberately give that up to trade accuracy for wire
+//! volume, reproducing the two families the paper compares against in
+//! related work:
+//!
+//! * [`Protocol::GradOnly`] — Grappa/parallel-SGD style: no remote
+//!   feature exchange at all. Every worker aggregates over its local
+//!   partition block only, and error routing stays local too; the sole
+//!   cross-worker traffic is the (exact) parameter-gradient all-reduce.
+//! * [`Protocol::Stale`] — DistGNN-style staleness: remote feature
+//!   blocks are fetched on *refresh* epochs (every `r`-th epoch) and
+//!   cached; in-between epochs consume the cached, stale blocks without
+//!   any fetch-phase traffic. Gradient routing remains exact every
+//!   epoch, so parameters still see every worker's error signal.
+//!
+//! Both protocols skip communication *uniformly across ranks* — every
+//! worker drops the same sends and the same receives of the rotation
+//! schedule — which is what keeps them deadlock-free: no rank ever waits
+//! on a message its peer's protocol decided not to send. Evaluation
+//! after training always runs [`Protocol::Exact`].
+
+use std::num::NonZeroUsize;
+
+/// Which exchange protocol training runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Protocol {
+    /// The paper's exact SAR protocol: full rotation fetch + exact error
+    /// routing every epoch. Bitwise identical to single-machine training.
+    #[default]
+    Exact,
+    /// Local-subgraph training: no feature fetch, no error routing; only
+    /// parameter gradients cross the network (exact all-reduce).
+    GradOnly,
+    /// Periodic refresh: fetch remote features every `r`-th epoch and
+    /// reuse the cached blocks in between. `Stale(1)` refreshes every
+    /// epoch and is bitwise identical to [`Protocol::Exact`].
+    Stale(NonZeroUsize),
+}
+
+impl Protocol {
+    /// Parses `exact`, `gradonly`, or `stale:<r>` (with `r ≥ 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted spellings when `s` is not
+    /// one of them.
+    pub fn parse(s: &str) -> Result<Protocol, String> {
+        match s {
+            "exact" => Ok(Protocol::Exact),
+            "gradonly" => Ok(Protocol::GradOnly),
+            _ => {
+                if let Some(r) = s.strip_prefix("stale:") {
+                    let r: usize = r
+                        .parse()
+                        .map_err(|_| format!("bad staleness period {r:?} in {s:?}"))?;
+                    return NonZeroUsize::new(r)
+                        .map(Protocol::Stale)
+                        .ok_or_else(|| "staleness period must be ≥ 1".to_string());
+                }
+                Err(format!(
+                    "unknown protocol {s:?}: expected exact, gradonly, or stale:<r>"
+                ))
+            }
+        }
+    }
+
+    /// Stable textual name (`exact`, `gradonly`, `stale:<r>`) — the same
+    /// spelling [`Protocol::parse`] accepts.
+    pub fn name(&self) -> String {
+        match self {
+            Protocol::Exact => "exact".to_string(),
+            Protocol::GradOnly => "gradonly".to_string(),
+            Protocol::Stale(r) => format!("stale:{r}"),
+        }
+    }
+}
+
+impl std::fmt::Display for Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_every_name() {
+        for p in [
+            Protocol::Exact,
+            Protocol::GradOnly,
+            Protocol::Stale(NonZeroUsize::new(4).unwrap()),
+        ] {
+            assert_eq!(Protocol::parse(&p.name()), Ok(p));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_spellings() {
+        for bad in ["", "Exact", "stale", "stale:", "stale:0", "stale:x", "lazy"] {
+            let err = Protocol::parse(bad).unwrap_err();
+            assert!(!err.is_empty(), "{bad:?} must produce a diagnostic");
+        }
+    }
+
+    #[test]
+    fn display_matches_name() {
+        let p = Protocol::parse("stale:7").unwrap();
+        assert_eq!(p.to_string(), "stale:7");
+    }
+}

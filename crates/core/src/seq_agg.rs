@@ -268,14 +268,14 @@ impl Function for GatAggFn {
         }
 
         // Accumulate the error blocks routed to this worker (E_p = Σ_q
-        // E_{q→p} in Algorithm 2).
-        let n = w.world();
-        let p = w.rank();
+        // E_{q→p} in Algorithm 2). The partner list is the full rotation
+        // under the exact and stale protocols, and collapses to this rank
+        // under gradonly — matching the sends above, which only fire for
+        // the blocks the refetch actually consumed.
         let mut grad_z = Tensor::zeros(&[w.graph.num_local(), hd]);
         {
             let _route = w.ctx.phase_scope(Phase::GradRouting);
-            for r in 0..n {
-                let q = (p + n - r) % n;
+            for q in w.grad_route_partners() {
                 let rows = w.graph.serves_to(q);
                 let data = w.ctx.recv(q, grad_tag).into_f32();
                 assert_eq!(data.len(), rows.len() * hd, "grad block size mismatch");

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sar_comm::{thread_cpu_secs, Cluster, CommStats, CostModel, WorkerCtx};
+use sar_comm::{thread_cpu_secs, Cluster, Codec, CommStats, CostModel, WorkerCtx};
 use sar_graph::Dataset;
 use sar_nn::loss::{correct_count, cross_entropy_masked};
 use sar_nn::{Adam, CsConfig, LrSchedule};
@@ -21,6 +21,7 @@ use sar_tensor::{MemoryTracker, Tensor, Var};
 
 use crate::dist_cs::dist_correct_and_smooth;
 use crate::model::{DistModel, ModelConfig};
+use crate::protocol::Protocol;
 use crate::shard::Shard;
 use crate::worker::Worker;
 use crate::DistGraph;
@@ -53,6 +54,15 @@ pub struct TrainConfig {
     /// mean single-threaded; results are bitwise identical across thread
     /// counts (see DESIGN.md §8).
     pub threads: usize,
+    /// Exchange protocol: the paper's exact SAR, or an approximate
+    /// variant that trades accuracy for wire volume (see [`Protocol`]).
+    /// Final evaluation always runs exact.
+    pub protocol: Protocol,
+    /// Wire codec for compressible point-to-point payloads (fetch,
+    /// refetch, gradient routing). [`Codec::Raw`] is lossless and leaves
+    /// results bitwise identical; lossy codecs reduce wire bytes at some
+    /// accuracy cost. Logical byte ledgers are unaffected either way.
+    pub codec: Codec,
 }
 
 impl TrainConfig {
@@ -73,6 +83,8 @@ impl TrainConfig {
             prefetch_depth: 0,
             seed: 0,
             threads: 1,
+            protocol: Protocol::Exact,
+            codec: Codec::Raw,
         }
     }
 }
@@ -242,6 +254,8 @@ pub fn run_worker(
     // processes alike), so the pool lands where the kernels run.
     sar_tensor::pool::set_threads(cfg.threads.max(1));
     let w = Worker::from_shared(ctx, graph, cfg.prefetch_depth);
+    w.ctx.set_codec(cfg.codec);
+    w.set_protocol(cfg.protocol);
     let mut model_cfg = cfg.model.clone();
     model_cfg.in_dim = shard.feat_dim + if cfg.label_aug { shard.num_classes } else { 0 };
     let model = DistModel::new(&model_cfg);
@@ -253,6 +267,15 @@ pub fn run_worker(
     let mut epochs = Vec::with_capacity(cfg.epochs);
     let mut steady_peak = 0usize;
     for epoch in 0..cfg.epochs {
+        // Epoch boundary for the staleness protocol: refresh epochs fetch
+        // remote blocks fresh and repopulate the cache; in-between epochs
+        // replay it with zero fetch-phase traffic. Other protocols always
+        // run fresh.
+        let refresh = match cfg.protocol {
+            Protocol::Stale(r) => epoch % r.get() == 0,
+            _ => true,
+        };
+        w.begin_epoch(refresh);
         if epoch == 1 {
             // Exclude setup + first-epoch allocator warm-up from the
             // steady-state peak-memory measurement.
@@ -310,7 +333,10 @@ pub fn run_worker(
 
     // ---- Final evaluation: augment ALL training nodes (paper: "at
     // inference time, we augment all training nodes with the ground truth
-    // labels").
+    // labels"). Evaluation always runs the exact protocol — approximate
+    // exchanges trade training fidelity for wire volume, but reported
+    // accuracies measure the model on the true full graph.
+    w.set_protocol(Protocol::Exact);
     let eval_aug = cfg.label_aug.then(|| shard.train_mask.clone());
     let x = Var::constant(build_input(shard, cfg.label_aug, eval_aug.as_deref()));
     let logits = sar_tensor::no_grad(|| model.forward(&w, &x, false, &mut dropout_rng));

@@ -1,7 +1,7 @@
 //! The per-worker handle tying together communication, the local graph
 //! shard, and the rotation-schedule feature exchange at the heart of SAR.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
 use std::sync::Arc;
@@ -11,6 +11,7 @@ use sar_tensor::Tensor;
 
 use crate::dist_graph::DistGraph;
 use crate::plan::{self, FetchStep, GradStep};
+use crate::protocol::Protocol;
 
 /// Tags below the collective range, reserved for SAR's point-to-point
 /// exchanges.
@@ -88,6 +89,19 @@ pub struct Worker {
     /// single-block prefetch (`3/N`).
     pub prefetch_depth: usize,
     tags: Cell<u64>,
+    /// Exchange protocol (exact by default; see [`Protocol`]).
+    protocol: Cell<Protocol>,
+    /// Whether the current epoch refreshes remote blocks (always true
+    /// outside [`Protocol::Stale`]).
+    epoch_fresh: Cell<bool>,
+    /// Within-epoch index of the next [`Worker::fetch_rounds`] call —
+    /// the key into `stale_cache` (every epoch runs the same SPMD call
+    /// sequence, so the index identifies the exchange).
+    fetch_call: Cell<usize>,
+    /// Per-fetch-call cache of the remote blocks received on the last
+    /// refresh epoch, in rotation order `p+1, p+2, …` (the local block is
+    /// never cached — it is always read fresh from the resident tensor).
+    stale_cache: RefCell<Vec<Vec<Tensor>>>,
 }
 
 impl Worker {
@@ -126,6 +140,10 @@ impl Worker {
             graph,
             prefetch_depth,
             tags: Cell::new(0),
+            protocol: Cell::new(Protocol::Exact),
+            epoch_fresh: Cell::new(true),
+            fetch_call: Cell::new(0),
+            stale_cache: RefCell::new(Vec::new()),
         })
     }
 
@@ -147,6 +165,10 @@ impl Worker {
             prefetch_depth: 0,
             // Disjoint tag sub-spaces per view (2^20 tags each).
             tags: Cell::new(view_index << 20),
+            protocol: Cell::new(Protocol::Exact),
+            epoch_fresh: Cell::new(true),
+            fetch_call: Cell::new(0),
+            stale_cache: RefCell::new(Vec::new()),
         })
     }
 
@@ -166,6 +188,52 @@ impl Worker {
         let t = self.tags.get();
         self.tags.set(t + 1);
         P2P_TAG_BASE + t
+    }
+
+    /// The exchange protocol this worker currently runs under.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol.get()
+    }
+
+    /// Switches the exchange protocol. Must be invoked identically on
+    /// every rank (SPMD) — a rank skipping sends its peer still expects
+    /// would deadlock the rotation. Clears any cached stale blocks and
+    /// resets the epoch state, so the next exchange starts fresh.
+    pub fn set_protocol(&self, protocol: Protocol) {
+        self.protocol.set(protocol);
+        self.epoch_fresh.set(true);
+        self.fetch_call.set(0);
+        self.stale_cache.borrow_mut().clear();
+    }
+
+    /// Declares an epoch boundary for the staleness protocol: resets the
+    /// within-epoch fetch-call counter, and — when `refresh` is true —
+    /// drops the cached remote blocks so this epoch's exchanges fetch
+    /// fresh data and repopulate the cache. Under [`Protocol::Stale`] the
+    /// trainer passes `refresh = (epoch % r == 0)`; other protocols
+    /// ignore staleness and any `refresh` value is fine.
+    pub fn begin_epoch(&self, refresh: bool) {
+        self.fetch_call.set(0);
+        self.epoch_fresh.set(refresh);
+        if refresh {
+            self.stale_cache.borrow_mut().clear();
+        }
+    }
+
+    /// The ranks this worker exchanges gradient blocks with during error
+    /// routing, in receive order `p, p−1, …` — every rank under the exact
+    /// and stale protocols (error routing stays exact under staleness),
+    /// only this rank under [`Protocol::GradOnly`]. Callers that hand-roll
+    /// a routing loop (the GAT backward pass) iterate this instead of
+    /// `0..world()` so approximate protocols never wait on a gradient
+    /// block no peer will send.
+    pub fn grad_route_partners(&self) -> Vec<usize> {
+        let n = self.world();
+        let p = self.rank();
+        match self.protocol.get() {
+            Protocol::GradOnly => vec![p],
+            Protocol::Exact | Protocol::Stale(_) => (0..n).map(|r| (p + n - r) % n).collect(),
+        }
     }
 
     /// Gathers `rows` of `data` into a pooled buffer — the shared gather
@@ -282,12 +350,67 @@ impl Worker {
             );
         }
         let cols = data.cols();
+        // Tags are allocated unconditionally — approximate protocols skip
+        // messages, not tags, so the SPMD tag streams stay aligned across
+        // protocol phases (e.g. a stale epoch followed by a refresh).
         let tag = self.next_tag();
         // Ledger the rotation exchange as a forward fetch unless the
         // caller already declared a phase (the GAT backward pass runs this
         // same loop under BackwardRefetch).
         let _phase = (self.ctx.current_phase() == Phase::Other)
             .then(|| self.ctx.phase_scope(Phase::ForwardFetch));
+
+        match self.protocol.get() {
+            // Local-subgraph training: the rotation collapses to round 0.
+            // Every rank skips the same serves and fetches, so no peer
+            // waits on a message that will never come.
+            Protocol::GradOnly => {
+                consume(
+                    p,
+                    FetchedBlock::Local {
+                        data,
+                        rows: self.graph.needed_from(p),
+                    },
+                );
+                return;
+            }
+            // Stale epoch: zero fetch-phase traffic. The local block is
+            // read fresh from the resident tensor; remote blocks replay
+            // from the refresh epoch's cache in rotation order.
+            Protocol::Stale(_) if !self.epoch_fresh.get() => {
+                let call = self.fetch_call.get();
+                self.fetch_call.set(call + 1);
+                let cache = self.stale_cache.borrow();
+                let blocks = cache.get(call).unwrap_or_else(|| {
+                    panic!(
+                        "worker {p}: stale epoch fetch call #{call} has no cached \
+                         refresh-epoch blocks ({} cached calls) — the SPMD call \
+                         sequence diverged from the refresh epoch",
+                        cache.len()
+                    )
+                });
+                for r in 0..n {
+                    let q = (p + r) % n;
+                    if r == 0 {
+                        consume(
+                            q,
+                            FetchedBlock::Local {
+                                data,
+                                rows: self.graph.needed_from(p),
+                            },
+                        );
+                    } else {
+                        consume(q, FetchedBlock::Remote(&blocks[r - 1]));
+                    }
+                }
+                return;
+            }
+            Protocol::Exact | Protocol::Stale(_) => {}
+        }
+        // Refresh epochs keep each remote block after consumption instead
+        // of recycling it, repopulating the cache slot for this call.
+        let record = matches!(self.protocol.get(), Protocol::Stale(_));
+        let mut recorded: Vec<Tensor> = Vec::new();
 
         // Staged blocks, oldest first; the plan bounds the queue to
         // `min(k, n-1) + 1` entries. The local round stages no tensor —
@@ -318,10 +441,24 @@ impl Worker {
                         ),
                         Some(block) => {
                             consume(q, FetchedBlock::Remote(&block));
-                            buffer::recycle_f32(block.into_data());
+                            if record {
+                                recorded.push(block);
+                            } else {
+                                buffer::recycle_f32(block.into_data());
+                            }
                         }
                     }
                 }
+            }
+        }
+        if record {
+            let call = self.fetch_call.get();
+            self.fetch_call.set(call + 1);
+            let mut cache = self.stale_cache.borrow_mut();
+            if call < cache.len() {
+                cache[call] = recorded;
+            } else {
+                cache.push(recorded);
             }
         }
     }
@@ -350,9 +487,21 @@ impl Worker {
     ) -> Tensor {
         let n = self.world();
         let p = self.rank();
+        // Allocated even when gradonly skips the exchange — see
+        // fetch_rounds on tag-stream alignment.
         let tag = self.next_tag();
         let _phase = self.ctx.phase_scope(Phase::GradRouting);
         let mut grad = Tensor::zeros(&[self.graph.num_local(), cols]);
+
+        if self.protocol.get() == Protocol::GradOnly {
+            // Local-subgraph training: only this worker's own error block
+            // is accumulated; nothing is routed. Uniform across ranks, so
+            // no peer blocks on a missing gradient block.
+            let block = make_block(p);
+            grad.scatter_add_rows(self.graph.needed_from(p), &block);
+            buffer::recycle_f32(block.into_data());
+            return grad;
+        }
 
         for step in plan::grad_steps(n, p) {
             match step {

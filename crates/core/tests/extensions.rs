@@ -31,6 +31,8 @@ fn cfg(arch: Arch, mode: Mode, classes: usize, jk: bool) -> TrainConfig {
         prefetch_depth: 0,
         seed: 0,
         threads: 1,
+        protocol: Default::default(),
+        codec: Default::default(),
     }
 }
 

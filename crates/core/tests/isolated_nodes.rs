@@ -83,6 +83,8 @@ fn config(arch: Arch, mode: Mode, threads: usize) -> TrainConfig {
         prefetch_depth: 0,
         seed: 5,
         threads,
+        protocol: Default::default(),
+        codec: Default::default(),
     }
 }
 

@@ -43,6 +43,8 @@ fn quick_config(arch: Arch, mode: Mode) -> TrainConfig {
         prefetch_depth: 0,
         seed: 3,
         threads: 1,
+        protocol: Default::default(),
+        codec: Default::default(),
     }
 }
 

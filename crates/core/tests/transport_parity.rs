@@ -44,6 +44,8 @@ fn config(arch: Arch, mode: Mode, d: &Dataset) -> TrainConfig {
         prefetch_depth: 0,
         seed: 7,
         threads: 1,
+        protocol: Default::default(),
+        codec: Default::default(),
     }
 }
 

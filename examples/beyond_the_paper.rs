@@ -42,6 +42,8 @@ fn main() {
         prefetch_depth: 1, // 3/N memory, overlapped fetches
         seed: 11,
         threads: 1,
+        protocol: Default::default(),
+        codec: Default::default(),
     };
 
     println!("training 3-layer GCN + jumping knowledge with SAR on 4 workers...");

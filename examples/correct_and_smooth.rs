@@ -42,6 +42,8 @@ fn main() {
         prefetch_depth: 0,
         seed: 7,
         threads: 1,
+        protocol: Default::default(),
+        codec: Default::default(),
     };
 
     println!(

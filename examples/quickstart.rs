@@ -58,6 +58,8 @@ fn main() {
         prefetch_depth: 0,
         seed: 0,
         threads: 1,
+        protocol: Default::default(),
+        codec: Default::default(),
     };
     let report = train(&dataset, &partitioning, CostModel::default(), &cfg);
 

@@ -26,6 +26,15 @@
 //!   --partitioner ml|random|range|bfs                             (ml)
 //!   --threads N                   intra-worker kernel threads     (1)
 //!   --simd auto|scalar            SIMD dispatch mode              (auto)
+//!   --codec raw|f16|bf16|int8|delta
+//!                                 wire codec for remote activation/
+//!                                 gradient payloads; negotiated at the
+//!                                 TCP rendezvous                  (raw)
+//!   --protocol exact|gradonly|stale:<r>
+//!                                 exchange protocol; approximate modes
+//!                                 trade accuracy for wire volume, the
+//!                                 final evaluation always runs exact
+//!                                                                 (exact)
 //!   --save-model PATH             checkpoint final parameters
 //!   --report-json PATH            write the per-worker observability
 //!                                 RunReport (phase/layer comm ledger,
@@ -72,6 +81,8 @@ struct Args {
     partitioner: String,
     threads: usize,
     simd: String,
+    codec: String,
+    protocol: String,
     save_model: Option<String>,
     report_json: Option<String>,
     seed: u64,
@@ -100,6 +111,8 @@ impl Default for Args {
             partitioner: "ml".into(),
             threads: 1,
             simd: "auto".into(),
+            codec: "raw".into(),
+            protocol: "exact".into(),
             save_model: None,
             report_json: None,
             seed: 0,
@@ -147,6 +160,8 @@ fn parse_args() -> Args {
             "--partitioner" => args.partitioner = value(),
             "--threads" => args.threads = value().parse().unwrap_or_else(|_| fail("--threads")),
             "--simd" => args.simd = value(),
+            "--codec" => args.codec = value(),
+            "--protocol" => args.protocol = value(),
             "--save-model" => args.save_model = Some(value()),
             "--report-json" => args.report_json = Some(value()),
             "--seed" => args.seed = value().parse().unwrap_or_else(|_| fail("--seed")),
@@ -212,6 +227,8 @@ fn run_tcp(args: &Args) -> ! {
         seed: args.seed,
         threads: args.threads,
         simd: args.simd.clone(),
+        codec: args.codec.clone(),
+        protocol: args.protocol.clone(),
     };
     let exe = launcher::sibling_binary("sar-worker").unwrap_or_else(|e| fail(&e));
     let mut worker_args = workload.to_args();
@@ -312,6 +329,14 @@ fn main() {
         prefetch_depth: args.prefetch_depth,
         seed: args.seed,
         threads: args.threads,
+        protocol: sar::core::Protocol::parse(&args.protocol)
+            .unwrap_or_else(|e| fail(&format!("--protocol: {e}"))),
+        codec: sar::comm::Codec::parse(&args.codec).unwrap_or_else(|| {
+            fail(&format!(
+                "unknown --codec {} (raw|f16|bf16|int8|delta)",
+                args.codec
+            ))
+        }),
     };
     println!(
         "training {:?} / {:?} for {} epochs on {} workers ...",

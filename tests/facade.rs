@@ -29,6 +29,8 @@ fn tiny_cfg(arch: Arch, mode: Mode, num_classes: usize) -> TrainConfig {
         prefetch_depth: 0,
         seed: 0,
         threads: 1,
+        protocol: Default::default(),
+        codec: Default::default(),
     }
 }
 
