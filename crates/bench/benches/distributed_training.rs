@@ -34,6 +34,7 @@ fn cfg(arch: Arch, mode: Mode, classes: usize) -> TrainConfig {
         threads: 1,
         protocol: Default::default(),
         codec: Default::default(),
+        mem_budget: 0,
     }
 }
 

@@ -44,6 +44,19 @@
 //!                       only schema/run-set identity and the serving
 //!                       invariants (all queries answered, MFG fetch
 //!                       strictly below the full-graph forward ceiling)
+//!   outofcorebench      out-of-core tiering benchmark: a memory-
+//!                       flatness sweep over the mmap-backed disk tier
+//!                       (graph scale grows 8x under a fixed budget;
+//!                       peak resident tensor bytes must stay flat and
+//!                       the result digest must match a never-spilling
+//!                       baseline bit for bit) plus end-to-end training
+//!                       parity runs with --mem-budget on vs off across
+//!                       {sim,tcp} x {threads} x {prefetch-depth};
+//!                       writes/checks the schema-versioned
+//!                       BENCH_outofcore.json artifact (own flags:
+//!                       --out PATH, --check PATH, --transport sim,tcp,
+//!                       --nodes N, --train-budget BYTES, --seed N,
+//!                       --quick). The gate never compares timings
 //!   compressbench       codec/protocol ablation: trains the smoke
 //!                       workloads across the {codec × protocol} grid
 //!                       (sim in-process, plus a TCP subset as real OS
@@ -92,6 +105,11 @@
 //!                        the SIMD paths' bitwise-determinism contract
 //!                        (DESIGN.md §11). Crosses with --threads and
 //!                        --prefetch-depth.
+//!   --mem-budget BYTES   smoke resident-tensor budget for the disk
+//!                        tier (0 = spilling disabled). The ledger
+//!                        invariants and cross-combination digests must
+//!                        hold unchanged — spilling is invisible to
+//!                        training                        (default 0)
 //!   --seed N             RNG seed               (default 0)
 //! ```
 //!
@@ -105,7 +123,7 @@ use sar_bench::experiments::{
     ExpConfig, Workload,
 };
 use sar_bench::report::RunReport;
-use sar_bench::{compressbench, kernelbench, launcher, servebench, smoke};
+use sar_bench::{compressbench, kernelbench, launcher, outofcorebench, servebench, smoke};
 use sar_core::{train, Arch};
 
 struct Flags {
@@ -121,6 +139,8 @@ struct Flags {
     simds: Vec<String>,
     /// Smoke model selection: `"all"` or one of [`smoke::MODELS`].
     model: String,
+    /// Smoke `--mem-budget` (bytes; 0 = spilling disabled).
+    mem_budget: u64,
 }
 
 fn parse_flags(args: &[String]) -> Flags {
@@ -132,6 +152,7 @@ fn parse_flags(args: &[String]) -> Flags {
     let mut depths = vec![0usize];
     let mut simds = vec!["auto".to_string()];
     let mut model = "all".to_string();
+    let mut mem_budget = 0u64;
     let mut i = 0;
     while i < args.len() {
         let key = args[i].as_str();
@@ -213,6 +234,8 @@ fn parse_flags(args: &[String]) -> Flags {
                 std::process::exit(2);
             }
             model = v;
+        } else if let Some(v) = take("--mem-budget") {
+            mem_budget = v.parse().expect("--mem-budget");
         } else if let Some(v) = take("--seed") {
             cfg.seed = v.parse().expect("--seed");
         } else {
@@ -230,6 +253,7 @@ fn parse_flags(args: &[String]) -> Flags {
         depths,
         simds,
         model,
+        mem_budget,
     }
 }
 
@@ -313,6 +337,7 @@ fn smoke_sim(
     threads: &[usize],
     depths: &[usize],
     simds: &[String],
+    mem_budget: u64,
     overlaps: &mut Vec<OverlapRun>,
 ) -> Vec<String> {
     let nodes = cfg.products_nodes.min(1500);
@@ -332,6 +357,7 @@ fn smoke_sim(
             wl.threads = t;
             wl.prefetch_depth = d;
             wl.simd = s.clone();
+            wl.mem_budget = mem_budget;
             // The combos run sequentially, so flipping the process-global
             // dispatch mode per combination is race-free here.
             match sar_tensor::simd::parse_mode(&wl.simd) {
@@ -412,6 +438,7 @@ fn smoke_tcp(
     threads: &[usize],
     depths: &[usize],
     simds: &[String],
+    mem_budget: u64,
     overlaps: &mut Vec<OverlapRun>,
 ) -> Vec<String> {
     let nodes = cfg.products_nodes.min(1500);
@@ -435,6 +462,7 @@ fn smoke_tcp(
             wl.threads = t;
             wl.prefetch_depth = d;
             wl.simd = s.clone();
+            wl.mem_budget = mem_budget;
             let mut args = wl.to_args();
             args.extend([
                 "--check".to_string(),
@@ -528,6 +556,7 @@ fn smoke(flags: &Flags) -> Vec<String> {
             &flags.threads,
             &flags.depths,
             &flags.simds,
+            flags.mem_budget,
             &mut overlaps,
         ),
         _ => smoke_sim(
@@ -537,6 +566,7 @@ fn smoke(flags: &Flags) -> Vec<String> {
             &flags.threads,
             &flags.depths,
             &flags.simds,
+            flags.mem_budget,
             &mut overlaps,
         ),
     };
@@ -807,6 +837,109 @@ fn servebench_cmd(args: &[String]) -> i32 {
     0
 }
 
+/// `repro outofcorebench [--out PATH] [--check PATH] [--transport sim,tcp]
+/// [--nodes N] [--train-budget BYTES] [--seed N] [--quick]`: run the
+/// out-of-core memory-flatness sweep and the --mem-budget training
+/// parity grid, write the schema-versioned report, and/or gate against
+/// the committed `BENCH_outofcore.json`.
+fn outofcorebench_cmd(args: &[String]) -> i32 {
+    let mut cfg = outofcorebench::OocBenchConfig::default();
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].clone();
+        if key == "--quick" {
+            cfg.quick = true;
+            i += 1;
+            continue;
+        }
+        i += 1;
+        let Some(v) = args.get(i).cloned() else {
+            eprintln!("missing value for {key}");
+            return 2;
+        };
+        let r = (|| -> Result<(), i32> {
+            let parse_u64 = |v: &str, key: &str| -> Result<u64, i32> {
+                v.parse::<u64>().map_err(|_| {
+                    eprintln!("{key} takes a non-negative integer, not {v}");
+                    2
+                })
+            };
+            match key.as_str() {
+                "--out" => out = Some(v.clone()),
+                "--check" => check = Some(v.clone()),
+                "--nodes" => cfg.nodes = parse_u64(&v, &key)? as usize,
+                "--train-budget" => cfg.train_budget = parse_u64(&v, &key)?,
+                "--seed" => cfg.seed = parse_u64(&v, &key)?,
+                "--transport" => {
+                    let ts: Vec<String> = v.split(',').map(str::to_string).collect();
+                    if ts.iter().any(|t| t != "sim" && t != "tcp") {
+                        eprintln!("--transport takes a comma list from: sim, tcp");
+                        return Err(2);
+                    }
+                    cfg.transports = ts;
+                }
+                other => {
+                    eprintln!("unknown outofcorebench flag: {other}");
+                    return Err(2);
+                }
+            }
+            Ok(())
+        })();
+        if let Err(code) = r {
+            return code;
+        }
+        i += 1;
+    }
+    let report = match outofcorebench::run_oocbench(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("[repro] outofcorebench FAIL: {e}");
+            return 1;
+        }
+    };
+    outofcorebench::print_table(&report);
+    if let Some(path) = &out {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("[repro] cannot create {}: {e}", dir.display());
+                    return 2;
+                }
+            }
+        }
+        match report.write_json(path) {
+            Ok(()) => eprintln!("[repro] wrote {path}"),
+            Err(e) => {
+                eprintln!("[repro] {e}");
+                return 2;
+            }
+        }
+    }
+    if let Some(path) = &check {
+        let committed = match std::fs::read_to_string(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!(
+                    "[repro] outofcorebench FAIL: no committed artifact at {path}: {e} — \
+                     generate one with `repro outofcorebench --out {path}`"
+                );
+                return 1;
+            }
+        };
+        let violations = outofcorebench::check_against(&report, &committed);
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("[repro] outofcorebench VIOLATION: {v}");
+            }
+            return 1;
+        }
+        eprintln!("[repro] outofcorebench: structure and invariants consistent with {path}");
+    }
+    0
+}
+
 /// `repro compressbench [--out PATH] [--check PATH] [--transport sim,tcp]
 /// [--world N] [--nodes N] [--epochs N] [--seed N] [--quick]`: run the
 /// codec/protocol grid, write the schema-versioned report, and/or gate
@@ -975,6 +1108,9 @@ fn main() {
     }
     if args[0] == "compressbench" {
         std::process::exit(compressbench_cmd(&args[1..]));
+    }
+    if args[0] == "outofcorebench" {
+        std::process::exit(outofcorebench_cmd(&args[1..]));
     }
     let flags = parse_flags(&args[1..]);
     let (cfg, worlds, transport) = (&flags.cfg, &flags.worlds, &flags.transport);

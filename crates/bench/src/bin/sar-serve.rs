@@ -138,7 +138,7 @@ fn parse_cli() -> Cli {
             // Training-only workload flags, accepted for vocabulary
             // parity with sar-worker and ignored by serving.
             "--epochs" | "--lr" | "--dropout" | "--aug-frac" | "--schedule"
-            | "--prefetch-depth" | "--codec" | "--protocol" => {
+            | "--prefetch-depth" | "--codec" | "--protocol" | "--mem-budget" => {
                 let _ = value();
             }
             "--cs" => {}

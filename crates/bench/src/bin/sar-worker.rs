@@ -155,6 +155,9 @@ fn parse_cli() -> Cli {
             "--simd" => w.simd = value(),
             "--codec" => w.codec = value(),
             "--protocol" => w.protocol = value(),
+            "--mem-budget" => {
+                w.mem_budget = value().parse().unwrap_or_else(|_| fail("--mem-budget"))
+            }
             "--help" | "-h" => {
                 eprintln!("see the doc comment at the top of crates/bench/src/bin/sar-worker.rs");
                 std::process::exit(0);

@@ -98,6 +98,10 @@ pub struct Workload {
     pub codec: String,
     /// Exchange protocol: `"exact"`, `"gradonly"` or `"stale:<r>"`.
     pub protocol: String,
+    /// Resident-tensor budget in bytes for the disk tier (`--mem-budget`;
+    /// 0 = spilling disabled). Results are bitwise identical at every
+    /// budget.
+    pub mem_budget: u64,
 }
 
 impl Default for Workload {
@@ -125,6 +129,7 @@ impl Default for Workload {
             simd: "auto".into(),
             codec: "raw".into(),
             protocol: "exact".into(),
+            mem_budget: 0,
         }
     }
 }
@@ -157,6 +162,7 @@ impl Workload {
             ("--prefetch-depth", self.prefetch_depth.to_string()),
             ("--codec", self.codec.clone()),
             ("--protocol", self.protocol.clone()),
+            ("--mem-budget", self.mem_budget.to_string()),
         ]
         .into_iter()
         .flat_map(|(k, v)| [k.to_string(), v])
@@ -255,6 +261,7 @@ impl Workload {
             threads: self.threads,
             protocol,
             codec,
+            mem_budget: self.mem_budget,
         })
     }
 }
@@ -424,6 +431,9 @@ pub fn assemble_report(
         val_acc: summaries.first().map_or(0.0, |s| s.val_acc),
         test_acc: summaries.first().map_or(0.0, |s| s.test_acc),
         test_acc_cs: summaries.first().and_then(|s| s.test_acc_cs),
+        // Rank 0's own process pool; the other ranks' pools live in their
+        // processes and are not gathered.
+        buffer_pool: Some(sar_comm::buffer::pool_stats()),
         workers: summaries
             .iter()
             .enumerate()
@@ -646,6 +656,7 @@ mod tests {
             simd: "scalar".into(),
             codec: "int8".into(),
             protocol: "stale:4".into(),
+            mem_budget: 1 << 20,
         };
         let args = wl.to_args();
         // Spot-check the flags a child would parse back.
@@ -664,6 +675,7 @@ mod tests {
         assert_eq!(find("--prefetch-depth").unwrap(), "2");
         assert_eq!(find("--codec").unwrap(), "int8");
         assert_eq!(find("--protocol").unwrap(), "stale:4");
+        assert_eq!(find("--mem-budget").unwrap(), "1048576");
     }
 
     #[test]

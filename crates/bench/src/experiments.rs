@@ -84,6 +84,7 @@ fn paper_train_cfg(model: ModelConfig, epochs: usize, seed: u64) -> TrainConfig 
         threads: 1,
         protocol: Default::default(),
         codec: Default::default(),
+        mem_budget: 0,
     }
 }
 

@@ -49,6 +49,7 @@ pub mod distrun;
 pub mod experiments;
 pub mod kernelbench;
 pub mod launcher;
+pub mod outofcorebench;
 pub mod report;
 pub mod servebench;
 pub mod serverun;

@@ -136,6 +136,14 @@ pub struct PhaseRow {
     pub blocked_us: f64,
     /// Peak live tensor bytes observed inside this cell's scopes.
     pub peak_tensor_bytes: u64,
+    /// Bytes evicted to the out-of-core disk tier under this cell (zero
+    /// unless `--mem-budget` is set).
+    pub spill_bytes: u64,
+    /// Bytes faulted back from the disk tier under this cell.
+    pub fault_bytes: u64,
+    /// Wall-clock time spent blocked on disk-tier IO under this cell,
+    /// microseconds — the disk analogue of `blocked_us`.
+    pub disk_blocked_us: f64,
 }
 
 /// One worker's profile: totals plus the per-phase ledger.
@@ -185,6 +193,9 @@ impl WorkerProfile {
                     wall_us: e.wall_us,
                     blocked_us: e.blocked_us,
                     peak_tensor_bytes: e.peak_tensor_bytes,
+                    spill_bytes: e.spill_bytes,
+                    fault_bytes: e.fault_bytes,
+                    disk_blocked_us: e.disk_blocked_us,
                 })
                 .collect(),
         }
@@ -230,6 +241,10 @@ pub struct RunReport {
     pub test_acc: f64,
     /// Test accuracy after Correct & Smooth, if run.
     pub test_acc_cs: Option<f64>,
+    /// Snapshot of the process-wide send-buffer pool counters at report
+    /// time (the pool is shared by all in-process workers, so this is a
+    /// run-level, not per-rank, statistic). `None` when not captured.
+    pub buffer_pool: Option<sar_comm::buffer::PoolStats>,
     /// Per-worker profiles, indexed by rank.
     pub workers: Vec<WorkerProfile>,
 }
@@ -264,6 +279,7 @@ impl RunReport {
             val_acc: run.val_acc,
             test_acc: run.test_acc,
             test_acc_cs: run.test_acc_cs,
+            buffer_pool: Some(sar_comm::buffer::pool_stats()),
             workers,
         }
     }
@@ -289,6 +305,8 @@ impl RunReport {
     ///   "experiment": "...", "arch": "...", "mode": "...", "world": 4,
     ///   "losses": [...], "epoch_times_secs": [...],
     ///   "val_acc": 0.9, "test_acc": 0.9, "test_acc_cs": null,
+    ///   "buffer_pool": {"hits": 0, "misses": 0, "recycles": 0,
+    ///                   "recycle_drops": 0},
     ///   "workers": [
     ///     {"rank": 0, "steady_peak_bytes": 0, "total_sent_bytes": 0,
     ///      "total_recv_bytes": 0, "comm_us": 0.0,
@@ -297,7 +315,8 @@ impl RunReport {
     ///         "recv_bytes": 0, "wire_sent_bytes": 0,
     ///         "wire_recv_bytes": 0, "sent_messages": 0,
     ///         "recv_messages": 0, "comm_us": 0.0, "cpu_us": 0.0,
-    ///         "wall_us": 0.0, "blocked_us": 0.0, "peak_tensor_bytes": 0}
+    ///         "wall_us": 0.0, "blocked_us": 0.0, "peak_tensor_bytes": 0,
+    ///         "spill_bytes": 0, "fault_bytes": 0, "disk_blocked_us": 0.0}
     ///      ]}
     ///   ]
     /// }
@@ -328,6 +347,19 @@ impl RunReport {
             "  \"test_acc_cs\": {},",
             self.test_acc_cs.map_or("null".into(), json_f64)
         );
+        match &self.buffer_pool {
+            Some(p) => {
+                let _ = writeln!(
+                    s,
+                    "  \"buffer_pool\": {{\"hits\": {}, \"misses\": {}, \
+                     \"recycles\": {}, \"recycle_drops\": {}}},",
+                    p.hits, p.misses, p.recycles, p.recycle_drops
+                );
+            }
+            None => {
+                let _ = writeln!(s, "  \"buffer_pool\": null,");
+            }
+        }
         s.push_str("  \"workers\": [\n");
         for (i, w) in self.workers.iter().enumerate() {
             s.push_str("    {");
@@ -353,7 +385,9 @@ impl RunReport {
                      \"wire_recv_bytes\": {}, \"sent_messages\": {}, \
                      \"recv_messages\": {}, \
                      \"comm_us\": {}, \"cpu_us\": {}, \"wall_us\": {}, \
-                     \"blocked_us\": {}, \"peak_tensor_bytes\": {}}}",
+                     \"blocked_us\": {}, \"peak_tensor_bytes\": {}, \
+                     \"spill_bytes\": {}, \"fault_bytes\": {}, \
+                     \"disk_blocked_us\": {}}}",
                     json_str(r.phase),
                     r.layer.map_or("null".to_string(), |l| l.to_string()),
                     r.sent_bytes,
@@ -367,6 +401,9 @@ impl RunReport {
                     json_f64(r.wall_us),
                     json_f64(r.blocked_us),
                     r.peak_tensor_bytes,
+                    r.spill_bytes,
+                    r.fault_bytes,
+                    json_f64(r.disk_blocked_us),
                 );
             }
             s.push_str("]}");
@@ -538,6 +575,12 @@ mod tests {
             val_acc: 0.5,
             test_acc: 0.75,
             test_acc_cs: None,
+            buffer_pool: Some(sar_comm::buffer::PoolStats {
+                hits: 10,
+                misses: 4,
+                recycles: 9,
+                recycle_drops: 1,
+            }),
             workers: vec![WorkerProfile {
                 rank: 0,
                 steady_peak_bytes: 1024,
@@ -558,6 +601,9 @@ mod tests {
                     wall_us: 4.5,
                     blocked_us: 1.5,
                     peak_tensor_bytes: 512,
+                    spill_bytes: 256,
+                    fault_bytes: 128,
+                    disk_blocked_us: 0.5,
                 }],
             }],
         }
@@ -574,6 +620,12 @@ mod tests {
         assert!(json.contains("\"test_acc_cs\": null"));
         assert!(json.contains(r#""phase": "forward_fetch", "layer": 1"#));
         assert!(json.contains(r#""blocked_us": 1.5"#));
+        assert!(json.contains(r#""spill_bytes": 256"#));
+        assert!(json.contains(r#""fault_bytes": 128"#));
+        assert!(json.contains(r#""disk_blocked_us": 0.5"#));
+        assert!(json.contains(
+            r#""buffer_pool": {"hits": 10, "misses": 4, "recycles": 9, "recycle_drops": 1}"#
+        ));
         // Balanced braces/brackets — cheap structural sanity without a
         // JSON parser in the dependency set.
         let count = |c: char| json.chars().filter(|&x| x == c).count();
@@ -599,6 +651,12 @@ mod tests {
         b.workers[0].phases[0].blocked_us = 999.0;
         b.workers[0].phases[0].comm_us = 999.0;
         b.workers[0].phases[0].peak_tensor_bytes = 999;
+        // Disk-tier traffic legitimately differs between spill-on and
+        // spill-off runs of the same training — the digest must not see it.
+        b.workers[0].phases[0].spill_bytes = 999;
+        b.workers[0].phases[0].fault_bytes = 999;
+        b.workers[0].phases[0].disk_blocked_us = 999.0;
+        b.buffer_pool = None;
         b.epoch_times = vec![9.0];
         assert_eq!(a.parity_digest(), b.parity_digest());
         // A single flipped loss bit or ledger byte must break the digest.

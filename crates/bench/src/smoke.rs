@@ -189,6 +189,9 @@ mod tests {
             wall_us: 0.0,
             blocked_us: 0.0,
             peak_tensor_bytes: 0,
+            spill_bytes: 0,
+            fault_bytes: 0,
+            disk_blocked_us: 0.0,
         };
         WorkerProfile {
             rank: 0,
@@ -214,6 +217,7 @@ mod tests {
             val_acc: 0.5,
             test_acc: 0.5,
             test_acc_cs: None,
+            buffer_pool: None,
             workers,
         }
     }

@@ -5,19 +5,22 @@
 //! the project rules the compiler cannot:
 //!
 //! * `no-panic-path` — no `unwrap()`, `expect()`, `assert!`,
-//!   `assert_eq!`, `assert_ne!` in `sar-comm` sources or
-//!   `core/src/worker.rs` (outside `#[cfg(test)]`): hot paths report
-//!   through typed `TransportError`s, or `panic!` with a rank-naming
+//!   `assert_eq!`, `assert_ne!` in `sar-comm` sources,
+//!   `core/src/worker.rs`, or the spill tier `tensor/src/tier.rs`
+//!   (outside `#[cfg(test)]`): hot paths report through typed errors
+//!   (`TransportError`, `TierError`), or `panic!` with a rank-naming
 //!   message at documented panicking entry points. `debug_assert*` is
 //!   exempt — it compiles out of release builds.
 //! * `safety-comment` — every `unsafe` occurrence (except `unsafe fn`
 //!   declarations, which document their contract in a `# Safety` doc
 //!   section) carries a `// SAFETY:` comment on the same line or just
 //!   above it. Blocks that touch `std::arch` SIMD intrinsics (an `_mm*`
-//!   call, an `arch::` path, or a dispatch into the `avx2::` module) are
-//!   held to a stricter standard: the SAFETY comment is mandatory and
-//!   the rule *cannot be waived* for them — a mis-stated target-feature
-//!   contract is undefined behaviour, not a style choice.
+//!   call, an `arch::` path, or a dispatch into the `avx2::` module) or
+//!   memory-mapped file IO (`mmap`/`munmap`/`msync`, or any `libc::`
+//!   call) are held to a stricter standard: the SAFETY comment is
+//!   mandatory and the rule *cannot be waived* for them — a mis-stated
+//!   target-feature contract or a stale mapping is undefined behaviour,
+//!   not a style choice.
 //! * `phase-scope` — any function in `sar-core` that calls the
 //!   communication context (`ctx.send_nowait`, `ctx.try_recv`, …) must
 //!   open a `phase_scope` (or inspect `current_phase`), so every byte is
@@ -278,6 +281,15 @@ fn is_simd_unsafe(body: &str) -> bool {
     body.contains("_mm") || body.contains("arch::") || body.contains("avx2::")
 }
 
+/// Whether an `unsafe` block body reaches memory-mapped file IO: an
+/// `mmap`/`munmap`/`msync` call or any other raw `libc::` call. A wrong
+/// mapping contract (length, aliasing, lifetime past `munmap`) is
+/// undefined behaviour that no test can reliably catch, so these blocks
+/// are held to the same unwaivable standard as SIMD dispatch.
+fn is_mmap_unsafe(body: &str) -> bool {
+    body.contains("mmap") || body.contains("msync") || body.contains("libc::")
+}
+
 /// First non-whitespace byte at or after `from`.
 fn next_nonspace(src: &str, from: usize) -> Option<(usize, u8)> {
     src.as_bytes()[from..]
@@ -382,6 +394,7 @@ fn panic_rule_applies(rel: &str) -> bool {
     rel.starts_with("crates/comm/src/")
         || rel == "crates/core/src/worker.rs"
         || rel.starts_with("crates/serve/src/")
+        || rel == "crates/tensor/src/tier.rs"
 }
 
 /// Whether the `phase-scope` rule applies: `sar-core` and `sar-serve`
@@ -436,18 +449,27 @@ fn lint_file(file: &SourceFile, report: &mut PassReport) {
                 let covered = (line.saturating_sub(8)..=line).any(|l| {
                     l >= 1 && l <= raw_lines.len() && raw_lines[l - 1].contains("SAFETY:")
                 });
-                let simd = block_at(&file.code, token.end).is_some_and(is_simd_unsafe);
-                if simd {
-                    // `std::arch` blocks assert a target-feature contract;
-                    // no waiver can substitute for stating it.
+                let body = block_at(&file.code, token.end);
+                let simd = body.is_some_and(is_simd_unsafe);
+                let mmap = body.is_some_and(is_mmap_unsafe);
+                if simd || mmap {
+                    // `std::arch` blocks assert a target-feature contract
+                    // and mmap blocks assert a mapping contract; no
+                    // waiver can substitute for stating it.
                     if !covered {
+                        let (what, contract) = if simd {
+                            ("`std::arch` SIMD intrinsics", "CPU-feature")
+                        } else {
+                            ("mmap/file-IO calls", "mapping")
+                        };
                         report.findings.push(Finding {
                             rule: "safety-comment".into(),
                             location: here(),
-                            message: "`unsafe` block with `std::arch` SIMD intrinsics \
-                                      without a `// SAFETY:` comment — state the CPU-feature \
-                                      contract; this rule cannot be waived for SIMD blocks"
-                                .into(),
+                            message: format!(
+                                "`unsafe` block with {what} without a `// SAFETY:` \
+                                 comment — state the {contract} contract; this rule \
+                                 cannot be waived for such blocks"
+                            ),
                         });
                     }
                 } else if !covered && !waived(&raw_lines, line, "safety-comment") {
@@ -618,6 +640,15 @@ mod tests {
     }
 
     #[test]
+    fn spill_tier_is_on_the_no_panic_path() {
+        // The spill IO path runs under every fault/evict during training;
+        // an `unwrap` there turns a full disk into a mesh-wide abort with
+        // no rank-naming diagnostic. Pin the tier module to the rule.
+        assert!(panic_rule_applies("crates/tensor/src/tier.rs"));
+        assert!(!panic_rule_applies("crates/tensor/src/memory.rs"));
+    }
+
+    #[test]
     fn blanking_preserves_line_structure() {
         let src = "let a = \"un//wrap()\"; // unwrap()\nlet b = 1;\n";
         let blanked = blank_comments_and_strings(src);
@@ -690,6 +721,31 @@ mod tests {
                        // sar-check: allow(safety-comment) — audited\n\
                        unsafe { ptr.read() };\n}\n";
         assert!(lint_source(generic).is_empty());
+    }
+
+    #[test]
+    fn mmap_unsafe_blocks_require_safety_and_ignore_waivers() {
+        // A waiver does NOT silence the rule for a mapped-IO block: the
+        // mapping contract (bounds, aliasing, lifetime) must be stated.
+        let waived = "fn f() {\n\
+                      // sar-check: allow(safety-comment) — trust me\n\
+                      unsafe { libc::munmap(self.base, self.cap) };\n}\n";
+        let findings = lint_source(waived);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("mmap"));
+        assert!(findings[0].message.contains("mapping"));
+
+        // Any raw libc call is held to the same standard.
+        let raw_libc = "fn g() { let p = unsafe { libc::mmap(core::ptr::null_mut(), \
+                        len, prot, flags, fd, 0) }; }\n";
+        assert_eq!(lint_source(raw_libc).len(), 1);
+
+        // A SAFETY comment satisfies the rule.
+        let covered = "fn f() {\n\
+                       // SAFETY: base/cap come from a successful mmap of this fd;\n\
+                       // no views outlive the store (checked by the borrow above).\n\
+                       unsafe { libc::munmap(self.base, self.cap) };\n}\n";
+        assert!(lint_source(covered).is_empty());
     }
 
     #[test]

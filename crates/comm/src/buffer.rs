@@ -23,6 +23,22 @@ const MAX_POOLED: usize = 64;
 static POOL: Mutex<Vec<Vec<f32>>> = Mutex::new(Vec::new());
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
+static RECYCLES: AtomicU64 = AtomicU64::new(0);
+static RECYCLE_DROPS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the process-wide pool counters, as surfaced in the
+/// `buffer_pool` object of the run-report JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// `take_f32` calls served from a pooled allocation.
+    pub hits: u64,
+    /// `take_f32` calls that had to allocate fresh.
+    pub misses: u64,
+    /// Buffers returned and retained by the pool.
+    pub recycles: u64,
+    /// Buffers returned but dropped because the pool was full.
+    pub recycle_drops: u64,
+}
 
 /// Takes a zeroed buffer of exactly `len` elements, reusing a pooled
 /// allocation when one with sufficient capacity exists.
@@ -58,6 +74,9 @@ pub fn recycle_f32(v: Vec<f32>) {
     let mut pool = POOL.lock().unwrap_or_else(|e| e.into_inner());
     if pool.len() < MAX_POOLED {
         pool.push(v);
+        RECYCLES.fetch_add(1, Ordering::Relaxed);
+    } else {
+        RECYCLE_DROPS.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -65,6 +84,17 @@ pub fn recycle_f32(v: Vec<f32>) {
 /// asserting that steady-state rounds stop allocating.
 pub fn pool_counters() -> (u64, u64) {
     (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+/// Full counter snapshot since process start: hits, misses, retained
+/// recycles and capacity-dropped recycles.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        recycles: RECYCLES.load(Ordering::Relaxed),
+        recycle_drops: RECYCLE_DROPS.load(Ordering::Relaxed),
+    }
 }
 
 #[cfg(test)]
@@ -96,5 +126,25 @@ mod tests {
         assert_eq!(v.len(), 128);
         assert!(v.iter().all(|&x| x == 0.0));
         recycle_f32(v);
+    }
+
+    #[test]
+    fn recycle_counters_track_retention() {
+        let before = pool_stats();
+        recycle_f32(vec![0.0; 8]);
+        let after = pool_stats();
+        // Either the pool had room (recycles grew) or it was full
+        // (recycle_drops grew) — exactly one of the two.
+        assert_eq!(
+            after.recycles + after.recycle_drops,
+            before.recycles + before.recycle_drops + 1
+        );
+        // Zero-capacity vectors are rejected before either counter.
+        recycle_f32(Vec::new());
+        let last = pool_stats();
+        assert_eq!(
+            last.recycles + last.recycle_drops,
+            after.recycles + after.recycle_drops
+        );
     }
 }

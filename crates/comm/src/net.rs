@@ -134,6 +134,9 @@ impl CommStats {
             buf.extend_from_slice(&e.wall_us.to_le_bytes());
             buf.extend_from_slice(&e.blocked_us.to_le_bytes());
             buf.extend_from_slice(&e.peak_tensor_bytes.to_le_bytes());
+            buf.extend_from_slice(&e.spill_bytes.to_le_bytes());
+            buf.extend_from_slice(&e.fault_bytes.to_le_bytes());
+            buf.extend_from_slice(&e.disk_blocked_us.to_le_bytes());
         }
         buf
     }
@@ -180,6 +183,9 @@ impl CommStats {
             entry.wall_us = cur.f64()?;
             entry.blocked_us = cur.f64()?;
             entry.peak_tensor_bytes = cur.u64()?;
+            entry.spill_bytes = cur.u64()?;
+            entry.fault_bytes = cur.u64()?;
+            entry.disk_blocked_us = cur.f64()?;
         }
         if cur.pos != buf.len() {
             return Err(format!(
@@ -281,6 +287,9 @@ mod tests {
         e.wall_us = 3.5;
         e.blocked_us = 0.75;
         e.peak_tensor_bytes = 4096;
+        e.spill_bytes = 8192;
+        e.fault_bytes = 8000;
+        e.disk_blocked_us = 2.25;
         s.ledger.entry_mut(Phase::GradRouting, None).recv_bytes = 55;
 
         let round = CommStats::from_bytes(&s.to_bytes()).unwrap();

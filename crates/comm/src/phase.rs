@@ -119,6 +119,18 @@ pub struct PhaseEntry {
     pub blocked_us: f64,
     /// Highest live tensor bytes observed during any scope of this phase.
     pub peak_tensor_bytes: u64,
+    /// Bytes written to the out-of-core disk tier while this phase was
+    /// active (block evictions past `--mem-budget`). Zero unless tiering
+    /// is enabled. Excluded from the parity digest: spill traffic is a
+    /// memory-management artifact, not protocol semantics.
+    pub spill_bytes: u64,
+    /// Bytes faulted back from the disk tier while this phase was active.
+    pub fault_bytes: u64,
+    /// Wall-clock time spent blocked on disk-tier IO (spill writes and
+    /// fault reads) while this phase was active, µs — the disk analogue
+    /// of [`PhaseEntry::blocked_us`]. With depth-k prefetch hiding disk
+    /// latency this stays near zero even under tight budgets.
+    pub disk_blocked_us: f64,
 }
 
 impl PhaseEntry {
@@ -135,6 +147,9 @@ impl PhaseEntry {
         self.wall_us += other.wall_us;
         self.blocked_us += other.blocked_us;
         self.peak_tensor_bytes = self.peak_tensor_bytes.max(other.peak_tensor_bytes);
+        self.spill_bytes += other.spill_bytes;
+        self.fault_bytes += other.fault_bytes;
+        self.disk_blocked_us += other.disk_blocked_us;
     }
 }
 

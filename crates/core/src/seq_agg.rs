@@ -132,8 +132,50 @@ struct GatAggFn {
     layer: Option<u16>,
     // Saved online-softmax statistics ([n_local, H] each) — the only
     // state SAR keeps to re-materialize attention in the backward pass.
-    max: Tensor,
-    den: Tensor,
+    // With `--mem-budget` they live in the worker's disk tier between the
+    // forward and backward passes instead of RAM.
+    saved: std::cell::RefCell<RematInputs>,
+}
+
+/// Where a [`GatAggFn`]'s saved softmax statistics live between forward
+/// and backward.
+enum RematInputs {
+    /// Held in RAM (tier disabled).
+    Ram { max: Tensor, den: Tensor },
+    /// Held by the worker's disk tier under remat-input ids; spilled past
+    /// the budget, faulted back (bitwise identical) at backward time.
+    Tiered { max_id: u64, den_id: u64 },
+    /// Consumed by a backward pass.
+    Taken,
+}
+
+impl GatAggFn {
+    /// Takes the saved statistics, faulting from the disk tier if they
+    /// were spilled. Panics if the backward pass runs twice.
+    fn take_saved(&self) -> (Tensor, Tensor) {
+        match self.saved.replace(RematInputs::Taken) {
+            RematInputs::Ram { max, den } => (max, den),
+            RematInputs::Tiered { max_id, den_id } => (
+                self.w.tier_take(max_id, "remat softmax max"),
+                self.w.tier_take(den_id, "remat softmax denominator"),
+            ),
+            RematInputs::Taken => panic!(
+                "worker {}: GAT aggregation backward ran twice",
+                self.w.rank()
+            ),
+        }
+    }
+}
+
+impl Drop for GatAggFn {
+    fn drop(&mut self) {
+        // A recorded-but-never-run backward (e.g. an evaluation forward
+        // taped under grad mode) must not leak its tier blocks.
+        if let RematInputs::Tiered { max_id, den_id } = *self.saved.borrow() {
+            self.w.tier_discard(max_id);
+            self.w.tier_discard(den_id);
+        }
+    }
 }
 
 impl Function for GatAggFn {
@@ -155,6 +197,13 @@ impl Function for GatAggFn {
         let mut d_s_dst = Tensor::zeros(&[w.graph.num_local(), heads]);
         let mut d_a_src = Tensor::zeros(&[hd]);
         let grad_tag = w.next_tag();
+        // Saved softmax statistics first: faulting them back (if they
+        // spilled to the disk tier) is part of re-materializing the
+        // attention, so ledger the disk traffic as BackwardRefetch.
+        let (max, den) = {
+            let _refetch = w.ctx.phase_scope(Phase::BackwardRefetch);
+            self.take_saved()
+        };
 
         // Case 2: re-fetch every partition's features (the rematerialized
         // pieces of the computational graph), push gradients per block,
@@ -184,8 +233,8 @@ impl Function for GatAggFn {
                                 data,
                                 rows,
                                 self.slope,
-                                &self.max,
-                                &self.den,
+                                &max,
+                                &den,
                                 grad_output,
                                 &grad_dot,
                                 &mut d_s_dst,
@@ -197,8 +246,8 @@ impl Function for GatAggFn {
                                 data,
                                 rows,
                                 self.slope,
-                                &self.max,
-                                &self.den,
+                                &max,
+                                &den,
                                 grad_output,
                                 &grad_dot,
                                 &mut d_s_dst,
@@ -224,8 +273,8 @@ impl Function for GatAggFn {
                                 &s_src_block,
                                 z_block,
                                 self.slope,
-                                &self.max,
-                                &self.den,
+                                &max,
+                                &den,
                                 grad_output,
                                 &grad_dot,
                                 &mut d_s_dst,
@@ -236,8 +285,8 @@ impl Function for GatAggFn {
                                 &s_src_block,
                                 z_block,
                                 self.slope,
-                                &self.max,
-                                &self.den,
+                                &max,
+                                &den,
                                 grad_output,
                                 &grad_dot,
                                 &mut d_s_dst,
@@ -383,6 +432,19 @@ pub fn gat_aggregate(
         });
     }
     let (value, max, den) = state.finalize_into();
+    // Under a memory budget the saved statistics go to the disk tier so
+    // they can spill between forward and backward. Only worth recording
+    // when a backward will actually run: with grad disabled,
+    // `Var::from_function` drops the Function (and its RAM copy) anyway.
+    let saved = if sar_tensor::grad_enabled() && w.tier_enabled() {
+        let max_id = w.next_remat_id();
+        let den_id = w.next_remat_id();
+        w.tier_put(max_id, max, "remat softmax max");
+        w.tier_put(den_id, den, "remat softmax denominator");
+        RematInputs::Tiered { max_id, den_id }
+    } else {
+        RematInputs::Ram { max, den }
+    };
     Var::from_function(
         value,
         GatAggFn {
@@ -392,8 +454,7 @@ pub fn gat_aggregate(
             slope,
             mode,
             layer: w.ctx.current_layer(),
-            max,
-            den,
+            saved: std::cell::RefCell::new(saved),
         },
     )
 }

@@ -7,6 +7,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use sar_comm::{buffer, Payload, Phase, TransportError, WorkerCtx};
+use sar_tensor::tier::TieredStore;
 use sar_tensor::Tensor;
 
 use crate::dist_graph::DistGraph;
@@ -59,12 +60,19 @@ impl FetchedBlock<'_> {
     }
 
     /// Materializes the block as an owned tensor: gathers the local
-    /// round's rows, clones a remote block. For cold paths and tests —
-    /// hot paths consume `Local` in place via the `*_indexed` kernels.
+    /// round's rows, copies a remote block into a pooled buffer. For cold
+    /// paths and tests — hot paths consume `Local` in place via the
+    /// `*_indexed` kernels.
     pub fn to_tensor(&self) -> Tensor {
         match self {
             FetchedBlock::Local { data, rows } => data.gather_rows(rows),
-            FetchedBlock::Remote(t) => (*t).clone(),
+            FetchedBlock::Remote(t) => {
+                // A pooled buffer instead of `Tensor::clone`: steady-state
+                // callers stop allocating once the pool is primed.
+                let mut buf = buffer::take_f32(t.data().len());
+                buf.copy_from_slice(t.data());
+                Tensor::from_vec(t.shape(), buf)
+            }
         }
     }
 }
@@ -101,7 +109,35 @@ pub struct Worker {
     /// Per-fetch-call cache of the remote blocks received on the last
     /// refresh epoch, in rotation order `p+1, p+2, …` (the local block is
     /// never cached — it is always read fresh from the resident tensor).
-    stale_cache: RefCell<Vec<Vec<Tensor>>>,
+    /// With the disk tier enabled the blocks live in `tier` instead and
+    /// each slot only records its round count.
+    stale_cache: RefCell<Vec<StaleSlot>>,
+    /// The out-of-core disk tier (`--mem-budget`): cached stale blocks
+    /// and rematerialization inputs past the budget spill here and fault
+    /// back through the same depth-k staging as network prefetches.
+    /// `None` (the default) keeps every path byte-identical to the
+    /// tier-less code.
+    tier: RefCell<Option<TieredStore>>,
+    /// Allocator for rematerialization-input block ids in the tier.
+    remat_ids: Cell<u64>,
+}
+
+/// One fetch call's worth of cached stale-protocol remote blocks.
+enum StaleSlot {
+    /// Blocks held in RAM (tier disabled), rotation order `p+1, p+2, …`.
+    Ram(Vec<Tensor>),
+    /// Blocks held by the worker's [`TieredStore`] under
+    /// [`stale_block_id`] keys; the slot records only the round count.
+    Tiered {
+        /// Number of remote rounds cached (`world − 1`).
+        rounds: usize,
+    },
+}
+
+/// Tier key of the stale-cache block fetched in `round` of fetch call
+/// `call`. Bit 63 namespaces stale blocks away from remat-input ids.
+fn stale_block_id(call: usize, round: usize) -> u64 {
+    (1 << 63) | ((call as u64) << 24) | round as u64
 }
 
 impl Worker {
@@ -144,6 +180,8 @@ impl Worker {
             epoch_fresh: Cell::new(true),
             fetch_call: Cell::new(0),
             stale_cache: RefCell::new(Vec::new()),
+            tier: RefCell::new(None),
+            remat_ids: Cell::new(0),
         })
     }
 
@@ -169,6 +207,8 @@ impl Worker {
             epoch_fresh: Cell::new(true),
             fetch_call: Cell::new(0),
             stale_cache: RefCell::new(Vec::new()),
+            tier: RefCell::new(None),
+            remat_ids: Cell::new(0),
         })
     }
 
@@ -195,6 +235,107 @@ impl Worker {
         self.protocol.get()
     }
 
+    /// Enables the out-of-core disk tier with a resident-byte budget
+    /// (`--mem-budget`). Cached stale-protocol blocks and
+    /// rematerialization inputs past the budget spill to an mmap-backed
+    /// temp file and fault back through the depth-k staging pipeline;
+    /// results are bitwise identical at any budget. `0` disables tiering
+    /// and drops any spilled state.
+    ///
+    /// # Panics
+    ///
+    /// Panics (naming this rank) if the spill arena cannot be created —
+    /// a setup-time environment failure, not a training-path error.
+    pub fn set_mem_budget(&self, budget_bytes: u64) {
+        if budget_bytes == 0 {
+            *self.tier.borrow_mut() = None;
+            return;
+        }
+        match TieredStore::new(budget_bytes) {
+            Ok(store) => *self.tier.borrow_mut() = Some(store),
+            Err(e) => panic!(
+                "worker {}: creating spill tier (budget {budget_bytes} bytes): {e}",
+                self.rank()
+            ),
+        }
+    }
+
+    /// Whether the disk tier is active.
+    pub fn tier_enabled(&self) -> bool {
+        self.tier.borrow().is_some()
+    }
+
+    /// Inserts a block into the tier (spilling coldest past the budget).
+    ///
+    /// # Panics
+    ///
+    /// Panics (naming this rank) if the tier is disabled or spill IO
+    /// fails.
+    pub(crate) fn tier_put(&self, id: u64, t: Tensor, what: &str) {
+        let mut tier = self.tier.borrow_mut();
+        let Some(store) = tier.as_mut() else {
+            panic!(
+                "worker {}: tier_put({what}) with the disk tier disabled",
+                self.rank()
+            );
+        };
+        if let Err(e) = store.put(id, t) {
+            panic!("worker {}: spilling {what}: {e}", self.rank());
+        }
+    }
+
+    /// Removes a block from the tier, faulting from disk if spilled.
+    ///
+    /// # Panics
+    ///
+    /// Panics (naming this rank) if the tier is disabled, the id is
+    /// absent, or fault IO fails.
+    pub(crate) fn tier_take(&self, id: u64, what: &str) -> Tensor {
+        let mut tier = self.tier.borrow_mut();
+        let Some(store) = tier.as_mut() else {
+            panic!(
+                "worker {}: tier_take({what}) with the disk tier disabled",
+                self.rank()
+            );
+        };
+        match store.take(id) {
+            Ok(t) => t,
+            Err(e) => panic!("worker {}: faulting {what}: {e}", self.rank()),
+        }
+    }
+
+    /// Quietly removes a block from the tier if present (cleanup paths:
+    /// a recorded-but-never-run backward, slot overwrite). IO errors are
+    /// ignored — the block is being discarded anyway.
+    pub(crate) fn tier_discard(&self, id: u64) {
+        if let Some(store) = self.tier.borrow_mut().as_mut() {
+            if store.contains(id) {
+                let _ = store.take(id);
+            }
+        }
+    }
+
+    /// Allocates a fresh rematerialization-input block id.
+    pub(crate) fn next_remat_id(&self) -> u64 {
+        let id = self.remat_ids.get();
+        self.remat_ids.set(id + 1);
+        id
+    }
+
+    /// Drops every block the tier holds (stale cache invalidation). No-op
+    /// when the tier is disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics (naming this rank) on tier IO failure.
+    fn tier_clear(&self) {
+        if let Some(store) = self.tier.borrow_mut().as_mut() {
+            if let Err(e) = store.clear() {
+                panic!("worker {}: clearing spill tier: {e}", self.rank());
+            }
+        }
+    }
+
     /// Switches the exchange protocol. Must be invoked identically on
     /// every rank (SPMD) — a rank skipping sends its peer still expects
     /// would deadlock the rotation. Clears any cached stale blocks and
@@ -204,6 +345,10 @@ impl Worker {
         self.epoch_fresh.set(true);
         self.fetch_call.set(0);
         self.stale_cache.borrow_mut().clear();
+        // Tiered stale blocks are invalidated with the cache. No remat
+        // state is live at a protocol switch (it exists only between one
+        // forward and its backward), so a full clear is safe.
+        self.tier_clear();
     }
 
     /// Declares an epoch boundary for the staleness protocol: resets the
@@ -217,6 +362,7 @@ impl Worker {
         self.epoch_fresh.set(refresh);
         if refresh {
             self.stale_cache.borrow_mut().clear();
+            self.tier_clear();
         }
     }
 
@@ -376,19 +522,33 @@ impl Worker {
             }
             // Stale epoch: zero fetch-phase traffic. The local block is
             // read fresh from the resident tensor; remote blocks replay
-            // from the refresh epoch's cache in rotation order.
+            // from the refresh epoch's cache in rotation order — from RAM,
+            // or faulted from the disk tier through the same depth-k
+            // staging as a network fetch.
             Protocol::Stale(_) if !self.epoch_fresh.get() => {
                 let call = self.fetch_call.get();
                 self.fetch_call.set(call + 1);
+                let tiered = {
+                    let cache = self.stale_cache.borrow();
+                    match cache.get(call) {
+                        Some(StaleSlot::Ram(_)) => false,
+                        Some(StaleSlot::Tiered { .. }) => true,
+                        None => panic!(
+                            "worker {p}: stale epoch fetch call #{call} has no cached \
+                             refresh-epoch blocks ({} cached calls) — the SPMD call \
+                             sequence diverged from the refresh epoch",
+                            cache.len()
+                        ),
+                    }
+                };
+                if tiered {
+                    self.replay_tiered(call, data, &mut consume);
+                    return;
+                }
                 let cache = self.stale_cache.borrow();
-                let blocks = cache.get(call).unwrap_or_else(|| {
-                    panic!(
-                        "worker {p}: stale epoch fetch call #{call} has no cached \
-                         refresh-epoch blocks ({} cached calls) — the SPMD call \
-                         sequence diverged from the refresh epoch",
-                        cache.len()
-                    )
-                });
+                let Some(StaleSlot::Ram(blocks)) = cache.get(call) else {
+                    panic!("worker {p}: stale cache slot #{call} changed kind mid-replay");
+                };
                 for r in 0..n {
                     let q = (p + r) % n;
                     if r == 0 {
@@ -409,8 +569,24 @@ impl Worker {
         }
         // Refresh epochs keep each remote block after consumption instead
         // of recycling it, repopulating the cache slot for this call.
+        // With the disk tier active, kept blocks go straight into the
+        // tiered store (spilling past the budget) instead of RAM.
         let record = matches!(self.protocol.get(), Protocol::Stale(_));
+        let tiered = record && self.tier_enabled();
+        let call = self.fetch_call.get();
         let mut recorded: Vec<Tensor> = Vec::new();
+        if tiered {
+            // Re-recording over an existing tiered slot (e.g. a refresh
+            // epoch revisiting a call index): drop the old tier blocks
+            // before the walk puts new ones under the same ids.
+            let old_rounds = match self.stale_cache.borrow().get(call) {
+                Some(StaleSlot::Tiered { rounds }) => *rounds,
+                _ => 0,
+            };
+            for r in 1..=old_rounds {
+                self.tier_discard(stale_block_id(call, r));
+            }
+        }
 
         // Staged blocks, oldest first; the plan bounds the queue to
         // `min(k, n-1) + 1` entries. The local round stages no tensor —
@@ -441,7 +617,14 @@ impl Worker {
                         ),
                         Some(block) => {
                             consume(q, FetchedBlock::Remote(&block));
-                            if record {
+                            if tiered {
+                                let round = (q + n - p) % n;
+                                self.tier_put(
+                                    stale_block_id(call, round),
+                                    block,
+                                    "stale cache block",
+                                );
+                            } else if record {
                                 recorded.push(block);
                             } else {
                                 buffer::recycle_f32(block.into_data());
@@ -452,13 +635,73 @@ impl Worker {
             }
         }
         if record {
-            let call = self.fetch_call.get();
             self.fetch_call.set(call + 1);
+            let slot = if tiered {
+                StaleSlot::Tiered { rounds: n - 1 }
+            } else {
+                StaleSlot::Ram(recorded)
+            };
             let mut cache = self.stale_cache.borrow_mut();
             if call < cache.len() {
-                cache[call] = recorded;
+                cache[call] = slot;
             } else {
-                cache.push(recorded);
+                cache.push(slot);
+            }
+        }
+    }
+
+    /// Replays fetch call `call` of a stale epoch out of the disk tier,
+    /// walking the *same* depth-k schedule as a network exchange
+    /// ([`plan::fetch_steps`]) with `Fetch` reinterpreted as a disk fault
+    /// and `Serve` as a no-op: up to `k` faulted blocks are staged ahead
+    /// of the one being consumed, so `--prefetch-depth` hides disk
+    /// latency exactly as it hides network latency, and at most
+    /// `min(k, n−1) + 1` staged blocks join the local partition in RAM —
+    /// the (K+2)-blocks-in-RAM bound with the remainder on disk that
+    /// `sar-check` proves over the full `(N, K)` sweep.
+    ///
+    /// Consumed blocks return to the tiered store for the next stale
+    /// epoch; consumption order is the same fixed rotation as every other
+    /// path, so results stay bitwise identical to the untiered replay.
+    fn replay_tiered(
+        &self,
+        call: usize,
+        data: &Tensor,
+        consume: &mut impl FnMut(usize, FetchedBlock<'_>),
+    ) {
+        let n = self.world();
+        let p = self.rank();
+        let mut staged: VecDeque<(usize, Option<Tensor>)> = VecDeque::new();
+        for step in plan::fetch_steps(n, p, self.prefetch_depth) {
+            match step {
+                FetchStep::GatherLocal => staged.push_back((p, None)),
+                // A stale epoch is communication-free: nothing to serve.
+                FetchStep::Serve { .. } => {}
+                FetchStep::Fetch { round, src } => {
+                    let block = self.tier_take(stale_block_id(call, round), "stale cache block");
+                    staged.push_back((src, Some(block)));
+                }
+                FetchStep::Consume { q } => {
+                    let (staged_q, block) = staged.pop_front().unwrap_or_else(|| {
+                        panic!("worker {p}: pipeline underrun replaying partition {q}")
+                    });
+                    debug_assert_eq!(staged_q, q, "plan consumption order diverged");
+                    match block {
+                        None => consume(
+                            q,
+                            FetchedBlock::Local {
+                                data,
+                                rows: self.graph.needed_from(p),
+                            },
+                        ),
+                        Some(block) => {
+                            consume(q, FetchedBlock::Remote(&block));
+                            // Back to the store for the next stale epoch.
+                            let round = (q + n - p) % n;
+                            self.tier_put(stale_block_id(call, round), block, "stale cache block");
+                        }
+                    }
+                }
             }
         }
     }

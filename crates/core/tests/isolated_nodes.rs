@@ -85,6 +85,7 @@ fn config(arch: Arch, mode: Mode, threads: usize) -> TrainConfig {
         threads,
         protocol: Default::default(),
         codec: Default::default(),
+        mem_budget: 0,
     }
 }
 

@@ -45,6 +45,7 @@ fn quick_config(arch: Arch, mode: Mode) -> TrainConfig {
         threads: 1,
         protocol: Default::default(),
         codec: Default::default(),
+        mem_budget: 0,
     }
 }
 

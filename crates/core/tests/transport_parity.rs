@@ -46,6 +46,7 @@ fn config(arch: Arch, mode: Mode, d: &Dataset) -> TrainConfig {
         threads: 1,
         protocol: Default::default(),
         codec: Default::default(),
+        mem_budget: 0,
     }
 }
 

@@ -43,6 +43,7 @@ pub mod memory;
 pub mod pool;
 pub mod simd;
 mod tensor;
+pub mod tier;
 
 pub use autograd::{grad_enabled, hstack, no_grad, Function, Var};
 pub use memory::{MemScope, MemoryStats, MemoryTracker, ScopePeak};

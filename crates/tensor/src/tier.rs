@@ -1,0 +1,705 @@
+//! Out-of-core memory tiering: an mmap-backed spill arena and a
+//! budget-driven tiered block store.
+//!
+//! SAR bounds per-worker *working set* at `(K+2)/N` of the graph, but the
+//! reproduction still kept every resident partition block, every cached
+//! `stale:<r>` protocol block, and every rematerialization input in RAM.
+//! This module adds the disk tier beneath them: [`SpillArena`] maps one
+//! anonymous-looking temp file into the address space and hands out
+//! byte-exact segments; [`TieredStore`] keeps the hottest blocks resident
+//! as [`Tensor`]s up to a byte budget and spills the coldest to the arena,
+//! faulting them back on demand.
+//!
+//! Determinism is the load-bearing invariant: a spill is a bitwise copy of
+//! the tensor's `f32` payload and a fault is a bitwise copy back, so every
+//! consumer observes exactly the bytes it would have observed with the
+//! store disabled — `parity_digest()` is identical with spill on or off at
+//! any budget. Eviction order is a deterministic queue (coldest-first
+//! insertion order refreshed on access), never a hash-map iteration.
+//!
+//! The spill/fault traffic is metered through thread-local counters that
+//! the observability ledger drains per phase via [`take_tier_counters`],
+//! mirroring how helper CPU time flows through
+//! [`pool::take_helper_cpu_us`](crate::pool::take_helper_cpu_us).
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::Tensor;
+
+// ----------------------------------------------------------------------
+// Counters
+// ----------------------------------------------------------------------
+
+thread_local! {
+    /// Bytes written to the disk tier since the last drain.
+    static SPILL_BYTES: Cell<u64> = const { Cell::new(0) };
+    /// Bytes faulted back from the disk tier since the last drain.
+    static FAULT_BYTES: Cell<u64> = const { Cell::new(0) };
+    /// Nanoseconds the thread spent blocked on disk-tier IO since the
+    /// last drain.
+    static DISK_BLOCKED_NS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Arena files get a process-wide unique suffix so concurrent worker
+/// threads (and re-entrant tests) never collide on a path.
+static NEXT_ARENA_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Drains the calling thread's disk-tier counters accumulated since the
+/// previous call: `(spill_bytes, fault_bytes, disk_blocked_us)`.
+///
+/// The observability ledger calls this at phase boundaries and attributes
+/// the totals to the phase that just ended, exactly like helper CPU time.
+pub fn take_tier_counters() -> (u64, u64, f64) {
+    let spill = SPILL_BYTES.with(|c| c.replace(0));
+    let fault = FAULT_BYTES.with(|c| c.replace(0));
+    let blocked_us = DISK_BLOCKED_NS.with(|c| c.replace(0)) as f64 / 1e3;
+    (spill, fault, blocked_us)
+}
+
+// ----------------------------------------------------------------------
+// Errors
+// ----------------------------------------------------------------------
+
+/// Failure of a disk-tier operation.
+///
+/// The spill path never panics: every fallible step reports through this
+/// type so a worker can surface the failure with its rank attached.
+#[derive(Debug)]
+pub enum TierError {
+    /// Filesystem operation failed (create/open/resize of the arena file).
+    Io {
+        /// What the arena was doing when the error occurred.
+        op: &'static str,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// `mmap`/`munmap`/`msync` failed.
+    Map {
+        /// Which syscall failed.
+        op: &'static str,
+        /// `errno`-derived description.
+        source: io::Error,
+    },
+    /// A block id was requested that the store does not hold.
+    MissingBlock(u64),
+}
+
+impl std::fmt::Display for TierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TierError::Io { op, source } => write!(f, "spill arena {op}: {source}"),
+            TierError::Map { op, source } => write!(f, "spill arena {op}: {source}"),
+            TierError::MissingBlock(id) => write!(f, "tiered store has no block {id:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for TierError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TierError::Io { source, .. } | TierError::Map { source, .. } => Some(source),
+            TierError::MissingBlock(_) => None,
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// SpillArena
+// ----------------------------------------------------------------------
+
+/// A segment of the arena holding one spilled payload.
+///
+/// Deliberately neither `Clone` nor `Copy`: a segment is a linear token —
+/// loading it frees the underlying bytes, and dropping it without loading
+/// leaks them until [`SpillArena`] itself is dropped.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Segment {
+    offset: usize,
+    bytes: usize,
+}
+
+impl Segment {
+    /// Payload length in bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+/// Segment offsets are aligned so free-list reuse keeps payloads
+/// cache-line aligned.
+const SEGMENT_ALIGN: usize = 64;
+
+/// Initial arena file size; doubles on demand.
+const INITIAL_CAP: usize = 1 << 20;
+
+/// An mmap-backed append/free block file: the disk tier's storage.
+///
+/// One temp file, mapped shared and grown by powers of two; allocation is
+/// append-first with an exact-size free list (spilled blocks are almost
+/// always uniform, so freed segments are reused immediately). The arena is
+/// single-threaded by construction (`*mut u8` makes it `!Send`/`!Sync`),
+/// matching the one-worker-per-thread architecture.
+///
+/// All operations are fallible and return [`TierError`]; nothing on this
+/// path unwraps or panics.
+#[derive(Debug)]
+pub struct SpillArena {
+    file: File,
+    path: PathBuf,
+    ptr: *mut u8,
+    cap: usize,
+    head: usize,
+    /// Exact aligned-size free list: `aligned_bytes -> offsets`.
+    free: BTreeMap<usize, Vec<usize>>,
+    live_bytes: usize,
+}
+
+fn align_up(n: usize) -> usize {
+    n.div_ceil(SEGMENT_ALIGN) * SEGMENT_ALIGN
+}
+
+impl SpillArena {
+    /// Creates an arena file inside `dir` (created if absent) and maps it.
+    pub fn create(dir: &Path) -> Result<SpillArena, TierError> {
+        std::fs::create_dir_all(dir).map_err(|source| TierError::Io {
+            op: "create spill dir",
+            source,
+        })?;
+        let id = NEXT_ARENA_ID.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!("arena-{}-{id}.bin", std::process::id()));
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|source| TierError::Io {
+                op: "create arena file",
+                source,
+            })?;
+        file.set_len(INITIAL_CAP as u64)
+            .map_err(|source| TierError::Io {
+                op: "size arena file",
+                source,
+            })?;
+        let ptr = map_file(&file, INITIAL_CAP)?;
+        Ok(SpillArena {
+            file,
+            path,
+            ptr,
+            cap: INITIAL_CAP,
+            head: 0,
+            free: BTreeMap::new(),
+            live_bytes: 0,
+        })
+    }
+
+    /// Path of the backing file (for diagnostics and cleanup checks).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Bytes of payload currently stored (excluding free-list holes).
+    pub fn live_bytes(&self) -> usize {
+        self.live_bytes
+    }
+
+    /// Current mapped capacity of the backing file.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Copies `data` into the arena and returns the owning [`Segment`].
+    ///
+    /// The copy is bitwise: `f32` payloads round-trip exactly, which is
+    /// what keeps spill on/off runs digest-identical.
+    pub fn store(&mut self, data: &[f32]) -> Result<Segment, TierError> {
+        let bytes = std::mem::size_of_val(data);
+        let offset = self.alloc(bytes)?;
+        if bytes > 0 {
+            // SAFETY: `alloc` guarantees `offset + bytes <= self.cap` and
+            // the mapping at `self.ptr` spans `self.cap` bytes; source and
+            // destination are distinct allocations, and a byte-wise copy
+            // has no alignment requirement.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    data.as_ptr().cast::<u8>(),
+                    self.ptr.add(offset),
+                    bytes,
+                );
+            }
+        }
+        self.live_bytes += bytes;
+        Ok(Segment { offset, bytes })
+    }
+
+    /// Copies a segment's payload back out as `f32`s and frees the
+    /// segment for reuse.
+    pub fn load(&mut self, seg: Segment) -> Result<Vec<f32>, TierError> {
+        let Segment { offset, bytes } = seg;
+        debug_assert!(offset + bytes <= self.cap, "segment out of bounds");
+        let len = bytes / std::mem::size_of::<f32>();
+        let mut out: Vec<f32> = vec![0.0; len];
+        if bytes > 0 {
+            // SAFETY: segments are only minted by `store`, which bounds
+            // them within the mapping; `out` owns `bytes` writable bytes;
+            // byte-wise copy has no alignment requirement.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    self.ptr.add(offset),
+                    out.as_mut_ptr().cast::<u8>(),
+                    bytes,
+                );
+            }
+        }
+        self.live_bytes -= bytes;
+        self.free.entry(align_up(bytes)).or_default().push(offset);
+        Ok(out)
+    }
+
+    /// Flushes the mapping back to the file (used by tests asserting the
+    /// data really lives on disk; faults never need it).
+    pub fn sync(&self) -> Result<(), TierError> {
+        if self.cap == 0 {
+            return Ok(());
+        }
+        // SAFETY: `self.ptr` is a live MAP_SHARED mapping of `self.cap`
+        // bytes established by `map_file`.
+        let rc = unsafe { libc::msync(self.ptr.cast::<libc::c_void>(), self.cap, libc::MS_SYNC) };
+        if rc != 0 {
+            return Err(TierError::Map {
+                op: "msync",
+                source: io::Error::last_os_error(),
+            });
+        }
+        Ok(())
+    }
+
+    fn alloc(&mut self, bytes: usize) -> Result<usize, TierError> {
+        let aligned = align_up(bytes);
+        if let Some(offsets) = self.free.get_mut(&aligned) {
+            if let Some(off) = offsets.pop() {
+                return Ok(off);
+            }
+        }
+        if self.head + aligned > self.cap {
+            let mut new_cap = self.cap.max(INITIAL_CAP);
+            while self.head + aligned > new_cap {
+                new_cap *= 2;
+            }
+            self.remap(new_cap)?;
+        }
+        let off = self.head;
+        self.head += aligned;
+        Ok(off)
+    }
+
+    fn remap(&mut self, new_cap: usize) -> Result<(), TierError> {
+        // SAFETY: `self.ptr` is the live mapping of exactly `self.cap`
+        // bytes; after munmap it is not touched until reassigned below.
+        let rc = unsafe { libc::munmap(self.ptr.cast::<libc::c_void>(), self.cap) };
+        if rc != 0 {
+            return Err(TierError::Map {
+                op: "munmap (grow)",
+                source: io::Error::last_os_error(),
+            });
+        }
+        self.file
+            .set_len(new_cap as u64)
+            .map_err(|source| TierError::Io {
+                op: "grow arena file",
+                source,
+            })?;
+        self.ptr = map_file(&self.file, new_cap)?;
+        self.cap = new_cap;
+        Ok(())
+    }
+}
+
+fn map_file(file: &File, len: usize) -> Result<*mut u8, TierError> {
+    use std::os::unix::io::AsRawFd;
+    // SAFETY: `fd` is a valid open file descriptor sized to at least
+    // `len` bytes by the caller; a MAP_SHARED read/write mapping of it is
+    // sound, and the returned pointer is checked against MAP_FAILED.
+    let ptr = unsafe {
+        libc::mmap(
+            std::ptr::null_mut(),
+            len,
+            libc::PROT_READ | libc::PROT_WRITE,
+            libc::MAP_SHARED,
+            file.as_raw_fd(),
+            0,
+        )
+    };
+    if ptr == libc::MAP_FAILED {
+        return Err(TierError::Map {
+            op: "mmap",
+            source: io::Error::last_os_error(),
+        });
+    }
+    Ok(ptr.cast::<u8>())
+}
+
+impl Drop for SpillArena {
+    fn drop(&mut self) {
+        // SAFETY: `self.ptr` is the live mapping of `self.cap` bytes and
+        // is never touched again (the arena is being dropped).
+        let _ = unsafe { libc::munmap(self.ptr.cast::<libc::c_void>(), self.cap) };
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+// ----------------------------------------------------------------------
+// TieredStore
+// ----------------------------------------------------------------------
+
+#[derive(Debug)]
+struct SpilledBlock {
+    seg: Segment,
+    shape: Vec<usize>,
+}
+
+/// A two-tier block store: RAM up to a byte budget, disk beyond it.
+///
+/// Blocks are keyed by caller-chosen `u64` ids. [`TieredStore::put`]
+/// inserts a block at the hot end of a deterministic eviction queue and
+/// spills coldest-first until resident bytes fit the budget;
+/// [`TieredStore::take`] removes a block, faulting it back from the
+/// arena if it was spilled. Both directions are bitwise copies, so
+/// consumers cannot distinguish a faulted block from one that stayed
+/// resident — the determinism argument in DESIGN.md §14.
+///
+/// With `budget == u64::MAX` (or simply never constructing a store) the
+/// behaviour degenerates to an in-RAM map, which is how `--mem-budget 0`
+/// / flag-absent runs stay byte-identical to the pre-tiering code.
+#[derive(Debug)]
+pub struct TieredStore {
+    arena: SpillArena,
+    dir: PathBuf,
+    owns_dir: bool,
+    budget: u64,
+    /// Front = coldest. Deterministic: refreshed only by put/take order.
+    resident: VecDeque<(u64, Tensor)>,
+    resident_bytes: u64,
+    /// Lookup-only map (never iterated), so hashing cannot perturb
+    /// determinism.
+    spilled: HashMap<u64, SpilledBlock>,
+}
+
+impl TieredStore {
+    /// Creates a store with its own temp spill directory
+    /// (`$TMPDIR/sar-spill-<pid>-<seq>`), removed on drop.
+    pub fn new(budget_bytes: u64) -> Result<TieredStore, TierError> {
+        let id = NEXT_ARENA_ID.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("sar-spill-{}-{id}", std::process::id()));
+        let mut store = TieredStore::in_dir(budget_bytes, &dir)?;
+        store.owns_dir = true;
+        Ok(store)
+    }
+
+    /// Creates a store spilling into `dir` (shared dirs are fine — arena
+    /// file names are unique). The directory is left in place on drop.
+    pub fn in_dir(budget_bytes: u64, dir: &Path) -> Result<TieredStore, TierError> {
+        let arena = SpillArena::create(dir)?;
+        Ok(TieredStore {
+            arena,
+            dir: dir.to_path_buf(),
+            owns_dir: false,
+            budget: budget_bytes,
+            resident: VecDeque::new(),
+            resident_bytes: 0,
+            spilled: HashMap::new(),
+        })
+    }
+
+    /// The byte budget for the resident tier.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Bytes currently held in RAM.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    /// Number of blocks currently spilled to disk.
+    pub fn spilled_len(&self) -> usize {
+        self.spilled.len()
+    }
+
+    /// Number of blocks currently resident in RAM.
+    pub fn resident_len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// True when the store holds no blocks in either tier.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty() && self.spilled.is_empty()
+    }
+
+    /// Directory the arena file lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Inserts `t` under `id` at the hot end of the eviction queue, then
+    /// spills coldest blocks until resident bytes fit the budget.
+    ///
+    /// An `id` already present is a caller bug; the old block is replaced
+    /// (resident) or leaked to the arena free list on next fault
+    /// (spilled), and a `debug_assert` trips in dev builds.
+    pub fn put(&mut self, id: u64, t: Tensor) -> Result<(), TierError> {
+        debug_assert!(
+            !self.spilled.contains_key(&id) && self.resident.iter().all(|(k, _)| *k != id),
+            "tiered store already holds block {id:#x}"
+        );
+        self.resident_bytes += tensor_bytes(&t);
+        self.resident.push_back((id, t));
+        self.enforce_budget()
+    }
+
+    /// Removes and returns block `id`, faulting from disk if it was
+    /// spilled. The fault allocates through the normal tensor path, so
+    /// memory accounting sees it exactly like a network arrival.
+    pub fn take(&mut self, id: u64) -> Result<Tensor, TierError> {
+        if let Some(i) = self.resident.iter().position(|(k, _)| *k == id) {
+            // Disambiguated remove keeps queue order for the others.
+            let (_, t) = match self.resident.remove(i) {
+                Some(pair) => pair,
+                None => return Err(TierError::MissingBlock(id)),
+            };
+            self.resident_bytes -= tensor_bytes(&t);
+            return Ok(t);
+        }
+        let block = self
+            .spilled
+            .remove(&id)
+            .ok_or(TierError::MissingBlock(id))?;
+        let bytes = block.seg.len_bytes() as u64;
+        let begin = Instant::now();
+        let data = self.arena.load(block.seg)?;
+        DISK_BLOCKED_NS.with(|c| c.set(c.get() + begin.elapsed().as_nanos() as u64));
+        FAULT_BYTES.with(|c| c.set(c.get() + bytes));
+        Ok(Tensor::from_vec(&block.shape, data))
+    }
+
+    /// True when either tier holds block `id`.
+    pub fn contains(&self, id: u64) -> bool {
+        self.spilled.contains_key(&id) || self.resident.iter().any(|(k, _)| *k == id)
+    }
+
+    /// Spills *every* resident block to disk (used between epochs to
+    /// return the RAM floor to zero regardless of budget).
+    pub fn spill_all(&mut self) -> Result<(), TierError> {
+        while let Some((id, t)) = self.resident.pop_front() {
+            self.resident_bytes -= tensor_bytes(&t);
+            self.spill_one(id, t)?;
+        }
+        Ok(())
+    }
+
+    /// Drops every block in both tiers (the arena file shrinks to its
+    /// free list; its disk space is reclaimed when the store drops).
+    pub fn clear(&mut self) -> Result<(), TierError> {
+        self.resident.clear();
+        self.resident_bytes = 0;
+        let ids: Vec<u64> = self.spilled.keys().copied().collect();
+        for id in ids {
+            if let Some(block) = self.spilled.remove(&id) {
+                // Load-and-discard frees the segment for reuse.
+                let _ = self.arena.load(block.seg)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn enforce_budget(&mut self) -> Result<(), TierError> {
+        while self.resident_bytes > self.budget {
+            let Some((id, t)) = self.resident.pop_front() else {
+                break;
+            };
+            self.resident_bytes -= tensor_bytes(&t);
+            self.spill_one(id, t)?;
+        }
+        Ok(())
+    }
+
+    fn spill_one(&mut self, id: u64, t: Tensor) -> Result<(), TierError> {
+        let shape = t.shape().to_vec();
+        let data = t.into_data();
+        let begin = Instant::now();
+        let seg = self.arena.store(&data)?;
+        DISK_BLOCKED_NS.with(|c| c.set(c.get() + begin.elapsed().as_nanos() as u64));
+        SPILL_BYTES.with(|c| c.set(c.get() + seg.len_bytes() as u64));
+        self.spilled.insert(id, SpilledBlock { seg, shape });
+        Ok(())
+    }
+}
+
+fn tensor_bytes(t: &Tensor) -> u64 {
+    std::mem::size_of_val(t.data()) as u64
+}
+
+impl Drop for TieredStore {
+    fn drop(&mut self) {
+        if self.owns_dir {
+            // Unlinking the still-mapped arena file is sound on the unix
+            // targets this builds for: the mapping stays valid until the
+            // arena's own Drop munmaps it, and its redundant remove_file
+            // then fails silently. This way the whole spill footprint is
+            // gone even when training aborts mid-epoch.
+            let _ = std::fs::remove_file(self.arena.path());
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryTracker;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("sar-tier-test-{}-{tag}", std::process::id()))
+    }
+
+    #[test]
+    fn arena_round_trips_bit_patterns() {
+        let dir = tmp_dir("roundtrip");
+        let mut arena = SpillArena::create(&dir).expect("arena");
+        // NaNs, infinities, -0.0: a bitwise copy must preserve them all.
+        let weird = vec![f32::NAN, f32::INFINITY, -0.0, 1.5e-42, -3.25];
+        let seg = arena.store(&weird).expect("store");
+        let back = arena.load(seg).expect("load");
+        let a: Vec<u32> = weird.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = back.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b);
+        drop(arena);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn arena_grows_past_initial_capacity() {
+        let dir = tmp_dir("grow");
+        let mut arena = SpillArena::create(&dir).expect("arena");
+        let big = vec![2.5f32; INITIAL_CAP / 2];
+        let a = arena.store(&big).expect("store a");
+        let b = arena.store(&big).expect("store b");
+        assert!(arena.capacity() > INITIAL_CAP);
+        assert_eq!(arena.load(a).expect("load a"), big);
+        assert_eq!(arena.load(b).expect("load b"), big);
+        drop(arena);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn arena_reuses_freed_segments() {
+        let dir = tmp_dir("freelist");
+        let mut arena = SpillArena::create(&dir).expect("arena");
+        let data = vec![1.0f32; 1000];
+        let seg = arena.store(&data).expect("store");
+        let head_after_first = arena.head;
+        let _ = arena.load(seg).expect("load");
+        let seg2 = arena.store(&data).expect("store again");
+        assert_eq!(arena.head, head_after_first, "freed segment reused");
+        let _ = arena.load(seg2).expect("load 2");
+        drop(arena);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_spills_coldest_and_faults_back_identically() {
+        let dir = tmp_dir("lru");
+        // Budget of 2 blocks of [64, 4] f32 = 2 KiB.
+        let block = 64 * 4 * 4;
+        let mut store = TieredStore::in_dir(2 * block as u64, &dir).expect("store");
+        let make = |seed: f32| {
+            Tensor::from_vec(
+                &[64, 4],
+                (0..256).map(|i| seed + i as f32 * 0.5).collect::<Vec<_>>(),
+            )
+        };
+        let _ = take_tier_counters();
+        store.put(1, make(1.0)).expect("put 1");
+        store.put(2, make(2.0)).expect("put 2");
+        assert_eq!(store.spilled_len(), 0);
+        store.put(3, make(3.0)).expect("put 3");
+        // Block 1 (coldest) spilled.
+        assert_eq!(store.spilled_len(), 1);
+        assert!(store.resident_bytes() <= 2 * block as u64);
+        let t1 = store.take(1).expect("fault 1");
+        assert_eq!(t1.data(), make(1.0).data());
+        let (spill, fault, _) = take_tier_counters();
+        assert_eq!(spill, block as u64);
+        assert_eq!(fault, block as u64);
+        let t2 = store.take(2).expect("take 2 (resident)");
+        assert_eq!(t2.data(), make(2.0).data());
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_lowers_tracked_resident_memory() {
+        let dir = tmp_dir("mem");
+        let mut store = TieredStore::in_dir(0, &dir).expect("store");
+        let before = MemoryTracker::stats().current_bytes;
+        store
+            .put(7, Tensor::zeros(&[1024, 16]))
+            .expect("put evicts immediately at budget 0");
+        // Budget 0: block must not stay resident.
+        assert_eq!(MemoryTracker::stats().current_bytes, before);
+        assert_eq!(store.resident_len(), 0);
+        assert_eq!(store.spilled_len(), 1);
+        let t = store.take(7).expect("fault");
+        assert_eq!(MemoryTracker::stats().current_bytes, before + 1024 * 16 * 4);
+        drop(t);
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_block_is_a_typed_error() {
+        let dir = tmp_dir("missing");
+        let mut store = TieredStore::in_dir(u64::MAX, &dir).expect("store");
+        match store.take(99) {
+            Err(TierError::MissingBlock(99)) => {}
+            other => panic!("expected MissingBlock, got {other:?}"),
+        }
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_all_moves_everything_to_disk() {
+        let dir = tmp_dir("spillall");
+        let mut store = TieredStore::in_dir(u64::MAX, &dir).expect("store");
+        for id in 0..4u64 {
+            store.put(id, Tensor::ones(&[8, 8])).expect("put");
+        }
+        store.spill_all().expect("spill_all");
+        assert_eq!(store.resident_bytes(), 0);
+        assert_eq!(store.spilled_len(), 4);
+        for id in 0..4u64 {
+            assert_eq!(store.take(id).expect("fault").data(), &[1.0; 64][..]);
+        }
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn owned_temp_dir_is_removed_on_drop() {
+        let store = TieredStore::new(1024).expect("store");
+        let dir = store.dir().to_path_buf();
+        assert!(dir.exists());
+        drop(store);
+        assert!(!dir.exists(), "spill dir {dir:?} should be cleaned up");
+    }
+}

@@ -44,6 +44,7 @@ fn main() {
         threads: 1,
         protocol: Default::default(),
         codec: Default::default(),
+        mem_budget: 0,
     };
 
     println!("training 3-layer GCN + jumping knowledge with SAR on 4 workers...");

@@ -30,6 +30,11 @@
 //!                                 wire codec for remote activation/
 //!                                 gradient payloads; negotiated at the
 //!                                 TCP rendezvous                  (raw)
+//!   --mem-budget BYTES            resident-tensor budget for the disk
+//!                                 tier: blocks past the budget spill to
+//!                                 an mmap-backed store and fault back
+//!                                 on demand, bitwise identical results;
+//!                                 0 disables spilling              (0)
 //!   --protocol exact|gradonly|stale:<r>
 //!                                 exchange protocol; approximate modes
 //!                                 trade accuracy for wire volume, the
@@ -83,6 +88,7 @@ struct Args {
     simd: String,
     codec: String,
     protocol: String,
+    mem_budget: u64,
     save_model: Option<String>,
     report_json: Option<String>,
     seed: u64,
@@ -113,6 +119,7 @@ impl Default for Args {
             simd: "auto".into(),
             codec: "raw".into(),
             protocol: "exact".into(),
+            mem_budget: 0,
             save_model: None,
             report_json: None,
             seed: 0,
@@ -162,6 +169,9 @@ fn parse_args() -> Args {
             "--simd" => args.simd = value(),
             "--codec" => args.codec = value(),
             "--protocol" => args.protocol = value(),
+            "--mem-budget" => {
+                args.mem_budget = value().parse().unwrap_or_else(|_| fail("--mem-budget"))
+            }
             "--save-model" => args.save_model = Some(value()),
             "--report-json" => args.report_json = Some(value()),
             "--seed" => args.seed = value().parse().unwrap_or_else(|_| fail("--seed")),
@@ -229,6 +239,7 @@ fn run_tcp(args: &Args) -> ! {
         simd: args.simd.clone(),
         codec: args.codec.clone(),
         protocol: args.protocol.clone(),
+        mem_budget: args.mem_budget,
     };
     let exe = launcher::sibling_binary("sar-worker").unwrap_or_else(|e| fail(&e));
     let mut worker_args = workload.to_args();
@@ -337,6 +348,7 @@ fn main() {
                 args.codec
             ))
         }),
+        mem_budget: args.mem_budget,
     };
     println!(
         "training {:?} / {:?} for {} epochs on {} workers ...",

@@ -4,11 +4,32 @@
 //! Offline stand-in for the `libc` crate.
 //!
 //! Declares exactly the C interface the workspace uses: per-thread CPU
-//! clock reads via `clock_gettime(CLOCK_THREAD_CPUTIME_ID, ..)`. The
-//! symbols come from the platform libc that std already links.
+//! clock reads via `clock_gettime(CLOCK_THREAD_CPUTIME_ID, ..)` and the
+//! `mmap`/`munmap`/`msync` trio backing the out-of-core spill arena in
+//! `sar_tensor::tier`. The symbols come from the platform libc that std
+//! already links.
+
+/// Opaque C `void` used in pointer position (`*mut c_void`).
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub enum c_void {
+    /// Variant only present so the type is uninhabited-by-construction;
+    /// never instantiated.
+    #[doc(hidden)]
+    __variant1,
+    /// Second hidden variant (mirrors the real `libc` definition).
+    #[doc(hidden)]
+    __variant2,
+}
 
 /// C `int`.
 pub type c_int = i32;
+
+/// C `size_t` (pointer-sized unsigned).
+pub type size_t = usize;
+
+/// C `off_t` (LP64: 64-bit file offset).
+pub type off_t = i64;
 
 /// C `long` (LP64: 64-bit on the Linux targets this workspace builds for).
 pub type c_long = i64;
@@ -21,6 +42,22 @@ pub const CLOCK_THREAD_CPUTIME_ID: c_int = 3;
 
 /// Identifier of the monotonic clock (Linux value).
 pub const CLOCK_MONOTONIC: c_int = 1;
+
+/// `mmap` protection flag: pages may be read (Linux value).
+pub const PROT_READ: c_int = 1;
+
+/// `mmap` protection flag: pages may be written (Linux value).
+pub const PROT_WRITE: c_int = 2;
+
+/// `mmap` flag: updates are carried through to the underlying file
+/// (Linux value).
+pub const MAP_SHARED: c_int = 1;
+
+/// Sentinel returned by `mmap` on failure (`(void *) -1`).
+pub const MAP_FAILED: *mut c_void = !0usize as *mut c_void;
+
+/// `msync` flag: request synchronous write-back (Linux value).
+pub const MS_SYNC: c_int = 4;
 
 /// C `struct timespec`.
 #[repr(C)]
@@ -36,6 +73,24 @@ pub struct timespec {
 extern "C" {
     /// Reads clock `clockid` into `tp`; returns 0 on success.
     pub fn clock_gettime(clockid: c_int, tp: *mut timespec) -> c_int;
+
+    /// Maps `len` bytes of file `fd` at `offset` into the address space.
+    /// Returns [`MAP_FAILED`] on error.
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+
+    /// Unmaps `len` bytes at `addr`; returns 0 on success.
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+
+    /// Flushes `len` bytes of a shared mapping at `addr` back to the
+    /// underlying file; returns 0 on success.
+    pub fn msync(addr: *mut c_void, len: size_t, flags: c_int) -> c_int;
 }
 
 #[cfg(all(test, target_os = "linux"))]
@@ -52,5 +107,48 @@ mod tests {
         assert_eq!(rc, 0);
         assert!(ts.tv_sec >= 0);
         assert!((0..1_000_000_000).contains(&ts.tv_nsec));
+    }
+
+    #[test]
+    fn mmap_round_trips_file_bytes() {
+        use std::io::Write;
+        use std::os::unix::io::AsRawFd;
+
+        let dir = std::env::temp_dir().join(format!("sar-libc-mmap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("probe.bin");
+        let mut f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .expect("open probe file");
+        f.write_all(&[7u8; 4096]).expect("seed file");
+        f.flush().expect("flush");
+        // SAFETY: fd is a valid open file of exactly 4096 bytes; the
+        // mapping is unmapped before the file is closed and removed.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                4096,
+                PROT_READ | PROT_WRITE,
+                MAP_SHARED,
+                f.as_raw_fd(),
+                0,
+            )
+        };
+        assert_ne!(ptr, MAP_FAILED);
+        // SAFETY: ptr maps 4096 valid bytes; offsets below stay in range.
+        unsafe {
+            let bytes = ptr.cast::<u8>();
+            assert_eq!(*bytes, 7);
+            *bytes.add(1) = 42;
+            assert_eq!(msync(ptr, 4096, MS_SYNC), 0);
+            assert_eq!(munmap(ptr, 4096), 0);
+        }
+        let back = std::fs::read(&path).expect("read back");
+        assert_eq!(back[1], 42);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
