@@ -292,5 +292,43 @@ mod tests {
     fn digest_diff_reports_truncated_digests() {
         let d = digest_diff("world 4\nlosses 0\n", "world 4\n").unwrap();
         assert!(d.contains("<missing>"), "{d}");
+        // ...in either direction: a run digest with extra lines is just as
+        // divergent as a truncated one.
+        let d = digest_diff("world 4\n", "world 4\nlosses 0\n").unwrap();
+        assert!(d.contains("<missing>") && d.contains("losses 0"), "{d}");
+    }
+
+    #[test]
+    fn digest_diff_on_empty_digests() {
+        // Two empty digests agree — vacuously, but deterministically.
+        assert_eq!(digest_diff("", ""), None);
+        // Empty vs non-empty diverges on line 1 with a `<missing>` side.
+        let d = digest_diff("", "world 4\n").unwrap();
+        assert!(d.contains("line 1") && d.contains("<missing>"), "{d}");
+        let d = digest_diff("world 4\n", "").unwrap();
+        assert!(d.contains("line 1") && d.contains("<missing>"), "{d}");
+    }
+
+    #[test]
+    fn digest_diff_finds_divergence_on_the_last_line() {
+        // Identical prefix, mismatch only at the very end: the diff must
+        // point at the final line, not bail at EOF.
+        let base = "world 2\nlosses 3f800000\nw1 grad_routing/1 sent=8 recv=8\n";
+        let run = "world 2\nlosses 3f800000\nw1 grad_routing/1 sent=8 recv=9\n";
+        let d = digest_diff(base, run).unwrap();
+        assert!(d.contains("line 3"), "{d}");
+        assert!(d.contains("recv=8") && d.contains("recv=9"), "{d}");
+    }
+
+    #[test]
+    fn digest_diff_multi_line_context_stays_one_line() {
+        // Several divergent lines: only the FIRST is reported, and the
+        // report itself never spans lines (it is embedded in CI logs).
+        let base = "world 2\nlosses aaaa\nw0 forward_fetch/0 sent=1 recv=1\n";
+        let run = "world 2\nlosses bbbb\nw0 forward_fetch/0 sent=2 recv=2\n";
+        let d = digest_diff(base, run).unwrap();
+        assert!(d.contains("line 2") && d.contains("aaaa"), "{d}");
+        assert!(!d.contains("forward_fetch"), "first divergence only: {d}");
+        assert!(!d.contains('\n'), "{d}");
     }
 }

@@ -30,9 +30,13 @@
 //! and [`Report`] serializes the combined result as machine-readable JSON
 //! (hand-rolled — the workspace is offline, no serde).
 
+pub mod ast;
+pub mod ledgercheck;
 pub mod lint;
 pub mod protocol;
+pub mod reportio;
 pub mod sched;
+pub mod taint;
 
 /// One problem found by a pass. `location` is a file/line for the linter,
 /// a `(n, k, model)` coordinate for the protocol verifier, or a model

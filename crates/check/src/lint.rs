@@ -34,6 +34,12 @@
 //! Any rule can be waived for one line with
 //! `// sar-check: allow(<rule>) — <reason>` on that line or the line
 //! above; the reason is part of the workspace's audit trail.
+//!
+//! Waivers are themselves audited (`unused-waiver`): one that no longer
+//! suppresses any finding — because the offending code moved, the rule
+//! stopped firing there, or it names an unwaivable rule — is a lint
+//! error. Only plain `//` comments count as waivers; doc comments and
+//! string literals mentioning the syntax (like these docs) do not.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -309,22 +315,70 @@ fn line_of(line_starts: &[usize], offset: usize) -> usize {
 
 /// Whether `line` (1-based) carries a waiver for `rule` on itself or the
 /// line above, in the *raw* source.
-fn waived(raw_lines: &[&str], line: usize, rule: &str) -> bool {
-    let needle = format!("sar-check: allow({rule})");
-    let has = |l: usize| l >= 1 && l <= raw_lines.len() && raw_lines[l - 1].contains(&needle);
-    if has(line) {
-        return true;
-    }
-    // The waiver may sit anywhere in the contiguous comment block directly
-    // above the flagged line — multi-line reasons are encouraged.
-    let mut l = line.saturating_sub(1);
-    while l >= 1 && l <= raw_lines.len() && raw_lines[l - 1].trim_start().starts_with("//") {
-        if has(l) {
-            return true;
+/// One `// sar-check: allow(<rule>)` waiver comment, with use tracking:
+/// a waiver that no longer suppresses any finding is itself a lint error
+/// (`unused-waiver`), so the audit trail cannot rot as code moves.
+struct Waiver {
+    /// 1-based line of the waiver comment.
+    line: usize,
+    /// The waived rule name.
+    rule: String,
+    /// Whether this waiver suppressed at least one finding.
+    used: bool,
+}
+
+/// Every waiver of one file. Collected from plain `//` comments only —
+/// `///` / `//!` doc prose *mentioning* the syntax (like this module's
+/// own docs) is never a waiver, and neither is a string literal.
+struct Waivers {
+    entries: Vec<Waiver>,
+}
+
+impl Waivers {
+    fn collect(raw: &str, line_starts: &[usize]) -> Waivers {
+        let mut entries = Vec::new();
+        for (start, end) in crate::ast::comment_spans(raw) {
+            let text = &raw[start..end];
+            let Some(pos) = text.find("sar-check: allow(") else {
+                continue;
+            };
+            let rest = &text[pos + "sar-check: allow(".len()..];
+            let Some(close) = rest.find(')') else {
+                continue;
+            };
+            let rule = rest[..close].trim().to_string();
+            if rule.is_empty() {
+                continue;
+            }
+            entries.push(Waiver {
+                line: line_of(line_starts, start),
+                rule,
+                used: false,
+            });
         }
-        l -= 1;
+        Waivers { entries }
     }
-    false
+
+    /// Whether a waiver for `rule` covers the flagged `line` — on the
+    /// line itself, or anywhere in the contiguous comment block directly
+    /// above it (multi-line reasons are encouraged). Marks every covering
+    /// waiver as used.
+    fn check(&mut self, raw_lines: &[&str], line: usize, rule: &str) -> bool {
+        let mut covering = vec![line];
+        let mut l = line.saturating_sub(1);
+        while l >= 1 && l <= raw_lines.len() && raw_lines[l - 1].trim_start().starts_with("//") {
+            covering.push(l);
+            l -= 1;
+        }
+        let mut hit = false;
+        for w in &mut self.entries {
+            if w.rule == rule && covering.contains(&w.line) {
+                w.used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
 }
 
 /// One source file prepared for linting.
@@ -411,6 +465,7 @@ const CTX_COMM_CALLS: &[&str] = &["send_nowait", "try_recv", "send", "recv_tagge
 fn lint_file(file: &SourceFile, report: &mut PassReport) {
     let raw_lines = file.raw_lines();
     let tokens = identifiers(&file.code);
+    let mut waivers = Waivers::collect(&file.raw, &file.line_starts);
 
     for (idx, token) in tokens.iter().enumerate() {
         let line = line_of(&file.line_starts, token.start);
@@ -422,7 +477,7 @@ fn lint_file(file: &SourceFile, report: &mut PassReport) {
             let is_call = matches!(token.text, "unwrap" | "expect") && next == Some(b'(');
             let is_macro =
                 matches!(token.text, "assert" | "assert_eq" | "assert_ne") && next == Some(b'!');
-            if (is_call || is_macro) && !waived(&raw_lines, line, "no-panic-path") {
+            if (is_call || is_macro) && !waivers.check(&raw_lines, line, "no-panic-path") {
                 report.findings.push(Finding {
                     rule: "no-panic-path".into(),
                     location: here(),
@@ -472,7 +527,7 @@ fn lint_file(file: &SourceFile, report: &mut PassReport) {
                             ),
                         });
                     }
-                } else if !covered && !waived(&raw_lines, line, "safety-comment") {
+                } else if !covered && !waivers.check(&raw_lines, line, "safety-comment") {
                     report.findings.push(Finding {
                         rule: "safety-comment".into(),
                         location: here(),
@@ -498,7 +553,7 @@ fn lint_file(file: &SourceFile, report: &mut PassReport) {
                 }
                 _ => false,
             };
-            if is_ctor && !waived(&raw_lines, line, "no-unbounded-channel") {
+            if is_ctor && !waivers.check(&raw_lines, line, "no-unbounded-channel") {
                 report.findings.push(Finding {
                     rule: "no-unbounded-channel".into(),
                     location: here(),
@@ -523,7 +578,7 @@ fn lint_file(file: &SourceFile, report: &mut PassReport) {
             if let Some(call) = comm_call {
                 let scoped =
                     normalized.contains("phase_scope(") || normalized.contains("current_phase(");
-                if !scoped && !waived(&raw_lines, line, "phase-scope") {
+                if !scoped && !waivers.check(&raw_lines, line, "phase-scope") {
                     report.findings.push(Finding {
                         rule: "phase-scope".into(),
                         location: format!("{}:{line}", file.rel),
@@ -534,6 +589,25 @@ fn lint_file(file: &SourceFile, report: &mut PassReport) {
                     });
                 }
             }
+        }
+    }
+
+    // Rule: unused-waiver. A waiver that suppressed nothing this run is
+    // dead — the offending code moved, the rule stopped firing here, or
+    // it waives an unwaivable rule — and a dead waiver is a latent hole:
+    // code drifting back under it would be silently exempted.
+    report.bump("waivers_tracked", waivers.entries.len() as u64);
+    for w in &waivers.entries {
+        if !w.used {
+            report.findings.push(Finding {
+                rule: "unused-waiver".into(),
+                location: format!("{}:{}", file.rel, w.line),
+                message: format!(
+                    "waiver `allow({})` no longer suppresses any finding — delete \
+                     it (or fix the rule name) so the audit trail stays honest",
+                    w.rule
+                ),
+            });
         }
     }
 }
@@ -698,13 +772,24 @@ mod tests {
 
     #[test]
     fn simd_unsafe_blocks_require_safety_and_ignore_waivers() {
-        // A waiver does NOT silence the rule for a std::arch block.
+        // A waiver does NOT silence the rule for a std::arch block — and
+        // since it suppressed nothing, the waiver itself is flagged dead.
         let waived = "fn f() {\n\
                       // sar-check: allow(safety-comment) — trust me\n\
                       unsafe { avx2::add_assign(dst, src) };\n}\n";
         let findings = lint_source(waived);
-        assert_eq!(findings.len(), 1, "{findings:?}");
-        assert!(findings[0].message.contains("SIMD"));
+        assert_eq!(
+            findings
+                .iter()
+                .filter(|f| f.rule == "safety-comment")
+                .count(),
+            1,
+            "{findings:?}"
+        );
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == "safety-comment" && f.message.contains("SIMD")));
+        assert!(findings.iter().any(|f| f.rule == "unused-waiver"));
 
         // Raw intrinsics are also recognized.
         let raw_intrinsic = "fn g() { unsafe { core::arch::x86_64::_mm256_setzero_ps() }; }\n";
@@ -731,9 +816,21 @@ mod tests {
                       // sar-check: allow(safety-comment) — trust me\n\
                       unsafe { libc::munmap(self.base, self.cap) };\n}\n";
         let findings = lint_source(waived);
-        assert_eq!(findings.len(), 1, "{findings:?}");
-        assert!(findings[0].message.contains("mmap"));
-        assert!(findings[0].message.contains("mapping"));
+        assert_eq!(
+            findings
+                .iter()
+                .filter(|f| f.rule == "safety-comment")
+                .count(),
+            1,
+            "{findings:?}"
+        );
+        let safety = findings
+            .iter()
+            .find(|f| f.rule == "safety-comment")
+            .unwrap();
+        assert!(safety.message.contains("mmap"));
+        assert!(safety.message.contains("mapping"));
+        assert!(findings.iter().any(|f| f.rule == "unused-waiver"));
 
         // Any raw libc call is held to the same standard.
         let raw_libc = "fn g() { let p = unsafe { libc::mmap(core::ptr::null_mut(), \
@@ -746,6 +843,41 @@ mod tests {
                        // no views outlive the store (checked by the borrow above).\n\
                        unsafe { libc::munmap(self.base, self.cap) };\n}\n";
         assert!(lint_source(covered).is_empty());
+    }
+
+    #[test]
+    fn waivers_are_audited_in_both_directions() {
+        // Direction 1: a waiver that suppresses a real finding is "used" and
+        // produces no output at all — neither the waived rule nor the audit.
+        let used = "fn f(tx: Sender<u8>) {\n\
+                    // sar-check: allow(no-unbounded-channel) — drained every tick\n\
+                    let (tx, rx) = std::sync::mpsc::channel();\n}\n";
+        assert!(lint_source(used).is_empty(), "{:?}", lint_source(used));
+
+        // Direction 2: a waiver that suppresses nothing (here: misspelled
+        // rule name, so the real finding fires AND the waiver is dead) is
+        // itself reported, anchored at the waiver's own line.
+        let stale = "fn f(tx: Sender<u8>) {\n\
+                     // sar-check: allow(no-unbounded-chanel) — typo'd rule\n\
+                     let (tx, rx) = std::sync::mpsc::channel();\n}\n";
+        let findings = lint_source(stale);
+        let dead: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == "unused-waiver")
+            .collect();
+        assert_eq!(dead.len(), 1, "{findings:?}");
+        assert!(dead[0].location.ends_with(":2"), "{:?}", dead[0].location);
+        assert!(dead[0].message.contains("no-unbounded-chanel"));
+        // ...and the unwaived rule still fires.
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == "no-unbounded-channel" && f.location.ends_with(":3")));
+
+        // A waiver inside a doc comment or string literal is documentation,
+        // not a live waiver — it is never collected, so never "unused".
+        let doc_only = "/// Use `// sar-check: allow(no-unbounded-channel)` to waive.\n\
+                        fn f() {}\n";
+        assert!(lint_source(doc_only).is_empty());
     }
 
     #[test]

@@ -1,21 +1,26 @@
 //! `sar-check` — the workspace's static-analysis gate.
 //!
 //! ```text
-//! sar-check [--all] [--protocol] [--sched] [--lint]
-//!           [--root DIR] [--report FILE.json]
+//! sar-check [--all] [--protocol] [--sched] [--lint] [--taint] [--ledger]
+//!           [--root DIR] [--report FILE.json] [--baseline FILE.json]
+//!           [--annotate]
 //! ```
 //!
 //! With no pass flag (or `--all`) every pass runs. Exit status is 0 only
 //! when every selected pass is clean — findings are hard failures, the
 //! `-D warnings` discipline. `--report` writes the machine-readable proof
-//! report (the CI artifact); `--root` points the linter at a workspace
-//! checkout (default: the current directory, falling back to the
-//! manifest's grandparent when run via `cargo run -p sar-check`).
+//! report (the CI artifact); `--baseline` diffs the fresh report against a
+//! committed one and fails if any proof obligation was silently dropped;
+//! `--annotate` additionally prints findings as GitHub workflow-command
+//! annotations (`::error file=…,line=…::…`); `--root` points the
+//! source-reading passes at a workspace checkout (default: the current
+//! directory, falling back to the manifest's grandparent when run via
+//! `cargo run -p sar-check`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use sar_check::{lint, protocol, sched, Report};
+use sar_check::{ledgercheck, lint, protocol, reportio, sched, taint, Report};
 
 /// The CI sweep: every world size and pipeline depth the paper's
 /// experiments cover, both communication models, a 2-layer step.
@@ -25,18 +30,35 @@ const SWEEP_LAYERS: usize = 2;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sar-check [--all] [--protocol] [--sched] [--lint] \
-         [--root DIR] [--report FILE.json]"
+        "usage: sar-check [--all] [--protocol] [--sched] [--lint] [--taint] \
+         [--ledger] [--root DIR] [--report FILE.json] \
+         [--baseline FILE.json] [--annotate]"
     );
     std::process::exit(2);
+}
+
+/// Splits a `file.rs:NN` location into (file, line) for annotations.
+/// Protocol/sched locations (model coordinates) have no line — those
+/// annotate without a position.
+fn split_location(location: &str) -> Option<(&str, &str)> {
+    let (file, line) = location.rsplit_once(':')?;
+    if file.ends_with(".rs") && line.bytes().all(|b| b.is_ascii_digit()) {
+        Some((file, line))
+    } else {
+        None
+    }
 }
 
 fn main() -> ExitCode {
     let mut run_protocol = false;
     let mut run_sched = false;
     let mut run_lint = false;
+    let mut run_taint = false;
+    let mut run_ledger = false;
     let mut root: Option<PathBuf> = None;
     let mut report_path: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut annotate = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -45,13 +67,21 @@ fn main() -> ExitCode {
                 run_protocol = true;
                 run_sched = true;
                 run_lint = true;
+                run_taint = true;
+                run_ledger = true;
             }
             "--protocol" => run_protocol = true,
             "--sched" => run_sched = true,
             "--lint" => run_lint = true,
+            "--taint" => run_taint = true,
+            "--ledger" => run_ledger = true,
+            "--annotate" => annotate = true,
             "--root" => root = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             "--report" => {
                 report_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
+            "--baseline" => {
+                baseline_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
             }
             "--help" | "-h" => usage(),
             other => {
@@ -60,10 +90,12 @@ fn main() -> ExitCode {
             }
         }
     }
-    if !(run_protocol || run_sched || run_lint) {
+    if !(run_protocol || run_sched || run_lint || run_taint || run_ledger) {
         run_protocol = true;
         run_sched = true;
         run_lint = true;
+        run_taint = true;
+        run_ledger = true;
     }
 
     let root = root.unwrap_or_else(|| {
@@ -97,6 +129,14 @@ fn main() -> ExitCode {
         println!("sar-check: lint — scanning {}", root.display());
         report.passes.push(lint::run(&root));
     }
+    if run_taint {
+        println!("sar-check: taint — determinism dataflow over digest-bearing hot paths");
+        report.passes.push(taint::run(&root));
+    }
+    if run_ledger {
+        println!("sar-check: ledger — send/recv charge conservation + codec symmetry");
+        report.passes.push(ledgercheck::run(&root));
+    }
 
     for pass in &report.passes {
         let stats: Vec<String> = pass
@@ -112,6 +152,50 @@ fn main() -> ExitCode {
         );
         for finding in &pass.findings {
             println!("  {finding}");
+            if annotate {
+                // GitHub workflow-command annotation; shows inline on the PR.
+                match split_location(&finding.location) {
+                    Some((file, line)) => println!(
+                        "::error file={file},line={line},title=sar-check {}::{}",
+                        finding.rule, finding.message
+                    ),
+                    None => println!(
+                        "::error title=sar-check {} at {}::{}",
+                        finding.rule, finding.location, finding.message
+                    ),
+                }
+            }
+        }
+    }
+
+    let mut baseline_failed = false;
+    if let Some(path) = baseline_path {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => match reportio::check_baseline(&report, &text) {
+                Ok(drops) if drops.is_empty() => {
+                    println!(
+                        "sar-check: baseline {} holds — no proof obligations dropped",
+                        path.display()
+                    );
+                }
+                Ok(drops) => {
+                    baseline_failed = true;
+                    for drop in &drops {
+                        eprintln!("sar-check: baseline: {drop}");
+                        if annotate {
+                            println!("::error title=sar-check baseline::{drop}");
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("sar-check: cannot parse baseline {}: {e}", path.display());
+                    baseline_failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("sar-check: cannot read baseline {}: {e}", path.display());
+                baseline_failed = true;
+            }
         }
     }
 
@@ -123,13 +207,18 @@ fn main() -> ExitCode {
         println!("sar-check: report written to {}", path.display());
     }
 
-    if report.clean() {
+    if report.clean() && !baseline_failed {
         println!("sar-check: all passes clean");
         ExitCode::SUCCESS
     } else {
         eprintln!(
-            "sar-check: FAILED with {} finding(s)",
-            report.total_findings()
+            "sar-check: FAILED with {} finding(s){}",
+            report.total_findings(),
+            if baseline_failed {
+                " (baseline regression)"
+            } else {
+                ""
+            }
         );
         ExitCode::FAILURE
     }

@@ -532,6 +532,281 @@ pub fn verify_tiered(
     (stats, findings)
 }
 
+/// Which exchange protocol a multi-epoch training program runs — the
+/// symbolic mirror of `sar_core::Protocol`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoSpec {
+    /// Every epoch runs the full rotation exchange.
+    Exact,
+    /// Local-subgraph training: no remote fetch, no gradient routing.
+    /// Every rank skips the same messages, so nothing is ever in flight.
+    GradOnly,
+    /// Refresh every `r` epochs (`r ≥ 1`); stale epochs in between replay
+    /// the cached blocks with zero fetch-phase traffic.
+    Stale(usize),
+}
+
+impl ProtoSpec {
+    /// Stable name used in report locations (`gradonly`, `stale:2`, …).
+    #[must_use]
+    pub fn name(self) -> String {
+        match self {
+            ProtoSpec::Exact => "exact".to_string(),
+            ProtoSpec::GradOnly => "gradonly".to_string(),
+            ProtoSpec::Stale(r) => format!("stale:{r}"),
+        }
+    }
+}
+
+/// Appends a stale-epoch fetch replay: the rotation consumed from the
+/// cache in order, no messages. Each block passes through the staging
+/// queue transiently (residency 1), mirroring `Worker::fetch_rounds`'
+/// cached-replay path.
+fn push_stale_replay(ops: &mut Vec<Op>, n: usize) {
+    for _ in 0..n {
+        ops.push(Op::Stage);
+        ops.push(Op::Consume);
+    }
+}
+
+/// Appends one fetch call under `proto` — and bumps the tag
+/// *unconditionally*, exactly as `Worker::next_tag` does: approximate
+/// protocols skip messages, not tags, so the SPMD tag streams stay
+/// aligned across protocol phases (a stale epoch followed by a refresh).
+fn push_protocol_fetch(
+    ops: &mut Vec<Op>,
+    n: usize,
+    p: usize,
+    k: usize,
+    proto: ProtoSpec,
+    fresh: bool,
+    tag: &mut u64,
+) {
+    match proto {
+        // Local round only: gather, consume, no traffic.
+        ProtoSpec::GradOnly => {
+            ops.push(Op::Stage);
+            ops.push(Op::Consume);
+        }
+        ProtoSpec::Exact => push_fetch_exchange(ops, n, p, k, *tag),
+        ProtoSpec::Stale(_) if fresh => push_fetch_exchange(ops, n, p, k, *tag),
+        ProtoSpec::Stale(_) => push_stale_replay(ops, n),
+    }
+    *tag += 1;
+}
+
+/// Builds rank `p`'s program for `epochs` training epochs under an
+/// approximate-exchange protocol, mirroring the trainer's epoch loop:
+/// `Stale(r)` refreshes when `epoch % r == 0` and replays otherwise;
+/// `GradOnly` never exchanges; tags advance unconditionally on every
+/// fetch call and gradient exchange so ranks stay aligned through
+/// skipped phases. Each epoch ends at a barrier carrying the epoch
+/// number, as the trainer's epoch boundary does.
+#[must_use]
+pub fn build_protocol_program(
+    n: usize,
+    p: usize,
+    k: usize,
+    model: CaseModel,
+    layers: usize,
+    proto: ProtoSpec,
+    epochs: usize,
+) -> Program {
+    let mut ops = Vec::new();
+    let mut tag = 0u64;
+    for epoch in 0..epochs {
+        let fresh = match proto {
+            ProtoSpec::Stale(r) => r == 0 || epoch % r == 0,
+            _ => true,
+        };
+        // Forward: one fetch call per layer.
+        for _ in 0..layers {
+            push_protocol_fetch(&mut ops, n, p, k, proto, fresh, &mut tag);
+        }
+        // Backward, deepest layer first.
+        for _ in 0..layers {
+            if model == CaseModel::Case2 {
+                // Rematerialization refetch — same protocol dispatch (a
+                // stale epoch replays it from cache too).
+                push_protocol_fetch(&mut ops, n, p, k, proto, fresh, &mut tag);
+            }
+            if proto != ProtoSpec::GradOnly {
+                push_grad_exchange(&mut ops, n, p, tag);
+            }
+            // Unconditional, like the fetch tag.
+            tag += 1;
+        }
+        ops.push(Op::Barrier { id: epoch as u64 });
+    }
+    Program { rank: p, ops }
+}
+
+// ----------------------------------------------------------------------
+// Serve-tier control plane
+// ----------------------------------------------------------------------
+
+/// Per-batch tag window of the symbolic serve model (scaled-down mirror
+/// of the engine's `batch_base`).
+fn serve_base(seq: u64) -> u64 {
+    seq * 0x1000
+}
+/// Control broadcast slot within a batch window.
+const SERVE_OFF_CTRL: u64 = 0;
+/// MFG build-exchange slots (`+ level`).
+const SERVE_OFF_BUILD: u64 = 0x100;
+/// Restricted-rotation forward slots (`+ level`).
+const SERVE_OFF_FWD: u64 = 0x200;
+/// Result-gather position stream to rank 0.
+const SERVE_OFF_RES_POS: u64 = 0x300;
+/// Result-gather value stream to rank 0.
+const SERVE_OFF_RES_VAL: u64 = 0x301;
+/// Barrier id of the drain-then-ack shutdown.
+const SERVE_QUIESCE_ID: u64 = u64::MAX;
+
+/// Builds every rank's program for `batches` serve query batches followed
+/// by a shutdown, mirroring `sar-serve`'s engine: rank 0 broadcasts a
+/// seq-numbered control message per batch (tag `batch_base(seq) +
+/// OFF_CTRL`); every batch runs `layers` send-all-then-recv-all MFG build
+/// exchanges and `layers` forward exchanges; workers ship results to
+/// rank 0 as a position stream plus a value stream; shutdown is one more
+/// control broadcast followed by the drain barrier (`quiesce`), so no
+/// rank exits while a peer still expects service.
+#[must_use]
+pub fn build_serve_programs(n: usize, layers: usize, batches: usize) -> Vec<Program> {
+    (0..n)
+        .map(|p| {
+            let mut ops = Vec::new();
+            for seq in 0..batches as u64 {
+                let base = serve_base(seq);
+                // Seq-numbered control broadcast.
+                if p == 0 {
+                    for q in 1..n {
+                        ops.push(Op::Send {
+                            dst: q,
+                            tag: base + SERVE_OFF_CTRL,
+                        });
+                    }
+                } else {
+                    ops.push(Op::Recv {
+                        src: 0,
+                        tag: base + SERVE_OFF_CTRL,
+                    });
+                }
+                // MFG build: top level down, all-to-all, send-all first.
+                for k in (1..=layers).rev() {
+                    let tag = base + SERVE_OFF_BUILD + k as u64;
+                    for q in (0..n).filter(|&q| q != p) {
+                        ops.push(Op::Send { dst: q, tag });
+                    }
+                    for q in (0..n).filter(|&q| q != p) {
+                        ops.push(Op::Recv { src: q, tag });
+                    }
+                }
+                // Restricted rotation forward: bottom level up.
+                for k in 1..=layers {
+                    let tag = base + SERVE_OFF_FWD + k as u64;
+                    for q in (0..n).filter(|&q| q != p) {
+                        ops.push(Op::Send { dst: q, tag });
+                    }
+                    for q in (0..n).filter(|&q| q != p) {
+                        ops.push(Op::Recv { src: q, tag });
+                    }
+                }
+                // Result gather: two streams per worker to rank 0.
+                if p == 0 {
+                    for q in 1..n {
+                        ops.push(Op::Recv {
+                            src: q,
+                            tag: base + SERVE_OFF_RES_POS,
+                        });
+                        ops.push(Op::Recv {
+                            src: q,
+                            tag: base + SERVE_OFF_RES_VAL,
+                        });
+                    }
+                } else {
+                    ops.push(Op::Send {
+                        dst: 0,
+                        tag: base + SERVE_OFF_RES_POS,
+                    });
+                    ops.push(Op::Send {
+                        dst: 0,
+                        tag: base + SERVE_OFF_RES_VAL,
+                    });
+                }
+            }
+            // Shutdown: one more seq-numbered broadcast, then drain.
+            let base = serve_base(batches as u64);
+            if p == 0 {
+                for q in 1..n {
+                    ops.push(Op::Send {
+                        dst: q,
+                        tag: base + SERVE_OFF_CTRL,
+                    });
+                }
+            } else {
+                ops.push(Op::Recv {
+                    src: 0,
+                    tag: base + SERVE_OFF_CTRL,
+                });
+            }
+            ops.push(Op::Barrier {
+                id: SERVE_QUIESCE_ID,
+            });
+            Program { rank: p, ops }
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------------
+// Codec negotiation at rendezvous
+// ----------------------------------------------------------------------
+
+/// Hello stream base tag (`+ worker rank`).
+const NEG_HELLO: u64 = 1 << 32;
+/// Reply stream base tag (`+ worker rank`).
+const NEG_REPLY: u64 = (1 << 32) + 0x100;
+
+/// Builds the rendezvous negotiation: every worker sends its hello
+/// (world size, rank, codec byte) to rank 0 and blocks on the reply;
+/// rank 0 collects all hellos, then answers each one. A codec mismatch
+/// does not change this shape — rank 0 rejects by erroring out of the
+/// rendezvous, and the connection teardown unblocks a blocked reader
+/// just as a frame does, so the reject is modeled as a reply message.
+/// Either way every worker is answered and no rank hangs.
+#[must_use]
+pub fn build_negotiation_programs(n: usize) -> Vec<Program> {
+    (0..n)
+        .map(|p| {
+            let mut ops = Vec::new();
+            if p == 0 {
+                for q in 1..n {
+                    ops.push(Op::Recv {
+                        src: q,
+                        tag: NEG_HELLO + q as u64,
+                    });
+                }
+                for q in 1..n {
+                    ops.push(Op::Send {
+                        dst: q,
+                        tag: NEG_REPLY + q as u64,
+                    });
+                }
+            } else {
+                ops.push(Op::Send {
+                    dst: 0,
+                    tag: NEG_HELLO + p as u64,
+                });
+                ops.push(Op::Recv {
+                    src: 0,
+                    tag: NEG_REPLY + p as u64,
+                });
+            }
+            Program { rank: p, ops }
+        })
+        .collect()
+}
+
 /// Runs the full CI sweep — every `(N, K)` in `ns × ks`, both
 /// communication models, `layers` layers — and folds the results into one
 /// [`PassReport`]. A clean report is a machine-checked proof that the
@@ -540,6 +815,14 @@ pub fn verify_tiered(
 /// scale — and that the out-of-core stale replay of the same schedule
 /// keeps at most `min(K, N−1) + 2` blocks in RAM with the remainder on
 /// the disk tier.
+///
+/// Beyond the exact single-step schedules, the sweep covers the
+/// approximate-exchange protocols (`gradonly`, `stale:2`, `stale:3` over
+/// four epochs, proving the symmetric skips and unconditional tag bumps
+/// keep mixed protocol phases aligned), the serve tier's seq-numbered
+/// control broadcast / MFG exchanges / drain-then-ack shutdown, and the
+/// rendezvous codec negotiation — each a distinct obligation counter in
+/// the proof report.
 #[must_use]
 pub fn sweep(ns: &[usize], ks: &[usize], layers: usize) -> PassReport {
     let mut report = PassReport::new("protocol");
@@ -577,6 +860,68 @@ pub fn sweep(ns: &[usize], ks: &[usize], layers: usize) -> PassReport {
                     report.findings.push(finding);
                 }
             }
+        }
+    }
+    // Approximate-exchange protocols: gradonly and stale replay with
+    // refresh epochs interleaved, four epochs so every Stale(r) swept
+    // both refreshes and replays — proving the unconditional tag bumps
+    // keep mixed protocol phases matched and deadlock-free.
+    const PROTO_EPOCHS: usize = 4;
+    for &n in ns {
+        for &k in ks {
+            for model in [CaseModel::Case1, CaseModel::Case2] {
+                for proto in [
+                    ProtoSpec::GradOnly,
+                    ProtoSpec::Stale(2),
+                    ProtoSpec::Stale(3),
+                ] {
+                    let programs: Vec<Program> = (0..n)
+                        .map(|p| {
+                            build_protocol_program(n, p, k, model, layers, proto, PROTO_EPOCHS)
+                        })
+                        .collect();
+                    let staged_bound = k.min(n - 1) + 1;
+                    let (stats, findings) = verify(n, &programs, staged_bound);
+                    report.bump("protocol_configs_verified", 1);
+                    report.bump("sends_matched", stats.sends);
+                    report.bump("ops_executed", stats.steps);
+                    peak_overall = peak_overall.max(stats.peak_staged);
+                    let here = format!("N={n} K={k} model={} proto={}", model.name(), proto.name());
+                    for mut finding in findings {
+                        finding.location = format!("{here} {}", finding.location);
+                        report.findings.push(finding);
+                    }
+                }
+            }
+        }
+    }
+    // Serve tier: seq-numbered control broadcasts, MFG build + forward
+    // all-to-alls, result gather, drain-then-ack shutdown.
+    for &n in ns {
+        let programs = build_serve_programs(n, layers, 3);
+        let (stats, findings) = verify(n, &programs, 0);
+        report.bump("serve_configs_verified", 1);
+        report.bump("sends_matched", stats.sends);
+        report.bump("ops_executed", stats.steps);
+        let here = format!("N={n} model=serve");
+        for mut finding in findings {
+            finding.location = format!("{here} {}", finding.location);
+            report.findings.push(finding);
+        }
+    }
+    // Codec negotiation at rendezvous: every worker's hello is answered —
+    // by an accept frame or by the teardown a reject causes — so neither
+    // outcome can hang a rank.
+    for &n in ns {
+        let programs = build_negotiation_programs(n);
+        let (stats, findings) = verify(n, &programs, 0);
+        report.bump("negotiations_verified", 1);
+        report.bump("sends_matched", stats.sends);
+        report.bump("ops_executed", stats.steps);
+        let here = format!("N={n} model=negotiation");
+        for mut finding in findings {
+            finding.location = format!("{here} {}", finding.location);
+            report.findings.push(finding);
         }
     }
     report.bump("peak_staged_blocks", peak_overall as u64);
@@ -684,6 +1029,162 @@ mod tests {
                 .iter()
                 .any(|f| f.rule == "ooc-residency-bound" && f.message.contains("bound is 3")),
             "expected a residency finding, got {findings:#?}"
+        );
+    }
+
+    #[test]
+    fn approximate_protocols_are_matched_and_deadlock_free() {
+        for n in 2..=8usize {
+            for proto in [
+                ProtoSpec::GradOnly,
+                ProtoSpec::Stale(2),
+                ProtoSpec::Stale(3),
+            ] {
+                for model in [CaseModel::Case1, CaseModel::Case2] {
+                    let programs: Vec<Program> = (0..n)
+                        .map(|p| build_protocol_program(n, p, 1, model, 2, proto, 4))
+                        .collect();
+                    let (_, findings) = verify(n, &programs, 1.min(n - 1) + 1);
+                    assert!(
+                        findings.is_empty(),
+                        "n={n} proto={} model={}: {findings:#?}",
+                        proto.name(),
+                        model.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_protocol_program_matches_single_step_builder_per_epoch() {
+        // One Exact epoch is exactly the single-step program (modulo the
+        // barrier id), so the multi-epoch builder proves the same
+        // schedule the original sweep proves.
+        let single = build_programs(4, 1, CaseModel::Case2, 2);
+        let multi: Vec<Program> = (0..4)
+            .map(|p| build_protocol_program(4, p, 1, CaseModel::Case2, 2, ProtoSpec::Exact, 1))
+            .collect();
+        for (s, m) in single.iter().zip(&multi) {
+            assert_eq!(s.ops, m.ops, "rank {}", s.rank);
+        }
+    }
+
+    #[test]
+    fn conditional_tag_bump_on_one_rank_breaks_matching() {
+        // Seed the bug the unconditional-bump rule prevents: rank 0
+        // forgets to advance its tag for the skipped fetch of a stale
+        // epoch, so its epoch-1 gradient exchange runs under tag 2 while
+        // every peer expects tag 3.
+        let n = 3;
+        let mut programs: Vec<Program> = (0..n)
+            .map(|p| build_protocol_program(n, p, 0, CaseModel::Case1, 1, ProtoSpec::Stale(2), 2))
+            .collect();
+        for op in &mut programs[0].ops {
+            match op {
+                Op::Send { tag, .. } | Op::Recv { tag, .. } if *tag == 3 => *tag = 2,
+                _ => {}
+            }
+        }
+        let (_, findings) = verify(n, &programs, 1);
+        assert!(
+            findings.iter().any(|f| f.rule == "deadlock-free")
+                || findings.iter().any(|f| f.rule == "matched-send-recv"),
+            "expected misaligned tag streams to be caught, got {findings:#?}"
+        );
+    }
+
+    #[test]
+    fn serve_control_plane_is_matched_and_deadlock_free() {
+        for n in 2..=8usize {
+            let programs = build_serve_programs(n, 2, 3);
+            let (stats, findings) = verify(n, &programs, 0);
+            assert!(findings.is_empty(), "n={n}: {findings:#?}");
+            // Per batch: ctrl (n−1) + 2·layers all-to-alls (n(n−1)) +
+            // results (2(n−1)); shutdown adds one more ctrl broadcast.
+            let per_batch = (n - 1) + 4 * n * (n - 1) + 2 * (n - 1);
+            assert_eq!(stats.sends, (3 * per_batch + (n - 1)) as u64, "n={n}");
+            assert_eq!(stats.sends, stats.recvs, "n={n}");
+        }
+    }
+
+    #[test]
+    fn worker_skipping_the_quiesce_barrier_is_reported() {
+        // Seed the shutdown bug quiesce() exists to prevent: rank 2 acks
+        // the shutdown but exits without draining. The barrier can then
+        // never resolve and every parked rank is named.
+        let mut programs = build_serve_programs(4, 2, 1);
+        let barrier_at = programs[2]
+            .ops
+            .iter()
+            .position(|op| matches!(op, Op::Barrier { .. }))
+            .expect("serve program ends at the quiesce barrier");
+        programs[2].ops.remove(barrier_at);
+        let (_, findings) = verify(4, &programs, 0);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.rule == "deadlock-free" && f.message.contains("barrier")),
+            "expected a quiesce deadlock, got {findings:#?}"
+        );
+    }
+
+    #[test]
+    fn stale_seq_number_is_reported_as_deadlock() {
+        // Seed a seq-counter bug: rank 1 forgets to advance its batch
+        // sequence after batch 0 and listens for batch 1's control
+        // message on batch 0's tag, which was already consumed.
+        let mut programs = build_serve_programs(3, 1, 2);
+        let stale_tag = serve_base(0) + SERVE_OFF_CTRL;
+        let fresh_tag = serve_base(1) + SERVE_OFF_CTRL;
+        let mut seen = 0;
+        for op in &mut programs[1].ops {
+            if let Op::Recv { src: 0, tag } = op {
+                if *tag == fresh_tag {
+                    *tag = stale_tag;
+                    seen += 1;
+                }
+            }
+        }
+        assert_eq!(seen, 1, "expected exactly one batch-1 ctrl recv");
+        let (_, findings) = verify(3, &programs, 0);
+        assert!(
+            findings.iter().any(|f| f.rule == "deadlock-free"),
+            "expected the stale seq to deadlock, got {findings:#?}"
+        );
+    }
+
+    #[test]
+    fn negotiation_answers_every_worker_for_both_outcomes() {
+        // Accept and reject produce the same message shape (a reject's
+        // connection teardown unblocks the reader like a frame), so one
+        // clean verification covers both outcomes.
+        for n in 2..=8usize {
+            let programs = build_negotiation_programs(n);
+            let (stats, findings) = verify(n, &programs, 0);
+            assert!(findings.is_empty(), "n={n}: {findings:#?}");
+            assert_eq!(stats.sends, 2 * (n as u64 - 1), "n={n}");
+        }
+    }
+
+    #[test]
+    fn negotiation_silent_reject_is_reported_as_deadlock() {
+        // Seed the bug the reply-to-everyone rule prevents: rank 0 drops
+        // the mismatched worker's reply without tearing the connection
+        // down, leaving that worker blocked in the rendezvous forever.
+        let mut programs = build_negotiation_programs(4);
+        let reply_at = programs[0]
+            .ops
+            .iter()
+            .position(|op| matches!(op, Op::Send { dst: 2, .. }))
+            .expect("rank 0 replies to worker 2");
+        programs[0].ops.remove(reply_at);
+        let (_, findings) = verify(4, &programs, 0);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.rule == "deadlock-free" && f.message.contains("blocked on recv")),
+            "expected the unanswered worker to be reported, got {findings:#?}"
         );
     }
 

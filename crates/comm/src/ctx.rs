@@ -175,6 +175,8 @@ impl WorkerCtx {
     /// not lost.
     pub fn flush_phase_timing(&self) {
         let now = thread_cpu_secs();
+        // sar-check: deterministic(metering: wall/CPU marks feed the
+        // phase-timing stats only, never payload bytes or digests)
         let wall_now = Instant::now();
         let mark = self.cpu_mark.get();
         // CPU burned by intra-worker pool helpers since the last flush.
@@ -459,9 +461,11 @@ impl WorkerCtx {
             {
                 break p;
             }
+            // sar-check: deterministic(metering: blocked-time accounting
+            // only; the delivered payload is untouched)
             let start = Instant::now();
             let msg = self.transport.recv_any(self.recv_timeout)?;
-            blocked_us += start.elapsed().as_secs_f64() * 1e6;
+            blocked_us += start.elapsed().as_secs_f64() * 1e6; // sar-check: deterministic(metering)
             let decoded = self.decode_arrival(msg.src, msg.payload)?;
             if (msg.src, msg.tag) == key {
                 break decoded;
@@ -498,6 +502,8 @@ impl WorkerCtx {
         let (src, payload, wire) = loop {
             let buffered = {
                 let mut pending = self.pending.borrow_mut();
+                // sar-check: deterministic(reduced with min(): the lowest
+                // ready src wins regardless of map iteration order)
                 let lowest = pending
                     .iter()
                     .filter(|((_, t), q)| *t == tag && !q.is_empty())
@@ -515,9 +521,11 @@ impl WorkerCtx {
             if let Some(found) = buffered {
                 break found;
             }
+            // sar-check: deterministic(metering: blocked-time accounting
+            // only; the delivered payload is untouched)
             let start = Instant::now();
             let msg = self.transport.recv_any(self.recv_timeout)?;
-            blocked_us += start.elapsed().as_secs_f64() * 1e6;
+            blocked_us += start.elapsed().as_secs_f64() * 1e6; // sar-check: deterministic(metering)
             let (decoded, wire) = self.decode_arrival(msg.src, msg.payload)?;
             if msg.tag == tag {
                 break (msg.src as usize, decoded, wire);
@@ -539,6 +547,9 @@ impl WorkerCtx {
     /// what actually crossed the link — and the measured parked time as
     /// [`blocked_us`](crate::PhaseEntry::blocked_us). Self-sends loop
     /// through the pending buffer and are never charged.
+    // sar-check: deterministic(metering: every accumulation here is a
+    // ledger charge counter — bytes, messages, microseconds — charged once
+    // per delivery in program order; payload data is never touched)
     fn charge_recv(&self, src: usize, tag: u64, payload: &Payload, wire: u64, blocked_us: f64) {
         if src == self.rank() {
             return;

@@ -87,6 +87,8 @@ impl OnlineAttnState {
         (out, self.max, self.den)
     }
 
+    // sar-check: deterministic(one-writer-per-row: each destination row is
+    // divided by its own denominator in a fixed sequential row loop)
     fn normalize(&self, out: &mut Tensor) {
         let rows = self.den.rows();
         let (h, d) = (self.heads, self.head_dim);
@@ -239,6 +241,8 @@ fn gat_fused_block_forward_impl(
 /// accumulates `exp(e)` without max tracking. Exists only for the
 /// stable-softmax ablation (`repro ablation-softmax`): with large attention
 /// logits it overflows to `inf`/`NaN` exactly as the paper warns.
+// sar-check: deterministic(one-writer-per-row: sequential loop over
+// destination rows, edges visited in fixed CSR order within each row)
 pub fn gat_naive_block_forward(
     g: &CsrGraph,
     s_dst: &Tensor,

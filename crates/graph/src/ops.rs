@@ -378,6 +378,8 @@ pub fn scatter_edges_to_dst(g: &CsrGraph, edge_vals: &Tensor) -> Tensor {
 /// # Panics
 ///
 /// Panics if `scores` does not have one row per edge.
+// sar-check: deterministic(one-writer-per-row: per-destination denominators
+// accumulate over that row's edge segment in fixed CSR order)
 pub fn edge_softmax(g: &CsrGraph, scores: &Tensor) -> Tensor {
     assert_eq!(
         scores.rows(),
@@ -437,6 +439,8 @@ pub fn edge_softmax(g: &CsrGraph, scores: &Tensor) -> Tensor {
 /// # Panics
 ///
 /// Panics if shapes are inconsistent.
+// sar-check: deterministic(one-writer-per-row: the dot reduction walks each
+// destination row's edge segment in fixed CSR order)
 pub fn edge_softmax_backward(g: &CsrGraph, alpha: &Tensor, grad: &Tensor) -> Tensor {
     assert_eq!(alpha.shape(), grad.shape(), "alpha/grad shape mismatch");
     assert_eq!(alpha.rows(), g.num_edges(), "one row per edge required");
@@ -767,6 +771,8 @@ pub fn head_project_backward_indexed(
     head_project_backward_impl(x, Some(map), a, heads, grad)
 }
 
+// sar-check: deterministic(fixed-rank-order: gradients reduce over rows in
+// ascending index order on a single writer; no data-dependent reordering)
 fn head_project_backward_impl(
     x: &Tensor,
     map: Option<&[u32]>,

@@ -972,6 +972,8 @@ fn gather_scalar(t: &Tensor, rows: &[u32]) -> Tensor {
 /// Head-averaging of a `[N, H*D]` matrix to `[N, D]`, replicating the
 /// training implementation's accumulation order bitwise (ascending head
 /// index, division before accumulation).
+// sar-check: deterministic(one-writer-per-row: sequential row loop, heads
+// folded in fixed ascending order into a freshly zeroed buffer)
 fn mean_heads_tensor(x: &Tensor, heads: usize) -> Tensor {
     let hd = x.cols();
     let d = hd / heads;

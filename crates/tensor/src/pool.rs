@@ -228,12 +228,16 @@ fn thread_cpu_ns() -> u64 {
         };
         // SAFETY: `ts` is a valid, initialized timespec on this frame and
         // `clock_gettime` writes only into it; the return code is checked.
+        // sar-check: deterministic(metering: per-thread CPU clock feeds the
+        // pool's timing stats only, never tensor data)
         let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
         if rc == 0 {
             return (ts.tv_sec as u64) * 1_000_000_000 + ts.tv_nsec as u64;
         }
     }
     use std::time::{SystemTime, UNIX_EPOCH};
+    // sar-check: deterministic(metering: wall-clock fallback for the same
+    // timing stats when the thread CPU clock is unavailable)
     SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_nanos() as u64)

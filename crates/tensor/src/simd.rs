@@ -177,6 +177,9 @@ pub mod scalar {
     /// `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`; the tail (< 8 elements)
     /// folds in sequentially afterwards. The AVX2 path performs exactly
     /// these operations in exactly this order.
+    // sar-check: deterministic(fixed-lane-order: 8 partial sums reduced in
+    // a fixed tree, scalar tail folded sequentially — same sequence on
+    // every rank and every run)
     pub fn dot(a: &[f32], b: &[f32]) -> f32 {
         debug_assert_eq!(a.len(), b.len());
         let n = a.len();
@@ -215,6 +218,8 @@ mod avx2 {
     /// # Safety
     /// Caller must ensure the CPU supports AVX2.
     #[target_feature(enable = "avx2")]
+    // sar-check: deterministic(elementwise: each dst[j] gets exactly one
+    // add; vector and scalar tails apply the same per-element operation)
     pub unsafe fn add_assign(dst: &mut [f32], src: &[f32]) {
         let n = dst.len().min(src.len());
         let main = n - n % 8;
@@ -260,6 +265,8 @@ mod avx2 {
     /// # Safety
     /// Caller must ensure the CPU supports AVX2.
     #[target_feature(enable = "avx2")]
+    // sar-check: deterministic(elementwise: each dst[j] gets exactly one
+    // fused multiply-add; vector and scalar tails match per element)
     pub unsafe fn axpy(a: f32, x: &[f32], dst: &mut [f32]) {
         let n = dst.len().min(x.len());
         let main = n - n % 8;

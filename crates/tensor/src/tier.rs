@@ -133,6 +133,59 @@ impl Segment {
     }
 }
 
+/// RAII cleanup for a freshly created temp path during construction.
+///
+/// Between creating an on-disk artifact (the arena file, the
+/// `$TMPDIR/sar-spill-*` directory) and handing it to a value whose own
+/// `Drop` removes it, there is a window where an early `return Err(..)`
+/// — or a panic unwinding through the constructor — would strand the
+/// path on disk. An armed guard closes that window: its `Drop` deletes
+/// the path. Call [`TempPathGuard::defuse`] once a `Drop`-carrying owner
+/// exists, so the happy path deletes nothing.
+#[derive(Debug)]
+struct TempPathGuard {
+    path: PathBuf,
+    is_dir: bool,
+    armed: bool,
+}
+
+impl TempPathGuard {
+    fn file(path: PathBuf) -> TempPathGuard {
+        TempPathGuard {
+            path,
+            is_dir: false,
+            armed: true,
+        }
+    }
+
+    fn dir(path: PathBuf) -> TempPathGuard {
+        TempPathGuard {
+            path,
+            is_dir: true,
+            armed: true,
+        }
+    }
+
+    /// Disarms the guard: ownership of the path has passed to a value
+    /// that cleans it up itself.
+    fn defuse(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for TempPathGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        if self.is_dir {
+            let _ = std::fs::remove_dir_all(&self.path);
+        } else {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
 /// Segment offsets are aligned so free-list reuse keeps payloads
 /// cache-line aligned.
 const SEGMENT_ALIGN: usize = 64;
@@ -185,12 +238,18 @@ impl SpillArena {
                 op: "create arena file",
                 source,
             })?;
+        // From here to the Ok below, the file exists on disk but no
+        // `SpillArena` owns it yet — the guard covers set_len/mmap
+        // failures (and any unwind) so aborted construction leaves no
+        // arena file behind.
+        let guard = TempPathGuard::file(path.clone());
         file.set_len(INITIAL_CAP as u64)
             .map_err(|source| TierError::Io {
                 op: "size arena file",
                 source,
             })?;
         let ptr = map_file(&file, INITIAL_CAP)?;
+        guard.defuse();
         Ok(SpillArena {
             file,
             path,
@@ -400,8 +459,13 @@ impl TieredStore {
     pub fn new(budget_bytes: u64) -> Result<TieredStore, TierError> {
         let id = NEXT_ARENA_ID.fetch_add(1, Ordering::Relaxed);
         let dir = std::env::temp_dir().join(format!("sar-spill-{}-{id}", std::process::id()));
+        // The store owns this directory; until it exists (with
+        // `owns_dir = true`, so its Drop removes the tree) the guard
+        // keeps `$TMPDIR/sar-spill-*` from leaking on error or unwind.
+        let guard = TempPathGuard::dir(dir.clone());
         let mut store = TieredStore::in_dir(budget_bytes, &dir)?;
         store.owns_dir = true;
+        guard.defuse();
         Ok(store)
     }
 
@@ -484,6 +548,8 @@ impl TieredStore {
             .remove(&id)
             .ok_or(TierError::MissingBlock(id))?;
         let bytes = block.seg.len_bytes() as u64;
+        // sar-check: deterministic(metering: disk-blocked time feeds the
+        // fault counters only; the loaded bytes are byte-identical)
         let begin = Instant::now();
         let data = self.arena.load(block.seg)?;
         DISK_BLOCKED_NS.with(|c| c.set(c.get() + begin.elapsed().as_nanos() as u64));
@@ -511,6 +577,9 @@ impl TieredStore {
     pub fn clear(&mut self) -> Result<(), TierError> {
         self.resident.clear();
         self.resident_bytes = 0;
+        // sar-check: deterministic(free-order only: visiting order changes
+        // which arena free-list offsets are reused, never any block's
+        // bytes — every block is dropped regardless of order)
         let ids: Vec<u64> = self.spilled.keys().copied().collect();
         for id in ids {
             if let Some(block) = self.spilled.remove(&id) {
@@ -535,6 +604,8 @@ impl TieredStore {
     fn spill_one(&mut self, id: u64, t: Tensor) -> Result<(), TierError> {
         let shape = t.shape().to_vec();
         let data = t.into_data();
+        // sar-check: deterministic(metering: spill-blocked time feeds the
+        // spill counters only; the stored bytes are byte-identical)
         let begin = Instant::now();
         let seg = self.arena.store(&data)?;
         DISK_BLOCKED_NS.with(|c| c.set(c.get() + begin.elapsed().as_nanos() as u64));
@@ -569,6 +640,37 @@ mod tests {
 
     fn tmp_dir(tag: &str) -> PathBuf {
         std::env::temp_dir().join(format!("sar-tier-test-{}-{tag}", std::process::id()))
+    }
+
+    #[test]
+    fn temp_path_guard_cleans_up_on_error_and_unwind() {
+        // Error path (guard dropped while armed): the path is removed.
+        let dir = tmp_dir("guard-err");
+        std::fs::create_dir_all(&dir).expect("dir");
+        let file = dir.join("stranded.bin");
+        std::fs::write(&file, b"half-built").expect("write");
+        drop(TempPathGuard::file(file.clone()));
+        assert!(!file.exists(), "armed guard must remove the file");
+
+        // Unwind path: a panic between creating the spill dir and
+        // constructing its owner still removes the whole tree.
+        let spill = tmp_dir("guard-unwind");
+        std::fs::create_dir_all(&spill).expect("dir");
+        std::fs::write(spill.join("arena-0.bin"), b"x").expect("write");
+        let spill_moved = spill.clone();
+        let unwound = std::panic::catch_unwind(move || {
+            let _guard = TempPathGuard::dir(spill_moved);
+            panic!("constructor blew up");
+        });
+        assert!(unwound.is_err());
+        assert!(!spill.exists(), "unwind must remove the spill dir");
+
+        // Defused guard: ownership passed to the owner, nothing deleted.
+        let kept = dir.join("kept.bin");
+        std::fs::write(&kept, b"mine now").expect("write");
+        TempPathGuard::file(kept.clone()).defuse();
+        assert!(kept.exists(), "defused guard must leave the path alone");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
